@@ -1,0 +1,170 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+func newUIEnv(t *testing.T) *simenv.Env {
+	t.Helper()
+	env := simenv.New(solidbench.SmallConfig())
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestServeQueryStreamsSSE(t *testing.T) {
+	env := newUIEnv(t)
+	q := env.Dataset.Discover(1, 1)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(w, r, env)
+	}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape(q.Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("content type = %s", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "event: result") {
+		t.Errorf("no result events:\n%s", truncate(text, 500))
+	}
+	if !strings.Contains(text, "event: waterfall") {
+		t.Errorf("no waterfall event:\n%s", truncate(text, 500))
+	}
+	if !strings.Contains(text, "event: done") {
+		t.Errorf("no done event:\n%s", truncate(text, 500))
+	}
+	if !strings.Contains(text, "messageId") {
+		t.Errorf("results lack bindings:\n%s", truncate(text, 500))
+	}
+}
+
+func TestServeQueryReportsErrors(t *testing.T) {
+	env := newUIEnv(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(w, r, env)
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?q=" + url.QueryEscape("NOT SPARQL"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "event: error") {
+		t.Errorf("no error event:\n%s", string(body))
+	}
+}
+
+func TestServeQueryWithAuth(t *testing.T) {
+	cfg := solidbench.SmallConfig()
+	cfg.PrivateFraction = 0.9
+	env := simenv.New(cfg)
+	defer env.Close()
+	q := env.Dataset.Discover(1, 1)
+	webID := env.Dataset.WebID(q.Person)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(w, r, env)
+	}))
+	defer srv.Close()
+
+	count := func(auth string) int {
+		u := srv.URL + "/query?q=" + url.QueryEscape(q.Text)
+		if auth != "" {
+			u += "&auth=" + url.QueryEscape(auth)
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return strings.Count(string(body), "event: result")
+	}
+	anon := count("")
+	authed := count(webID)
+	if authed <= anon {
+		t.Errorf("authenticated UI query should see more: anon=%d authed=%d", anon, authed)
+	}
+}
+
+func TestPageTemplateRenders(t *testing.T) {
+	env := newUIEnv(t)
+	stats := env.Stats()
+	catalog := env.Dataset.Catalog()
+	texts := make([]string, len(catalog))
+	for i, q := range catalog {
+		texts[i] = q.Text
+	}
+	var sb strings.Builder
+	err := page.Execute(&sb, map[string]interface{}{
+		"Pods": stats.Pods, "Triples": stats.Triples, "Files": stats.Files,
+		"Queries": catalog, "QueryTexts": texts,
+		"Agents": []agentInfo{{Name: "A", WebID: "https://x/#me"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := sb.String()
+	if !strings.Contains(html, "[SolidBench] Discover 1.1") {
+		t.Error("catalog dropdown missing")
+	}
+	if !strings.Contains(html, "Execute query") {
+		t.Error("execute button missing")
+	}
+}
+
+func TestSplitFields(t *testing.T) {
+	got := splitFields(" a,b  c\nd ")
+	if len(got) != 4 || got[0] != "a" || got[3] != "d" {
+		t.Errorf("splitFields = %v", got)
+	}
+	if got := splitFields(""); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+func TestServeQueryStrategyParam(t *testing.T) {
+	env := newUIEnv(t)
+	q := env.Dataset.Discover(1, 1)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(w, r, env)
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?strategy=solid-no-ldp&q=" + url.QueryEscape(q.Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "event: done") {
+		t.Errorf("strategy run did not finish:\n%s", truncate(string(body), 300))
+	}
+	if !strings.Contains(string(body), "event: result") {
+		t.Error("strategy run produced no results")
+	}
+}

@@ -1,0 +1,190 @@
+// Command ltqp-sparql executes a SPARQL query over Solid pods using link
+// traversal, reproducing the paper's command-line interface (Fig. 2):
+//
+//	ltqp-sparql [flags] [seed ...] 'SPARQL query'
+//
+// Each result is printed as a JSON object as it is produced, while
+// traversal is still running. Examples:
+//
+//	ltqp-sparql --lenient \
+//	  https://host/pods/0000.../profile/card \
+//	  'PREFIX snvoc: <...> SELECT ?forumId ?forumTitle WHERE { ... }'
+//
+//	ltqp-sparql --lenient --waterfall 'SELECT ... { <seed-iri> ... }'
+//
+// The query may also be read from a file with --query-file, or from stdin
+// when the query argument is "-".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/results"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ltqp-sparql", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		lenient    = fs.Bool("lenient", true, "tolerate failing or unparseable documents")
+		strategy   = fs.String("strategy", "solid", "link extraction strategy: solid, solid-no-ldp, ldp-only, cmatch, call")
+		idp        = fs.String("idp", "", "identity provider hint (informational; use --webid/--token to authenticate)")
+		webid      = fs.String("webid", "", "WebID to query on behalf of")
+		token      = fs.String("token", "", "bearer token for the WebID (defaults to the simulated IdP signature)")
+		timeout    = fs.Duration("timeout", 5*time.Minute, "overall query timeout")
+		limitDocs  = fs.Int("max-documents", 0, "cap on dereferenced documents (0 = unlimited)")
+		waterfall  = fs.Bool("waterfall", false, "print the HTTP resource waterfall after the query")
+		stats      = fs.Bool("stats", false, "print traversal statistics after the query")
+		explain    = fs.Bool("explain", false, "print the optimized logical plan before executing")
+		prioritize = fs.Bool("prioritize", false, "use the priority link queue instead of FIFO")
+		queryFile  = fs.String("query-file", "", "read the query from this file")
+		format     = fs.String("format", "ndjson", "result format: ndjson (streaming, as in the paper), json, csv, tsv")
+		adaptive   = fs.Bool("adaptive", false, "re-plan from observed cardinalities after a traversal warmup")
+		maxDepth   = fs.Int("max-depth", 0, "cap traversal depth in hops from the seeds (0 = unbounded)")
+		cacheDocs  = fs.Int("cache", 0, "enable an engine-wide document cache of this many documents")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+
+	var query string
+	switch {
+	case *queryFile != "":
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql:", err)
+			return 1
+		}
+		query = string(data)
+	case len(rest) > 0:
+		query = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		if query == "-" {
+			data, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				fmt.Fprintln(stderr, "ltqp-sparql:", err)
+				return 1
+			}
+			query = string(data)
+		}
+	default:
+		fmt.Fprintln(stderr, "usage: ltqp-sparql [flags] [seed ...] 'SPARQL query'")
+		fs.PrintDefaults()
+		return 2
+	}
+	seeds := rest
+
+	cfg := ltqp.Config{
+		Lenient:          *lenient,
+		MaxDocuments:     *limitDocs,
+		MaxDepth:         *maxDepth,
+		PrioritizedQueue: *prioritize,
+		Adaptive:         *adaptive,
+		CacheDocuments:   *cacheDocs,
+	}
+	switch *strategy {
+	case "solid":
+		cfg.Strategy = ltqp.StrategySolid
+	case "solid-no-ldp":
+		cfg.Strategy = ltqp.StrategySolidNoLDP
+	case "ldp-only":
+		cfg.Strategy = ltqp.StrategyLDPOnly
+	case "cmatch":
+		cfg.Strategy = ltqp.StrategyCMatch
+	case "call":
+		cfg.Strategy = ltqp.StrategyCAll
+	default:
+		fmt.Fprintf(stderr, "ltqp-sparql: unknown strategy %q\n", *strategy)
+		return 2
+	}
+	if *webid != "" {
+		tok := *token
+		if tok == "" {
+			tok = "sig:" + *webid
+		}
+		cfg.Auth = &ltqp.Credentials{WebID: *webid, Token: tok}
+		if *idp != "" {
+			fmt.Fprintf(stderr, "logged in via %s as %s\n", *idp, *webid)
+		}
+	}
+
+	engine := ltqp.New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, err := engine.QueryWithSeeds(ctx, query, seeds)
+	if err != nil {
+		fmt.Fprintln(stderr, "ltqp-sparql:", err)
+		return 1
+	}
+	if *explain {
+		fmt.Fprintln(stderr, "plan:", res.PlanString())
+	}
+
+	n := 0
+	switch *format {
+	case "ndjson":
+		// Stream each result as it is produced (paper Fig. 2).
+		for b := range res.Results {
+			fmt.Fprintln(stdout, ltqp.BindingJSON(b))
+			n++
+		}
+	case "json", "csv", "tsv":
+		var all []ltqp.Binding
+		for b := range res.Results {
+			all = append(all, b)
+		}
+		n = len(all)
+		var werr error
+		switch *format {
+		case "json":
+			werr = results.WriteJSON(stdout, res.Vars, all)
+		case "csv":
+			werr = results.WriteCSV(stdout, res.Vars, all)
+		case "tsv":
+			werr = results.WriteTSV(stdout, res.Vars, all)
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql:", werr)
+			return 1
+		}
+	default:
+		fmt.Fprintf(stderr, "ltqp-sparql: unknown format %q\n", *format)
+		return 2
+	}
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(stderr, "ltqp-sparql:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	if *waterfall {
+		fmt.Fprint(stderr, "\n"+res.Metrics().Waterfall(60))
+	}
+	if *stats {
+		s := res.Stats()
+		ttfr := "-"
+		if d, ok := res.Metrics().TimeToFirstResult(); ok {
+			ttfr = d.Round(time.Millisecond).String()
+		}
+		fmt.Fprintf(stderr, "\n%d results in %s (first result after %s)\n",
+			n, elapsed.Round(time.Millisecond), ttfr)
+		fmt.Fprintf(stderr, "%d HTTP requests (%d failed), %d triples from %d documents, max depth %d\n",
+			s.Requests, s.Failed, s.TotalTriples, s.Requests-s.Failed, s.MaxDepth)
+		fmt.Fprintf(stderr, "seeds: %s\n", strings.Join(res.Seeds, " "))
+	}
+	return 0
+}

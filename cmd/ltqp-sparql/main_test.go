@@ -1,0 +1,167 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ltqp/internal/podserver"
+	"ltqp/internal/solidbench"
+)
+
+// startEnv serves a small simulated environment on a real listener that
+// the CLI (which uses http.DefaultClient) can reach.
+func startEnv(t *testing.T) (*solidbench.Dataset, func()) {
+	t.Helper()
+	ps := podserver.New()
+	ts := httptest.NewServer(ps)
+	cfg := solidbench.SmallConfig()
+	cfg.Host = ts.URL
+	ds := solidbench.Generate(cfg)
+	for _, p := range ds.BuildPods() {
+		ps.AddPod(p)
+	}
+	return ds, ts.Close
+}
+
+func TestCLIRunsDiscoverQuery(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(1, 1)
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"--stats", q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("no output, stderr:\n%s", stderr.String())
+	}
+	// Each stdout line is one JSON binding (paper Fig. 2 format).
+	var obj map[string]string
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("line 0 not JSON: %v\n%s", err, lines[0])
+	}
+	if _, ok := obj["messageId"]; !ok {
+		t.Errorf("missing messageId in %v", obj)
+	}
+	if !strings.Contains(stderr.String(), "results in") {
+		t.Errorf("missing stats: %s", stderr.String())
+	}
+}
+
+func TestCLIExplicitSeedAndWaterfall(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(6, 1)
+	seed := ds.PodBase(q.Person) + "profile/card"
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"--waterfall", seed, q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "requests") {
+		t.Errorf("waterfall missing:\n%s", stderr.String())
+	}
+}
+
+func TestCLIFormats(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(5, 1) // distinct IPs: small result
+
+	for _, format := range []string{"json", "csv", "tsv"} {
+		var stdout, stderr strings.Builder
+		code := run([]string{"--format", format, q.Text}, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("format %s: exit %d, %s", format, code, stderr.String())
+		}
+		out := stdout.String()
+		switch format {
+		case "json":
+			if !strings.Contains(out, `"vars"`) {
+				t.Errorf("json output = %s", out)
+			}
+		case "csv":
+			if !strings.HasPrefix(out, "locationIp") {
+				t.Errorf("csv output = %s", out)
+			}
+		case "tsv":
+			if !strings.HasPrefix(out, "?locationIp") {
+				t.Errorf("tsv output = %s", out)
+			}
+		}
+	}
+}
+
+func TestCLIQueryFile(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(2, 1)
+	dir := t.TempDir()
+	file := filepath.Join(dir, "q.rq")
+	if err := os.WriteFile(file, []byte(q.Text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	code := run([]string{"--query-file", file}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, %s", code, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Error("no results via query file")
+	}
+}
+
+func TestCLIExplain(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(1, 1)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"--explain", q.Text}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(stderr.String(), "plan: ") || !strings.Contains(stderr.String(), "pattern(") {
+		t.Errorf("explain output missing:\n%s", stderr.String())
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no query", nil},
+		{"bad strategy", []string{"--strategy", "bogus", "SELECT ?x WHERE { ?x ?p ?o }"}},
+		{"bad format", []string{"--format", "xml", "SELECT ?x WHERE { ?x ?p <http://127.0.0.1:1/x> }"}},
+		{"parse error", []string{"NOT A QUERY"}},
+		{"missing query file", []string{"--query-file", "/nonexistent/q.rq"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(c.args, &stdout, &stderr); code == 0 {
+				t.Errorf("expected failure, stdout: %s", stdout.String())
+			}
+		})
+	}
+}
+
+func TestCLIAdaptiveAndDepthFlags(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(1, 1)
+	var stdout, stderr strings.Builder
+	code := run([]string{"--adaptive", "--max-depth", "6", "--cache", "500", q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d: %s", code, stderr.String())
+	}
+	if stdout.Len() == 0 {
+		t.Error("no results with adaptive+depth+cache flags")
+	}
+}

@@ -1,0 +1,85 @@
+// Command solidbench-gen generates a SolidBench-style dataset — a social
+// network fragmented into Solid pods — and writes it to disk as Turtle
+// files plus a manifest, ready to be served by cmd/podserver. It mirrors
+// the SolidBench generator used by the paper's demo environment (§4.2).
+//
+//	solidbench-gen --persons 64 --out ./dataset
+//
+// With --paper-scale the full demonstration configuration (1,531 pods) is
+// generated; expect minutes of CPU time and gigabytes of output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ltqp/internal/podserver"
+	"ltqp/internal/solidbench"
+)
+
+func main() {
+	var (
+		out        = flag.String("out", "dataset", "output directory")
+		persons    = flag.Int("persons", 64, "number of pods/persons")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		host       = flag.String("host", "https://solidbench.invalid", "origin to mint pod URLs under (rebased at serve time)")
+		private    = flag.Float64("private", 0, "fraction of post documents behind access control")
+		paperScale = flag.Bool("paper-scale", false, "use the paper's full configuration (1,531 pods)")
+		queries    = flag.Bool("queries", true, "also write the 37-query catalog to <out>/queries/")
+	)
+	flag.Parse()
+
+	cfg := solidbench.DefaultConfig()
+	if *paperScale {
+		cfg = solidbench.PaperConfig()
+	} else {
+		cfg.Persons = *persons
+	}
+	cfg.Seed = *seed
+	cfg.Host = *host
+	cfg.PrivateFraction = *private
+
+	fmt.Fprintf(os.Stderr, "generating %d pods (seed %d)...\n", cfg.Persons, cfg.Seed)
+	ds := solidbench.Generate(cfg)
+	pods := ds.BuildPods()
+	stats := solidbench.ComputeStats(pods)
+	fmt.Fprintf(os.Stderr, "dataset: %d pods, %d RDF files, %d triples (%d documents incl. containers)\n",
+		stats.Pods, stats.Files, stats.Triples, stats.Documents)
+
+	if err := podserver.SaveDir(*out, cfg.Host, pods); err != nil {
+		fmt.Fprintln(os.Stderr, "solidbench-gen:", err)
+		os.Exit(1)
+	}
+	if *queries {
+		qdir := *out + "/queries"
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "solidbench-gen:", err)
+			os.Exit(1)
+		}
+		for _, q := range ds.Catalog() {
+			name := q.Name
+			file := qdir + "/" + sanitize(name) + ".rq"
+			if err := os.WriteFile(file, []byte("# "+name+"\n"+q.Text+"\n"), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "solidbench-gen:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d queries to %s\n", len(ds.Catalog()), qdir)
+	}
+	fmt.Fprintf(os.Stderr, "wrote dataset to %s\n", *out)
+}
+
+// sanitize converts a query name to a file name.
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r == ' ', r == '.', r == ':':
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}

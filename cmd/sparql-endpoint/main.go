@@ -1,0 +1,180 @@
+// Command sparql-endpoint exposes the link-traversal engine through the
+// SPARQL 1.1 Protocol, so any SPARQL client can query Decentralized
+// Knowledge Graphs without knowing about traversal: a query arrives over
+// HTTP, the engine traverses the relevant Solid pods live, and the results
+// return in the negotiated standard format (SPARQL Results JSON, CSV, TSV;
+// Turtle or N-Triples for CONSTRUCT/DESCRIBE).
+//
+//	sparql-endpoint --addr localhost:8096
+//	curl 'http://localhost:8096/sparql?query=SELECT...' \
+//	     -H 'Accept: application/sparql-results+json'
+//
+// With --simulate the endpoint also hosts an in-process simulated Solid
+// environment to traverse (handy for demos); otherwise it dereferences
+// whatever the queries point at.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/results"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+	"ltqp/internal/sparql"
+	"ltqp/internal/turtle"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8096", "listen address")
+		simulate = flag.Bool("simulate", false, "host a simulated Solid environment in-process")
+		persons  = flag.Int("persons", 16, "pods for --simulate")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-query timeout")
+	)
+	flag.Parse()
+
+	cfg := ltqp.Config{Lenient: true}
+	if *simulate {
+		scfg := solidbench.DefaultConfig()
+		scfg.Persons = *persons
+		env := simenv.New(scfg)
+		defer env.Close()
+		cfg.Client = env.Client()
+		q := env.Dataset.Discover(1, 1)
+		fmt.Fprintf(os.Stderr, "simulated pods at %s\nexample query name: %s\n", env.Server.URL, q.Name)
+	}
+
+	h := NewHandler(ltqp.New(cfg), *timeout)
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", h)
+	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql\n", *addr)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		fmt.Fprintln(os.Stderr, "sparql-endpoint:", err)
+		os.Exit(1)
+	}
+}
+
+// Handler implements the SPARQL 1.1 Protocol over the traversal engine.
+type Handler struct {
+	engine  *ltqp.Engine
+	timeout time.Duration
+}
+
+// NewHandler builds a protocol handler around an engine.
+func NewHandler(engine *ltqp.Engine, timeout time.Duration) *Handler {
+	return &Handler{engine: engine, timeout: timeout}
+}
+
+// ServeHTTP handles SPARQL Protocol query operations (GET with ?query=,
+// POST with form or application/sparql-query body).
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	query, err := extractQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), h.timeout)
+	defer cancel()
+
+	parsed, err := sparql.ParseQuery(query)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	accept := r.Header.Get("Accept")
+	switch parsed.Form {
+	case sparql.FormAsk:
+		ok, err := h.engine.Ask(ctx, query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		results.WriteBooleanJSON(w, ok)
+
+	case sparql.FormConstruct, sparql.FormDescribe:
+		var triples []ltqp.Triple
+		if parsed.Form == sparql.FormConstruct {
+			triples, err = h.engine.Construct(ctx, query)
+		} else {
+			triples, err = h.engine.Describe(ctx, query)
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if strings.Contains(accept, "application/n-triples") {
+			w.Header().Set("Content-Type", "application/n-triples")
+			io.WriteString(w, turtle.WriteNTriples(triples))
+			return
+		}
+		w.Header().Set("Content-Type", "text/turtle")
+		io.WriteString(w, turtle.Write(triples, turtle.WriteOptions{Prefixes: ltqp.CommonPrefixes()}))
+
+	default: // SELECT
+		res, err := h.engine.Query(ctx, query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		var all []ltqp.Binding
+		for b := range res.Results {
+			all = append(all, b)
+		}
+		if err := res.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		switch {
+		case strings.Contains(accept, "text/csv"):
+			w.Header().Set("Content-Type", "text/csv")
+			results.WriteCSV(w, res.Vars, all)
+		case strings.Contains(accept, "text/tab-separated-values"):
+			w.Header().Set("Content-Type", "text/tab-separated-values")
+			results.WriteTSV(w, res.Vars, all)
+		default:
+			w.Header().Set("Content-Type", "application/sparql-results+json")
+			results.WriteJSON(w, res.Vars, all)
+		}
+	}
+}
+
+// extractQuery pulls the query string out of a protocol request.
+func extractQuery(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query parameter")
+		}
+		return q, nil
+	case http.MethodPost:
+		ct := r.Header.Get("Content-Type")
+		if strings.HasPrefix(ct, "application/sparql-query") {
+			body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+			if err != nil {
+				return "", err
+			}
+			return string(body), nil
+		}
+		if err := r.ParseForm(); err != nil {
+			return "", err
+		}
+		q := r.PostForm.Get("query")
+		if q == "" {
+			return "", fmt.Errorf("missing query form field")
+		}
+		return q, nil
+	default:
+		return "", fmt.Errorf("method %s not allowed", r.Method)
+	}
+}

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+func newEndpoint(t *testing.T) (*httptest.Server, *simenv.Env) {
+	t.Helper()
+	env := simenv.New(solidbench.SmallConfig())
+	t.Cleanup(env.Close)
+	h := NewHandler(ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true}), 2*time.Minute)
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv, env
+}
+
+func TestProtocolGetSelectJSON(t *testing.T) {
+	srv, env := newEndpoint(t)
+	q := env.Dataset.Discover(1, 1)
+	resp, err := http.Get(srv.URL + "?query=" + url.QueryEscape(q.Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/sparql-results+json" {
+		t.Errorf("content type = %s", ct)
+	}
+	var parsed struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]interface{} `json:"bindings"`
+		} `json:"results"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatalf("not results JSON: %v\n%s", err, body)
+	}
+	if len(parsed.Results.Bindings) == 0 {
+		t.Error("no bindings")
+	}
+	if len(parsed.Head.Vars) != 3 {
+		t.Errorf("vars = %v", parsed.Head.Vars)
+	}
+}
+
+func TestProtocolPostForms(t *testing.T) {
+	srv, env := newEndpoint(t)
+	q := env.Dataset.Discover(5, 1)
+
+	// application/x-www-form-urlencoded
+	resp, err := http.PostForm(srv.URL, url.Values{"query": {q.Text}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("form POST status = %d", resp.StatusCode)
+	}
+
+	// application/sparql-query
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, strings.NewReader(q.Text))
+	req.Header.Set("Content-Type", "application/sparql-query")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("direct POST status = %d", resp.StatusCode)
+	}
+}
+
+func TestProtocolContentNegotiation(t *testing.T) {
+	srv, env := newEndpoint(t)
+	q := env.Dataset.Discover(5, 1)
+	for accept, wantCT := range map[string]string{
+		"text/csv":                  "text/csv",
+		"text/tab-separated-values": "text/tab-separated-values",
+	} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"?query="+url.QueryEscape(q.Text), nil)
+		req.Header.Set("Accept", accept)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != wantCT {
+			t.Errorf("accept %s → %s", accept, ct)
+		}
+		if len(body) == 0 {
+			t.Errorf("accept %s: empty body", accept)
+		}
+	}
+}
+
+func TestProtocolAsk(t *testing.T) {
+	srv, env := newEndpoint(t)
+	q := env.Dataset.Catalog()[36] // Short 5: ASK
+	resp, err := http.Get(srv.URL + "?query=" + url.QueryEscape(q.Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"boolean"`) {
+		t.Errorf("ask body = %s", body)
+	}
+}
+
+func TestProtocolConstructTurtle(t *testing.T) {
+	srv, env := newEndpoint(t)
+	v := solidbench.NewVocab(env.Dataset.Config.Host)
+	query := `PREFIX snvoc: <` + v.NS() + `>
+CONSTRUCT { ?m snvoc:content ?c } WHERE {
+  ?m snvoc:hasCreator <` + env.Dataset.WebID(0) + `>;
+     snvoc:content ?c.
+}`
+	resp, err := http.Get(srv.URL + "?query=" + url.QueryEscape(query))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/turtle" {
+		t.Errorf("content type = %s", ct)
+	}
+	if !strings.Contains(string(body), "vocabulary/content") {
+		t.Errorf("turtle body = %s", truncateStr(string(body), 300))
+	}
+
+	// N-Triples via Accept.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"?query="+url.QueryEscape(query), nil)
+	req.Header.Set("Accept", "application/n-triples")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/n-triples" {
+		t.Errorf("nt content type = %s", ct)
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	srv, _ := newEndpoint(t)
+	// Missing query.
+	resp, _ := http.Get(srv.URL)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query status = %d", resp.StatusCode)
+	}
+	// Parse error.
+	resp, _ = http.Get(srv.URL + "?query=" + url.QueryEscape("NOT SPARQL"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad query status = %d", resp.StatusCode)
+	}
+	// Bad method.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL, nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("DELETE status = %d", resp.StatusCode)
+	}
+}
+
+func truncateStr(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

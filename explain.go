@@ -1,0 +1,11 @@
+package ltqp
+
+import (
+	"ltqp/internal/algebra"
+	"ltqp/internal/core"
+)
+
+// algebraString renders the optimized logical plan of an execution.
+func algebraString(x *core.Execution) string {
+	return algebra.String(x.Plan)
+}

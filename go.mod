@@ -1,0 +1,3 @@
+module ltqp
+
+go 1.22

@@ -1,0 +1,167 @@
+package ltqp_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/podserver"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+// TestFullToolchain exercises the complete deployment path of the
+// demonstration environment: generate a dataset, persist it to disk
+// (solidbench-gen's format), load it into a fresh pod server under a new
+// origin (podserver --dir), and answer Discover queries against it by
+// link traversal.
+func TestFullToolchain(t *testing.T) {
+	// 1. Generate under a placeholder origin and persist.
+	cfg := solidbench.SmallConfig()
+	cfg.Host = "https://solidbench.invalid"
+	ds := solidbench.Generate(cfg)
+	pods := ds.BuildPods()
+	dir := t.TempDir()
+	if err := podserver.SaveDir(dir, cfg.Host, pods); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Serve from disk under the live origin.
+	ps := podserver.New()
+	srv := httptest.NewServer(ps)
+	defer srv.Close()
+	if _, err := ps.LoadDir(dir, srv.URL); err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Query by traversal. The catalog was generated for the
+	// placeholder origin; regenerate it under the live origin (same seed
+	// → same dataset, different host).
+	cfg.Host = srv.URL
+	liveDS := solidbench.Generate(cfg)
+	q := liveDS.Discover(1, 1)
+
+	engine := ltqp.New(ltqp.Config{Client: srv.Client(), Lenient: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	results, err := engine.Select(ctx, q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected: the person's non-image posts — identical across both
+	// generations because the seed is fixed.
+	want := 0
+	for _, p := range liveDS.Posts {
+		if p.Creator == q.Person && p.Image == "" {
+			want++
+		}
+	}
+	if len(results) != want {
+		t.Errorf("results = %d, want %d", len(results), want)
+	}
+}
+
+// TestEndToEndLatencyProfile verifies the paper's pipelining behaviour
+// survives realistic network latency: with a slow pod server, the first
+// result still arrives well before the last.
+func TestEndToEndLatencyProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency profile test")
+	}
+	cfg := solidbench.SmallConfig()
+	env := newIntegrationEnv(t, cfg, 10*time.Millisecond)
+	q := env.Dataset.Discover(2, 1)
+	engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	start := time.Now()
+	res, err := engine.Query(ctx, q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, last time.Duration
+	n := 0
+	for range res.Results {
+		if n == 0 {
+			first = time.Since(start)
+		}
+		last = time.Since(start)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no results")
+	}
+	if first >= last && n > 1 {
+		t.Errorf("no streaming: first=%v last=%v over %d results", first, last, n)
+	}
+	// With 10 ms per request and >50 documents, a non-pipelined engine
+	// would need >500 ms before the first result.
+	if first > last/2 && n > 10 {
+		t.Logf("note: first result at %v of %v total (still streaming, but late)", first, last)
+	}
+}
+
+// newIntegrationEnv builds a simulated environment with latency.
+func newIntegrationEnv(t *testing.T, cfg solidbench.Config, latency time.Duration) *simenv.Env {
+	t.Helper()
+	env := simenv.New(cfg)
+	t.Cleanup(env.Close)
+	env.PodServer.Latency = latency
+	return env
+}
+
+// TestLargeEnvironment runs the demonstration queries against a 200-pod
+// environment (~4.4M characters of Turtle across ~28k documents) — an
+// order of magnitude above the default test scale, an order below the
+// paper's hosted deployment.
+func TestLargeEnvironment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large environment (~20s)")
+	}
+	cfg := solidbench.DefaultConfig()
+	cfg.Persons = 200
+	env := newIntegrationEnv(t, cfg, 0)
+	engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+
+	// Single-pod query: cost must not scale with environment size.
+	start := time.Now()
+	res, err := engine.Query(ctx, env.Dataset.Discover(1, 1).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range res.Results {
+		n++
+	}
+	if n == 0 {
+		t.Fatal("Discover 1 found nothing at 200 pods")
+	}
+	reqs := res.Stats().Requests
+	if reqs > 300 {
+		t.Errorf("single-pod query made %d requests at 200 pods (should stay pod-local)", reqs)
+	}
+	t.Logf("Discover 1 at 200 pods: %d results, %d requests, %v", n, reqs, time.Since(start))
+
+	// Multi-pod query with a document budget (as a deployment would set).
+	capped := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true, MaxDocuments: 3000})
+	start = time.Now()
+	res, err = capped.Query(ctx, env.Dataset.Discover(8, 1).Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n = 0
+	for range res.Results {
+		n++
+	}
+	pods := res.Metrics().PodsTouched()
+	if n == 0 || pods < 2 {
+		t.Errorf("Discover 8 at 200 pods: %d results over %d pods", n, pods)
+	}
+	t.Logf("Discover 8 at 200 pods: %d results, %d requests over %d pods, %v",
+		n, res.Stats().Requests, pods, time.Since(start))
+}

@@ -1,0 +1,54 @@
+// Package baseline provides the comparison systems used by the paper's
+// positioning (§1): a *centralized oracle* that assumes all pod data has
+// been accumulated into one local store beforehand (the trust-requiring
+// index approach of systems like ESPRESSO), against which the traversal
+// engine's no-prior-index execution is compared; and helpers to run
+// queries directly over a closed store.
+package baseline
+
+import (
+	"context"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/exec"
+	"ltqp/internal/plan"
+	"ltqp/internal/rdf"
+	"ltqp/internal/solid"
+	"ltqp/internal/sparql"
+	"ltqp/internal/store"
+)
+
+// CentralizedStore ingests all documents of all pods into a single closed
+// store — the "accumulated index" a centralized system would maintain. The
+// returned store is ready for querying; building it is the (large) upfront
+// cost the traversal engine avoids.
+func CentralizedStore(pods []*solid.Pod) *store.Store {
+	st := store.New()
+	for _, p := range pods {
+		for path, d := range p.Materialize() {
+			st.AddDocument(p.IRI(path), d.Graph.Triples())
+		}
+	}
+	st.Close()
+	return st
+}
+
+// RunQuery evaluates a SPARQL query over a closed store (no traversal) and
+// returns all solutions.
+func RunQuery(ctx context.Context, st *store.Store, query string) ([]rdf.Binding, error) {
+	q, err := sparql.ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	op = plan.New(q.MentionedIRIs()).Optimize(op)
+	env := exec.NewEnv(st)
+	var out []rdf.Binding
+	for b := range exec.Eval(ctx, op, env) {
+		out = append(out, b)
+	}
+	return out, ctx.Err()
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"context"
+	"time"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/exec"
+	"ltqp/internal/metrics"
+	"ltqp/internal/plan"
+	"ltqp/internal/rdf"
+	"ltqp/internal/store"
+)
+
+// defaultAdaptiveWarmup is the number of dereferenced documents after
+// which the adaptive engine revisits its plan.
+const defaultAdaptiveWarmup = 12
+
+// containsSlice reports whether the plan contains a Slice (LIMIT/OFFSET)
+// operator. Restart-based re-planning is disabled for such plans: a limit
+// interacts with the restart's duplicate accounting.
+func containsSlice(op algebra.Operator) bool {
+	switch x := op.(type) {
+	case algebra.Slice:
+		return true
+	case algebra.Join:
+		return containsSlice(x.Left) || containsSlice(x.Right)
+	case algebra.LeftJoin:
+		return containsSlice(x.Left) || containsSlice(x.Right)
+	case algebra.Union:
+		return containsSlice(x.Left) || containsSlice(x.Right)
+	case algebra.Minus:
+		return containsSlice(x.Left) || containsSlice(x.Right)
+	case algebra.Filter:
+		return containsSlice(x.Input)
+	case algebra.Extend:
+		return containsSlice(x.Input)
+	case algebra.Project:
+		return containsSlice(x.Input)
+	case algebra.Distinct:
+		return containsSlice(x.Input)
+	case algebra.Reduced:
+		return containsSlice(x.Input)
+	case algebra.OrderBy:
+		return containsSlice(x.Input)
+	case algebra.Group:
+		return containsSlice(x.Input)
+	default:
+		return false
+	}
+}
+
+// runAdaptive implements restart-based adaptive re-planning, the future-
+// work direction the paper closes with (§5, adaptive query planning
+// [29,30]): execution starts under the zero-knowledge plan; once traversal
+// has dereferenced a warmup number of documents, the join order is
+// re-derived from the *observed* pattern cardinalities, and if it changed,
+// the pipeline is restarted under the new plan over the same (still
+// growing) store. Results already delivered are not re-delivered: the
+// restarted pipeline re-derives the full multiset and the previously
+// emitted solutions are subtracted by key count.
+//
+// It reports the plan that finished the execution.
+func (e *Engine) runAdaptive(ctx context.Context, op algebra.Operator, env *exec.Env,
+	src *store.Store, recorder *metrics.Recorder, seeds []string,
+	emit func(rdf.Binding) bool) algebra.Operator {
+
+	vars := op.Vars()
+	emitted := map[string]int{}
+	deliver := func(b rdf.Binding) bool {
+		emitted[b.Key(vars)]++
+		recorder.RecordResult()
+		return emit(b)
+	}
+
+	warmup := e.opts.AdaptiveWarmupDocs
+	if warmup <= 0 {
+		warmup = defaultAdaptiveWarmup
+	}
+	trigger := make(chan struct{})
+	go func() {
+		defer close(trigger)
+		for {
+			if src.Closed() || src.DocumentCount() >= warmup {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+	}()
+
+	// Phase 1: zero-knowledge plan.
+	ctx1, cancel1 := context.WithCancel(ctx)
+	defer cancel1()
+	p1 := exec.Eval(ctx1, op, env)
+	fired := false
+	for !fired {
+		select {
+		case b, ok := <-p1:
+			if !ok {
+				// Finished before warmup: nothing to adapt.
+				return op
+			}
+			if !deliver(b) {
+				return op
+			}
+		case <-trigger:
+			fired = true
+		case <-ctx.Done():
+			return op
+		}
+	}
+	if src.Closed() && src.DocumentCount() < warmup {
+		// Trigger fired because traversal ended early; drain phase 1.
+		for b := range p1 {
+			if !deliver(b) {
+				return op
+			}
+		}
+		return op
+	}
+
+	// Re-plan with observed cardinalities.
+	adapted := plan.New(seeds).OptimizeWithCounts(op, src)
+	if algebra.String(adapted) == algebra.String(op) {
+		// Same plan: keep the running pipeline.
+		for b := range p1 {
+			if !deliver(b) {
+				return op
+			}
+		}
+		return op
+	}
+
+	// Restart: stop phase 1, subtract its deliveries, run phase 2.
+	cancel1()
+	for range p1 {
+		// Drain without delivering: phase 2 re-derives everything.
+	}
+	skip := make(map[string]int, len(emitted))
+	for k, n := range emitted {
+		skip[k] = n
+	}
+	p2 := exec.Eval(ctx, adapted, env)
+	for b := range p2 {
+		k := b.Key(vars)
+		if skip[k] > 0 {
+			skip[k]--
+			continue
+		}
+		if !deliver(b) {
+			return adapted
+		}
+	}
+	return adapted
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+)
+
+// resultKeys runs a query and returns the sorted solution keys.
+func resultKeys(t *testing.T, e *Engine, query string) []string {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	results, x, err := e.Select(ctx, query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(results))
+	for _, b := range results {
+		keys = append(keys, b.Key(x.Vars))
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestAdaptiveMatchesNonAdaptive(t *testing.T) {
+	env := newTestEnv(t)
+	for shape := 1; shape <= 8; shape++ {
+		q := env.Dataset.Discover(shape, 1)
+		plain := New(Options{Client: env.Client(), Lenient: true})
+		adaptive := New(Options{Client: env.Client(), Lenient: true, Adaptive: true, AdaptiveWarmupDocs: 5})
+		a := resultKeys(t, plain, q.Text)
+		b := resultKeys(t, adaptive, q.Text)
+		if len(a) != len(b) {
+			t.Errorf("shape %d: plain=%d adaptive=%d results", shape, len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("shape %d: result %d differs", shape, i)
+				break
+			}
+		}
+	}
+}
+
+func TestAdaptiveReplansUnderObservedCardinalities(t *testing.T) {
+	env := newTestEnv(t)
+	e := New(Options{Client: env.Client(), Lenient: true, Adaptive: true, AdaptiveWarmupDocs: 3})
+	q := env.Dataset.Discover(6, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	x, err := e.Query(ctx, q.Text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range x.Results {
+	}
+	// The adapted plan must exist and still contain all four patterns.
+	final := algebra.String(x.AdaptedPlan())
+	if count := countSubstr(final, "pattern("); count != 4 {
+		t.Errorf("adapted plan patterns = %d:\n%s", count, final)
+	}
+}
+
+func countSubstr(s, sub string) int {
+	n := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			n++
+		}
+	}
+	return n
+}
+
+func TestAdaptiveSkipsLimitQueries(t *testing.T) {
+	env := newTestEnv(t)
+	e := New(Options{Client: env.Client(), Lenient: true, Adaptive: true, AdaptiveWarmupDocs: 1})
+	q := env.Dataset.Catalog()[35] // Short 4 uses ORDER BY ... LIMIT 10
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	results, x, err := e.Select(ctx, q.Text, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) > 10 {
+		t.Errorf("LIMIT 10 violated: %d results", len(results))
+	}
+	// No re-planning for sliced queries: adapted == initial.
+	if algebra.String(x.AdaptedPlan()) != algebra.String(x.Plan) {
+		t.Error("sliced query was re-planned")
+	}
+}
+
+func TestContainsSlice(t *testing.T) {
+	q, err := sparql.ParseQuery(`SELECT ?x WHERE { ?x ?p ?o } LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsSlice(op) {
+		t.Error("LIMIT plan should contain a slice")
+	}
+	q2, _ := sparql.ParseQuery(`SELECT ?x WHERE { ?x ?p ?o }`)
+	op2, _ := algebra.Translate(q2)
+	if containsSlice(op2) {
+		t.Error("plain plan should not contain a slice")
+	}
+	pattern := algebra.Pattern{Triple: rdf.NewTriple(rdf.NewVar("s"), rdf.NewVar("p"), rdf.NewVar("o"))}
+	if containsSlice(algebra.Union{Left: pattern, Right: pattern}) {
+		t.Error("union of patterns has no slice")
+	}
+}

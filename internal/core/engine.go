@@ -1,0 +1,469 @@
+// Package core implements the paper's primary contribution: a link
+// traversal SPARQL query engine for the Solid decentralized environment.
+//
+// The engine wires together the components of the paper's Fig. 1: a link
+// queue initialized with seed URLs, a pool of dereferencers that fetch and
+// parse documents, link extractors that append newly discovered links to
+// the queue, and a continuously growing internal triple source over which a
+// pipelined iterator network evaluates the query — producing results while
+// traversal is still in flight. Query planning uses the zero-knowledge
+// technique (no prior statistics), and seed URLs may be user-provided or
+// derived from IRIs mentioned in the query ("query-based seed selection").
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/deref"
+	"ltqp/internal/exec"
+	"ltqp/internal/extract"
+	"ltqp/internal/linkqueue"
+	"ltqp/internal/metrics"
+	"ltqp/internal/plan"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+	"ltqp/internal/store"
+)
+
+// DefaultMaxConcurrent mirrors a browser's per-host connection budget, the
+// environment the paper demonstrates in.
+const DefaultMaxConcurrent = 6
+
+// Options configures an Engine.
+type Options struct {
+	// Client is the HTTP client used for dereferencing; nil means
+	// http.DefaultClient. Tests and the simulated environment inject the
+	// pod server's client here.
+	Client *http.Client
+	// Auth, when non-nil, makes the engine query on behalf of an agent:
+	// its credentials accompany every dereference, unlocking documents
+	// behind access control.
+	Auth *deref.Credentials
+	// Extractors builds the link extraction strategy for a query shape.
+	// Nil means extract.DefaultSolidSet (the paper's configuration).
+	Extractors func(shape *extract.QueryShape) []extract.Extractor
+	// NewQueue constructs the link queue; nil means FIFO (breadth-first).
+	NewQueue func() linkqueue.Queue
+	// Cache, when non-nil, is a document cache shared by all queries of
+	// this engine: repeated dereferences of a pod document are served
+	// locally, like the browser disk cache visible in the paper's Fig. 4.
+	Cache *deref.Cache
+	// MaxConcurrent bounds parallel dereferences (default 6).
+	MaxConcurrent int
+	// MaxDocuments caps traversal (0 = unbounded). A safety valve for
+	// exhaustive strategies such as cAll.
+	MaxDocuments int
+	// MaxDepth caps traversal depth: links discovered more than MaxDepth
+	// hops from a seed are not followed (0 = unbounded). Depth-bounded
+	// reachability is a classic LTQP completeness/cost trade-off.
+	MaxDepth int
+	// Lenient makes traversal tolerate fetch/parse failures, mirroring
+	// the --lenient flag of the paper's CLI (Fig. 2). Non-lenient
+	// traversal aborts the query on the first failure.
+	Lenient bool
+	// Adaptive enables restart-based adaptive re-planning (the paper's
+	// §5 future-work direction): once AdaptiveWarmupDocs documents have
+	// been traversed, the join order is re-derived from observed pattern
+	// cardinalities and the pipeline restarted if it changed. Queries
+	// with LIMIT/OFFSET always run non-adaptively.
+	Adaptive bool
+	// AdaptiveWarmupDocs is the warmup document count (default 12).
+	AdaptiveWarmupDocs int
+}
+
+// Engine executes SPARQL queries over Solid pods by link traversal.
+type Engine struct {
+	opts Options
+}
+
+// New returns an engine with the given options.
+func New(opts Options) *Engine {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = DefaultMaxConcurrent
+	}
+	return &Engine{opts: opts}
+}
+
+// Execution is a running query. Results stream on Results while traversal
+// and execution proceed concurrently; the channel closes when the query
+// completes (or the context is cancelled). After the channel closes, Err
+// reports a traversal failure (always nil under Lenient).
+type Execution struct {
+	// Query is the parsed query.
+	Query *sparql.Query
+	// Vars are the projected variable names, in projection order.
+	Vars []string
+	// Results streams the solutions.
+	Results <-chan rdf.Binding
+	// Recorder captures the HTTP waterfall and result timings.
+	Recorder *metrics.Recorder
+	// Seeds are the seed URLs traversal started from.
+	Seeds []string
+	// Plan is the optimized logical plan (for EXPLAIN-style output).
+	Plan algebra.Operator
+
+	cancel      context.CancelFunc
+	mu          sync.Mutex
+	err         error
+	store       *store.Store
+	adaptedPlan algebra.Operator
+}
+
+// Err returns the traversal error, if any. Valid after Results closes.
+func (x *Execution) Err() error {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.err
+}
+
+func (x *Execution) setErr(err error) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.err == nil {
+		x.err = err
+	}
+}
+
+// Close aborts the execution. It is safe to call multiple times.
+func (x *Execution) Close() { x.cancel() }
+
+// StoreSize reports how many triples traversal has accumulated so far.
+func (x *Execution) StoreSize() int { return x.store.Len() }
+
+// Query parses and starts a query. Seed URLs are taken from seeds; when
+// empty, they are derived from IRIs mentioned in the query.
+func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*Execution, error) {
+	q, err := sparql.ParseQuery(queryStr)
+	if err != nil {
+		return nil, err
+	}
+	if len(seeds) == 0 {
+		seeds = q.MentionedIRIs()
+	}
+	if len(seeds) == 0 {
+		return nil, errors.New("core: no seed URLs: provide seeds or mention IRIs in the query")
+	}
+
+	op, err := algebra.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	op = plan.New(seeds).Optimize(op)
+
+	src := store.New()
+	recorder := metrics.NewRecorder()
+	runCtx, cancel := context.WithCancel(ctx)
+
+	x := &Execution{
+		Query:    q,
+		Vars:     q.ProjectedVars(),
+		Recorder: recorder,
+		Seeds:    seeds,
+		Plan:     op,
+		cancel:   cancel,
+		store:    src,
+	}
+
+	shape := ShapeOf(q)
+	extractors := extract.DefaultSolidSet(shape)
+	if e.opts.Extractors != nil {
+		extractors = e.opts.Extractors(shape)
+	}
+
+	// Traversal feeds the store; closing the store ends the pipeline.
+	go func() {
+		err := e.traverse(runCtx, seeds, extractors, src, recorder)
+		if err != nil && !e.opts.Lenient {
+			x.setErr(err)
+			cancel()
+		}
+		src.Close()
+	}()
+
+	// The executor pipeline drains into the public results channel, where
+	// result timestamps are recorded.
+	env := exec.NewEnv(src)
+	out := make(chan rdf.Binding)
+	go func() {
+		defer close(out)
+		// A finished pipeline normally aborts any remaining traversal; a
+		// DESCRIBE query still needs the full traversed store for its
+		// concise bounded descriptions, so traversal runs to completion.
+		if q.Form != sparql.FormDescribe {
+			defer cancel()
+		}
+		emit := func(b rdf.Binding) bool {
+			select {
+			case out <- b:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		}
+		if e.opts.Adaptive && !containsSlice(op) {
+			final := e.runAdaptive(runCtx, op, env, src, recorder, seeds, emit)
+			x.setAdaptedPlan(final)
+			return
+		}
+		for b := range exec.Eval(runCtx, op, env) {
+			recorder.RecordResult()
+			if !emit(b) {
+				return
+			}
+		}
+	}()
+	x.Results = out
+	return x, nil
+}
+
+// setAdaptedPlan records the plan that finished an adaptive execution.
+func (x *Execution) setAdaptedPlan(op algebra.Operator) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	x.adaptedPlan = op
+}
+
+// AdaptedPlan returns the plan an adaptive execution finished under (the
+// initial plan when no re-planning occurred or adaptivity is off).
+func (x *Execution) AdaptedPlan() algebra.Operator {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.adaptedPlan != nil {
+		return x.adaptedPlan
+	}
+	return x.Plan
+}
+
+// Select runs a SELECT query to completion and returns all solutions.
+func (e *Engine) Select(ctx context.Context, queryStr string, seeds []string) ([]rdf.Binding, *Execution, error) {
+	x, err := e.Query(ctx, queryStr, seeds)
+	if err != nil {
+		return nil, nil, err
+	}
+	var all []rdf.Binding
+	for b := range x.Results {
+		all = append(all, b)
+	}
+	if err := x.Err(); err != nil {
+		return all, x, err
+	}
+	if err := ctx.Err(); err != nil {
+		return all, x, err
+	}
+	return all, x, nil
+}
+
+// Ask runs an ASK query.
+func (e *Engine) Ask(ctx context.Context, queryStr string, seeds []string) (bool, error) {
+	x, err := e.Query(ctx, queryStr, seeds)
+	if err != nil {
+		return false, err
+	}
+	if x.Query.Form != sparql.FormAsk {
+		x.Close()
+		return false, errors.New("core: Ask requires an ASK query")
+	}
+	found := false
+	for range x.Results {
+		found = true
+	}
+	return found, x.Err()
+}
+
+// Construct runs a CONSTRUCT query and returns the built graph.
+func (e *Engine) Construct(ctx context.Context, queryStr string, seeds []string) ([]rdf.Triple, error) {
+	x, err := e.Query(ctx, queryStr, seeds)
+	if err != nil {
+		return nil, err
+	}
+	if x.Query.Form != sparql.FormConstruct {
+		x.Close()
+		return nil, errors.New("core: Construct requires a CONSTRUCT query")
+	}
+	g := rdf.NewGraph()
+	bnodeN := 0
+	for b := range x.Results {
+		bnodeN++
+		for _, tp := range x.Query.Template {
+			tr, ok := instantiate(tp, b, bnodeN)
+			if ok {
+				g.Add(tr)
+			}
+		}
+	}
+	return g.Triples(), x.Err()
+}
+
+// instantiate fills a CONSTRUCT template pattern from a solution; blank
+// nodes in the template are scoped per solution.
+func instantiate(tp sparql.TriplePattern, b rdf.Binding, scope int) (rdf.Triple, bool) {
+	simple, ok := tp.IsSimple()
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	fill := func(t rdf.Term) (rdf.Term, bool) {
+		switch t.Kind {
+		case rdf.TermVar:
+			v, ok := b.Get(t.Value)
+			return v, ok
+		case rdf.TermBlank:
+			return rdf.NewBlank(fmt.Sprintf("%s.r%d", t.Value, scope)), true
+		default:
+			return t, true
+		}
+	}
+	s, ok1 := fill(simple.S)
+	p, ok2 := fill(simple.P)
+	o, ok3 := fill(simple.O)
+	if !ok1 || !ok2 || !ok3 || !rdf.NewTriple(s, p, o).IsGround() {
+		return rdf.Triple{}, false
+	}
+	return rdf.NewTriple(s, p, o), true
+}
+
+// traverse runs the link traversal loop: pop a link, dereference it, add
+// its triples to the source, extract further links, repeat — with up to
+// MaxConcurrent dereferences in flight.
+func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extract.Extractor,
+	src *store.Store, recorder *metrics.Recorder) error {
+
+	queue := linkqueue.Queue(linkqueue.NewFIFO())
+	if e.opts.NewQueue != nil {
+		queue = e.opts.NewQueue()
+	}
+	for _, s := range seeds {
+		queue.Push(linkqueue.Link{URL: s, Reason: "seed"})
+	}
+
+	d := &deref.Dereferencer{
+		Client:    e.opts.Client,
+		Auth:      e.opts.Auth,
+		Recorder:  recorder,
+		Cache:     e.opts.Cache,
+		UserAgent: "ltqp-go/1.0 (link-traversal SPARQL engine)",
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		inflight int
+		fetched  int
+		firstErr error
+	)
+	sem := make(chan struct{}, e.opts.MaxConcurrent)
+
+	worker := func(l linkqueue.Link) {
+		defer func() {
+			<-sem
+			mu.Lock()
+			inflight--
+			cond.Broadcast()
+			mu.Unlock()
+		}()
+		res, err := d.Dereference(ctx, l.URL, l.Via, l.Reason)
+		if err != nil {
+			if !e.opts.Lenient {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+			return
+		}
+		src.AddDocument(res.FinalURL, res.Triples)
+		g := rdf.NewGraph()
+		g.AddAll(res.Triples)
+		doc := extract.Document{IRI: res.FinalURL, Graph: g}
+		for _, ex := range extractors {
+			for _, link := range ex.Extract(doc) {
+				if link.URL == res.FinalURL || link.URL == l.URL {
+					continue
+				}
+				if e.opts.MaxDepth > 0 && l.Depth+1 > e.opts.MaxDepth {
+					continue
+				}
+				if queue.Push(linkqueue.Link{URL: link.URL, Via: res.FinalURL, Reason: link.Reason, Depth: l.Depth + 1}) {
+					mu.Lock()
+					cond.Broadcast()
+					mu.Unlock()
+				}
+			}
+		}
+	}
+
+	// Wake the dispatcher when the context dies.
+	stopWatch := make(chan struct{})
+	defer close(stopWatch)
+	go func() {
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			cond.Broadcast()
+			mu.Unlock()
+		case <-stopWatch:
+		}
+	}()
+
+	for {
+		if ctx.Err() != nil {
+			// Wait for workers to drain before returning.
+			mu.Lock()
+			for inflight > 0 {
+				cond.Wait()
+			}
+			mu.Unlock()
+			return ctx.Err()
+		}
+		mu.Lock()
+		if firstErr != nil {
+			for inflight > 0 {
+				cond.Wait()
+			}
+			err := firstErr
+			mu.Unlock()
+			return err
+		}
+		mu.Unlock()
+
+		l, ok := queue.Pop()
+		if ok {
+			// Track the link queue's evolution over the execution [34].
+			recorder.RecordQueueSample(queue.Len(), queue.Seen())
+		}
+		if !ok {
+			mu.Lock()
+			if inflight == 0 && queue.Len() == 0 {
+				mu.Unlock()
+				return nil // traversal complete
+			}
+			cond.Wait()
+			mu.Unlock()
+			continue
+		}
+		if e.opts.MaxDocuments > 0 && fetched >= e.opts.MaxDocuments {
+			// Cap reached: drain without fetching.
+			continue
+		}
+		fetched++
+		mu.Lock()
+		inflight++
+		mu.Unlock()
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			mu.Lock()
+			inflight--
+			cond.Broadcast()
+			mu.Unlock()
+			continue
+		}
+		go worker(l)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"ltqp/internal/extract"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+)
+
+// ShapeOf derives the query shape used by query-driven link extractors:
+// the constant predicates of all patterns (including those inside property
+// paths), the classes of rdf:type patterns, and all constant subject/object
+// IRIs.
+func ShapeOf(q *sparql.Query) *extract.QueryShape {
+	shape := &extract.QueryShape{
+		Predicates: map[string]bool{},
+		Classes:    map[string]bool{},
+		IRIs:       map[string]bool{},
+	}
+	var walkPath func(p sparql.Path)
+	walkPath = func(p sparql.Path) {
+		switch x := p.(type) {
+		case sparql.PathIRI:
+			// rdf:type is handled through the Classes set: a triple
+			// (x rdf:type C) only matches a class pattern when C is a
+			// query class, so putting rdf:type in Predicates would make
+			// cMatch follow every typed resource.
+			if x.IRI != rdf.RDFType {
+				shape.Predicates[x.IRI] = true
+			}
+		case sparql.PathInverse:
+			walkPath(x.Path)
+		case sparql.PathSequence:
+			for _, part := range x.Parts {
+				walkPath(part)
+			}
+		case sparql.PathAlternative:
+			for _, part := range x.Parts {
+				walkPath(part)
+			}
+		case sparql.PathZeroOrMore:
+			walkPath(x.Path)
+		case sparql.PathOneOrMore:
+			walkPath(x.Path)
+		case sparql.PathZeroOrOne:
+			walkPath(x.Path)
+		case sparql.PathNegated:
+			// Negated sets exclude predicates; they contribute nothing.
+		}
+	}
+	addTerm := func(t rdf.Term) {
+		if t.Kind == rdf.TermIRI {
+			shape.IRIs[t.Value] = true
+		}
+	}
+	var walk func(p sparql.GraphPattern)
+	walk = func(p sparql.GraphPattern) {
+		switch x := p.(type) {
+		case sparql.BGP:
+			for _, tp := range x.Patterns {
+				walkPath(tp.Path)
+				addTerm(tp.S)
+				addTerm(tp.O)
+				if pi, ok := tp.Path.(sparql.PathIRI); ok && pi.IRI == rdf.RDFType && tp.O.Kind == rdf.TermIRI {
+					shape.Classes[tp.O.Value] = true
+				}
+			}
+		case sparql.GroupPattern:
+			for _, e := range x.Elements {
+				walk(e)
+			}
+		case sparql.OptionalPattern:
+			walk(x.Pattern)
+		case sparql.UnionPattern:
+			walk(x.Left)
+			walk(x.Right)
+		case sparql.MinusPattern:
+			walk(x.Pattern)
+		case sparql.GraphGraphPattern:
+			walk(x.Pattern)
+		case sparql.SubSelect:
+			if x.Query.Where != nil {
+				walk(*x.Query.Where)
+			}
+		case sparql.FilterPattern:
+			walkExpr(x.Expr, walk)
+		}
+	}
+	if q.Where != nil {
+		walk(*q.Where)
+	}
+	return shape
+}
+
+// walkExpr descends into EXISTS patterns inside filter expressions.
+func walkExpr(e sparql.Expression, walk func(sparql.GraphPattern)) {
+	switch x := e.(type) {
+	case sparql.ExprExists:
+		walk(x.Pattern)
+	case sparql.ExprBinary:
+		walkExpr(x.L, walk)
+		walkExpr(x.R, walk)
+	case sparql.ExprUnary:
+		walkExpr(x.X, walk)
+	case sparql.ExprCall:
+		for _, a := range x.Args {
+			walkExpr(a, walk)
+		}
+	case sparql.ExprIn:
+		walkExpr(x.X, walk)
+		for _, a := range x.List {
+			walkExpr(a, walk)
+		}
+	}
+}

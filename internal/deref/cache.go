@@ -1,0 +1,95 @@
+package deref
+
+import (
+	"container/list"
+	"sync"
+
+	"ltqp/internal/rdf"
+)
+
+// Cache is a bounded LRU document cache shared across queries of one
+// engine. The paper's demo runs in a browser whose HTTP disk cache serves
+// repeated document fetches (the "(disk cache)" entries in Fig. 4's
+// waterfall); this reproduces that behaviour for repeated queries over the
+// same pods.
+//
+// Entries are keyed by document URL *and* the requesting agent's WebID:
+// access-controlled documents must never leak across identities.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recent
+
+	hits, misses int
+}
+
+type cacheEntry struct {
+	key      string
+	finalURL string
+	// triples are shared read-only with all consumers.
+	triples []rdf.Triple
+	bytes   int64
+}
+
+// NewCache returns a cache bounded to capacity documents (minimum 1).
+func NewCache(capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, entries: map[string]*list.Element{}, lru: list.New()}
+}
+
+// cacheKey builds the identity-scoped key.
+func cacheKey(url string, auth *Credentials) string {
+	if auth == nil {
+		return url
+	}
+	return url + "\x00" + auth.WebID
+}
+
+// get returns a cached parse result.
+func (c *Cache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores a parse result, evicting the least recently used entry when
+// over capacity.
+func (c *Cache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		c.lru.MoveToFront(el)
+		el.Value = e
+		return
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached documents.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns hit/miss counters.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

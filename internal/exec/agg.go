@@ -1,0 +1,393 @@
+package exec
+
+import (
+	"context"
+	"strconv"
+	"strings"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+)
+
+// evalGroup implements GROUP BY with aggregate projection and HAVING. It is
+// a blocking operator: grouping over a still-growing source would produce
+// retractable results, so evaluation waits for the complete input.
+func evalGroup(ctx context.Context, g algebra.Group, env *Env) Stream {
+	out := make(chan rdf.Binding, chanCap)
+	in := Eval(ctx, g.Input, env)
+	go func() {
+		defer close(out)
+		rows := drain(ctx, in)
+		if ctx.Err() != nil {
+			return
+		}
+
+		// Compute group keys.
+		keyVars := make([]string, 0, len(g.By))
+		type grp struct {
+			key  rdf.Binding
+			rows []rdf.Binding
+		}
+		groups := map[string]*grp{}
+		var order []string
+		for _, c := range g.By {
+			if c.Var != "" {
+				keyVars = append(keyVars, c.Var)
+			}
+		}
+		for _, row := range rows {
+			key := rdf.NewBinding()
+			for _, c := range g.By {
+				switch {
+				case c.Expr == nil:
+					if t, ok := row.Get(c.Var); ok {
+						key[c.Var] = t
+					}
+				default:
+					if v, err := evalExpr(env, c.Expr, row); err == nil {
+						if c.Var != "" {
+							key[c.Var] = v
+						} else {
+							// Unnamed expression keys participate in
+							// grouping via a synthetic name.
+							key["__groupkey"+strconv.Itoa(len(key))] = v
+						}
+					}
+				}
+			}
+			ks := key.Key(key.Vars())
+			gr, ok := groups[ks]
+			if !ok {
+				gr = &grp{key: key}
+				groups[ks] = gr
+				order = append(order, ks)
+			}
+			gr.rows = append(gr.rows, row)
+		}
+		// Implicit single group for aggregate queries without GROUP BY.
+		if len(groups) == 0 && len(g.By) == 0 {
+			groups[""] = &grp{key: rdf.NewBinding()}
+			order = append(order, "")
+		}
+
+		for _, ks := range order {
+			gr := groups[ks]
+			result := gr.key.Copy()
+			for _, item := range g.Items {
+				if item.Expr == nil {
+					// Plain variable: must be a group key; already present.
+					continue
+				}
+				if v, err := evalAggExpr(env, item.Expr, gr.key, gr.rows); err == nil {
+					result[item.Var] = v
+				}
+			}
+			havingOK := true
+			for _, h := range g.Having {
+				v, err := evalAggExpr(env, h, result, gr.rows)
+				if err != nil {
+					havingOK = false
+					break
+				}
+				ok, err := v.EffectiveBooleanValue()
+				if err != nil || !ok {
+					havingOK = false
+					break
+				}
+			}
+			if !havingOK {
+				continue
+			}
+			if !send(ctx, out, result) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// evalAggExpr evaluates an expression that may contain aggregate calls:
+// aggregates are computed over the group rows, everything else over the
+// group-key binding.
+func evalAggExpr(env *Env, e sparql.Expression, key rdf.Binding, rows []rdf.Binding) (rdf.Term, error) {
+	switch x := e.(type) {
+	case sparql.ExprCall:
+		if x.IsAggregate() {
+			return evalAggregate(env, x, rows)
+		}
+		// Non-aggregate call: rebuild with recursively evaluated args.
+		args := make([]rdf.Term, len(x.Args))
+		for i, a := range x.Args {
+			v, err := evalAggExpr(env, a, key, rows)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			args[i] = v
+		}
+		return evalEagerCall(env, x.Func, args)
+	case sparql.ExprBinary:
+		if !sparql.HasAggregates(x) {
+			return evalExpr(env, x, key)
+		}
+		l, err := evalAggExpr(env, x.L, key, rows)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		r, err := evalAggExpr(env, x.R, key, rows)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return evalBinary(env, sparql.ExprBinary{Op: x.Op, L: sparql.ExprTerm{Term: l}, R: sparql.ExprTerm{Term: r}}, key)
+	case sparql.ExprUnary:
+		if !sparql.HasAggregates(x) {
+			return evalExpr(env, x, key)
+		}
+		v, err := evalAggExpr(env, x.X, key, rows)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return evalUnary(env, sparql.ExprUnary{Op: x.Op, X: sparql.ExprTerm{Term: v}}, key)
+	default:
+		return evalExpr(env, e, key)
+	}
+}
+
+// evalAggregate computes one aggregate call over the group rows.
+func evalAggregate(env *Env, call sparql.ExprCall, rows []rdf.Binding) (rdf.Term, error) {
+	// Collect the argument values over the group.
+	var values []rdf.Term
+	if call.Star {
+		values = make([]rdf.Term, len(rows))
+		for i := range rows {
+			values[i] = rdf.Integer(int64(i)) // placeholders; COUNT(*) counts rows
+		}
+		if call.Distinct {
+			// COUNT(DISTINCT *) counts distinct rows.
+			seen := map[string]bool{}
+			values = values[:0]
+			for _, r := range rows {
+				k := r.Key(r.Vars())
+				if !seen[k] {
+					seen[k] = true
+					values = append(values, rdf.Integer(0))
+				}
+			}
+		}
+	} else {
+		if len(call.Args) != 1 {
+			return rdf.Term{}, typeErrf("%s takes 1 argument", call.Func)
+		}
+		for _, r := range rows {
+			if v, err := evalExpr(env, call.Args[0], r); err == nil {
+				values = append(values, v)
+			}
+		}
+		if call.Distinct {
+			seen := map[rdf.Term]bool{}
+			dedup := values[:0]
+			for _, v := range values {
+				if !seen[v] {
+					seen[v] = true
+					dedup = append(dedup, v)
+				}
+			}
+			values = dedup
+		}
+	}
+
+	switch call.Func {
+	case "COUNT":
+		return rdf.Integer(int64(len(values))), nil
+	case "SUM":
+		sum := rdf.Term(rdf.Integer(0))
+		for _, v := range values {
+			s, err := arith("+", sum, v)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			sum = s
+		}
+		return sum, nil
+	case "AVG":
+		if len(values) == 0 {
+			return rdf.Integer(0), nil
+		}
+		sum := rdf.Term(rdf.Integer(0))
+		for _, v := range values {
+			s, err := arith("+", sum, v)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			sum = s
+		}
+		return arith("/", sum, rdf.Integer(int64(len(values))))
+	case "MIN", "MAX":
+		if len(values) == 0 {
+			return rdf.Term{}, typeErrf("%s of empty group", call.Func)
+		}
+		best := values[0]
+		for _, v := range values[1:] {
+			cmp := orderCompare(v, best)
+			if (call.Func == "MIN" && cmp < 0) || (call.Func == "MAX" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SAMPLE":
+		if len(values) == 0 {
+			return rdf.Term{}, typeErrf("SAMPLE of empty group")
+		}
+		return values[0], nil
+	case "GROUP_CONCAT":
+		sep := call.Sep
+		if sep == "" {
+			sep = " "
+		}
+		parts := make([]string, 0, len(values))
+		for _, v := range values {
+			parts = append(parts, v.Value)
+		}
+		return rdf.NewLiteral(strings.Join(parts, sep)), nil
+	}
+	return rdf.Term{}, typeErrf("unknown aggregate %s", call.Func)
+}
+
+// snapshotHasSolution evaluates an operator tree against the *current*
+// store contents (no blocking on growth) and reports whether at least one
+// solution exists. Used by EXISTS.
+func snapshotHasSolution(env *Env, op algebra.Operator) bool {
+	return len(snapshotSolutions(env, op, 1)) > 0
+}
+
+// snapshotSolutions evaluates op over the current snapshot, returning up to
+// limit solutions (limit <= 0 means all). This is a simple recursive
+// evaluator over materialized intermediate results; EXISTS patterns are
+// small, so this is fine.
+func snapshotSolutions(env *Env, op algebra.Operator, limit int) []rdf.Binding {
+	var eval func(op algebra.Operator) []rdf.Binding
+	eval = func(op algebra.Operator) []rdf.Binding {
+		switch x := op.(type) {
+		case algebra.Unit:
+			return []rdf.Binding{rdf.NewBinding()}
+		case algebra.Pattern:
+			var out []rdf.Binding
+			for _, t := range env.Store.MatchNow(x.Triple) {
+				b, ok := rdf.NewBinding().MatchPattern(x.Triple, t)
+				if !ok {
+					continue
+				}
+				if b, ok = applyGraphConstraint(env, x.Graph, t, b); ok {
+					out = append(out, b)
+				}
+			}
+			return out
+		case algebra.PathPattern:
+			return evalPathSnapshot(env, x)
+		case algebra.Join:
+			ls, rs := eval(x.Left), eval(x.Right)
+			var out []rdf.Binding
+			for _, l := range ls {
+				for _, r := range rs {
+					if m, ok := l.Merge(r); ok {
+						out = append(out, m)
+					}
+				}
+			}
+			return out
+		case algebra.Union:
+			return append(eval(x.Left), eval(x.Right)...)
+		case algebra.Filter:
+			var out []rdf.Binding
+			for _, b := range eval(x.Input) {
+				if v, err := evalExpr(env, x.Expr, b); err == nil {
+					if ok, err := v.EffectiveBooleanValue(); err == nil && ok {
+						out = append(out, b)
+					}
+				}
+			}
+			return out
+		case algebra.LeftJoin:
+			ls, rs := eval(x.Left), eval(x.Right)
+			var out []rdf.Binding
+			for _, l := range ls {
+				matched := false
+				for _, r := range rs {
+					if m, ok := l.Merge(r); ok {
+						out = append(out, m)
+						matched = true
+					}
+				}
+				if !matched {
+					out = append(out, l)
+				}
+			}
+			return out
+		case algebra.Extend:
+			var out []rdf.Binding
+			for _, b := range eval(x.Input) {
+				if v, err := evalExpr(env, x.Expr, b); err == nil {
+					if e, ok := b.Extend(x.Var, v); ok {
+						out = append(out, e)
+						continue
+					}
+				}
+				out = append(out, b)
+			}
+			return out
+		case algebra.Values:
+			return x.Rows
+		case algebra.Distinct:
+			seen := map[string]bool{}
+			var out []rdf.Binding
+			vars := x.Input.Vars()
+			for _, b := range eval(x.Input) {
+				k := b.Key(vars)
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, b)
+				}
+			}
+			return out
+		case algebra.Project:
+			var out []rdf.Binding
+			for _, b := range eval(x.Input) {
+				if len(x.Items) == 0 {
+					out = append(out, b)
+					continue
+				}
+				res := rdf.NewBinding()
+				for _, item := range x.Items {
+					if item.Expr == nil {
+						if t, ok := b.Get(item.Var); ok {
+							res[item.Var] = t
+						}
+					} else if v, err := evalExpr(env, item.Expr, b); err == nil {
+						res[item.Var] = v
+					}
+				}
+				out = append(out, res)
+			}
+			return out
+		case algebra.Slice:
+			all := eval(x.Input)
+			if x.Offset > 0 {
+				if x.Offset >= len(all) {
+					return nil
+				}
+				all = all[x.Offset:]
+			}
+			if x.Limit >= 0 && x.Limit < len(all) {
+				all = all[:x.Limit]
+			}
+			return all
+		default:
+			return nil
+		}
+	}
+	out := eval(op)
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/plan"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+	"ltqp/internal/store"
+)
+
+// benchStore builds a closed store with a star-join-friendly shape.
+func benchStore(n int) *store.Store {
+	s := store.New()
+	doc := rdf.NewIRI("http://example.org/doc")
+	for i := 0; i < n; i++ {
+		msg := rdf.NewIRI(fmt.Sprintf("http://example.org/m%d", i))
+		creator := rdf.NewIRI(fmt.Sprintf("http://example.org/u%d", i%20))
+		s.Add(rdf.NewTriple(msg, rdf.NewIRI("http://v/hasCreator"), creator), doc)
+		s.Add(rdf.NewTriple(msg, rdf.NewIRI("http://v/content"), rdf.NewLiteral(fmt.Sprintf("content %d", i))), doc)
+		s.Add(rdf.NewTriple(msg, rdf.NewIRI("http://v/id"), rdf.Long(int64(i))), doc)
+	}
+	s.Close()
+	return s
+}
+
+func benchPlan(b *testing.B, query string) algebra.Operator {
+	b.Helper()
+	q, err := sparql.ParseQuery(query)
+	if err != nil {
+		b.Fatal(err)
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan.New(nil).Optimize(op)
+}
+
+func BenchmarkStarJoinPipeline(b *testing.B) {
+	s := benchStore(2000)
+	op := benchPlan(b, `
+SELECT ?m ?c ?id WHERE {
+  ?m <http://v/hasCreator> <http://example.org/u3> .
+  ?m <http://v/content> ?c .
+  ?m <http://v/id> ?id .
+}`)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for range Eval(ctx, op, NewEnv(s)) {
+			n++
+		}
+		if n != 100 {
+			b.Fatalf("results = %d", n)
+		}
+	}
+}
+
+func BenchmarkAggregationPipeline(b *testing.B) {
+	s := benchStore(2000)
+	op := benchPlan(b, `
+SELECT ?creator (COUNT(?m) AS ?n) WHERE {
+  ?m <http://v/hasCreator> ?creator .
+} GROUP BY ?creator`)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for range Eval(ctx, op, NewEnv(s)) {
+			n++
+		}
+		if n != 20 {
+			b.Fatalf("groups = %d", n)
+		}
+	}
+}
+
+func BenchmarkFilterRegexPipeline(b *testing.B) {
+	s := benchStore(2000)
+	op := benchPlan(b, `
+SELECT ?m WHERE {
+  ?m <http://v/content> ?c .
+  FILTER(REGEX(?c, "content 1[0-9]$"))
+}`)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for range Eval(ctx, op, NewEnv(s)) {
+			n++
+		}
+		if n != 10 {
+			b.Fatalf("results = %d", n)
+		}
+	}
+}
+
+func BenchmarkExpressionEval(b *testing.B) {
+	q, err := sparql.ParseQuery(`SELECT ?x WHERE { ?x ?p ?o FILTER(STRLEN(STR(?o)) * 2 + 1 > 10 && CONTAINS(STR(?o), "en")) }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var expr sparql.Expression
+	for _, e := range q.Where.Elements {
+		if f, ok := e.(sparql.FilterPattern); ok {
+			expr = f.Expr
+		}
+	}
+	env := NewEnv(store.New())
+	binding := rdf.Binding{"o": rdf.NewLiteral("some content here")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := evalExpr(env, expr, binding); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"strings"
+
+	"ltqp/internal/rdf"
+)
+
+// termsEqual implements the SPARQL "=" operator: value equality for
+// comparable literal types, term equality otherwise; incomparable distinct
+// literals raise a type error.
+func termsEqual(l, r rdf.Term) (bool, error) {
+	if l == r {
+		return true, nil
+	}
+	if l.Kind != r.Kind {
+		return false, nil
+	}
+	if l.Kind != rdf.TermLiteral {
+		return false, nil
+	}
+	// Numeric value equality.
+	if l.IsNumeric() && r.IsNumeric() {
+		a, err1 := l.Float()
+		b, err2 := r.Float()
+		if err1 != nil || err2 != nil {
+			return false, typeErrf("invalid numeric literal")
+		}
+		return a == b, nil
+	}
+	// Boolean value equality.
+	if l.Datatype == rdf.XSDBoolean && r.Datatype == rdf.XSDBoolean {
+		a, err1 := l.Bool()
+		b, err2 := r.Bool()
+		if err1 != nil || err2 != nil {
+			return false, typeErrf("invalid boolean literal")
+		}
+		return a == b, nil
+	}
+	// dateTime value equality.
+	if isDateTime(l) && isDateTime(r) {
+		a, err1 := l.Time()
+		b, err2 := r.Time()
+		if err1 != nil || err2 != nil {
+			return false, typeErrf("invalid dateTime literal")
+		}
+		return a.Equal(b), nil
+	}
+	// Plain/string literals: already covered by l == r above; different
+	// lexical forms of strings are unequal.
+	if isStringy(l) && isStringy(r) {
+		return false, nil
+	}
+	// Distinct literals of unknown datatypes: cannot decide value equality.
+	if l.Datatype == r.Datatype && l.Value != r.Value {
+		return false, typeErrf("cannot compare literals of datatype %s by value", l.Datatype)
+	}
+	return false, nil
+}
+
+func isStringy(t rdf.Term) bool {
+	return t.Kind == rdf.TermLiteral && (t.Datatype == "" || t.Datatype == rdf.XSDString || t.Language != "")
+}
+
+func isDateTime(t rdf.Term) bool {
+	return t.Kind == rdf.TermLiteral && (t.Datatype == rdf.XSDDateTime || t.Datatype == rdf.XSDDate)
+}
+
+// compareValues implements the SPARQL ordering operators (<, >, <=, >=)
+// over comparable types.
+func compareValues(l, r rdf.Term) (int, error) {
+	if l.Kind != rdf.TermLiteral || r.Kind != rdf.TermLiteral {
+		return 0, typeErrf("cannot order %s and %s", l, r)
+	}
+	switch {
+	case l.IsNumeric() && r.IsNumeric():
+		a, err1 := l.Float()
+		b, err2 := r.Float()
+		if err1 != nil || err2 != nil {
+			return 0, typeErrf("invalid numeric literal")
+		}
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case isStringy(l) && isStringy(r):
+		return strings.Compare(l.Value, r.Value), nil
+	case isDateTime(l) && isDateTime(r):
+		a, err1 := l.Time()
+		b, err2 := r.Time()
+		if err1 != nil || err2 != nil {
+			return 0, typeErrf("invalid dateTime literal")
+		}
+		switch {
+		case a.Before(b):
+			return -1, nil
+		case a.After(b):
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case l.Datatype == rdf.XSDBoolean && r.Datatype == rdf.XSDBoolean:
+		a, err1 := l.Bool()
+		b, err2 := r.Bool()
+		if err1 != nil || err2 != nil {
+			return 0, typeErrf("invalid boolean literal")
+		}
+		switch {
+		case !a && b:
+			return -1, nil
+		case a && !b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, typeErrf("incomparable literals %s and %s", l, r)
+}
+
+// orderCompare is the total order used by ORDER BY (SPARQL §15.1 extended
+// to a total order): unbound < blank nodes < IRIs < literals; literals
+// compare by value when comparable, falling back to syntactic order.
+func orderCompare(a, b rdf.Term) int {
+	if a.Kind == rdf.TermLiteral && b.Kind == rdf.TermLiteral {
+		if cmp, err := compareValues(a, b); err == nil && cmp != 0 {
+			return cmp
+		}
+		if eq, err := termsEqual(a, b); err == nil && eq {
+			return 0
+		}
+	}
+	return a.Compare(b)
+}

@@ -1,0 +1,214 @@
+package exec
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// conformanceCase is one table-driven evaluation check in the spirit of the
+// W3C SPARQL test suite: Turtle data, a query, and the expected solutions
+// rendered canonically ("?v=<term>" pairs sorted within a row, rows
+// sorted).
+type conformanceCase struct {
+	name  string
+	data  string
+	query string
+	want  []string // canonical rows; nil means no solutions
+}
+
+// canonicalRows renders bindings canonically for comparison.
+func canonicalRows(t *testing.T, data, query string) []string {
+	t.Helper()
+	got := runQuery(t, data, query)
+	rows := make([]string, 0, len(got))
+	for _, b := range got {
+		parts := make([]string, 0, b.Len())
+		for _, v := range b.Vars() {
+			parts = append(parts, "?"+v+"="+b[v].String())
+		}
+		sort.Strings(parts)
+		rows = append(rows, strings.Join(parts, " "))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+const confData = `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:s1 ex:p ex:o1 ; ex:q "1"^^xsd:integer .
+ex:s2 ex:p ex:o2 ; ex:q "2"^^xsd:integer ; ex:label "two"@en .
+ex:s3 ex:p ex:o1 .
+`
+
+func TestConformanceSuite(t *testing.T) {
+	ex := func(l string) string { return "<http://example.org/" + l + ">" }
+	intLit := func(s string) string {
+		return `"` + s + `"^^<http://www.w3.org/2001/XMLSchema#integer>`
+	}
+	cases := []conformanceCase{
+		{
+			name: "basic match",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:p ex:o1 }`,
+			want: []string{"?s=" + ex("s1"), "?s=" + ex("s3")},
+		},
+		{
+			name: "join two patterns",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s ?n WHERE { ?s ex:p ex:o1 . ?s ex:q ?n }`,
+			want: []string{"?n=" + intLit("1") + " ?s=" + ex("s1")},
+		},
+		{
+			name: "optional keeps bare row",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s ?n WHERE { ?s ex:p ex:o1 OPTIONAL { ?s ex:q ?n } }`,
+			want: []string{"?n=" + intLit("1") + " ?s=" + ex("s1"), "?s=" + ex("s3")},
+		},
+		{
+			name: "filter bound",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:p ex:o1 OPTIONAL { ?s ex:q ?n } FILTER(!BOUND(?n)) }`,
+			want: []string{"?s=" + ex("s3")},
+		},
+		{
+			name: "union",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { { ?s ex:p ex:o2 } UNION { ?s ex:p ex:o1 . ?s ex:q ?n } }`,
+			want: []string{"?s=" + ex("s1"), "?s=" + ex("s2")},
+		},
+		{
+			name: "lang tag preserved",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?l WHERE { ?s ex:label ?l FILTER(LANG(?l) = "en") }`,
+			want: []string{`?l="two"@en`},
+		},
+		{
+			name: "numeric filter on typed literal",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:q ?n FILTER(?n > 1) }`,
+			want: []string{"?s=" + ex("s2")},
+		},
+		{
+			name: "bind arithmetic",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?m WHERE { ex:s1 ex:q ?n BIND(?n + 10 AS ?m) }`,
+			want: []string{"?m=" + intLit("11")},
+		},
+		{
+			name: "values restricts",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { VALUES ?s { ex:s2 ex:s3 } ?s ex:p ?o }`,
+			want: []string{"?s=" + ex("s2"), "?s=" + ex("s3")},
+		},
+		{
+			name: "minus removes compatible",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:p ?o MINUS { ?s ex:q ?n } }`,
+			want: []string{"?s=" + ex("s3")},
+		},
+		{
+			name: "distinct collapses",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?o WHERE { ?s ex:p ?o }`,
+			want: []string{"?o=" + ex("o1"), "?o=" + ex("o2")},
+		},
+		{
+			name: "order and limit",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?n WHERE { ?s ex:q ?n } ORDER BY DESC(?n) LIMIT 1`,
+			want: []string{"?n=" + intLit("2")},
+		},
+		{
+			name: "count group",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?o (COUNT(?s) AS ?c) WHERE { ?s ex:p ?o } GROUP BY ?o`,
+			want: []string{
+				"?c=" + intLit("1") + " ?o=" + ex("o2"),
+				"?c=" + intLit("2") + " ?o=" + ex("o1"),
+			},
+		},
+		{
+			name: "if and coalesce in projection",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT (IF(BOUND(?n), "has", "none") AS ?flag) WHERE {
+  ?s ex:p ex:o1 OPTIONAL { ?s ex:q ?n }
+}`,
+			want: []string{`?flag="has"`, `?flag="none"`},
+		},
+		{
+			name: "nested subquery max",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE {
+  ?s ex:q ?n .
+  { SELECT (MAX(?m) AS ?n) WHERE { ?x ex:q ?m } }
+}`,
+			want: []string{"?s=" + ex("s2")},
+		},
+		{
+			name: "str comparison of iri",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:p ?o FILTER(STRENDS(STR(?o), "o2")) }`,
+			want: []string{"?s=" + ex("s2")},
+		},
+		{
+			name: "sameterm vs equals for lang",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:label ?l FILTER(SAMETERM(?l, "two"@en)) }`,
+			want: []string{"?s=" + ex("s2")},
+		},
+		{
+			name: "in with iris",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:p ?o FILTER(?o IN (ex:o2)) }`,
+			want: []string{"?s=" + ex("s2")},
+		},
+		{
+			name: "empty result",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:p ex:nothing }`,
+			want: nil,
+		},
+		{
+			name: "offset skips",
+			data: confData,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?n WHERE { ?s ex:q ?n } ORDER BY ?n OFFSET 1`,
+			want: []string{"?n=" + intLit("2")},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := canonicalRows(t, c.data, c.query)
+			if len(got) != len(c.want) {
+				t.Fatalf("rows = %d, want %d\ngot:  %v\nwant: %v", len(got), len(c.want), got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("row %d:\ngot:  %s\nwant: %s", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}

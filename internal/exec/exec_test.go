@@ -1,0 +1,647 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/plan"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+	"ltqp/internal/store"
+	"ltqp/internal/turtle"
+)
+
+// runQuery evaluates a query over a closed store seeded with the given
+// Turtle data and returns all solutions.
+func runQuery(t *testing.T, data, query string) []rdf.Binding {
+	t.Helper()
+	src := store.New()
+	triples, err := turtle.Parse(data, turtle.Options{Base: "http://example.org/doc"})
+	if err != nil {
+		t.Fatalf("data parse: %v", err)
+	}
+	src.AddDocument("http://example.org/doc", triples)
+	src.Close()
+	return runQueryOn(t, src, query)
+}
+
+func runQueryOn(t *testing.T, src *store.Store, query string) []rdf.Binding {
+	t.Helper()
+	q, err := sparql.ParseQuery(query)
+	if err != nil {
+		t.Fatalf("query parse: %v", err)
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	op = plan.New(nil).Optimize(op)
+	env := NewEnv(src)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var out []rdf.Binding
+	for b := range Eval(ctx, op, env) {
+		out = append(out, b)
+	}
+	if ctx.Err() != nil {
+		t.Fatal("query timed out (pipeline deadlock?)")
+	}
+	return out
+}
+
+// sortedValues extracts and sorts the string renderings of a variable.
+func sortedValues(bs []rdf.Binding, v string) []string {
+	var out []string
+	for _, b := range bs {
+		if t, ok := b.Get(v); ok {
+			out = append(out, t.String())
+		} else {
+			out = append(out, "UNBOUND")
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+const peopleData = `
+@prefix ex: <http://example.org/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+ex:alice a foaf:Person ; foaf:name "Alice" ; foaf:knows ex:bob, ex:carol ; ex:age 30 .
+ex:bob a foaf:Person ; foaf:name "Bob" ; foaf:knows ex:carol ; ex:age 25 .
+ex:carol a foaf:Person ; foaf:name "Carol" ; ex:age 35 .
+ex:dave a foaf:Person ; foaf:name "Dave" ; ex:age 25 ; foaf:nick "d" .
+`
+
+func TestBGPJoin(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?n1 ?n2 WHERE {
+  ?p1 foaf:knows ?p2 .
+  ?p1 foaf:name ?n1 .
+  ?p2 foaf:name ?n2 .
+}`)
+	if len(got) != 3 {
+		t.Fatalf("solutions = %d, want 3: %v", len(got), got)
+	}
+	pairs := map[string]bool{}
+	for _, b := range got {
+		pairs[b["n1"].Value+"-"+b["n2"].Value] = true
+	}
+	for _, want := range []string{"Alice-Bob", "Alice-Carol", "Bob-Carol"} {
+		if !pairs[want] {
+			t.Errorf("missing pair %s (have %v)", want, pairs)
+		}
+	}
+}
+
+func TestFilterComparisons(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE {
+  ?p foaf:name ?name ; ex:age ?age .
+  FILTER(?age >= 30)
+}`)
+	if vals := sortedValues(got, "name"); len(vals) != 2 || vals[0] != `"Alice"` || vals[1] != `"Carol"` {
+		t.Errorf("names = %v", vals)
+	}
+}
+
+func TestOptional(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name ?nick WHERE {
+  ?p foaf:name ?name .
+  OPTIONAL { ?p foaf:nick ?nick }
+}`)
+	if len(got) != 4 {
+		t.Fatalf("solutions = %d, want 4", len(got))
+	}
+	withNick := 0
+	for _, b := range got {
+		if b.Has("nick") {
+			withNick++
+			if b["name"].Value != "Dave" {
+				t.Errorf("unexpected nick for %v", b)
+			}
+		}
+	}
+	if withNick != 1 {
+		t.Errorf("withNick = %d", withNick)
+	}
+}
+
+func TestOptionalWithInnerFilter(t *testing.T) {
+	// The filter inside OPTIONAL conditions the join, not the outer rows.
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name ?oage WHERE {
+  ?p foaf:name ?name ; ex:age ?age .
+  OPTIONAL { ?p foaf:knows ?o . ?o ex:age ?oage . FILTER(?oage > ?age) }
+}`)
+	// Alice knows Bob(25) and Carol(35): only Carol passes -> 1 extended row.
+	// Bob knows Carol(35>25) -> extended. Carol, Dave -> bare.
+	if len(got) != 4 {
+		t.Fatalf("solutions = %d, want 4: %v", len(got), got)
+	}
+	extended := 0
+	for _, b := range got {
+		if b.Has("oage") {
+			extended++
+		}
+	}
+	if extended != 2 {
+		t.Errorf("extended = %d, want 2", extended)
+	}
+}
+
+func TestUnionDistinct(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT DISTINCT ?x WHERE {
+  { ex:alice foaf:knows ?x } UNION { ex:bob foaf:knows ?x }
+}`)
+	if vals := sortedValues(got, "x"); len(vals) != 2 {
+		t.Errorf("distinct union = %v", vals)
+	}
+}
+
+func TestMinus(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?p WHERE {
+  ?p a foaf:Person .
+  MINUS { ?x foaf:knows ?p }
+}`)
+	// Alice and Dave are never known by anyone.
+	vals := sortedValues(got, "p")
+	if len(vals) != 2 || !strings.Contains(vals[0], "alice") || !strings.Contains(vals[1], "dave") {
+		t.Errorf("minus = %v", vals)
+	}
+}
+
+func TestBindAndExpr(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name ?double WHERE {
+  ?p foaf:name ?name ; ex:age ?age .
+  BIND(?age * 2 AS ?double)
+  FILTER(?double = 50)
+}`)
+	if len(got) != 2 {
+		t.Fatalf("solutions = %d, want 2 (Bob and Dave)", len(got))
+	}
+}
+
+func TestValuesJoin(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE {
+  VALUES ?p { ex:alice ex:carol }
+  ?p foaf:name ?name .
+}`)
+	if vals := sortedValues(got, "name"); len(vals) != 2 || vals[0] != `"Alice"` {
+		t.Errorf("values join = %v", vals)
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE { ?p foaf:name ?name ; ex:age ?age }
+ORDER BY DESC(?age) ?name
+LIMIT 2 OFFSET 1`)
+	if len(got) != 2 {
+		t.Fatalf("solutions = %d", len(got))
+	}
+	// Ages: Carol 35, Alice 30, Bob 25, Dave 25. Offset 1 → Alice, Bob.
+	if got[0]["name"].Value != "Alice" || got[1]["name"].Value != "Bob" {
+		t.Errorf("order = %v, %v", got[0], got[1])
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?age (COUNT(?p) AS ?n) WHERE {
+  ?p ex:age ?age .
+} GROUP BY ?age ORDER BY ?age`)
+	if len(got) != 3 {
+		t.Fatalf("groups = %d: %v", len(got), got)
+	}
+	// age 25 → 2 people.
+	if got[0]["age"].Value != "25" || got[0]["n"].Value != "2" {
+		t.Errorf("group 0 = %v", got[0])
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+SELECT (COUNT(*) AS ?n) (SUM(?age) AS ?sum) (AVG(?age) AS ?avg)
+       (MIN(?age) AS ?min) (MAX(?age) AS ?max) WHERE {
+  ?p ex:age ?age .
+}`)
+	if len(got) != 1 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	b := got[0]
+	if b["n"].Value != "4" || b["sum"].Value != "115" || b["min"].Value != "25" || b["max"].Value != "35" {
+		t.Errorf("aggregates = %v", b)
+	}
+	if avg, err := b["avg"].Float(); err != nil || avg != 28.75 {
+		t.Errorf("avg = %v (%v)", b["avg"], err)
+	}
+}
+
+func TestHaving(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+SELECT ?age WHERE { ?p ex:age ?age } GROUP BY ?age HAVING(COUNT(?p) > 1)`)
+	if len(got) != 1 || got[0]["age"].Value != "25" {
+		t.Errorf("having = %v", got)
+	}
+}
+
+func TestGroupConcatAndSample(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT (GROUP_CONCAT(?name; SEPARATOR="|") AS ?all) (SAMPLE(?name) AS ?one) WHERE {
+  ?p foaf:name ?name .
+}`)
+	if len(got) != 1 {
+		t.Fatalf("groups = %d", len(got))
+	}
+	parts := strings.Split(got[0]["all"].Value, "|")
+	if len(parts) != 4 {
+		t.Errorf("group_concat = %q", got[0]["all"].Value)
+	}
+	if !got[0].Has("one") {
+		t.Error("sample missing")
+	}
+}
+
+func TestCountEmptyGroup(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+SELECT (COUNT(?p) AS ?n) WHERE { ?p ex:nonexistent ?x }`)
+	if len(got) != 1 || got[0]["n"].Value != "0" {
+		t.Errorf("count over empty = %v", got)
+	}
+}
+
+func TestPropertyPathAlternative(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT DISTINCT ?v WHERE {
+  ex:dave (foaf:name|foaf:nick) ?v .
+}`)
+	if vals := sortedValues(got, "v"); len(vals) != 2 {
+		t.Errorf("alternative = %v", vals)
+	}
+}
+
+func TestPropertyPathSequence(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT DISTINCT ?n WHERE { ex:alice foaf:knows/foaf:name ?n }`)
+	if vals := sortedValues(got, "n"); len(vals) != 2 || vals[0] != `"Bob"` || vals[1] != `"Carol"` {
+		t.Errorf("sequence = %v", vals)
+	}
+}
+
+func TestPropertyPathInverse(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?who WHERE { ex:carol ^foaf:knows ?who }`)
+	if vals := sortedValues(got, "who"); len(vals) != 2 {
+		t.Errorf("inverse = %v", vals)
+	}
+}
+
+func TestPropertyPathTransitive(t *testing.T) {
+	data := `
+@prefix ex: <http://example.org/> .
+ex:a ex:next ex:b . ex:b ex:next ex:c . ex:c ex:next ex:d .
+`
+	got := runQuery(t, data, `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ex:a ex:next+ ?x }`)
+	if vals := sortedValues(got, "x"); len(vals) != 3 {
+		t.Errorf("oneOrMore = %v", vals)
+	}
+	got = runQuery(t, data, `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ex:a ex:next* ?x }`)
+	if vals := sortedValues(got, "x"); len(vals) != 4 {
+		t.Errorf("zeroOrMore = %v (should include ex:a)", vals)
+	}
+	// Reverse direction: which nodes reach d?
+	got = runQuery(t, data, `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ?x ex:next+ ex:d }`)
+	if vals := sortedValues(got, "x"); len(vals) != 3 {
+		t.Errorf("reverse oneOrMore = %v", vals)
+	}
+}
+
+func TestPropertyPathZeroOrOne(t *testing.T) {
+	data := `
+@prefix ex: <http://example.org/> .
+ex:a ex:next ex:b . ex:b ex:next ex:c .
+`
+	got := runQuery(t, data, `
+PREFIX ex: <http://example.org/>
+SELECT ?x WHERE { ex:a ex:next? ?x }`)
+	if vals := sortedValues(got, "x"); len(vals) != 2 {
+		t.Errorf("zeroOrOne = %v", vals)
+	}
+}
+
+func TestNegatedPropertySet(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT DISTINCT ?o WHERE { ex:dave !(rdf:type|foaf:name) ?o }`)
+	// dave has type, name, age, nick → age + nick remain.
+	if vals := sortedValues(got, "o"); len(vals) != 2 {
+		t.Errorf("negated = %v", vals)
+	}
+}
+
+func TestExistsNotExists(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE {
+  ?p foaf:name ?name .
+  FILTER EXISTS { ?p foaf:knows ?x }
+}`)
+	if vals := sortedValues(got, "name"); len(vals) != 2 {
+		t.Errorf("exists = %v", vals)
+	}
+	got = runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE {
+  ?p foaf:name ?name .
+  FILTER NOT EXISTS { ?p foaf:knows ?x }
+}`)
+	if vals := sortedValues(got, "name"); len(vals) != 2 {
+		t.Errorf("not exists = %v", vals)
+	}
+}
+
+func TestSubSelect(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name ?cnt WHERE {
+  ?p foaf:name ?name .
+  { SELECT ?p (COUNT(?x) AS ?cnt) WHERE { ?p foaf:knows ?x } GROUP BY ?p }
+}`)
+	if len(got) != 2 {
+		t.Fatalf("subselect join = %v", got)
+	}
+	counts := map[string]string{}
+	for _, b := range got {
+		counts[b["name"].Value] = b["cnt"].Value
+	}
+	if counts["Alice"] != "2" || counts["Bob"] != "1" {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestProjectionExpression(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT (UCASE(?name) AS ?u) WHERE { ex:alice foaf:name ?name }`)
+	if len(got) != 1 || got[0]["u"].Value != "ALICE" {
+		t.Errorf("projection expr = %v", got)
+	}
+}
+
+func TestSelectStarKeepsAllVars(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT * WHERE { ?p foaf:nick ?nick }`)
+	if len(got) != 1 || !got[0].Has("p") || !got[0].Has("nick") {
+		t.Errorf("select * = %v", got)
+	}
+}
+
+func TestAskViaLimit(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+ASK { ?p foaf:nick "d" }`)
+	if len(got) != 1 {
+		t.Errorf("ask true = %v", got)
+	}
+	got = runQuery(t, peopleData, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+ASK { ?p foaf:nick "nope" }`)
+	if len(got) != 0 {
+		t.Errorf("ask false = %v", got)
+	}
+}
+
+func TestBlankNodeInQueryActsAsVariable(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE {
+  _:someone foaf:knows ?q .
+  ?q foaf:name ?name .
+}`)
+	if vals := sortedValues(got, "name"); len(vals) != 3 {
+		t.Errorf("blank node patterns = %v", vals)
+	}
+}
+
+func TestPipelineOverGrowingStore(t *testing.T) {
+	// The defining behaviour of the engine: results stream out while the
+	// source is still growing, and the first result arrives before the
+	// source closes.
+	src := store.New()
+	ex := "http://example.org/"
+	add := func(s, p, o string) {
+		src.Add(rdf.NewTriple(rdf.NewIRI(ex+s), rdf.NewIRI(ex+p), rdf.NewIRI(ex+o)), rdf.NewIRI(ex+"doc"))
+	}
+	add("m1", "hasCreator", "me")
+	add("f1", "containerOf", "m1")
+
+	q, err := sparql.ParseQuery(`
+PREFIX ex: <http://example.org/>
+SELECT ?f WHERE { ?m ex:hasCreator ex:me . ?f ex:containerOf ?m . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := algebra.Translate(q)
+	env := NewEnv(src)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	results := Eval(ctx, op, env)
+
+	// First result must arrive while the store is still open.
+	select {
+	case b := <-results:
+		if b["f"] != rdf.NewIRI(ex+"f1") {
+			t.Errorf("first = %v", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result before store close: pipeline is not incremental")
+	}
+
+	// Feed more matching data; it must flow through the same pipeline.
+	add("m2", "hasCreator", "me")
+	add("f2", "containerOf", "m2")
+	select {
+	case b := <-results:
+		if b["f"] != rdf.NewIRI(ex+"f2") {
+			t.Errorf("second = %v", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("live addition did not produce a result")
+	}
+
+	src.Close()
+	if _, ok := <-results; ok {
+		t.Error("stream should close after store closes")
+	}
+}
+
+func TestLimitCancelsUpstream(t *testing.T) {
+	// LIMIT must terminate the query even though the store never closes.
+	src := store.New()
+	ex := "http://example.org/"
+	for i := 0; i < 10; i++ {
+		src.Add(rdf.NewTriple(rdf.NewIRI(fmt.Sprintf("%ss%d", ex, i)), rdf.NewIRI(ex+"p"), rdf.NewIRI(ex+"o")), rdf.NewIRI(ex+"doc"))
+	}
+	q, _ := sparql.ParseQuery(`PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:p ex:o } LIMIT 3`)
+	op, _ := algebra.Translate(q)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var n int
+	for range Eval(ctx, op, NewEnv(src)) {
+		n++
+	}
+	if ctx.Err() != nil {
+		t.Fatal("LIMIT did not terminate against an open store")
+	}
+	if n != 3 {
+		t.Errorf("results = %d, want 3", n)
+	}
+}
+
+func TestOptionalBareRowsWaitForCompletion(t *testing.T) {
+	// Bare rows of OPTIONAL must not be emitted before the source closes —
+	// a late match could still arrive.
+	src := store.New()
+	ex := "http://example.org/"
+	src.Add(rdf.NewTriple(rdf.NewIRI(ex+"a"), rdf.NewIRI(ex+"name"), rdf.NewLiteral("A")), rdf.NewIRI(ex+"doc"))
+	q, _ := sparql.ParseQuery(`PREFIX ex: <http://example.org/>
+SELECT ?name ?nick WHERE { ?p ex:name ?name OPTIONAL { ?p ex:nick ?nick } }`)
+	op, _ := algebra.Translate(q)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	results := Eval(ctx, op, NewEnv(src))
+
+	select {
+	case b := <-results:
+		t.Fatalf("premature emission: %v", b)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// The nick arrives late; the left row must join, not appear bare.
+	src.Add(rdf.NewTriple(rdf.NewIRI(ex+"a"), rdf.NewIRI(ex+"nick"), rdf.NewLiteral("nick-a")), rdf.NewIRI(ex+"doc"))
+	src.Close()
+	var all []rdf.Binding
+	for b := range results {
+		all = append(all, b)
+	}
+	if len(all) != 1 || all[0]["nick"].Value != "nick-a" {
+		t.Errorf("results = %v", all)
+	}
+}
+
+func TestDistinctStreamsIncrementally(t *testing.T) {
+	src := store.New()
+	ex := "http://example.org/"
+	src.Add(rdf.NewTriple(rdf.NewIRI(ex+"s"), rdf.NewIRI(ex+"p"), rdf.NewLiteral("v")), rdf.NewIRI(ex+"d1"))
+	q, _ := sparql.ParseQuery(`PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?o WHERE { ?s ex:p ?o }`)
+	op, _ := algebra.Translate(q)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	results := Eval(ctx, op, NewEnv(src))
+	select {
+	case b := <-results:
+		if b["o"].Value != "v" {
+			t.Errorf("got %v", b)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("DISTINCT blocked the pipeline")
+	}
+	src.Close()
+}
+
+func TestCartesianProductJoin(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?a ?b WHERE { ex:alice foaf:name ?a . ex:bob foaf:name ?b . }`)
+	if len(got) != 1 || got[0]["a"].Value != "Alice" || got[0]["b"].Value != "Bob" {
+		t.Errorf("cartesian = %v", got)
+	}
+}
+
+func TestReduced(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+SELECT REDUCED ?o WHERE { ?s ex:age ?o }`)
+	if len(got) == 0 || len(got) > 4 {
+		t.Errorf("reduced = %d rows", len(got))
+	}
+}
+
+func TestVariablePredicateQuery(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+SELECT ?p ?o WHERE { ex:dave ?p ?o }`)
+	if len(got) != 4 {
+		t.Errorf("var predicate = %d rows", len(got))
+	}
+}
+
+func TestInExpression(t *testing.T) {
+	got := runQuery(t, peopleData, `
+PREFIX ex: <http://example.org/>
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE { ?p foaf:name ?name FILTER(?name IN ("Alice", "Bob")) }`)
+	if len(got) != 2 {
+		t.Errorf("IN = %v", got)
+	}
+	got = runQuery(t, peopleData, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?name WHERE { ?p foaf:name ?name FILTER(?name NOT IN ("Alice", "Bob")) }`)
+	if len(got) != 2 {
+		t.Errorf("NOT IN = %v", got)
+	}
+}

@@ -1,0 +1,305 @@
+// Package experiments implements the reproduction of every figure and
+// quantitative claim of the paper's demonstration (see DESIGN.md, E1–E10).
+// Each experiment runs against the simulated Solid environment and returns
+// structured measurements; bench_test.go turns them into benchmark series
+// and cmd/benchreport prints the paper-vs-measured tables recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/baseline"
+	"ltqp/internal/rdf"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+	"ltqp/internal/sparql"
+)
+
+// QueryRun is the outcome of one traversal query execution.
+type QueryRun struct {
+	Query        string
+	Results      int
+	Total        time.Duration
+	TTFR         time.Duration
+	HasTTFR      bool
+	Requests     int
+	Failed       int
+	Triples      int
+	MaxDepth     int
+	MaxParallel  int
+	PodsTouched  int
+	StoreTriples int
+}
+
+// RunCatalogQuery executes a catalog query over the environment with the
+// given engine configuration (Client is filled in automatically).
+func RunCatalogQuery(ctx context.Context, env *simenv.Env, q solidbench.Query, cfg ltqp.Config) (QueryRun, error) {
+	cfg.Client = env.Client()
+	engine := ltqp.New(cfg)
+	start := time.Now()
+	res, err := engine.Query(ctx, q.Text)
+	if err != nil {
+		return QueryRun{}, err
+	}
+	run := QueryRun{Query: q.Name}
+	for range res.Results {
+		run.Results++
+	}
+	run.Total = time.Since(start)
+	if err := res.Err(); err != nil {
+		return run, err
+	}
+	if ttfr, ok := res.Metrics().TimeToFirstResult(); ok {
+		run.TTFR, run.HasTTFR = ttfr, true
+	}
+	s := res.Stats()
+	run.Requests = s.Requests
+	run.Failed = s.Failed
+	run.Triples = s.TotalTriples
+	run.MaxDepth = s.MaxDepth
+	run.MaxParallel = s.MaxParallel
+	run.PodsTouched = res.Metrics().PodsTouched()
+	return run, nil
+}
+
+// E1CLIDiscover runs the Fig. 2 scenario: Discover 6 (forums of a creator)
+// executed end to end, streaming JSON bindings.
+func E1CLIDiscover(ctx context.Context, env *simenv.Env) (QueryRun, error) {
+	return RunCatalogQuery(ctx, env, env.Dataset.Discover(6, 5), ltqp.Config{Lenient: true})
+}
+
+// E3WaterfallSinglePod runs Discover 1.5 (Fig. 4) and returns the run plus
+// the rendered waterfall.
+func E3WaterfallSinglePod(ctx context.Context, env *simenv.Env) (QueryRun, string, error) {
+	q := env.Dataset.Discover(1, 5)
+	engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true})
+	start := time.Now()
+	res, err := engine.Query(ctx, q.Text)
+	if err != nil {
+		return QueryRun{}, "", err
+	}
+	run := QueryRun{Query: q.Name}
+	for range res.Results {
+		run.Results++
+	}
+	run.Total = time.Since(start)
+	if ttfr, ok := res.Metrics().TimeToFirstResult(); ok {
+		run.TTFR, run.HasTTFR = ttfr, true
+	}
+	s := res.Stats()
+	run.Requests, run.MaxDepth, run.MaxParallel = s.Requests, s.MaxDepth, s.MaxParallel
+	run.PodsTouched = res.Metrics().PodsTouched()
+	return run, res.Metrics().Waterfall(60), nil
+}
+
+// E4WaterfallMultiPod runs Discover 8.5 (Fig. 5): traversal across pods.
+func E4WaterfallMultiPod(ctx context.Context, env *simenv.Env) (QueryRun, string, error) {
+	q := env.Dataset.Discover(8, 5)
+	engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true})
+	start := time.Now()
+	res, err := engine.Query(ctx, q.Text)
+	if err != nil {
+		return QueryRun{}, "", err
+	}
+	run := QueryRun{Query: q.Name}
+	for range res.Results {
+		run.Results++
+	}
+	run.Total = time.Since(start)
+	if ttfr, ok := res.Metrics().TimeToFirstResult(); ok {
+		run.TTFR, run.HasTTFR = ttfr, true
+	}
+	s := res.Stats()
+	run.Requests, run.MaxDepth, run.MaxParallel = s.Requests, s.MaxDepth, s.MaxParallel
+	run.PodsTouched = res.Metrics().PodsTouched()
+	return run, res.Metrics().Waterfall(60), nil
+}
+
+// DatasetShape compares the generated environment with the paper's
+// reported deployment (§4.2): per-pod file and triple ratios.
+type DatasetShape struct {
+	Pods, Files, Triples             int
+	FilesPerPod, TriplesPerPod       float64
+	PaperFilesPerPod, PaperTriplesPP float64
+}
+
+// E5DatasetStats measures the environment shape.
+func E5DatasetStats(env *simenv.Env) DatasetShape {
+	s := env.Stats()
+	return DatasetShape{
+		Pods: s.Pods, Files: s.Files, Triples: s.Triples,
+		FilesPerPod:      float64(s.Files) / float64(s.Pods),
+		TriplesPerPod:    float64(s.Triples) / float64(s.Pods),
+		PaperFilesPerPod: float64(solidbench.PaperStats.Files) / float64(solidbench.PaperStats.Pods),
+		PaperTriplesPP:   float64(solidbench.PaperStats.Triples) / float64(solidbench.PaperStats.Pods),
+	}
+}
+
+// E6TTFR runs every Discover shape (variant 1) and reports time to first
+// result and total time — the "first results < 1 s, non-complex queries in
+// seconds" claim.
+func E6TTFR(ctx context.Context, env *simenv.Env) ([]QueryRun, error) {
+	var out []QueryRun
+	for shape := 1; shape <= 8; shape++ {
+		run, err := RunCatalogQuery(ctx, env, env.Dataset.Discover(shape, 1), ltqp.Config{Lenient: true})
+		if err != nil {
+			return out, fmt.Errorf("discover %d: %w", shape, err)
+		}
+		out = append(out, run)
+	}
+	return out, nil
+}
+
+// E7Catalog verifies the 37 default queries all parse and plan.
+func E7Catalog(env *simenv.Env) (int, error) {
+	catalog := env.Dataset.Catalog()
+	for _, q := range catalog {
+		if _, err := sparql.ParseQuery(q.Text); err != nil {
+			return 0, fmt.Errorf("%s: %w", q.Name, err)
+		}
+	}
+	return len(catalog), nil
+}
+
+// AblationRow is one strategy's cost on one query.
+type AblationRow struct {
+	Strategy string
+	QueryRun
+}
+
+// E8ExtractorAblation compares link extraction strategies on a Discover
+// query: the Solid-aware configurations should need far fewer requests
+// than blind cAll traversal while still answering.
+func E8ExtractorAblation(ctx context.Context, env *simenv.Env, shape int) ([]AblationRow, error) {
+	var out []AblationRow
+	strategies := []ltqp.Strategy{
+		ltqp.StrategySolid,
+		ltqp.StrategySolidNoLDP,
+		ltqp.StrategyLDPOnly,
+		ltqp.StrategyCMatch,
+		ltqp.StrategyCAll,
+	}
+	q := env.Dataset.Discover(shape, 1)
+	for _, s := range strategies {
+		cfg := ltqp.Config{Lenient: true, Strategy: s}
+		if s == ltqp.StrategyCAll {
+			// Exhaustive traversal is capped like any sane deployment.
+			cfg.MaxDocuments = 2000
+		}
+		run, err := RunCatalogQuery(ctx, env, q, cfg)
+		if err != nil {
+			return out, fmt.Errorf("strategy %s: %w", s, err)
+		}
+		out = append(out, AblationRow{Strategy: s.String(), QueryRun: run})
+	}
+	return out, nil
+}
+
+// OracleComparison contrasts traversal with the centralized baseline.
+type OracleComparison struct {
+	Traversal    QueryRun
+	OracleCount  int
+	IngestTime   time.Duration
+	OracleTime   time.Duration
+	IngestedTrpl int
+}
+
+// E9Centralized runs a Discover query both ways: link traversal (no prior
+// index, pays HTTP) vs the oracle (full ingest upfront, instant queries).
+func E9Centralized(ctx context.Context, env *simenv.Env, shape int) (OracleComparison, error) {
+	var cmp OracleComparison
+	run, err := RunCatalogQuery(ctx, env, env.Dataset.Discover(shape, 1), ltqp.Config{Lenient: true})
+	if err != nil {
+		return cmp, err
+	}
+	cmp.Traversal = run
+
+	ingestStart := time.Now()
+	st := baseline.CentralizedStore(env.Pods)
+	cmp.IngestTime = time.Since(ingestStart)
+	cmp.IngestedTrpl = st.Len()
+
+	queryStart := time.Now()
+	results, err := baseline.RunQuery(ctx, st, env.Dataset.Discover(shape, 1).Text)
+	if err != nil {
+		return cmp, err
+	}
+	cmp.OracleTime = time.Since(queryStart)
+	cmp.OracleCount = len(results)
+	return cmp, nil
+}
+
+// AuthComparison contrasts anonymous and authenticated runs over an
+// access-controlled environment.
+type AuthComparison struct {
+	AnonResults   int
+	AuthedResults int
+	AnonDenied    int
+}
+
+// E10Auth builds an environment with private post documents and runs
+// Discover 1 anonymously and on behalf of the owner.
+func E10Auth(ctx context.Context, persons int, seed int64) (AuthComparison, error) {
+	cfg := solidbench.SmallConfig()
+	cfg.Persons = persons
+	cfg.Seed = seed
+	cfg.PrivateFraction = 0.8
+	env := simenv.New(cfg)
+	defer env.Close()
+	q := env.Dataset.Discover(1, 1)
+
+	var cmp AuthComparison
+	anon, err := RunCatalogQuery(ctx, env, q, ltqp.Config{Lenient: true})
+	if err != nil {
+		return cmp, err
+	}
+	cmp.AnonResults = anon.Results
+	cmp.AnonDenied = anon.Failed
+
+	authed, err := RunCatalogQuery(ctx, env, q, ltqp.Config{
+		Lenient: true,
+		Auth:    env.CredentialsFor(q.Person),
+	})
+	if err != nil {
+		return cmp, err
+	}
+	cmp.AuthedResults = authed.Results
+	return cmp, nil
+}
+
+// GroundTruth counts the expected complete answer of a Discover shape for
+// the environment (what an omniscient engine would return).
+func GroundTruth(env *simenv.Env, shape, variant int) int {
+	q := env.Dataset.Discover(shape, variant)
+	ds := env.Dataset
+	switch shape {
+	case 1:
+		n := 0
+		for _, p := range ds.Posts {
+			if p.Creator == q.Person && p.Image == "" {
+				n++
+			}
+		}
+		return n
+	case 6:
+		forums := map[int64]bool{}
+		for fi, f := range ds.Forums {
+			for _, pi := range f.Posts {
+				if ds.Posts[pi].Creator == q.Person {
+					forums[ds.Forums[fi].ID] = true
+					break
+				}
+			}
+		}
+		return len(forums)
+	default:
+		return -1
+	}
+}
+
+// Binding re-exports for convenience of report printing.
+type Binding = rdf.Binding

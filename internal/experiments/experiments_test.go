@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/baseline"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+	"ltqp/internal/sparql"
+)
+
+func newEnv(t *testing.T) *simenv.Env {
+	t.Helper()
+	env := simenv.New(solidbench.SmallConfig())
+	t.Cleanup(env.Close)
+	return env
+}
+
+func ctxWithTimeout(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestE1AndGroundTruth(t *testing.T) {
+	env := newEnv(t)
+	run, err := E1CLIDiscover(ctxWithTimeout(t), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Results == 0 || run.Requests == 0 {
+		t.Errorf("run = %+v", run)
+	}
+	if !run.HasTTFR || run.TTFR <= 0 || run.TTFR > run.Total {
+		t.Errorf("TTFR = %v of %v", run.TTFR, run.Total)
+	}
+}
+
+func TestE3SinglePodInvariant(t *testing.T) {
+	env := newEnv(t)
+	run, wf, err := E3WaterfallSinglePod(ctxWithTimeout(t), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.PodsTouched != 1 {
+		t.Errorf("pods = %d", run.PodsTouched)
+	}
+	if wf == "" {
+		t.Error("empty waterfall")
+	}
+	// Discover 1's traversal has the Fig. 4 structure: card → type index
+	// → containers → documents = depth >= 3.
+	if run.MaxDepth < 3 {
+		t.Errorf("depth = %d", run.MaxDepth)
+	}
+}
+
+func TestE4MultiPodInvariant(t *testing.T) {
+	env := newEnv(t)
+	run, _, err := E4WaterfallMultiPod(ctxWithTimeout(t), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.PodsTouched < 2 {
+		t.Errorf("pods = %d, want multi-pod", run.PodsTouched)
+	}
+	if run.MaxDepth <= 3 {
+		t.Errorf("multi-pod depth = %d, should exceed single-pod chains", run.MaxDepth)
+	}
+}
+
+func TestE5ShapeWithinPaperBounds(t *testing.T) {
+	cfg := solidbench.DefaultConfig()
+	cfg.Persons = 8
+	env := simenv.New(cfg)
+	defer env.Close()
+	shape := E5DatasetStats(env)
+	if shape.FilesPerPod < shape.PaperFilesPerPod/2 || shape.FilesPerPod > shape.PaperFilesPerPod*2 {
+		t.Errorf("files/pod = %.1f vs paper %.1f", shape.FilesPerPod, shape.PaperFilesPerPod)
+	}
+	if shape.TriplesPerPod < shape.PaperTriplesPP/2 || shape.TriplesPerPod > shape.PaperTriplesPP*2 {
+		t.Errorf("triples/pod = %.1f vs paper %.1f", shape.TriplesPerPod, shape.PaperTriplesPP)
+	}
+}
+
+func TestE6AllShapesAnswer(t *testing.T) {
+	env := newEnv(t)
+	runs, err := E6TTFR(ctxWithTimeout(t), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 8 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for _, r := range runs {
+		if r.Results == 0 && r.Query != "Discover 4.1" {
+			// Tiny environments can make some aggregations empty; all
+			// other shapes must answer.
+			t.Errorf("%s: no results", r.Query)
+		}
+	}
+}
+
+func TestE7Catalog37(t *testing.T) {
+	env := newEnv(t)
+	n, err := E7Catalog(env)
+	if err != nil || n != 37 {
+		t.Errorf("catalog = %d, %v", n, err)
+	}
+}
+
+func TestE8AblationShape(t *testing.T) {
+	env := newEnv(t)
+	rows, err := E8ExtractorAblation(ctxWithTimeout(t), env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+	}
+	if byName["solid-no-ldp"].Requests >= byName["ldp-only"].Requests {
+		t.Errorf("guided (%d) should beat LDP walk (%d)",
+			byName["solid-no-ldp"].Requests, byName["ldp-only"].Requests)
+	}
+	if byName["ldp-only"].Requests >= byName["call"].Requests {
+		t.Errorf("LDP walk (%d) should beat blind (%d)",
+			byName["ldp-only"].Requests, byName["call"].Requests)
+	}
+	if byName["solid-no-ldp"].Results != byName["solid"].Results {
+		t.Errorf("guided lost results: %d vs %d",
+			byName["solid-no-ldp"].Results, byName["solid"].Results)
+	}
+}
+
+func TestE9OracleAgreesOnSinglePod(t *testing.T) {
+	env := newEnv(t)
+	cmp, err := E9Centralized(ctxWithTimeout(t), env, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discover 1 is answerable entirely from the person's own pod, so
+	// traversal is complete and must agree with the oracle.
+	if cmp.Traversal.Results != cmp.OracleCount {
+		t.Errorf("traversal %d vs oracle %d", cmp.Traversal.Results, cmp.OracleCount)
+	}
+	if cmp.IngestedTrpl == 0 {
+		t.Error("oracle ingested nothing")
+	}
+}
+
+func TestE10AuthGap(t *testing.T) {
+	cmp, err := E10Auth(ctxWithTimeout(t), 6, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.AuthedResults <= cmp.AnonResults {
+		t.Errorf("anon=%d authed=%d", cmp.AnonResults, cmp.AuthedResults)
+	}
+}
+
+func TestGroundTruthHelpers(t *testing.T) {
+	env := newEnv(t)
+	if n := GroundTruth(env, 1, 1); n <= 0 {
+		t.Errorf("shape 1 ground truth = %d", n)
+	}
+	if n := GroundTruth(env, 6, 1); n <= 0 {
+		t.Errorf("shape 6 ground truth = %d", n)
+	}
+	if n := GroundTruth(env, 5, 1); n != -1 {
+		t.Errorf("unsupported shape = %d, want -1", n)
+	}
+	// Traversal of Discover 1 finds exactly the ground truth.
+	run, err := RunCatalogQuery(ctxWithTimeout(t), env, env.Dataset.Discover(1, 1), ltqp.Config{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Results != GroundTruth(env, 1, 1) {
+		t.Errorf("results = %d, ground truth = %d", run.Results, GroundTruth(env, 1, 1))
+	}
+}
+
+// TestTraversalSoundnessAgainstOracle is the whole-stack correctness
+// property of LTQP: whatever the traversal engine answers must be a subset
+// of the complete answer an omniscient engine computes over ALL pod data
+// (traversal sees only the reachable subweb, so it may return fewer
+// results — never wrong ones). Checked for every Discover shape.
+func TestTraversalSoundnessAgainstOracle(t *testing.T) {
+	env := newEnv(t)
+	ctx := ctxWithTimeout(t)
+	st := baseline.CentralizedStore(env.Pods)
+
+	for shape := 1; shape <= 8; shape++ {
+		q := env.Dataset.Discover(shape, 1)
+
+		oracle, err := baseline.RunQuery(ctx, st, q.Text)
+		if err != nil {
+			t.Fatalf("shape %d oracle: %v", shape, err)
+		}
+		parsed, err := sparql.ParseQuery(q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vars := parsed.ProjectedVars()
+		complete := map[string]int{}
+		for _, b := range oracle {
+			complete[b.Key(vars)]++
+		}
+
+		engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true})
+		res, err := engine.Query(ctx, q.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unsound := 0
+		n := 0
+		for b := range res.Results {
+			n++
+			k := b.Key(vars)
+			if complete[k] == 0 {
+				unsound++
+				if unsound <= 3 {
+					t.Errorf("shape %d: traversal produced a solution the oracle does not have: %v", shape, b)
+				}
+			} else {
+				complete[k]--
+			}
+		}
+		if n > len(oracle) {
+			t.Errorf("shape %d: traversal produced %d solutions, oracle only %d", shape, n, len(oracle))
+		}
+	}
+}
+
+// TestComplexQueriesRunAndAreSound runs the complex workload end to end:
+// each query must finish, and SELECT results must be a subset of the
+// oracle's complete answer.
+func TestComplexQueriesRunAndAreSound(t *testing.T) {
+	env := newEnv(t)
+	ctx := ctxWithTimeout(t)
+	st := baseline.CentralizedStore(env.Pods)
+	for _, q := range env.Dataset.ComplexQueries() {
+		oracle, err := baseline.RunQuery(ctx, st, q.Text)
+		if err != nil {
+			t.Fatalf("%s oracle: %v", q.Name, err)
+		}
+		run, err := RunCatalogQuery(ctx, env, q, ltqp.Config{Lenient: true})
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		// LIMIT queries may differ row-wise under ordering ties; only the
+		// cardinality bound holds universally.
+		if run.Results > len(oracle) {
+			t.Errorf("%s: traversal %d > oracle %d", q.Name, run.Results, len(oracle))
+		}
+		t.Logf("%s: %d results (oracle %d) in %v over %d requests",
+			q.Name, run.Results, len(oracle), run.Total, run.Requests)
+	}
+}

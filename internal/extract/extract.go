@@ -1,0 +1,267 @@
+// Package extract implements link extraction strategies: given a freshly
+// dereferenced document, each extractor proposes further documents to
+// traverse. The engine combines Solid-aware extractors (LDP containers,
+// WebID profiles with pim:storage, Solid Type Indexes filtered by the
+// query's classes — the structural assumptions of the paper's approach
+// [14]) with Solid-agnostic reachability criteria (cMatch and cAll,
+// Hartig & Freytag [19]).
+package extract
+
+import (
+	"sort"
+
+	"ltqp/internal/rdf"
+)
+
+// Document is a dereferenced document handed to extractors.
+type Document struct {
+	// IRI is the document's (final) URL.
+	IRI string
+	// Graph holds the parsed triples.
+	Graph *rdf.Graph
+}
+
+// Link is a proposed traversal step.
+type Link struct {
+	// URL of the document to dereference (fragments stripped).
+	URL string
+	// Reason names the producing extractor (stable identifiers used for
+	// queue prioritization and the metrics waterfall).
+	Reason string
+}
+
+// Extractor proposes links from a document.
+type Extractor interface {
+	// Name returns the extractor's stable identifier.
+	Name() string
+	// Extract returns proposed links; duplicates across extractors are
+	// fine — the link queue deduplicates.
+	Extract(doc Document) []Link
+}
+
+// QueryShape is what extractors know about the running query: the constant
+// predicates, classes, and IRIs mentioned in its patterns. Query-driven
+// extractors use it to prune traversal.
+type QueryShape struct {
+	// Predicates are the constant predicate IRIs of the query patterns.
+	Predicates map[string]bool
+	// Classes are the constant objects of rdf:type patterns.
+	Classes map[string]bool
+	// IRIs are all constant subject/object IRIs.
+	IRIs map[string]bool
+}
+
+// link builds a Link from an IRI term, stripping the fragment; it returns
+// false for non-HTTP terms.
+func link(t rdf.Term, reason string) (Link, bool) {
+	if t.Kind != rdf.TermIRI || !rdf.IsHTTPIRI(t.Value) {
+		return Link{}, false
+	}
+	return Link{URL: rdf.DocumentIRI(t), Reason: reason}, true
+}
+
+// dedup removes duplicate URLs preserving order.
+func dedup(links []Link) []Link {
+	seen := map[string]bool{}
+	out := links[:0]
+	for _, l := range links {
+		if !seen[l.URL] {
+			seen[l.URL] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LDPContainer follows ldp:contains membership links, walking the document
+// hierarchy of a pod (paper Listing 1).
+type LDPContainer struct{}
+
+// Name implements Extractor.
+func (LDPContainer) Name() string { return "ldp-container" }
+
+// Extract implements Extractor.
+func (LDPContainer) Extract(doc Document) []Link {
+	var out []Link
+	for _, t := range doc.Graph.Triples() {
+		if t.P.Kind == rdf.TermIRI && t.P.Value == rdf.LDPContains {
+			if l, ok := link(t.O, "ldp-container"); ok {
+				out = append(out, l)
+			}
+		}
+	}
+	return dedup(out)
+}
+
+// SolidProfile follows the pod discovery links of a WebID profile document
+// (paper Listing 2): pim:storage to the pod root and
+// solid:publicTypeIndex to the type index.
+type SolidProfile struct{}
+
+// Name implements Extractor.
+func (SolidProfile) Name() string { return "solid-profile" }
+
+// Extract implements Extractor.
+func (SolidProfile) Extract(doc Document) []Link {
+	var out []Link
+	for _, t := range doc.Graph.Triples() {
+		if t.P.Kind != rdf.TermIRI {
+			continue
+		}
+		switch t.P.Value {
+		case rdf.SolidPublicTypeIndex:
+			if l, ok := link(t.O, "solid-profile"); ok {
+				out = append(out, l)
+			}
+		case rdf.PIMStorage:
+			if l, ok := link(t.O, "storage"); ok {
+				out = append(out, l)
+			}
+		}
+	}
+	return dedup(out)
+}
+
+// TypeIndex follows solid:instance and solid:instanceContainer links from
+// Solid Type Index registrations (paper Listing 3). When the query mentions
+// constant classes, only registrations for those classes are followed —
+// this is the class-pruning optimization of [14]; without class knowledge
+// every registration is followed.
+type TypeIndex struct {
+	// Shape carries the query's classes; nil follows all registrations.
+	Shape *QueryShape
+}
+
+// Name implements Extractor.
+func (TypeIndex) Name() string { return "type-index" }
+
+// Extract implements Extractor.
+func (e TypeIndex) Extract(doc Document) []Link {
+	g := doc.Graph
+	var out []Link
+	for _, reg := range g.Subjects(rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.SolidTypeRegistration)) {
+		if e.Shape != nil && len(e.Shape.Classes) > 0 {
+			forClass := g.FirstObject(reg, rdf.NewIRI(rdf.SolidForClass))
+			if forClass.Kind == rdf.TermIRI && !e.Shape.Classes[forClass.Value] {
+				continue
+			}
+		}
+		for _, inst := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstance)) {
+			if l, ok := link(inst, "type-index"); ok {
+				out = append(out, l)
+			}
+		}
+		for _, c := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstanceContainer)) {
+			if l, ok := link(c, "type-index-container"); ok {
+				out = append(out, l)
+			}
+		}
+	}
+	return dedup(out)
+}
+
+// SeeAlso follows rdfs:seeAlso and owl:sameAs data links.
+type SeeAlso struct{}
+
+// Name implements Extractor.
+func (SeeAlso) Name() string { return "see-also" }
+
+const owlSameAs = "http://www.w3.org/2002/07/owl#sameAs"
+
+// Extract implements Extractor.
+func (SeeAlso) Extract(doc Document) []Link {
+	var out []Link
+	for _, t := range doc.Graph.Triples() {
+		if t.P.Kind != rdf.TermIRI {
+			continue
+		}
+		if t.P.Value == rdf.RDFSSeeAlso || t.P.Value == owlSameAs {
+			if l, ok := link(t.O, "see-also"); ok {
+				out = append(out, l)
+			}
+		}
+	}
+	return dedup(out)
+}
+
+// CMatch is Hartig's cMatch reachability criterion: follow IRIs occurring
+// in triples that could contribute to the query — i.e. triples whose
+// predicate (or class, for rdf:type) is mentioned in the query.
+type CMatch struct {
+	Shape *QueryShape
+}
+
+// Name implements Extractor.
+func (CMatch) Name() string { return "match" }
+
+// Extract implements Extractor.
+func (e CMatch) Extract(doc Document) []Link {
+	if e.Shape == nil {
+		return nil
+	}
+	var out []Link
+	for _, t := range doc.Graph.Triples() {
+		if t.P.Kind != rdf.TermIRI {
+			continue
+		}
+		relevant := e.Shape.Predicates[t.P.Value]
+		if !relevant && t.P.Value == rdf.RDFType && t.O.Kind == rdf.TermIRI && e.Shape.Classes[t.O.Value] {
+			relevant = true
+		}
+		if !relevant {
+			continue
+		}
+		if l, ok := link(t.S, "match"); ok {
+			out = append(out, l)
+		}
+		if l, ok := link(t.O, "match"); ok {
+			out = append(out, l)
+		}
+	}
+	return dedup(out)
+}
+
+// CAll is the cAll reachability criterion: follow every IRI in every
+// position. It is the exhaustive baseline traversal; on an unbounded Web
+// it does not terminate, so it is only usable against closed simulated
+// environments (the extractor ablation benchmarks).
+type CAll struct{}
+
+// Name implements Extractor.
+func (CAll) Name() string { return "all" }
+
+// Extract implements Extractor.
+func (CAll) Extract(doc Document) []Link {
+	var out []Link
+	for _, t := range doc.Graph.Triples() {
+		for _, term := range [3]rdf.Term{t.S, t.P, t.O} {
+			if l, ok := link(term, "all"); ok {
+				out = append(out, l)
+			}
+		}
+	}
+	return dedup(out)
+}
+
+// DefaultSolidSet is the paper's configuration: Solid-aware structural
+// extractors, the cMatch criterion, and rdfs:seeAlso/owl:sameAs data links
+// (Comunica's default link extraction actors).
+func DefaultSolidSet(shape *QueryShape) []Extractor {
+	return []Extractor{
+		SolidProfile{},
+		TypeIndex{Shape: shape},
+		LDPContainer{},
+		CMatch{Shape: shape},
+		SeeAlso{},
+	}
+}
+
+// Names lists extractor names, for configuration display.
+func Names(es []Extractor) []string {
+	out := make([]string, len(es))
+	for i, e := range es {
+		out[i] = e.Name()
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,89 @@
+package extract
+
+import (
+	"strings"
+	"sync"
+
+	"ltqp/internal/rdf"
+)
+
+// TypeIndexScoped is a stateful variant of TypeIndex that also follows the
+// *contents* of type-index-registered instance containers — but only
+// those. It reproduces the cooperation of Comunica's type-index and
+// container-listing actors without enabling blind LDP traversal of the
+// whole pod: documents under noise/ or other unregistered containers are
+// never fetched.
+//
+// The extractor is per-query state: traversal reaches a registered
+// container only through the type index, so registrations are always
+// observed before their containers are dereferenced.
+type TypeIndexScoped struct {
+	// Shape carries the query's classes; when non-empty only matching
+	// registrations are followed.
+	Shape *QueryShape
+
+	mu         sync.Mutex
+	containers map[string]bool
+}
+
+// Name implements Extractor.
+func (*TypeIndexScoped) Name() string { return "type-index" }
+
+// Extract implements Extractor.
+func (e *TypeIndexScoped) Extract(doc Document) []Link {
+	g := doc.Graph
+	var out []Link
+
+	// Type index registrations (same logic as TypeIndex), recording
+	// registered container URLs.
+	for _, reg := range g.Subjects(rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.SolidTypeRegistration)) {
+		if e.Shape != nil && len(e.Shape.Classes) > 0 {
+			forClass := g.FirstObject(reg, rdf.NewIRI(rdf.SolidForClass))
+			if forClass.Kind == rdf.TermIRI && !e.Shape.Classes[forClass.Value] {
+				continue
+			}
+		}
+		for _, inst := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstance)) {
+			if l, ok := link(inst, "type-index"); ok {
+				out = append(out, l)
+			}
+		}
+		for _, c := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstanceContainer)) {
+			if l, ok := link(c, "type-index-container"); ok {
+				e.mu.Lock()
+				if e.containers == nil {
+					e.containers = map[string]bool{}
+				}
+				e.containers[l.URL] = true
+				e.mu.Unlock()
+				out = append(out, l)
+			}
+		}
+	}
+
+	// Container membership, but only for registered containers (or their
+	// sub-containers).
+	if e.isRegistered(doc.IRI) {
+		for _, t := range g.Triples() {
+			if t.P.Kind == rdf.TermIRI && t.P.Value == rdf.LDPContains {
+				if l, ok := link(t.O, "type-index-container"); ok {
+					if strings.HasSuffix(l.URL, "/") {
+						e.mu.Lock()
+						e.containers[l.URL] = true
+						e.mu.Unlock()
+					}
+					out = append(out, l)
+				}
+			}
+		}
+	}
+	return dedup(out)
+}
+
+// isRegistered reports whether url is a registered container (normalizing
+// the trailing slash).
+func (e *TypeIndexScoped) isRegistered(url string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.containers[url] || e.containers[url+"/"]
+}

@@ -1,0 +1,334 @@
+// Package metrics records the HTTP request timeline of a traversal-based
+// query execution and renders it as a "resource waterfall", reproducing the
+// browser network-inspector views of the paper's Figs. 4 and 5: which
+// documents were fetched, which fetch caused which (via links), how deep
+// the dependency chains run, and how much ran in parallel.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Request is one recorded HTTP dereference.
+type Request struct {
+	// URL is the dereferenced document.
+	URL string
+	// Parent is the document whose links caused this fetch ("" for seeds).
+	Parent string
+	// Reason names the link extractor that discovered the URL.
+	Reason string
+	// Start and End bracket the fetch.
+	Start, End time.Time
+	// Status is the HTTP status code (0 on transport error).
+	Status int
+	// Bytes is the response body size.
+	Bytes int64
+	// Triples is the number of triples parsed from the document.
+	Triples int
+	// Cached marks requests served from the engine's document cache
+	// rather than the network (the "(disk cache)" rows of Fig. 4).
+	Cached bool
+	// Err records a fetch or parse failure.
+	Err string
+}
+
+// Duration returns the wall time of the request.
+func (r Request) Duration() time.Duration { return r.End.Sub(r.Start) }
+
+// QueueSample is one observation of the link queue's state, following the
+// queue-evolution analysis of Eschauzier et al. [34] that the paper cites
+// as a direction for link-queue enhancements.
+type QueueSample struct {
+	// At is the sample offset from the recorder epoch.
+	At time.Duration
+	// Length is the number of links queued at the sample time.
+	Length int
+	// Seen is the number of distinct URLs ever accepted by the queue.
+	Seen int
+}
+
+// Recorder collects request events and result timestamps. It is safe for
+// concurrent use.
+type Recorder struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests []Request
+	results  []time.Time
+	queue    []QueueSample
+}
+
+// NewRecorder returns a recorder with its epoch set to now.
+func NewRecorder() *Recorder {
+	return &Recorder{started: time.Now()}
+}
+
+// Epoch returns the recorder's start time.
+func (r *Recorder) Epoch() time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.started
+}
+
+// Record appends one request event.
+func (r *Recorder) Record(req Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.requests = append(r.requests, req)
+}
+
+// RecordResult notes that a query result was delivered at time now.
+func (r *Recorder) RecordResult() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.results = append(r.results, time.Now())
+}
+
+// RecordQueueSample notes the link queue's length and total accepted URLs
+// at time now.
+func (r *Recorder) RecordQueueSample(length, seen int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.queue = append(r.queue, QueueSample{At: time.Since(r.started), Length: length, Seen: seen})
+}
+
+// QueueEvolution returns the recorded link-queue samples in time order.
+func (r *Recorder) QueueEvolution() []QueueSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]QueueSample, len(r.queue))
+	copy(out, r.queue)
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// PeakQueueLength returns the maximum observed queue length.
+func (r *Recorder) PeakQueueLength() int {
+	peak := 0
+	for _, s := range r.QueueEvolution() {
+		if s.Length > peak {
+			peak = s.Length
+		}
+	}
+	return peak
+}
+
+// Requests returns a copy of the recorded requests sorted by start time.
+func (r *Recorder) Requests() []Request {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Request, len(r.requests))
+	copy(out, r.requests)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// ResultTimes returns the recorded result delivery offsets from the epoch.
+func (r *Recorder) ResultTimes() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]time.Duration, len(r.results))
+	for i, t := range r.results {
+		out[i] = t.Sub(r.started)
+	}
+	return out
+}
+
+// TimeToFirstResult returns the delay from epoch to the first result, and
+// false when no result was recorded.
+func (r *Recorder) TimeToFirstResult() (time.Duration, bool) {
+	times := r.ResultTimes()
+	if len(times) == 0 {
+		return 0, false
+	}
+	return times[0], true
+}
+
+// Stats are aggregate traversal statistics.
+type Stats struct {
+	Requests      int
+	Failed        int
+	TotalBytes    int64
+	TotalTriples  int
+	MaxDepth      int
+	MaxParallel   int
+	WallTime      time.Duration
+	DistinctHosts int
+}
+
+// Stats aggregates the recorded events.
+func (r *Recorder) Stats() Stats {
+	reqs := r.Requests()
+	s := Stats{Requests: len(reqs)}
+	depth := map[string]int{}
+	hosts := map[string]bool{}
+	var minStart, maxEnd time.Time
+	for i, q := range reqs {
+		if q.Status == 0 || q.Status >= 400 || q.Err != "" {
+			s.Failed++
+		}
+		s.TotalBytes += q.Bytes
+		s.TotalTriples += q.Triples
+		d := 0
+		if q.Parent != "" {
+			d = depth[q.Parent] + 1
+		}
+		depth[q.URL] = d
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		hosts[hostAndPod(q.URL)] = true
+		if i == 0 || q.Start.Before(minStart) {
+			minStart = q.Start
+		}
+		if q.End.After(maxEnd) {
+			maxEnd = q.End
+		}
+	}
+	s.DistinctHosts = len(hosts)
+	if !minStart.IsZero() {
+		s.WallTime = maxEnd.Sub(minStart)
+	}
+	// Max parallelism: sweep over start/end events.
+	type ev struct {
+		t     time.Time
+		delta int
+	}
+	var evs []ev
+	for _, q := range reqs {
+		evs = append(evs, ev{q.Start, 1}, ev{q.End, -1})
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].t.Equal(evs[j].t) {
+			return evs[i].delta < evs[j].delta
+		}
+		return evs[i].t.Before(evs[j].t)
+	})
+	cur := 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > s.MaxParallel {
+			s.MaxParallel = cur
+		}
+	}
+	return s
+}
+
+// hostAndPod extracts "host/pods/<id>" style prefixes so that multi-pod
+// traversal on a single simulated host still counts distinct pods.
+func hostAndPod(u string) string {
+	rest := u
+	if i := strings.Index(rest, "://"); i >= 0 {
+		rest = rest[i+3:]
+	}
+	parts := strings.Split(rest, "/")
+	if len(parts) >= 3 && parts[1] == "pods" {
+		return parts[0] + "/pods/" + parts[2]
+	}
+	if len(parts) > 0 {
+		return parts[0]
+	}
+	return rest
+}
+
+// PodsTouched counts the distinct simulated pods among the requests.
+func (r *Recorder) PodsTouched() int {
+	pods := map[string]bool{}
+	for _, q := range r.Requests() {
+		key := hostAndPod(q.URL)
+		if strings.Contains(key, "/pods/") {
+			pods[key] = true
+		}
+	}
+	return len(pods)
+}
+
+// Waterfall renders an ASCII resource waterfall like the browser network
+// tab of Figs. 4 and 5: one row per request in start order, bars on a
+// common time axis, with status, size and the discovery reason.
+func (r *Recorder) Waterfall(width int) string {
+	reqs := r.Requests()
+	if len(reqs) == 0 {
+		return "(no requests)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	min := reqs[0].Start
+	max := reqs[0].End
+	for _, q := range reqs {
+		if q.End.After(max) {
+			max = q.End
+		}
+	}
+	total := max.Sub(min)
+	if total <= 0 {
+		total = time.Millisecond
+	}
+	scale := func(t time.Time) int {
+		off := int(int64(t.Sub(min)) * int64(width) / int64(total))
+		if off >= width {
+			off = width - 1
+		}
+		if off < 0 {
+			off = 0
+		}
+		return off
+	}
+	nameWidth := 44
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s %6s %8s %7s  %s\n", nameWidth, "document", "status", "bytes", "ms", "timeline")
+	for _, q := range reqs {
+		name := shorten(q.URL, nameWidth)
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		s, e := scale(q.Start), scale(q.End)
+		if e < s {
+			e = s
+		}
+		for i := s; i <= e && i < width; i++ {
+			bar[i] = '='
+		}
+		bar[s] = '|'
+		status := fmt.Sprintf("%d", q.Status)
+		if q.Err != "" {
+			status = "ERR"
+		}
+		if q.Cached {
+			status = "cache"
+		}
+		fmt.Fprintf(&b, "%-*s %6s %8d %7.1f  [%s] %s\n",
+			nameWidth, name, status, q.Bytes,
+			float64(q.Duration().Microseconds())/1000.0, string(bar), q.Reason)
+	}
+	s := r.Stats()
+	fmt.Fprintf(&b, "\n%d requests (%d failed), %d triples, %d bytes, max depth %d, max parallel %d, wall %s\n",
+		s.Requests, s.Failed, s.TotalTriples, s.TotalBytes, s.MaxDepth, s.MaxParallel, s.WallTime.Round(time.Microsecond))
+	return b.String()
+}
+
+// shorten abbreviates long URLs for display, keeping the tail.
+func shorten(u string, max int) string {
+	if len(u) <= max {
+		return u
+	}
+	return "…" + u[len(u)-max+1:]
+}
+
+// DependencyEdges returns parent→child fetch dependencies, reproducing the
+// "some HTTP requests depend on other requests due to links between them"
+// aspect of the demo (Fig. 4).
+func (r *Recorder) DependencyEdges() [][2]string {
+	var out [][2]string
+	for _, q := range r.Requests() {
+		if q.Parent != "" {
+			out = append(out, [2]string{q.Parent, q.URL})
+		}
+	}
+	return out
+}

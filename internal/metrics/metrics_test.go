@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func record(r *Recorder, url, parent string, startMS, durMS int, status int, bytes int64) {
+	epoch := r.Epoch()
+	r.Record(Request{
+		URL: url, Parent: parent, Reason: "test",
+		Start:  epoch.Add(time.Duration(startMS) * time.Millisecond),
+		End:    epoch.Add(time.Duration(startMS+durMS) * time.Millisecond),
+		Status: status, Bytes: bytes, Triples: 10,
+	})
+}
+
+func TestStatsDepthAndParallelism(t *testing.T) {
+	r := NewRecorder()
+	record(r, "http://h/pods/1/profile/card", "", 0, 10, 200, 100)
+	record(r, "http://h/pods/1/settings/ti", "http://h/pods/1/profile/card", 10, 10, 200, 100)
+	record(r, "http://h/pods/1/posts/", "http://h/pods/1/settings/ti", 20, 10, 200, 100)
+	record(r, "http://h/pods/1/posts/a", "http://h/pods/1/posts/", 30, 20, 200, 100)
+	record(r, "http://h/pods/1/posts/b", "http://h/pods/1/posts/", 30, 20, 200, 100)
+	record(r, "http://h/pods/2/profile/card", "http://h/pods/1/posts/a", 55, 10, 404, 0)
+
+	s := r.Stats()
+	if s.Requests != 6 {
+		t.Errorf("Requests = %d", s.Requests)
+	}
+	if s.Failed != 1 {
+		t.Errorf("Failed = %d", s.Failed)
+	}
+	if s.MaxDepth != 4 {
+		t.Errorf("MaxDepth = %d, want 4", s.MaxDepth)
+	}
+	if s.MaxParallel != 2 {
+		t.Errorf("MaxParallel = %d, want 2", s.MaxParallel)
+	}
+	if s.TotalBytes != 500 {
+		t.Errorf("TotalBytes = %d", s.TotalBytes)
+	}
+	if s.TotalTriples != 60 {
+		t.Errorf("TotalTriples = %d", s.TotalTriples)
+	}
+	if s.DistinctHosts != 2 {
+		t.Errorf("DistinctHosts = %d (two pods on one host)", s.DistinctHosts)
+	}
+}
+
+func TestPodsTouched(t *testing.T) {
+	r := NewRecorder()
+	record(r, "http://h/pods/1/profile/card", "", 0, 5, 200, 1)
+	record(r, "http://h/pods/1/posts/a", "", 5, 5, 200, 1)
+	record(r, "http://h/pods/2/profile/card", "", 10, 5, 200, 1)
+	record(r, "http://h/other/doc", "", 15, 5, 200, 1)
+	if got := r.PodsTouched(); got != 2 {
+		t.Errorf("PodsTouched = %d, want 2", got)
+	}
+}
+
+func TestResultTimes(t *testing.T) {
+	r := NewRecorder()
+	if _, ok := r.TimeToFirstResult(); ok {
+		t.Error("TTFR before any result should be !ok")
+	}
+	r.RecordResult()
+	r.RecordResult()
+	times := r.ResultTimes()
+	if len(times) != 2 {
+		t.Fatalf("results = %d", len(times))
+	}
+	ttfr, ok := r.TimeToFirstResult()
+	if !ok || ttfr < 0 {
+		t.Errorf("TTFR = %v, %v", ttfr, ok)
+	}
+}
+
+func TestWaterfallRendering(t *testing.T) {
+	r := NewRecorder()
+	record(r, "http://h/pods/1/profile/card", "", 0, 10, 200, 321)
+	record(r, "http://h/pods/1/posts/a", "http://h/pods/1/profile/card", 10, 30, 200, 999)
+	out := r.Waterfall(40)
+	if !strings.Contains(out, "profile/card") {
+		t.Errorf("missing URL:\n%s", out)
+	}
+	if !strings.Contains(out, "2 requests") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "|") {
+		t.Errorf("missing bars:\n%s", out)
+	}
+	// Rows are sorted by start: card before posts/a.
+	if strings.Index(out, "profile/card") > strings.Index(out, "posts/a") {
+		t.Errorf("rows out of order:\n%s", out)
+	}
+}
+
+func TestWaterfallEmpty(t *testing.T) {
+	r := NewRecorder()
+	if out := r.Waterfall(40); !strings.Contains(out, "no requests") {
+		t.Errorf("empty waterfall = %q", out)
+	}
+}
+
+func TestDependencyEdges(t *testing.T) {
+	r := NewRecorder()
+	record(r, "http://a", "", 0, 5, 200, 1)
+	record(r, "http://b", "http://a", 5, 5, 200, 1)
+	record(r, "http://c", "http://a", 6, 5, 200, 1)
+	edges := r.DependencyEdges()
+	if len(edges) != 2 || edges[0] != [2]string{"http://a", "http://b"} {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestShorten(t *testing.T) {
+	long := "http://example.org/very/long/path/to/document"
+	s := shorten(long, 20)
+	if len([]rune(s)) > 20 {
+		t.Errorf("shorten produced %d runes", len([]rune(s)))
+	}
+	if !strings.HasSuffix(long, strings.TrimPrefix(s, "…")) {
+		t.Errorf("shorten should keep the tail: %q", s)
+	}
+	if shorten("short", 20) != "short" {
+		t.Error("short strings unchanged")
+	}
+}
+
+func TestRequestDuration(t *testing.T) {
+	now := time.Now()
+	q := Request{Start: now, End: now.Add(30 * time.Millisecond)}
+	if q.Duration() != 30*time.Millisecond {
+		t.Errorf("Duration = %v", q.Duration())
+	}
+}
+
+func TestQueueEvolution(t *testing.T) {
+	r := NewRecorder()
+	if got := r.QueueEvolution(); len(got) != 0 {
+		t.Errorf("fresh recorder queue samples = %v", got)
+	}
+	r.RecordQueueSample(3, 4)
+	r.RecordQueueSample(7, 10)
+	r.RecordQueueSample(1, 12)
+	samples := r.QueueEvolution()
+	if len(samples) != 3 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].At < samples[i-1].At {
+			t.Error("samples out of order")
+		}
+	}
+	if samples[1].Length != 7 || samples[1].Seen != 10 {
+		t.Errorf("sample 1 = %+v", samples[1])
+	}
+	if r.PeakQueueLength() != 7 {
+		t.Errorf("peak = %d", r.PeakQueueLength())
+	}
+}

@@ -1,0 +1,29 @@
+package plan
+
+import (
+	"ltqp/internal/algebra"
+	"ltqp/internal/rdf"
+)
+
+// CountSource exposes current cardinalities of triple patterns. The
+// growing store implements it (store.CountNow).
+type CountSource interface {
+	CountNow(pattern rdf.Triple) int
+}
+
+// OptimizeWithCounts reorders join chains like Optimize, but scores
+// pattern operands by their *observed* cardinality in the source instead
+// of the zero-knowledge syntactic heuristics: smaller current extensions
+// run first. This powers the engine's adaptive re-planning — the future-
+// work direction the paper points to (§5, adaptive query planning [29]),
+// where the plan is revised once traversal has discovered enough data to
+// estimate selectivities.
+//
+// Connectivity is still respected (no avoidable Cartesian products), and
+// non-pattern operands keep their zero-knowledge scores.
+func (p *Planner) OptimizeWithCounts(op algebra.Operator, counts CountSource) algebra.Operator {
+	saved := p.counts
+	p.counts = counts
+	defer func() { p.counts = saved }()
+	return p.Optimize(op)
+}

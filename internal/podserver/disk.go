@@ -1,0 +1,111 @@
+package podserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ltqp/internal/solid"
+)
+
+// manifestEntry describes one stored document in the on-disk layout.
+type manifestEntry struct {
+	// URL is the absolute document URL.
+	URL string `json:"url"`
+	// File is the manifest-relative path of the Turtle file.
+	File string `json:"file"`
+	// Public marks world-readable documents.
+	Public bool `json:"public"`
+	// Agents lists WebIDs with read access when not public.
+	Agents []string `json:"agents,omitempty"`
+}
+
+// manifest is the on-disk dataset descriptor written by SaveDir.
+type manifest struct {
+	// Host is the origin the documents were generated for; servers
+	// rebase it to their own origin at load time.
+	Host      string          `json:"host"`
+	Documents []manifestEntry `json:"documents"`
+}
+
+// SaveDir writes all materialized pods as a directory of Turtle files plus
+// a manifest.json, the storage format of cmd/solidbench-gen. host is the
+// origin the pod URLs were minted under.
+func SaveDir(dir, host string, pods []*solid.Pod) error {
+	m := manifest{Host: host}
+	for _, p := range pods {
+		for path, d := range p.Materialize() {
+			file := urlToFile(p.IRI(path), host)
+			full := filepath.Join(dir, filepath.FromSlash(file))
+			if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+				return fmt.Errorf("podserver: %w", err)
+			}
+			if err := os.WriteFile(full, []byte(p.Turtle(d)), 0o644); err != nil {
+				return fmt.Errorf("podserver: %w", err)
+			}
+			m.Documents = append(m.Documents, manifestEntry{
+				URL:    p.IRI(path),
+				File:   file,
+				Public: d.Access.Public,
+				Agents: d.Access.Agents,
+			})
+		}
+	}
+	sort.Slice(m.Documents, func(i, j int) bool { return m.Documents[i].URL < m.Documents[j].URL })
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("podserver: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644)
+}
+
+// urlToFile maps a document URL to a file path under the dataset dir.
+// Containers map to <dir>/.container.ttl, plain documents get a .ttl
+// suffix.
+func urlToFile(url, host string) string {
+	rel := strings.TrimPrefix(url, strings.TrimSuffix(host, "/"))
+	rel = strings.TrimPrefix(rel, "/")
+	if rel == "" || strings.HasSuffix(rel, "/") {
+		return rel + ".container.ttl"
+	}
+	return rel + ".ttl"
+}
+
+// LoadDir loads a dataset written by SaveDir into the server, rebasing all
+// URLs (and document bodies) from the stored host to newHost. It returns
+// the stored host for reference.
+func (s *Server) LoadDir(dir, newHost string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return "", fmt.Errorf("podserver: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return "", fmt.Errorf("podserver: manifest: %w", err)
+	}
+	oldHost := strings.TrimSuffix(m.Host, "/")
+	newHost = strings.TrimSuffix(newHost, "/")
+	for _, e := range m.Documents {
+		body, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(e.File)))
+		if err != nil {
+			return "", fmt.Errorf("podserver: %w", err)
+		}
+		url := e.URL
+		text := string(body)
+		if newHost != "" && newHost != oldHost {
+			url = strings.Replace(url, oldHost, newHost, 1)
+			text = strings.ReplaceAll(text, oldHost, newHost)
+		}
+		agents := e.Agents
+		if newHost != "" && newHost != oldHost {
+			for i, a := range agents {
+				agents[i] = strings.Replace(a, oldHost, newHost, 1)
+			}
+		}
+		s.AddDocument(url, text, solid.Access{Public: e.Public, Agents: agents})
+	}
+	return m.Host, nil
+}

@@ -1,0 +1,167 @@
+// Package podserver serves simulated Solid pods over real HTTP. It
+// reproduces the environment of the paper's demonstration scenario: a host
+// exposing many pods under /pods/<id>/, each a hierarchy of Turtle
+// documents with LDP container listings, WebID profiles, and type indexes.
+// Document-level access control is enforced from bearer WebID credentials,
+// and an artificial network latency can be injected so that resource
+// waterfalls (Figs. 4 and 5) exhibit realistic request timing.
+package podserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltqp/internal/solid"
+)
+
+// TokenFor returns the simulated identity provider's bearer token for a
+// WebID. The dereferencer presents it; the server verifies it. This stands
+// in for the Solid-OIDC flow of the paper's demo ("Log in").
+func TokenFor(webID string) string { return "sig:" + webID }
+
+// servedDoc is a fully rendered document ready to serve.
+type servedDoc struct {
+	turtle string
+	access solid.Access
+}
+
+// Server hosts a set of materialized pods.
+type Server struct {
+	mu   sync.RWMutex
+	docs map[string]servedDoc // absolute URL (no fragment) → doc
+
+	// Latency is added to every response, simulating network RTT.
+	Latency time.Duration
+	// BytesPerSecond, when > 0, adds size-proportional delay.
+	BytesPerSecond int64
+
+	requests atomic.Int64
+}
+
+// New returns an empty server.
+func New() *Server {
+	return &Server{docs: map[string]servedDoc{}}
+}
+
+// AddPod materializes the pod (containers included) and registers all its
+// documents.
+func (s *Server) AddPod(p *solid.Pod) {
+	docs := p.Materialize()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for path, d := range docs {
+		s.docs[p.IRI(path)] = servedDoc{turtle: p.Turtle(d), access: d.Access}
+	}
+}
+
+// AddDocument registers one standalone document by absolute URL.
+func (s *Server) AddDocument(url, turtleBody string, access solid.Access) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[url] = servedDoc{turtle: turtleBody, access: access}
+}
+
+// DocumentCount returns the number of registered documents.
+func (s *Server) DocumentCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// RequestCount returns the number of HTTP requests served.
+func (s *Server) RequestCount() int64 { return s.requests.Load() }
+
+// ResetRequestCount zeroes the request counter (benchmarks).
+func (s *Server) ResetRequestCount() { s.requests.Store(0) }
+
+// Rebase rewrites all registered document URLs and bodies from one base URL
+// prefix to another. The simulated environment builds pods under a
+// placeholder origin; once the HTTP test server assigns a real port, Rebase
+// moves the content there so that all intra-pod links dereference.
+func (s *Server) Rebase(oldPrefix, newPrefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]servedDoc, len(s.docs))
+	for u, d := range s.docs {
+		nu := strings.Replace(u, oldPrefix, newPrefix, 1)
+		d.turtle = strings.ReplaceAll(d.turtle, oldPrefix, newPrefix)
+		out[nu] = d
+	}
+	s.docs = out
+}
+
+// ServeHTTP implements http.Handler with Solid-ish behaviour: Turtle
+// responses, 401/403 for protected documents, 404 otherwise.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if s.Latency > 0 {
+		time.Sleep(s.Latency)
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	docURL := requestURL(r)
+	s.mu.RLock()
+	d, ok := s.docs[docURL]
+	s.mu.RUnlock()
+	if !ok {
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	}
+	if !d.access.Public {
+		webID, authorized := s.authorize(r, d.access)
+		if webID == "" {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="solid"`)
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		if !authorized {
+			http.Error(w, "forbidden", http.StatusForbidden)
+			return
+		}
+	}
+	if s.BytesPerSecond > 0 {
+		time.Sleep(time.Duration(int64(len(d.turtle)) * int64(time.Second) / s.BytesPerSecond))
+	}
+	w.Header().Set("Content-Type", "text/turtle")
+	w.Header().Set("Link", `<http://www.w3.org/ns/ldp#Resource>; rel="type"`)
+	if r.Method == http.MethodHead {
+		return
+	}
+	fmt.Fprint(w, d.turtle)
+}
+
+// authorize extracts and verifies the caller's WebID, then checks the ACL.
+func (s *Server) authorize(r *http.Request, access solid.Access) (webID string, ok bool) {
+	auth := r.Header.Get("Authorization")
+	if !strings.HasPrefix(auth, "Bearer ") {
+		return "", false
+	}
+	token := strings.TrimPrefix(auth, "Bearer ")
+	claimed := r.Header.Get("X-WebID")
+	if claimed == "" || TokenFor(claimed) != token {
+		return "", false
+	}
+	for _, agent := range access.Agents {
+		if agent == claimed {
+			return claimed, true
+		}
+	}
+	return claimed, false
+}
+
+// requestURL reconstructs the absolute document URL of a request.
+func requestURL(r *http.Request) string {
+	scheme := "http"
+	if r.TLS != nil {
+		scheme = "https"
+	}
+	u := url.URL{Scheme: scheme, Host: r.Host, Path: r.URL.Path}
+	return u.String()
+}

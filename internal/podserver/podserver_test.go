@@ -1,0 +1,240 @@
+package podserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"ltqp/internal/rdf"
+	"ltqp/internal/solid"
+	"ltqp/internal/turtle"
+)
+
+func buildTestPod(base string) *solid.Pod {
+	pod := solid.NewPod(base)
+	pod.BuildProfile(solid.ProfileInfo{Name: "Zulma"})
+	pod.BuildTypeIndex([]solid.TypeRegistration{
+		{Class: "http://example.org/Post", InstanceContainer: "posts/"},
+	})
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(rdf.NewIRI(base+"posts/p1#it"), rdf.NewIRI(rdf.RDFType), rdf.NewIRI("http://example.org/Post")))
+	pod.Add("posts/p1", g)
+	secret := rdf.NewGraph()
+	secret.Add(rdf.NewTriple(rdf.NewIRI(base+"private/s#it"), rdf.NewIRI("http://example.org/p"), rdf.NewLiteral("secret")))
+	pod.AddPrivate("private/s", secret, pod.WebID())
+	return pod
+}
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, *solid.Pod) {
+	t.Helper()
+	ps := New()
+	ts := httptest.NewServer(ps)
+	t.Cleanup(ts.Close)
+	pod := buildTestPod(ts.URL + "/pods/alice/")
+	ps.AddPod(pod)
+	return ps, ts, pod
+}
+
+func get(t *testing.T, client *http.Client, url string, headers map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+func TestServeProfileDocument(t *testing.T) {
+	_, ts, pod := newTestServer(t)
+	resp, body := get(t, ts.Client(), pod.ProfileDocument(), nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/turtle" {
+		t.Errorf("content type = %s", ct)
+	}
+	triples, err := turtle.Parse(body, turtle.Options{Base: pod.ProfileDocument()})
+	if err != nil {
+		t.Fatalf("served document does not parse: %v\n%s", err, body)
+	}
+	g := rdf.NewGraph()
+	g.AddAll(triples)
+	me := rdf.NewIRI(pod.WebID())
+	if got := g.FirstObject(me, rdf.NewIRI(rdf.PIMStorage)); got != rdf.NewIRI(pod.Base) {
+		t.Errorf("storage = %v", got)
+	}
+}
+
+func TestServeContainers(t *testing.T) {
+	_, ts, pod := newTestServer(t)
+	resp, body := get(t, ts.Client(), pod.Base, nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("root container status = %d", resp.StatusCode)
+	}
+	for _, want := range []string{"posts/", "profile/", "settings/"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("root container missing %s:\n%s", want, body)
+		}
+	}
+	// Nested container.
+	resp, body = get(t, ts.Client(), pod.Base+"posts/", nil)
+	if resp.StatusCode != 200 || !strings.Contains(body, "p1") {
+		t.Errorf("posts container: %d\n%s", resp.StatusCode, body)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	_, ts, pod := newTestServer(t)
+	resp, _ := get(t, ts.Client(), pod.Base+"nope", nil)
+	if resp.StatusCode != 404 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts, pod := newTestServer(t)
+	req, _ := http.NewRequest(http.MethodPost, pod.ProfileDocument(), strings.NewReader("x"))
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	_, ts, pod := newTestServer(t)
+	private := pod.Base + "private/s"
+
+	// Anonymous: 401.
+	resp, _ := get(t, ts.Client(), private, nil)
+	if resp.StatusCode != 401 {
+		t.Errorf("anonymous status = %d, want 401", resp.StatusCode)
+	}
+	if resp.Header.Get("WWW-Authenticate") == "" {
+		t.Error("missing WWW-Authenticate")
+	}
+
+	// Wrong agent: 403.
+	resp, _ = get(t, ts.Client(), private, map[string]string{
+		"Authorization": "Bearer " + TokenFor("https://evil.example/card#me"),
+		"X-WebID":       "https://evil.example/card#me",
+	})
+	if resp.StatusCode != 403 {
+		t.Errorf("stranger status = %d, want 403", resp.StatusCode)
+	}
+
+	// Forged token: 401.
+	resp, _ = get(t, ts.Client(), private, map[string]string{
+		"Authorization": "Bearer forged",
+		"X-WebID":       pod.WebID(),
+	})
+	if resp.StatusCode != 401 {
+		t.Errorf("forged token status = %d, want 401", resp.StatusCode)
+	}
+
+	// Owner: 200.
+	resp, body := get(t, ts.Client(), private, map[string]string{
+		"Authorization": "Bearer " + TokenFor(pod.WebID()),
+		"X-WebID":       pod.WebID(),
+	})
+	if resp.StatusCode != 200 || !strings.Contains(body, "secret") {
+		t.Errorf("owner status = %d body = %q", resp.StatusCode, body)
+	}
+}
+
+func TestRequestCounting(t *testing.T) {
+	ps, ts, pod := newTestServer(t)
+	ps.ResetRequestCount()
+	get(t, ts.Client(), pod.ProfileDocument(), nil)
+	get(t, ts.Client(), pod.Base, nil)
+	if n := ps.RequestCount(); n != 2 {
+		t.Errorf("RequestCount = %d", n)
+	}
+}
+
+func TestSaveAndLoadDir(t *testing.T) {
+	dir, err := os.MkdirTemp("", "pods")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	host := "https://solidbench.invalid"
+	pod := buildTestPod(host + "/pods/alice/")
+	if err := SaveDir(dir, host, []*solid.Pod{pod}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh server under a new origin.
+	ps := New()
+	ts := httptest.NewServer(ps)
+	defer ts.Close()
+	oldHost, err := ps.LoadDir(dir, ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oldHost != host {
+		t.Errorf("stored host = %s", oldHost)
+	}
+
+	// The profile must be served under the new origin with rebased links.
+	resp, body := get(t, ts.Client(), ts.URL+"/pods/alice/profile/card", nil)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if strings.Contains(body, host) {
+		t.Errorf("body still references old host:\n%s", body)
+	}
+
+	// ACLs survive the round trip (agents rebased too).
+	resp, _ = get(t, ts.Client(), ts.URL+"/pods/alice/private/s", nil)
+	if resp.StatusCode != 401 {
+		t.Errorf("private doc after load: %d", resp.StatusCode)
+	}
+	newWebID := ts.URL + "/pods/alice/profile/card#me"
+	resp, _ = get(t, ts.Client(), ts.URL+"/pods/alice/private/s", map[string]string{
+		"Authorization": "Bearer " + TokenFor(newWebID),
+		"X-WebID":       newWebID,
+	})
+	if resp.StatusCode != 200 {
+		t.Errorf("owner after rebase: %d", resp.StatusCode)
+	}
+}
+
+func TestRebase(t *testing.T) {
+	ps := New()
+	ps.AddDocument("https://old.invalid/pods/a/doc", "<https://old.invalid/pods/a/doc#x> <http://p> <http://o>.", solid.PublicAccess)
+	ps.Rebase("https://old.invalid", "http://127.0.0.1:9999")
+	ts := httptest.NewServer(ps)
+	defer ts.Close()
+	// The rebased URL key must exist.
+	if ps.DocumentCount() != 1 {
+		t.Fatalf("DocumentCount = %d", ps.DocumentCount())
+	}
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/pods/a/doc", nil)
+	req.Host = "127.0.0.1:9999"
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "http://127.0.0.1:9999") {
+		t.Errorf("rebase failed: %d %s", resp.StatusCode, body)
+	}
+}

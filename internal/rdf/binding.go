@@ -1,0 +1,183 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+)
+
+// Binding is a SPARQL solution mapping: a partial function from variable
+// names to RDF terms. Bindings flow through the iterator pipeline; they are
+// treated as immutable — operators extend them via Extend/Merge, which copy.
+type Binding map[string]Term
+
+// NewBinding returns an empty binding.
+func NewBinding() Binding { return Binding{} }
+
+// Get returns the term bound to the variable name, if any.
+func (b Binding) Get(name string) (Term, bool) {
+	t, ok := b[name]
+	return t, ok
+}
+
+// Has reports whether the variable is bound.
+func (b Binding) Has(name string) bool {
+	_, ok := b[name]
+	return ok
+}
+
+// Len returns the number of bound variables.
+func (b Binding) Len() int { return len(b) }
+
+// Copy returns an independent copy of the binding.
+func (b Binding) Copy() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Extend returns a copy of b with name bound to t. If name is already bound
+// to a different term it returns (nil, false): the solutions are
+// incompatible.
+func (b Binding) Extend(name string, t Term) (Binding, bool) {
+	if old, ok := b[name]; ok {
+		if old == t {
+			return b, true
+		}
+		return nil, false
+	}
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	c[name] = t
+	return c, true
+}
+
+// Merge returns the union of two bindings if they are compatible (agree on
+// all shared variables), per the SPARQL join semantics.
+func (b Binding) Merge(o Binding) (Binding, bool) {
+	// Iterate over the smaller map.
+	small, large := b, o
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for k, v := range small {
+		if w, ok := large[k]; ok && w != v {
+			return nil, false
+		}
+	}
+	c := make(Binding, len(b)+len(o))
+	for k, v := range large {
+		c[k] = v
+	}
+	for k, v := range small {
+		c[k] = v
+	}
+	return c, true
+}
+
+// Compatible reports whether the two bindings agree on all shared variables.
+func (b Binding) Compatible(o Binding) bool {
+	small, large := b, o
+	if len(small) > len(large) {
+		small, large = large, small
+	}
+	for k, v := range small {
+		if w, ok := large[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchPattern attempts to unify the pattern with the ground triple under
+// binding b, returning the extended binding. Pattern positions that are
+// constants must equal the data; variable positions extend the binding.
+func (b Binding) MatchPattern(pattern, data Triple) (Binding, bool) {
+	out := b
+	pos := [3][2]Term{{pattern.S, data.S}, {pattern.P, data.P}, {pattern.O, data.O}}
+	for _, pd := range pos {
+		pat, dat := pd[0], pd[1]
+		if pat.Kind == TermVar {
+			var ok bool
+			out, ok = out.Extend(pat.Value, dat)
+			if !ok {
+				return nil, false
+			}
+		} else if pat != dat {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// Key returns a canonical string key for the binding restricted to the given
+// variables (in the given order), used by DISTINCT and grouping. Unbound
+// variables contribute a fixed sentinel.
+func (b Binding) Key(vars []string) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			sb.WriteString(t.String())
+		} else {
+			sb.WriteString("UNDEF")
+		}
+		sb.WriteByte('\x00')
+	}
+	return sb.String()
+}
+
+// Project returns a copy of b restricted to the given variables.
+func (b Binding) Project(vars []string) Binding {
+	c := make(Binding, len(vars))
+	for _, v := range vars {
+		if t, ok := b[v]; ok {
+			c[v] = t
+		}
+	}
+	return c
+}
+
+// Vars returns the bound variable names in sorted order.
+func (b Binding) Vars() []string {
+	vars := make([]string, 0, len(b))
+	for k := range b {
+		vars = append(vars, k)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// String renders the binding like {?x -> <iri>, ?y -> "lit"} with variables
+// sorted, for stable test output.
+func (b Binding) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, v := range b.Vars() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteByte('?')
+		sb.WriteString(v)
+		sb.WriteString(" -> ")
+		sb.WriteString(b[v].String())
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// Equal reports whether two bindings bind exactly the same variables to the
+// same terms.
+func (b Binding) Equal(o Binding) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for k, v := range b {
+		if w, ok := o[k]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,57 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+)
+
+// randomTerm generates a random term for property-based tests. It is shared
+// by the quick.Config generators in this package.
+func randomTerm(r *rand.Rand) Term {
+	letters := func(n int) string {
+		b := make([]byte, 1+r.Intn(n))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return string(b)
+	}
+	switch r.Intn(4) {
+	case 0:
+		return NewIRI("http://example.org/" + letters(8))
+	case 1:
+		switch r.Intn(3) {
+		case 0:
+			return NewLiteral(letters(10))
+		case 1:
+			return Integer(int64(r.Intn(1000) - 500))
+		default:
+			return NewLangLiteral(letters(6), []string{"en", "fr", "nl"}[r.Intn(3)])
+		}
+	case 2:
+		return NewBlank("b" + letters(4))
+	default:
+		return NewVar(letters(3))
+	}
+}
+
+// randomGroundTerm generates a random non-variable term.
+func randomGroundTerm(r *rand.Rand) Term {
+	for {
+		t := randomTerm(r)
+		if t.Kind != TermVar {
+			return t
+		}
+	}
+}
+
+// randomTermPair fills two Term values for quick.Check functions of
+// signature func(a, b Term) bool.
+func randomTermPair(values []reflect.Value, r *rand.Rand) {
+	values[0] = reflect.ValueOf(randomTerm(r))
+	values[1] = reflect.ValueOf(randomTerm(r))
+}
+
+// randomTriple generates a random ground triple.
+func randomTriple(r *rand.Rand) Triple {
+	return Triple{S: randomGroundTerm(r), P: NewIRI("http://example.org/p" + string(rune('a'+r.Intn(5)))), O: randomGroundTerm(r)}
+}

@@ -1,0 +1,79 @@
+package rdf
+
+import (
+	"net/url"
+	"strings"
+)
+
+// ResolveIRI resolves a possibly-relative IRI reference against a base IRI,
+// per RFC 3986. It is used by the Turtle parser (relative IRIs in documents
+// resolve against the document URL) and by the pod builder. If resolution
+// fails or base is empty, ref is returned unchanged.
+func ResolveIRI(base, ref string) string {
+	if ref == "" {
+		return base
+	}
+	if base == "" || isAbsoluteIRI(ref) {
+		return ref
+	}
+	b, err := url.Parse(base)
+	if err != nil {
+		return ref
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return ref
+	}
+	return b.ResolveReference(r).String()
+}
+
+// isAbsoluteIRI reports whether s has a scheme component.
+func isAbsoluteIRI(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ':':
+			return i > 0
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+			// scheme chars
+		case i > 0 && (c >= '0' && c <= '9' || c == '+' || c == '-' || c == '.'):
+			// scheme chars after first
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// DocumentIRI returns the document URL for a term: the IRI with fragment and
+// query stripped for IRIs, and "" for every other kind. Traversal operates
+// on documents; this maps data-level IRIs (e.g. ...profile/card#me) to the
+// dereferenceable documents that describe them.
+func DocumentIRI(t Term) string {
+	if t.Kind != TermIRI {
+		return ""
+	}
+	iri := t.Value
+	if i := strings.IndexByte(iri, '#'); i >= 0 {
+		iri = iri[:i]
+	}
+	return iri
+}
+
+// SameDocument reports whether two IRIs refer to the same document
+// (equal after stripping fragments).
+func SameDocument(a, b string) bool {
+	strip := func(s string) string {
+		if i := strings.IndexByte(s, '#'); i >= 0 {
+			return s[:i]
+		}
+		return s
+	}
+	return strip(a) == strip(b)
+}
+
+// IsHTTPIRI reports whether the IRI uses the http or https scheme, i.e. is
+// dereferenceable by the engine.
+func IsHTTPIRI(iri string) bool {
+	return strings.HasPrefix(iri, "http://") || strings.HasPrefix(iri, "https://")
+}

@@ -1,0 +1,241 @@
+// Package rdf provides the RDF 1.1 data model used throughout the engine:
+// terms (IRIs, literals, blank nodes, and query variables), triples, quads,
+// solution bindings, and the common vocabularies of the Solid ecosystem.
+//
+// The model follows RDF 1.1 Concepts and Abstract Syntax. Query variables are
+// modelled as a fourth term kind so that triple patterns and data triples
+// share one representation, which keeps the traversal engine, the SPARQL
+// algebra, and the stores simple.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the four kinds of terms handled by the engine.
+type TermKind uint8
+
+const (
+	// TermUndef is the zero value; it marks an absent/unbound term.
+	TermUndef TermKind = iota
+	// TermIRI is an IRI reference (RDF 1.1 §3.2).
+	TermIRI
+	// TermLiteral is a literal with lexical form, datatype and optional
+	// language tag (RDF 1.1 §3.3).
+	TermLiteral
+	// TermBlank is a blank node with a document-scoped label (RDF 1.1 §3.4).
+	TermBlank
+	// TermVar is a SPARQL query variable. Variables never occur in data,
+	// only in patterns.
+	TermVar
+)
+
+// String returns a human-readable kind name, used in error messages.
+func (k TermKind) String() string {
+	switch k {
+	case TermUndef:
+		return "undef"
+	case TermIRI:
+		return "iri"
+	case TermLiteral:
+		return "literal"
+	case TermBlank:
+		return "blank"
+	case TermVar:
+		return "variable"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is an RDF term or SPARQL variable. The zero value is the undefined
+// term, which is reported by IsZero and compares equal only to itself.
+//
+// Terms are immutable value types: they are copied freely, used as map keys,
+// and compared with ==. For literals, Value holds the lexical form, Datatype
+// the datatype IRI (empty means xsd:string, per RDF 1.1 simple literals), and
+// Language the language tag (which forces rdf:langString).
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+	Language string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: TermIRI, Value: iri} }
+
+// NewLiteral returns a simple literal (xsd:string).
+func NewLiteral(lex string) Term { return Term{Kind: TermLiteral, Value: lex} }
+
+// NewTypedLiteral returns a literal with an explicit datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	if datatype == XSDString {
+		datatype = ""
+	}
+	return Term{Kind: TermLiteral, Value: lex, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal (rdf:langString). Language
+// tags are case-insensitive in RDF; they are canonicalized to lower case.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: TermLiteral, Value: lex, Language: strings.ToLower(lang)}
+}
+
+// NewBlank returns a blank node with the given label (without "_:" prefix).
+func NewBlank(label string) Term { return Term{Kind: TermBlank, Value: label} }
+
+// NewVar returns a query variable with the given name (without "?" prefix).
+func NewVar(name string) Term { return Term{Kind: TermVar, Value: name} }
+
+// Integer returns an xsd:integer literal.
+func Integer(v int64) Term {
+	return Term{Kind: TermLiteral, Value: fmt.Sprintf("%d", v), Datatype: XSDInteger}
+}
+
+// Long returns an xsd:long literal, the datatype LDBC SNB uses for ids.
+func Long(v int64) Term {
+	return Term{Kind: TermLiteral, Value: fmt.Sprintf("%d", v), Datatype: XSDLong}
+}
+
+// Double returns an xsd:double literal.
+func Double(v float64) Term {
+	return Term{Kind: TermLiteral, Value: formatFloat(v), Datatype: XSDDouble}
+}
+
+// Boolean returns an xsd:boolean literal.
+func Boolean(v bool) Term {
+	if v {
+		return Term{Kind: TermLiteral, Value: "true", Datatype: XSDBoolean}
+	}
+	return Term{Kind: TermLiteral, Value: "false", Datatype: XSDBoolean}
+}
+
+// IsZero reports whether t is the undefined (zero) term.
+func (t Term) IsZero() bool { return t.Kind == TermUndef }
+
+// IsIRI reports whether t is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == TermIRI }
+
+// IsLiteral reports whether t is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == TermLiteral }
+
+// IsBlank reports whether t is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == TermBlank }
+
+// IsVar reports whether t is a query variable.
+func (t Term) IsVar() bool { return t.Kind == TermVar }
+
+// DatatypeIRI returns the effective datatype IRI of a literal: the explicit
+// datatype, rdf:langString for language-tagged literals, or xsd:string.
+// It returns "" for non-literals.
+func (t Term) DatatypeIRI() string {
+	if t.Kind != TermLiteral {
+		return ""
+	}
+	if t.Language != "" {
+		return RDFLangString
+	}
+	if t.Datatype == "" {
+		return XSDString
+	}
+	return t.Datatype
+}
+
+// Equal reports whether two terms are identical per RDF term equality.
+func (t Term) Equal(o Term) bool { return t == o }
+
+// String renders the term in N-Triples/SPARQL surface syntax. It is intended
+// for debugging, test output, and serializers of line-based formats.
+func (t Term) String() string {
+	switch t.Kind {
+	case TermIRI:
+		return "<" + t.Value + ">"
+	case TermLiteral:
+		var b strings.Builder
+		b.WriteByte('"')
+		escapeLiteral(&b, t.Value)
+		b.WriteByte('"')
+		if t.Language != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Language)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	case TermBlank:
+		return "_:" + t.Value
+	case TermVar:
+		return "?" + t.Value
+	default:
+		return "UNDEF"
+	}
+}
+
+// escapeLiteral writes lex with N-Triples string escapes into b.
+func escapeLiteral(b *strings.Builder, lex string) {
+	for _, r := range lex {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+}
+
+// formatFloat renders a float64 in a form acceptable as an xsd:double
+// lexical value.
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// Compare imposes a total order over terms, used by ORDER BY and DISTINCT
+// canonicalization. The order follows the SPARQL 1.1 ordering extended to a
+// total order: Undef < Blank < IRI < Literal; within a kind, terms order by
+// their components. Numeric comparison of literals is handled at the
+// expression layer; this is the tie-breaking syntactic order.
+func (t Term) Compare(o Term) int {
+	if t.Kind != o.Kind {
+		return int(kindOrder(t.Kind)) - int(kindOrder(o.Kind))
+	}
+	if c := strings.Compare(t.Value, o.Value); c != 0 {
+		return c
+	}
+	if c := strings.Compare(t.Datatype, o.Datatype); c != 0 {
+		return c
+	}
+	return strings.Compare(t.Language, o.Language)
+}
+
+func kindOrder(k TermKind) uint8 {
+	switch k {
+	case TermUndef:
+		return 0
+	case TermBlank:
+		return 1
+	case TermIRI:
+		return 2
+	case TermLiteral:
+		return 3
+	case TermVar:
+		return 4
+	default:
+		return 5
+	}
+}

@@ -1,0 +1,245 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermConstructors(t *testing.T) {
+	cases := []struct {
+		name string
+		term Term
+		kind TermKind
+		str  string
+	}{
+		{"iri", NewIRI("http://example.org/a"), TermIRI, "<http://example.org/a>"},
+		{"simple literal", NewLiteral("hello"), TermLiteral, `"hello"`},
+		{"typed literal", NewTypedLiteral("42", XSDInteger), TermLiteral, `"42"^^<` + XSDInteger + `>`},
+		{"lang literal", NewLangLiteral("bonjour", "FR"), TermLiteral, `"bonjour"@fr`},
+		{"blank", NewBlank("b0"), TermBlank, "_:b0"},
+		{"var", NewVar("x"), TermVar, "?x"},
+		{"integer", Integer(7), TermLiteral, `"7"^^<` + XSDInteger + `>`},
+		{"boolean", Boolean(true), TermLiteral, `"true"^^<` + XSDBoolean + `>`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.term.Kind != c.kind {
+				t.Errorf("kind = %v, want %v", c.term.Kind, c.kind)
+			}
+			if got := c.term.String(); got != c.str {
+				t.Errorf("String() = %q, want %q", got, c.str)
+			}
+		})
+	}
+}
+
+func TestXSDStringNormalization(t *testing.T) {
+	// An explicit xsd:string datatype must normalize to the simple literal
+	// representation so that term equality works across parsers.
+	a := NewTypedLiteral("x", XSDString)
+	b := NewLiteral("x")
+	if a != b {
+		t.Errorf("NewTypedLiteral(x, xsd:string) = %v, want %v", a, b)
+	}
+}
+
+func TestTermStringEscapes(t *testing.T) {
+	lit := NewLiteral("line1\nline2\t\"quoted\"\\end")
+	want := `"line1\nline2\t\"quoted\"\\end"`
+	if got := lit.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDatatypeIRI(t *testing.T) {
+	if got := NewLiteral("x").DatatypeIRI(); got != XSDString {
+		t.Errorf("simple literal datatype = %q, want xsd:string", got)
+	}
+	if got := NewLangLiteral("x", "en").DatatypeIRI(); got != RDFLangString {
+		t.Errorf("lang literal datatype = %q, want rdf:langString", got)
+	}
+	if got := NewTypedLiteral("1", XSDInteger).DatatypeIRI(); got != XSDInteger {
+		t.Errorf("typed literal datatype = %q, want xsd:integer", got)
+	}
+	if got := NewIRI("http://x").DatatypeIRI(); got != "" {
+		t.Errorf("IRI datatype = %q, want empty", got)
+	}
+}
+
+func TestTermCompareTotalOrder(t *testing.T) {
+	terms := []Term{
+		{}, // undef
+		NewBlank("a"),
+		NewBlank("b"),
+		NewIRI("http://a"),
+		NewIRI("http://b"),
+		NewLiteral("a"),
+		NewLiteral("b"),
+		NewVar("v"),
+	}
+	for i := range terms {
+		for j := range terms {
+			c := terms[i].Compare(terms[j])
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v, %v) = %d, want < 0", terms[i], terms[j], c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v, %v) = %d, want 0", terms[i], terms[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v, %v) = %d, want > 0", terms[i], terms[j], c)
+			}
+		}
+	}
+}
+
+func TestTermCompareProperties(t *testing.T) {
+	// Antisymmetry and consistency with equality, property-based.
+	f := func(a, b Term) bool {
+		ca, cb := a.Compare(b), b.Compare(a)
+		if a == b {
+			return ca == 0 && cb == 0
+		}
+		return (ca < 0) == (cb > 0)
+	}
+	cfg := &quick.Config{Values: randomTermPair}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumericValues(t *testing.T) {
+	if v, err := Integer(42).Int(); err != nil || v != 42 {
+		t.Errorf("Int() = %d, %v", v, err)
+	}
+	if v, err := Double(2.5).Float(); err != nil || v != 2.5 {
+		t.Errorf("Float() = %g, %v", v, err)
+	}
+	if v, err := NewTypedLiteral("3.0", XSDDecimal).Int(); err != nil || v != 3 {
+		t.Errorf("Int(3.0) = %d, %v", v, err)
+	}
+	if _, err := NewLiteral("abc").Int(); err == nil {
+		t.Error("Int(abc) should fail")
+	}
+	if v, err := Boolean(true).Bool(); err != nil || !v {
+		t.Errorf("Bool() = %v, %v", v, err)
+	}
+	if !Long(5).IsNumeric() || !Long(5).IsIntegral() {
+		t.Error("xsd:long should be numeric and integral")
+	}
+	if Double(1).IsIntegral() {
+		t.Error("xsd:double should not be integral")
+	}
+}
+
+func TestTimeValues(t *testing.T) {
+	lit := NewTypedLiteral("2010-10-12T08:30:00.000Z", XSDDateTime)
+	v, err := lit.Time()
+	if err != nil {
+		t.Fatalf("Time() error: %v", err)
+	}
+	if v.Year() != 2010 || v.Month() != 10 || v.Day() != 12 {
+		t.Errorf("Time() = %v", v)
+	}
+	d := NewTypedLiteral("1984-02-29", XSDDate)
+	if _, err := d.Time(); err != nil {
+		t.Errorf("date parse error: %v", err)
+	}
+	rt, err := DateTime(v).Time()
+	if err != nil || !rt.Equal(v) {
+		t.Errorf("DateTime round trip = %v, %v", rt, err)
+	}
+}
+
+func TestEffectiveBooleanValue(t *testing.T) {
+	cases := []struct {
+		term Term
+		want bool
+		err  bool
+	}{
+		{Boolean(true), true, false},
+		{Boolean(false), false, false},
+		{Integer(0), false, false},
+		{Integer(3), true, false},
+		{Double(0), false, false},
+		{NewLiteral(""), false, false},
+		{NewLiteral("x"), true, false},
+		{NewLangLiteral("x", "en"), true, false},
+		{NewIRI("http://x"), false, true},
+		{NewTypedLiteral("bogus", XSDBoolean), false, false},
+	}
+	for _, c := range cases {
+		got, err := c.term.EffectiveBooleanValue()
+		if (err != nil) != c.err {
+			t.Errorf("EBV(%v) err = %v, want err=%v", c.term, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("EBV(%v) = %v, want %v", c.term, got, c.want)
+		}
+	}
+}
+
+func TestResolveIRI(t *testing.T) {
+	base := "https://pods.example/alice/profile/card"
+	cases := []struct{ ref, want string }{
+		{"", base},
+		{"#me", "https://pods.example/alice/profile/card#me"},
+		{"card2", "https://pods.example/alice/profile/card2"},
+		{"../posts/", "https://pods.example/alice/posts/"},
+		{"/root.ttl", "https://pods.example/root.ttl"},
+		{"http://other.example/x", "http://other.example/x"},
+		{"//cdn.example/y", "https://cdn.example/y"},
+	}
+	for _, c := range cases {
+		if got := ResolveIRI(base, c.ref); got != c.want {
+			t.Errorf("ResolveIRI(%q, %q) = %q, want %q", base, c.ref, got, c.want)
+		}
+	}
+	if got := ResolveIRI("", "rel"); got != "rel" {
+		t.Errorf("empty base: got %q", got)
+	}
+}
+
+func TestDocumentIRIAndSameDocument(t *testing.T) {
+	if got := DocumentIRI(NewIRI("https://p.example/card#me")); got != "https://p.example/card" {
+		t.Errorf("DocumentIRI = %q", got)
+	}
+	if got := DocumentIRI(NewLiteral("x")); got != "" {
+		t.Errorf("DocumentIRI(literal) = %q, want empty", got)
+	}
+	if !SameDocument("https://p.example/card#me", "https://p.example/card#key") {
+		t.Error("fragments of one document should be the same document")
+	}
+	if SameDocument("https://p.example/a", "https://p.example/b") {
+		t.Error("different paths are different documents")
+	}
+}
+
+func TestIsHTTPIRI(t *testing.T) {
+	if !IsHTTPIRI("http://x") || !IsHTTPIRI("https://x") {
+		t.Error("http(s) IRIs should be dereferenceable")
+	}
+	if IsHTTPIRI("mailto:a@b") || IsHTTPIRI("urn:uuid:1") {
+		t.Error("non-http IRIs should not be dereferenceable")
+	}
+}
+
+func TestStripFragment(t *testing.T) {
+	if got := StripFragment(NewIRI("http://x/a#b")); got != NewIRI("http://x/a") {
+		t.Errorf("StripFragment = %v", got)
+	}
+	lit := NewLiteral("a#b")
+	if got := StripFragment(lit); got != lit {
+		t.Errorf("StripFragment(literal) modified the term: %v", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if s := formatFloat(1); !strings.Contains(s, ".") {
+		t.Errorf("formatFloat(1) = %q, want a decimal point", s)
+	}
+	if s := formatFloat(1e21); !strings.ContainsAny(s, "eE") {
+		t.Errorf("formatFloat(1e21) = %q, want exponent form", s)
+	}
+}

@@ -1,0 +1,144 @@
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// numericDatatypes enumerates the XSD datatypes the evaluator treats as
+// numeric.
+var numericDatatypes = map[string]bool{
+	XSDInteger:            true,
+	XSDLong:               true,
+	XSDInt:                true,
+	XSDShort:              true,
+	XSDByte:               true,
+	XSDDecimal:            true,
+	XSDFloat:              true,
+	XSDDouble:             true,
+	XSDNonNegativeInteger: true,
+}
+
+// IsNumeric reports whether the term is a literal of a numeric XSD datatype.
+func (t Term) IsNumeric() bool {
+	return t.Kind == TermLiteral && numericDatatypes[t.Datatype]
+}
+
+// IsIntegral reports whether the term is a literal of an integer-family
+// datatype.
+func (t Term) IsIntegral() bool {
+	if t.Kind != TermLiteral {
+		return false
+	}
+	switch t.Datatype {
+	case XSDInteger, XSDLong, XSDInt, XSDShort, XSDByte, XSDNonNegativeInteger:
+		return true
+	}
+	return false
+}
+
+// Int returns the integer value of a numeric literal.
+func (t Term) Int() (int64, error) {
+	if t.Kind != TermLiteral {
+		return 0, fmt.Errorf("rdf: %s is not a literal", t)
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t.Value), 10, 64)
+	if err != nil {
+		// Integer-valued floats (e.g. "3.0") are accepted.
+		f, ferr := strconv.ParseFloat(strings.TrimSpace(t.Value), 64)
+		if ferr != nil {
+			return 0, fmt.Errorf("rdf: %q is not an integer: %w", t.Value, err)
+		}
+		return int64(f), nil
+	}
+	return v, nil
+}
+
+// Float returns the floating-point value of a numeric literal.
+func (t Term) Float() (float64, error) {
+	if t.Kind != TermLiteral {
+		return 0, fmt.Errorf("rdf: %s is not a literal", t)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t.Value), 64)
+	if err != nil {
+		return 0, fmt.Errorf("rdf: %q is not a number: %w", t.Value, err)
+	}
+	return v, nil
+}
+
+// Bool returns the boolean value of an xsd:boolean literal.
+func (t Term) Bool() (bool, error) {
+	if t.Kind != TermLiteral {
+		return false, fmt.Errorf("rdf: %s is not a literal", t)
+	}
+	switch strings.TrimSpace(t.Value) {
+	case "true", "1":
+		return true, nil
+	case "false", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("rdf: %q is not a boolean", t.Value)
+}
+
+// dateTimeLayouts lists the lexical layouts accepted for xsd:dateTime and
+// xsd:date values.
+var dateTimeLayouts = []string{
+	"2006-01-02T15:04:05.999999999Z07:00",
+	"2006-01-02T15:04:05.999999999",
+	"2006-01-02T15:04:05Z07:00",
+	"2006-01-02T15:04:05",
+	"2006-01-02Z07:00",
+	"2006-01-02",
+}
+
+// Time returns the time value of an xsd:dateTime or xsd:date literal.
+func (t Term) Time() (time.Time, error) {
+	if t.Kind != TermLiteral {
+		return time.Time{}, fmt.Errorf("rdf: %s is not a literal", t)
+	}
+	lex := strings.TrimSpace(t.Value)
+	for _, layout := range dateTimeLayouts {
+		if v, err := time.Parse(layout, lex); err == nil {
+			return v, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("rdf: %q is not a dateTime", t.Value)
+}
+
+// DateTime returns an xsd:dateTime literal for the given time in UTC.
+func DateTime(v time.Time) Term {
+	return NewTypedLiteral(v.UTC().Format("2006-01-02T15:04:05.000Z07:00"), XSDDateTime)
+}
+
+// Date returns an xsd:date literal for the given time's date in UTC.
+func Date(v time.Time) Term {
+	return NewTypedLiteral(v.UTC().Format("2006-01-02"), XSDDate)
+}
+
+// EffectiveBooleanValue implements the SPARQL EBV rules (§17.2.2): booleans
+// by value, numerics false iff zero or NaN, strings false iff empty; other
+// terms raise a type error.
+func (t Term) EffectiveBooleanValue() (bool, error) {
+	if t.Kind != TermLiteral {
+		return false, fmt.Errorf("rdf: no effective boolean value for %s", t)
+	}
+	switch {
+	case t.Datatype == XSDBoolean:
+		b, err := t.Bool()
+		if err != nil {
+			return false, nil // invalid boolean lexical form → false per spec
+		}
+		return b, nil
+	case t.IsNumeric():
+		f, err := t.Float()
+		if err != nil {
+			return false, nil
+		}
+		return f != 0 && f == f, nil
+	case t.Datatype == "" || t.Datatype == XSDString || t.Language != "":
+		return t.Value != "", nil
+	}
+	return false, fmt.Errorf("rdf: no effective boolean value for %s", t)
+}

@@ -1,0 +1,144 @@
+package rdf
+
+// Namespace IRIs of vocabularies used by the engine, the Solid ecosystem,
+// and the SolidBench social-network dataset.
+const (
+	NSRDF   = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	NSRDFS  = "http://www.w3.org/2000/01/rdf-schema#"
+	NSXSD   = "http://www.w3.org/2001/XMLSchema#"
+	NSFOAF  = "http://xmlns.com/foaf/0.1/"
+	NSLDP   = "http://www.w3.org/ns/ldp#"
+	NSPIM   = "http://www.w3.org/ns/pim/space#"
+	NSSolid = "http://www.w3.org/ns/solid/terms#"
+	NSACL   = "http://www.w3.org/ns/auth/acl#"
+	NSVoID  = "http://rdfs.org/ns/void#"
+
+	// NSSNVoc is the LDBC Social Network Benchmark vocabulary as republished
+	// by SolidBench.
+	NSSNVoc = "https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/"
+	// NSSNTag is the SNB static tag namespace.
+	NSSNTag = "https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/tag/"
+	// NSDBPedia is used by SNB for places and tag classes.
+	NSDBPedia = "https://solidbench.linkeddatafragments.org/dbpedia.org/resource/"
+)
+
+// RDF / RDFS core terms.
+const (
+	RDFType       = NSRDF + "type"
+	RDFFirst      = NSRDF + "first"
+	RDFRest       = NSRDF + "rest"
+	RDFNil        = NSRDF + "nil"
+	RDFLangString = NSRDF + "langString"
+	RDFSLabel     = NSRDFS + "label"
+	RDFSSeeAlso   = NSRDFS + "seeAlso"
+)
+
+// XSD datatypes recognized by the expression evaluator.
+const (
+	XSDString             = NSXSD + "string"
+	XSDBoolean            = NSXSD + "boolean"
+	XSDInteger            = NSXSD + "integer"
+	XSDLong               = NSXSD + "long"
+	XSDInt                = NSXSD + "int"
+	XSDShort              = NSXSD + "short"
+	XSDByte               = NSXSD + "byte"
+	XSDDecimal            = NSXSD + "decimal"
+	XSDFloat              = NSXSD + "float"
+	XSDDouble             = NSXSD + "double"
+	XSDDateTime           = NSXSD + "dateTime"
+	XSDDate               = NSXSD + "date"
+	XSDNonNegativeInteger = NSXSD + "nonNegativeInteger"
+)
+
+// LDP (Linked Data Platform) terms used by Solid pods to expose document
+// hierarchies (paper Listing 1).
+const (
+	LDPContainer      = NSLDP + "Container"
+	LDPBasicContainer = NSLDP + "BasicContainer"
+	LDPResource       = NSLDP + "Resource"
+	LDPContains       = NSLDP + "contains"
+)
+
+// WebID / Solid profile terms (paper Listing 2).
+const (
+	PIMStorage           = NSPIM + "storage"
+	FOAFName             = NSFOAF + "name"
+	FOAFKnows            = NSFOAF + "knows"
+	FOAFPerson           = NSFOAF + "Person"
+	FOAFPrimaryTopic     = NSFOAF + "primaryTopic"
+	SolidOIDCIssuer      = NSSolid + "oidcIssuer"
+	SolidPublicTypeIndex = NSSolid + "publicTypeIndex"
+)
+
+// Solid Type Index terms (paper Listing 3).
+const (
+	SolidTypeIndex         = NSSolid + "TypeIndex"
+	SolidListedDocument    = NSSolid + "ListedDocument"
+	SolidUnlistedDocument  = NSSolid + "UnlistedDocument"
+	SolidTypeRegistration  = NSSolid + "TypeRegistration"
+	SolidForClass          = NSSolid + "forClass"
+	SolidInstance          = NSSolid + "instance"
+	SolidInstanceContainer = NSSolid + "instanceContainer"
+)
+
+// LDBC SNB vocabulary terms used by SolidBench data and the Discover query
+// catalog.
+const (
+	SNVocPost             = NSSNVoc + "Post"
+	SNVocComment          = NSSNVoc + "Comment"
+	SNVocForum            = NSSNVoc + "Forum"
+	SNVocPerson           = NSSNVoc + "Person"
+	SNVocCity             = NSSNVoc + "City"
+	SNVocCountry          = NSSNVoc + "Country"
+	SNVocTag              = NSSNVoc + "Tag"
+	SNVocTagClass         = NSSNVoc + "TagClass"
+	SNVocID               = NSSNVoc + "id"
+	SNVocFirstName        = NSSNVoc + "firstName"
+	SNVocLastName         = NSSNVoc + "lastName"
+	SNVocGender           = NSSNVoc + "gender"
+	SNVocBirthday         = NSSNVoc + "birthday"
+	SNVocEmail            = NSSNVoc + "email"
+	SNVocSpeaks           = NSSNVoc + "speaks"
+	SNVocBrowserUsed      = NSSNVoc + "browserUsed"
+	SNVocLocationIP       = NSSNVoc + "locationIP"
+	SNVocCreationDate     = NSSNVoc + "creationDate"
+	SNVocContent          = NSSNVoc + "content"
+	SNVocImageFile        = NSSNVoc + "imageFile"
+	SNVocLanguage         = NSSNVoc + "language"
+	SNVocHasCreator       = NSSNVoc + "hasCreator"
+	SNVocHasMaliciousness = NSSNVoc + "hasMaliciousness"
+	SNVocContainerOf      = NSSNVoc + "containerOf"
+	SNVocHasMember        = NSSNVoc + "hasMember"
+	SNVocHasModerator     = NSSNVoc + "hasModerator"
+	SNVocTitle            = NSSNVoc + "title"
+	SNVocHasTag           = NSSNVoc + "hasTag"
+	SNVocHasInterest      = NSSNVoc + "hasInterest"
+	SNVocIsLocatedIn      = NSSNVoc + "isLocatedIn"
+	SNVocIsPartOf         = NSSNVoc + "isPartOf"
+	SNVocKnows            = NSSNVoc + "knows"
+	SNVocKnowsPerson      = NSSNVoc + "hasPerson"
+	SNVocLikes            = NSSNVoc + "likes"
+	SNVocHasPost          = NSSNVoc + "hasPost"
+	SNVocHasComment       = NSSNVoc + "hasComment"
+	SNVocReplyOf          = NSSNVoc + "replyOf"
+	SNVocWorkAt           = NSSNVoc + "workAt"
+	SNVocHasOrganisation  = NSSNVoc + "hasOrganisation"
+	SNVocWorkFrom         = NSSNVoc + "workFrom"
+	SNVocStudyAt          = NSSNVoc + "studyAt"
+	SNVocClassYear        = NSSNVoc + "classYear"
+)
+
+// CommonPrefixes maps the prefix labels used across generated documents,
+// example queries, and serializer output to their namespaces.
+var CommonPrefixes = map[string]string{
+	"rdf":   NSRDF,
+	"rdfs":  NSRDFS,
+	"xsd":   NSXSD,
+	"foaf":  NSFOAF,
+	"ldp":   NSLDP,
+	"pim":   NSPIM,
+	"solid": NSSolid,
+	"acl":   NSACL,
+	"void":  NSVoID,
+	"snvoc": NSSNVoc,
+}

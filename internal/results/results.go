@@ -1,0 +1,158 @@
+// Package results serializes SPARQL query solutions in the standard W3C
+// interchange formats — SPARQL 1.1 Query Results JSON, CSV, and TSV — so
+// that the engine's output can feed any downstream SPARQL tooling, and in
+// the newline-delimited JSON format of the paper's CLI (Fig. 2).
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ltqp/internal/rdf"
+)
+
+// jsonTerm is the SPARQL 1.1 Results JSON encoding of one RDF term.
+type jsonTerm struct {
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+// encodeTerm maps an RDF term to its Results-JSON form.
+func encodeTerm(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.TermIRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.TermBlank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	case rdf.TermLiteral:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Language, Datatype: t.Datatype}
+	default:
+		return jsonTerm{Type: "literal", Value: ""}
+	}
+}
+
+// WriteJSON writes solutions in the application/sparql-results+json
+// format (SPARQL 1.1 Query Results JSON).
+func WriteJSON(w io.Writer, vars []string, bindings []rdf.Binding) error {
+	type body struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]jsonTerm `json:"bindings"`
+		} `json:"results"`
+	}
+	var out body
+	out.Head.Vars = vars
+	out.Results.Bindings = make([]map[string]jsonTerm, 0, len(bindings))
+	for _, b := range bindings {
+		row := map[string]jsonTerm{}
+		for _, v := range vars {
+			if t, ok := b.Get(v); ok {
+				row[v] = encodeTerm(t)
+			}
+		}
+		out.Results.Bindings = append(out.Results.Bindings, row)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteBooleanJSON writes an ASK result in Results JSON.
+func WriteBooleanJSON(w io.Writer, value bool) error {
+	_, err := fmt.Fprintf(w, `{"head":{},"boolean":%v}`+"\n", value)
+	return err
+}
+
+// WriteCSV writes solutions in the text/csv results format (SPARQL 1.1
+// Query Results CSV): plain lexical values, RFC 4180 quoting.
+func WriteCSV(w io.Writer, vars []string, bindings []rdf.Binding) error {
+	if _, err := fmt.Fprintln(w, strings.Join(vars, ",")); err != nil {
+		return err
+	}
+	for _, b := range bindings {
+		cells := make([]string, len(vars))
+		for i, v := range vars {
+			if t, ok := b.Get(v); ok {
+				cells[i] = csvEscape(t.Value)
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvEscape quotes a cell per RFC 4180 when needed.
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// WriteTSV writes solutions in the text/tab-separated-values results
+// format: full SPARQL term syntax, tab separated.
+func WriteTSV(w io.Writer, vars []string, bindings []rdf.Binding) error {
+	heads := make([]string, len(vars))
+	for i, v := range vars {
+		heads[i] = "?" + v
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(heads, "\t")); err != nil {
+		return err
+	}
+	for _, b := range bindings {
+		cells := make([]string, len(vars))
+		for i, v := range vars {
+			if t, ok := b.Get(v); ok {
+				cells[i] = t.String()
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, "\t")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StreamNDJSON writes each binding as one JSON object per line — the
+// format of the paper's command-line tool (Fig. 2). It returns the number
+// of solutions written.
+func StreamNDJSON(w io.Writer, vars []string, in <-chan rdf.Binding) (int, error) {
+	n := 0
+	for b := range in {
+		obj := map[string]string{}
+		for _, v := range vars {
+			t, ok := b.Get(v)
+			if !ok {
+				continue
+			}
+			switch t.Kind {
+			case rdf.TermLiteral:
+				s := `"` + t.Value + `"`
+				if t.Language != "" {
+					s += "@" + t.Language
+				} else if t.Datatype != "" {
+					s += "^^" + t.Datatype
+				}
+				obj[v] = s
+			default:
+				obj[v] = t.Value
+			}
+		}
+		data, err := json.Marshal(obj)
+		if err != nil {
+			return n, err
+		}
+		if _, err := fmt.Fprintln(w, string(data)); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,125 @@
+package results
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ltqp/internal/rdf"
+)
+
+var testVars = []string{"s", "v"}
+
+var testBindings = []rdf.Binding{
+	{"s": rdf.NewIRI("http://example.org/a"), "v": rdf.Integer(42)},
+	{"s": rdf.NewBlank("b0"), "v": rdf.NewLangLiteral("hoi", "nl")},
+	{"s": rdf.NewIRI("http://example.org/c")}, // v unbound
+}
+
+func TestWriteJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, testVars, testBindings); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Head struct {
+			Vars []string `json:"vars"`
+		} `json:"head"`
+		Results struct {
+			Bindings []map[string]map[string]string `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(parsed.Head.Vars) != 2 || len(parsed.Results.Bindings) != 3 {
+		t.Fatalf("shape = %+v", parsed)
+	}
+	row0 := parsed.Results.Bindings[0]
+	if row0["s"]["type"] != "uri" || row0["s"]["value"] != "http://example.org/a" {
+		t.Errorf("row0 s = %v", row0["s"])
+	}
+	if row0["v"]["type"] != "literal" || row0["v"]["datatype"] != rdf.XSDInteger {
+		t.Errorf("row0 v = %v", row0["v"])
+	}
+	row1 := parsed.Results.Bindings[1]
+	if row1["s"]["type"] != "bnode" {
+		t.Errorf("row1 s = %v", row1["s"])
+	}
+	if row1["v"]["xml:lang"] != "nl" {
+		t.Errorf("row1 v = %v", row1["v"])
+	}
+	if _, ok := parsed.Results.Bindings[2]["v"]; ok {
+		t.Error("unbound variable must be absent from the row")
+	}
+}
+
+func TestWriteBooleanJSON(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteBooleanJSON(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Boolean bool `json:"boolean"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &parsed); err != nil || !parsed.Boolean {
+		t.Errorf("boolean JSON = %q (%v)", sb.String(), err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	bindings := []rdf.Binding{
+		{"s": rdf.NewLiteral(`with,comma and "quote"`), "v": rdf.Integer(1)},
+	}
+	if err := WriteCSV(&sb, testVars, bindings); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "s,v" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `"with,comma and ""quote""",1` {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTSV(&sb, testVars, testBindings[:1]); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "?s\t?v" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "<http://example.org/a>") ||
+		!strings.Contains(lines[1], `"42"^^<`+rdf.XSDInteger+`>`) {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestStreamNDJSON(t *testing.T) {
+	ch := make(chan rdf.Binding, 3)
+	for _, b := range testBindings {
+		ch <- b
+	}
+	close(ch)
+	var sb strings.Builder
+	n, err := StreamNDJSON(&sb, testVars, ch)
+	if err != nil || n != 3 {
+		t.Fatalf("n = %d, err = %v", n, err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Each line is standalone JSON in the paper's Fig. 2 format.
+	var obj map[string]string
+	if err := json.Unmarshal([]byte(lines[0]), &obj); err != nil {
+		t.Fatalf("line 0: %v", err)
+	}
+	if obj["v"] != `"42"^^`+rdf.XSDInteger {
+		t.Errorf("v = %q", obj["v"])
+	}
+}

@@ -1,0 +1,58 @@
+// Package simenv assembles the full simulated demonstration environment:
+// a SolidBench dataset served as Solid pods by an in-process HTTP server.
+// Tests, benchmarks, examples, and the demo commands all build on it.
+package simenv
+
+import (
+	"net/http"
+	"net/http/httptest"
+
+	"ltqp/internal/deref"
+	"ltqp/internal/podserver"
+	"ltqp/internal/solid"
+	"ltqp/internal/solidbench"
+)
+
+// Env is a running simulated Solid environment.
+type Env struct {
+	// Dataset is the generated social network (IRIs minted under the live
+	// server's origin).
+	Dataset *solidbench.Dataset
+	// Pods are the materialized pods.
+	Pods []*solid.Pod
+	// PodServer is the Solid HTTP handler (latency knobs live here).
+	PodServer *podserver.Server
+	// Server is the live HTTP test server.
+	Server *httptest.Server
+}
+
+// New starts an environment for the configuration. cfg.Host is overridden
+// with the live server origin so that every IRI in the environment
+// dereferences. Call Close when done.
+func New(cfg solidbench.Config) *Env {
+	ps := podserver.New()
+	ts := httptest.NewServer(ps)
+	cfg.Host = ts.URL
+	ds := solidbench.Generate(cfg)
+	pods := ds.BuildPods()
+	for _, p := range pods {
+		ps.AddPod(p)
+	}
+	return &Env{Dataset: ds, Pods: pods, PodServer: ps, Server: ts}
+}
+
+// Close shuts the HTTP server down.
+func (e *Env) Close() { e.Server.Close() }
+
+// Client returns an HTTP client for the environment.
+func (e *Env) Client() *http.Client { return e.Server.Client() }
+
+// CredentialsFor returns simulated Solid-OIDC credentials for a person,
+// as issued by the environment's identity provider.
+func (e *Env) CredentialsFor(person int) *deref.Credentials {
+	webID := e.Dataset.WebID(person)
+	return &deref.Credentials{WebID: webID, Token: podserver.TokenFor(webID)}
+}
+
+// Stats computes the dataset shape statistics.
+func (e *Env) Stats() solidbench.Stats { return solidbench.ComputeStats(e.Pods) }

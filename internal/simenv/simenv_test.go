@@ -1,0 +1,58 @@
+package simenv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"ltqp/internal/solidbench"
+)
+
+func TestEnvironmentServesPods(t *testing.T) {
+	env := New(solidbench.SmallConfig())
+	defer env.Close()
+
+	// IRIs are minted under the live server origin.
+	if !strings.HasPrefix(env.Dataset.Config.Host, "http://127.0.0.1") {
+		t.Errorf("host = %s", env.Dataset.Config.Host)
+	}
+	if len(env.Pods) != len(env.Dataset.Persons) {
+		t.Errorf("pods = %d, persons = %d", len(env.Pods), len(env.Dataset.Persons))
+	}
+
+	// Every pod's profile dereferences.
+	resp, err := env.Client().Get(env.Dataset.PodBase(0) + "profile/card")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "pim:storage") {
+		t.Errorf("profile body:\n%s", string(body))
+	}
+}
+
+func TestCredentialsFor(t *testing.T) {
+	env := New(solidbench.SmallConfig())
+	defer env.Close()
+	creds := env.CredentialsFor(2)
+	if creds.WebID != env.Dataset.WebID(2) {
+		t.Errorf("WebID = %s", creds.WebID)
+	}
+	if !strings.HasPrefix(creds.Token, "sig:") {
+		t.Errorf("token = %s", creds.Token)
+	}
+}
+
+func TestStats(t *testing.T) {
+	env := New(solidbench.SmallConfig())
+	defer env.Close()
+	s := env.Stats()
+	if s.Pods != 6 || s.Files == 0 || s.Triples == 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

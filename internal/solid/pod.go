@@ -1,0 +1,224 @@
+// Package solid models Solid personal data pods: hierarchies of RDF
+// documents exposed over HTTP, described by LDP containers (paper Listing
+// 1), discovered through WebID profile documents (Listing 2), and indexed
+// by Solid Type Indexes (Listing 3). The pod builder produces exactly these
+// structures for the simulated environment, and document-level access
+// control reproduces Solid's permissioned nature.
+package solid
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ltqp/internal/rdf"
+	"ltqp/internal/turtle"
+)
+
+// Access describes who may read a document.
+type Access struct {
+	// Public documents are readable by everyone (the default).
+	Public bool
+	// Agents lists WebIDs with read access to a private document.
+	Agents []string
+}
+
+// PublicAccess is the default access rule.
+var PublicAccess = Access{Public: true}
+
+// Document is one RDF document in a pod.
+type Document struct {
+	// Path is pod-relative ("profile/card", "posts/2010-10-01", ...).
+	Path string
+	// Graph holds the document's triples.
+	Graph *rdf.Graph
+	// Access controls who can read the document.
+	Access Access
+}
+
+// Pod is one Solid personal data pod.
+type Pod struct {
+	// Base is the pod root URL, ending in a slash
+	// (e.g. "https://host/pods/0123/").
+	Base string
+	// Documents maps pod-relative paths to documents. Container documents
+	// (paths ending in "/" plus the root "") are synthesized by
+	// Materialize and must not be added manually.
+	Documents map[string]*Document
+}
+
+// NewPod returns an empty pod rooted at base (a trailing slash is added if
+// missing).
+func NewPod(base string) *Pod {
+	if !strings.HasSuffix(base, "/") {
+		base += "/"
+	}
+	return &Pod{Base: base, Documents: map[string]*Document{}}
+}
+
+// WebID returns the pod owner's WebID: <base>profile/card#me.
+func (p *Pod) WebID() string { return p.Base + "profile/card#me" }
+
+// ProfileDocument returns the URL of the WebID profile document.
+func (p *Pod) ProfileDocument() string { return p.Base + "profile/card" }
+
+// TypeIndexDocument returns the URL of the public type index.
+func (p *Pod) TypeIndexDocument() string { return p.Base + "settings/publicTypeIndex" }
+
+// IRI returns an absolute IRI for a pod-relative path.
+func (p *Pod) IRI(path string) string { return p.Base + path }
+
+// Add inserts a public document with the given triples.
+func (p *Pod) Add(path string, g *rdf.Graph) *Document {
+	d := &Document{Path: path, Graph: g, Access: PublicAccess}
+	p.Documents[path] = d
+	return d
+}
+
+// AddPrivate inserts a document readable only by the listed agents.
+func (p *Pod) AddPrivate(path string, g *rdf.Graph, agents ...string) *Document {
+	d := &Document{Path: path, Graph: g, Access: Access{Agents: agents}}
+	p.Documents[path] = d
+	return d
+}
+
+// TypeRegistration is one entry of the public type index.
+type TypeRegistration struct {
+	// Class is the RDF class IRI the registration is for.
+	Class string
+	// Instance, when set, is a pod-relative path to a document holding
+	// instances.
+	Instance string
+	// InstanceContainer, when set, is a pod-relative container path
+	// ("posts/") whose members hold instances.
+	InstanceContainer string
+}
+
+// ProfileInfo carries the personal data of a WebID profile.
+type ProfileInfo struct {
+	Name        string
+	OIDCIssuer  string
+	KnowsWebIDs []string
+}
+
+// BuildProfile creates the WebID profile document (paper Listing 2),
+// linking to the pod root (pim:storage) and the public type index.
+func (p *Pod) BuildProfile(info ProfileInfo) *Document {
+	g := rdf.NewGraph()
+	me := rdf.NewIRI(p.WebID())
+	g.Add(rdf.NewTriple(rdf.NewIRI(p.ProfileDocument()), rdf.NewIRI(rdf.FOAFPrimaryTopic), me))
+	g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.FOAFPerson)))
+	if info.Name != "" {
+		g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.FOAFName), rdf.NewLiteral(info.Name)))
+	}
+	g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.PIMStorage), rdf.NewIRI(p.Base)))
+	issuer := info.OIDCIssuer
+	if issuer == "" {
+		issuer = "https://idp.invalid/"
+	}
+	g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.SolidOIDCIssuer), rdf.NewIRI(issuer)))
+	g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.SolidPublicTypeIndex), rdf.NewIRI(p.TypeIndexDocument())))
+	for _, w := range info.KnowsWebIDs {
+		g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.FOAFKnows), rdf.NewIRI(w)))
+	}
+	return p.Add("profile/card", g)
+}
+
+// BuildTypeIndex creates the public type index document (paper Listing 3).
+func (p *Pod) BuildTypeIndex(regs []TypeRegistration) *Document {
+	g := rdf.NewGraph()
+	doc := rdf.NewIRI(p.TypeIndexDocument())
+	g.Add(rdf.NewTriple(doc, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.SolidTypeIndex)))
+	g.Add(rdf.NewTriple(doc, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.SolidListedDocument)))
+	for i, reg := range regs {
+		node := rdf.NewIRI(fmt.Sprintf("%s#reg%d", p.TypeIndexDocument(), i))
+		g.Add(rdf.NewTriple(node, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.SolidTypeRegistration)))
+		g.Add(rdf.NewTriple(node, rdf.NewIRI(rdf.SolidForClass), rdf.NewIRI(reg.Class)))
+		if reg.Instance != "" {
+			g.Add(rdf.NewTriple(node, rdf.NewIRI(rdf.SolidInstance), rdf.NewIRI(p.IRI(reg.Instance))))
+		}
+		if reg.InstanceContainer != "" {
+			g.Add(rdf.NewTriple(node, rdf.NewIRI(rdf.SolidInstanceContainer), rdf.NewIRI(p.IRI(reg.InstanceContainer))))
+		}
+	}
+	return p.Add("settings/publicTypeIndex", g)
+}
+
+// Materialize synthesizes the LDP container documents for every directory
+// implied by the document paths (paper Listing 1) and returns the complete
+// path→document map, containers included. Containers inherit public
+// access.
+func (p *Pod) Materialize() map[string]*Document {
+	out := make(map[string]*Document, len(p.Documents)+8)
+	for path, d := range p.Documents {
+		out[path] = d
+	}
+	// children maps a container path ("" for root, "posts/") to member
+	// paths.
+	children := map[string]map[string]bool{"": {}}
+	addChild := func(dir, child string) {
+		if children[dir] == nil {
+			children[dir] = map[string]bool{}
+		}
+		children[dir][child] = true
+	}
+	for path := range p.Documents {
+		// Walk up the directory chain: "posts/2010-10-01" contributes
+		// member "posts/2010-10-01" to "posts/" and "posts/" to "".
+		cur := path
+		for {
+			i := strings.LastIndex(strings.TrimSuffix(cur, "/"), "/")
+			if i < 0 {
+				addChild("", cur)
+				break
+			}
+			dir := cur[:i+1]
+			addChild(dir, cur)
+			cur = dir
+		}
+	}
+	for dir, members := range children {
+		g := rdf.NewGraph()
+		self := rdf.NewIRI(p.IRI(dir))
+		for _, class := range []string{rdf.LDPContainer, rdf.LDPBasicContainer, rdf.LDPResource} {
+			g.Add(rdf.NewTriple(self, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(class)))
+		}
+		sorted := make([]string, 0, len(members))
+		for m := range members {
+			sorted = append(sorted, m)
+		}
+		sort.Strings(sorted)
+		for _, m := range sorted {
+			g.Add(rdf.NewTriple(self, rdf.NewIRI(rdf.LDPContains), rdf.NewIRI(p.IRI(m))))
+			if strings.HasSuffix(m, "/") {
+				child := rdf.NewIRI(p.IRI(m))
+				for _, class := range []string{rdf.LDPContainer, rdf.LDPBasicContainer, rdf.LDPResource} {
+					g.Add(rdf.NewTriple(child, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(class)))
+				}
+			} else {
+				g.Add(rdf.NewTriple(rdf.NewIRI(p.IRI(m)), rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.LDPResource)))
+			}
+		}
+		out[dir] = &Document{Path: dir, Graph: g, Access: PublicAccess}
+	}
+	return out
+}
+
+// Turtle serializes a document of this pod as Turtle with the document URL
+// as base.
+func (p *Pod) Turtle(d *Document) string {
+	return turtle.Write(d.Graph.Triples(), turtle.WriteOptions{
+		Base:     p.IRI(d.Path),
+		Prefixes: rdf.CommonPrefixes,
+	})
+}
+
+// TripleCount sums the data triples across the pod's explicit documents
+// (containers excluded).
+func (p *Pod) TripleCount() int {
+	n := 0
+	for _, d := range p.Documents {
+		n += d.Graph.Len()
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+package solid
+
+import (
+	"strings"
+	"testing"
+
+	"ltqp/internal/rdf"
+	"ltqp/internal/turtle"
+)
+
+const base = "https://host.example/pods/alice/"
+
+func TestWebIDAndPaths(t *testing.T) {
+	p := NewPod("https://host.example/pods/alice") // no trailing slash
+	if p.Base != base {
+		t.Errorf("Base = %s", p.Base)
+	}
+	if p.WebID() != base+"profile/card#me" {
+		t.Errorf("WebID = %s", p.WebID())
+	}
+	if p.ProfileDocument() != base+"profile/card" {
+		t.Errorf("ProfileDocument = %s", p.ProfileDocument())
+	}
+	if p.IRI("posts/x") != base+"posts/x" {
+		t.Errorf("IRI = %s", p.IRI("posts/x"))
+	}
+}
+
+func TestBuildProfile(t *testing.T) {
+	p := NewPod(base)
+	p.BuildProfile(ProfileInfo{
+		Name:        "Alice",
+		KnowsWebIDs: []string{"https://host.example/pods/bob/profile/card#me"},
+	})
+	d := p.Documents["profile/card"]
+	if d == nil {
+		t.Fatal("profile document missing")
+	}
+	me := rdf.NewIRI(p.WebID())
+	g := d.Graph
+	if got := g.FirstObject(me, rdf.NewIRI(rdf.FOAFName)); got != rdf.NewLiteral("Alice") {
+		t.Errorf("name = %v", got)
+	}
+	if got := g.FirstObject(me, rdf.NewIRI(rdf.PIMStorage)); got != rdf.NewIRI(base) {
+		t.Errorf("storage = %v", got)
+	}
+	if got := g.FirstObject(me, rdf.NewIRI(rdf.SolidPublicTypeIndex)); got != rdf.NewIRI(p.TypeIndexDocument()) {
+		t.Errorf("type index link = %v", got)
+	}
+	if got := g.Objects(me, rdf.NewIRI(rdf.FOAFKnows)); len(got) != 1 {
+		t.Errorf("knows = %v", got)
+	}
+}
+
+func TestBuildTypeIndex(t *testing.T) {
+	p := NewPod(base)
+	p.BuildTypeIndex([]TypeRegistration{
+		{Class: "http://ex/Post", Instance: "posts.ttl"},
+		{Class: "http://ex/Comment", InstanceContainer: "comments/"},
+	})
+	d := p.Documents["settings/publicTypeIndex"]
+	if d == nil {
+		t.Fatal("type index missing")
+	}
+	g := d.Graph
+	regs := g.Subjects(rdf.NewIRI(rdf.RDFType), rdf.NewIRI(rdf.SolidTypeRegistration))
+	if len(regs) != 2 {
+		t.Fatalf("registrations = %v", regs)
+	}
+	if got := g.FirstObject(regs[0], rdf.NewIRI(rdf.SolidInstance)); got != rdf.NewIRI(base+"posts.ttl") {
+		t.Errorf("instance = %v", got)
+	}
+	if got := g.FirstObject(regs[1], rdf.NewIRI(rdf.SolidInstanceContainer)); got != rdf.NewIRI(base+"comments/") {
+		t.Errorf("container = %v", got)
+	}
+}
+
+func TestMaterializeContainers(t *testing.T) {
+	p := NewPod(base)
+	p.Add("profile/card", rdf.NewGraph())
+	p.Add("posts/2010-01-01", rdf.NewGraph())
+	p.Add("posts/2010-01-02", rdf.NewGraph())
+	p.Add("deep/a/b/doc", rdf.NewGraph())
+	all := p.Materialize()
+
+	// Expect containers: "", profile/, posts/, deep/, deep/a/, deep/a/b/.
+	for _, dir := range []string{"", "profile/", "posts/", "deep/", "deep/a/", "deep/a/b/"} {
+		d, ok := all[dir]
+		if !ok {
+			t.Errorf("missing container %q", dir)
+			continue
+		}
+		self := rdf.NewIRI(p.IRI(dir))
+		if !d.Graph.IsA(self, rdf.LDPBasicContainer) {
+			t.Errorf("container %q lacks BasicContainer type", dir)
+		}
+	}
+	// Root contains its direct children only.
+	root := all[""]
+	members := root.Graph.Objects(rdf.NewIRI(base), rdf.NewIRI(rdf.LDPContains))
+	if len(members) != 3 { // profile/, posts/, deep/
+		t.Errorf("root members = %v", members)
+	}
+	// posts/ contains the two documents.
+	posts := all["posts/"]
+	if got := posts.Graph.Objects(rdf.NewIRI(base+"posts/"), rdf.NewIRI(rdf.LDPContains)); len(got) != 2 {
+		t.Errorf("posts members = %v", got)
+	}
+	// Non-container docs are typed ldp:Resource in their parent.
+	if !posts.Graph.IsA(rdf.NewIRI(base+"posts/2010-01-01"), rdf.LDPResource) {
+		t.Error("member resource type missing")
+	}
+}
+
+func TestMaterializeDoesNotMutatePod(t *testing.T) {
+	p := NewPod(base)
+	p.Add("doc", rdf.NewGraph())
+	_ = p.Materialize()
+	if len(p.Documents) != 1 {
+		t.Errorf("Materialize mutated Documents: %d", len(p.Documents))
+	}
+}
+
+func TestTurtleOutputRoundTrips(t *testing.T) {
+	p := NewPod(base)
+	p.BuildProfile(ProfileInfo{Name: "Alice"})
+	all := p.Materialize()
+	for path, d := range all {
+		body := p.Turtle(d)
+		triples, err := turtle.Parse(body, turtle.Options{Base: p.IRI(path)})
+		if err != nil {
+			t.Fatalf("document %q does not re-parse: %v\n%s", path, err, body)
+		}
+		if len(triples) != d.Graph.Len() {
+			t.Errorf("document %q: %d triples serialized, %d parsed", path, d.Graph.Len(), len(triples))
+		}
+	}
+}
+
+func TestAccessRules(t *testing.T) {
+	p := NewPod(base)
+	d := p.AddPrivate("secret", rdf.NewGraph(), "https://a.example/#me")
+	if d.Access.Public {
+		t.Error("private doc marked public")
+	}
+	if len(d.Access.Agents) != 1 {
+		t.Errorf("agents = %v", d.Access.Agents)
+	}
+	pub := p.Add("open", rdf.NewGraph())
+	if !pub.Access.Public {
+		t.Error("default should be public")
+	}
+}
+
+func TestTripleCount(t *testing.T) {
+	p := NewPod(base)
+	g := rdf.NewGraph()
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://a"), rdf.NewIRI("http://p"), rdf.NewIRI("http://b")))
+	g.Add(rdf.NewTriple(rdf.NewIRI("http://a"), rdf.NewIRI("http://p"), rdf.NewIRI("http://c")))
+	p.Add("d1", g)
+	if p.TripleCount() != 2 {
+		t.Errorf("TripleCount = %d", p.TripleCount())
+	}
+}
+
+func TestProfileListing2Shape(t *testing.T) {
+	// The serialized profile should look like the paper's Listing 2.
+	p := NewPod(base)
+	p.BuildProfile(ProfileInfo{Name: "Zulma", OIDCIssuer: "https://solidcommunity.net/"})
+	body := p.Turtle(p.Documents["profile/card"])
+	for _, want := range []string{"foaf:name \"Zulma\"", "pim:storage", "solid:oidcIssuer", "solid:publicTypeIndex"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("profile missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package solidbench
+
+import (
+	"fmt"
+	"time"
+)
+
+// rng is a small deterministic xorshift64* generator so datasets are
+// reproducible across runs and platforms.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng {
+	state := uint64(seed)
+	if state == 0 {
+		state = 0x9E3779B97F4A7C15
+	}
+	return &rng{state: state}
+}
+
+func (r *rng) next() uint64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return r.state * 0x2545F4914F6CDD1D
+}
+
+// intn returns a uniform int in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// around returns a value near mean (±50%).
+func (r *rng) around(mean int) int {
+	if mean <= 1 {
+		return mean
+	}
+	return mean/2 + r.intn(mean+1)
+}
+
+func (r *rng) pick(list []string) string { return list[r.intn(len(list))] }
+
+var (
+	firstNames = []string{
+		"Eli", "Zulma", "Ana", "Bram", "Chen", "Divya", "Emeka", "Fatima",
+		"Gustav", "Hana", "Ivan", "Jun", "Karla", "Lucas", "Mahinda", "Noor",
+		"Otto", "Priya", "Quentin", "Rosa", "Sven", "Tomoko", "Umar", "Vera",
+		"Wei", "Ximena", "Yusuf", "Zanele",
+	}
+	lastNames = []string{
+		"Peretz", "Vermeulen", "Garcia", "Li", "Kumar", "Okafor", "Haddad",
+		"Johansson", "Sato", "Novak", "Silva", "Kimura", "Ahmed", "Petrov",
+		"Mbeki", "Rossi", "Dubois", "Hansen", "Yilmaz", "Costa",
+	}
+	cities = []string{
+		"Ghent", "Antwerp", "Rotterdam", "Berlin", "Porto", "Nairobi",
+		"Kyoto", "Mumbai", "Bogota", "Oslo",
+	}
+	countries = []string{
+		"Belgium", "Netherlands", "Germany", "Portugal", "Kenya", "Japan",
+		"India", "Colombia", "Norway", "Brazil",
+	}
+	browsers  = []string{"Firefox", "Chrome", "Safari", "Internet Explorer", "Opera"}
+	languages = []string{"en", "nl", "fr", "de", "pt", "ja", "hi", "es"}
+	tagNames  = []string{
+		"Alanis_Morissette", "Kevin_Rudd", "Hamid_Karzai", "Augustine_of_Hippo",
+		"Freddie_Mercury", "Nelson_Mandela", "Marie_Curie", "Alan_Turing",
+		"Miles_Davis", "Frida_Kahlo", "Ada_Lovelace", "Jorge_Luis_Borges",
+	}
+	contentWords = []string{
+		"About", "the", "world", "of", "music", "and", "photos", "from",
+		"yesterday", "good", "maybe", "fine", "right", "thanks", "new",
+		"album", "trip", "mountain", "city", "friends", "concert", "stadium",
+	}
+)
+
+// Person is one SNB person (and Solid pod owner).
+type Person struct {
+	Index     int
+	ID        int64
+	FirstName string
+	LastName  string
+	Gender    string
+	Birthday  time.Time
+	Browser   string
+	IP        string
+	City      string
+	Languages []string
+	Creation  time.Time
+	Friends   []int // indexes into Dataset.Persons
+}
+
+// PodID is the zero-padded pod identifier (SolidBench style, e.g.
+// "00000006597069767117").
+func (p Person) PodID() string { return fmt.Sprintf("%020d", p.ID) }
+
+// Forum is a wall or album forum.
+type Forum struct {
+	ID        int64
+	Title     string
+	Moderator int // person index
+	Wall      bool
+	// Posts are indexes into Dataset.Posts contained in this forum.
+	Posts []int
+}
+
+// Post is one SNB post.
+type Post struct {
+	ID       int64
+	Creator  int // person index
+	Forum    int // forum index
+	Creation time.Time
+	Content  string
+	Image    string // image posts have an imageFile instead of content
+	Browser  string
+	IP       string
+	Country  string
+	Tags     []string
+}
+
+// Comment is a reply to a post.
+type Comment struct {
+	ID       int64
+	Creator  int
+	ReplyOf  int // post index
+	Creation time.Time
+	Content  string
+	Browser  string
+	Country  string
+}
+
+// Like is a person liking a post or comment.
+type Like struct {
+	Person   int
+	Post     int // post index, or -1
+	Comment  int // comment index, or -1
+	Creation time.Time
+}
+
+// Dataset is a fully generated social network.
+type Dataset struct {
+	Config   Config
+	Persons  []Person
+	Forums   []Forum
+	Posts    []Post
+	Comments []Comment
+	Likes    []Like
+}
+
+// epoch is the start of the simulated activity window (as in SNB's
+// 2010–2012 window).
+var epoch = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Generate builds the deterministic dataset for a configuration.
+func Generate(cfg Config) *Dataset {
+	r := newRNG(cfg.Seed)
+	ds := &Dataset{Config: cfg}
+
+	// Persons.
+	for i := 0; i < cfg.Persons; i++ {
+		id := int64(i+1)*65970697671 + int64(r.intn(999))
+		gender := "female"
+		if r.intn(2) == 0 {
+			gender = "male"
+		}
+		p := Person{
+			Index:     i,
+			ID:        id,
+			FirstName: r.pick(firstNames),
+			LastName:  r.pick(lastNames),
+			Gender:    gender,
+			Birthday:  epoch.AddDate(-40+r.intn(25), r.intn(12), r.intn(28)),
+			Browser:   r.pick(browsers),
+			IP:        fmt.Sprintf("%d.%d.%d.%d", 1+r.intn(223), r.intn(256), r.intn(256), 1+r.intn(254)),
+			City:      r.pick(cities),
+			Languages: []string{r.pick(languages), "en"},
+			Creation:  epoch.AddDate(0, 0, r.intn(200)),
+		}
+		ds.Persons = append(ds.Persons, p)
+	}
+
+	// Friendships: preferential, symmetric.
+	for i := range ds.Persons {
+		want := r.around(cfg.FriendsPerPerson)
+		for len(ds.Persons[i].Friends) < want && cfg.Persons > 1 {
+			j := r.intn(cfg.Persons)
+			if j == i || contains(ds.Persons[i].Friends, j) {
+				// Try the next person to keep termination simple.
+				j = (j + 1) % cfg.Persons
+				if j == i || contains(ds.Persons[i].Friends, j) {
+					break
+				}
+			}
+			ds.Persons[i].Friends = append(ds.Persons[i].Friends, j)
+			if !contains(ds.Persons[j].Friends, i) {
+				ds.Persons[j].Friends = append(ds.Persons[j].Friends, i)
+			}
+		}
+	}
+
+	// Forums: a wall per person plus albums.
+	for i, p := range ds.Persons {
+		wall := Forum{
+			ID:        int64(i)*1099511627776 + 47,
+			Title:     fmt.Sprintf("Wall of %s %s", p.FirstName, p.LastName),
+			Moderator: i,
+			Wall:      true,
+		}
+		ds.Forums = append(ds.Forums, wall)
+		for a := 0; a < cfg.AlbumsPerPerson; a++ {
+			ds.Forums = append(ds.Forums, Forum{
+				ID:        int64(i)*1099511627776 + int64(a+1)*68719476736 + int64(r.intn(999)),
+				Title:     fmt.Sprintf("Album %d of %s %s", a+1, p.FirstName, p.LastName),
+				Moderator: i,
+			})
+		}
+	}
+	forumsOf := func(person int) []int {
+		base := person * (cfg.AlbumsPerPerson + 1)
+		out := make([]int, cfg.AlbumsPerPerson+1)
+		for k := range out {
+			out[k] = base + k
+		}
+		return out
+	}
+
+	// Posts: each person posts into their own forums and friends' walls.
+	for i, p := range ds.Persons {
+		n := r.around(cfg.PostsPerPerson)
+		for k := 0; k < n; k++ {
+			var forum int
+			own := forumsOf(i)
+			if len(p.Friends) > 0 && r.intn(4) == 0 {
+				// A quarter of posts land on a friend's wall.
+				forum = forumsOf(p.Friends[r.intn(len(p.Friends))])[0]
+			} else {
+				forum = own[r.intn(len(own))]
+			}
+			// Posts of one bucket share a calendar day so that each pod's
+			// posts/ directory holds at most PostDateBuckets documents,
+			// matching SolidBench's date fragmentation.
+			day := r.intn(cfg.PostDateBuckets)
+			post := Post{
+				ID:       int64(len(ds.Posts)+1)*137438953472 + int64(r.intn(999)),
+				Creator:  i,
+				Forum:    forum,
+				Creation: epoch.AddDate(0, 0, day*7).Add(time.Duration(r.intn(86400)) * time.Second),
+				Browser:  p.Browser,
+				IP:       p.IP,
+				Country:  r.pick(countries),
+			}
+			if r.intn(3) == 0 {
+				post.Image = fmt.Sprintf("photo%d.jpg", post.ID%100000)
+			} else {
+				post.Content = sentence(r, 5+r.intn(12))
+			}
+			for t := 0; t < 1+r.intn(3); t++ {
+				post.Tags = append(post.Tags, r.pick(tagNames))
+			}
+			ds.Forums[forum].Posts = append(ds.Forums[forum].Posts, len(ds.Posts))
+			ds.Posts = append(ds.Posts, post)
+		}
+	}
+
+	// Comments: replies to random posts (biased to friends' posts).
+	for i, p := range ds.Persons {
+		n := r.around(cfg.CommentsPerPerson)
+		for k := 0; k < n && len(ds.Posts) > 0; k++ {
+			target := r.intn(len(ds.Posts))
+			if len(p.Friends) > 0 && r.intn(2) == 0 {
+				// Prefer posts created by friends when any exist.
+				f := p.Friends[r.intn(len(p.Friends))]
+				for probe := 0; probe < 5; probe++ {
+					cand := r.intn(len(ds.Posts))
+					if ds.Posts[cand].Creator == f {
+						target = cand
+						break
+					}
+				}
+			}
+			// Comments land within a day of their post, so comments/
+			// fragments track the post buckets (bounded file count).
+			ds.Comments = append(ds.Comments, Comment{
+				ID:       int64(len(ds.Comments)+1)*274877906944 + int64(r.intn(999)),
+				Creator:  i,
+				ReplyOf:  target,
+				Creation: ds.Posts[target].Creation.Add(time.Duration(1+r.intn(59)) * time.Minute),
+				Content:  sentence(r, 3+r.intn(8)),
+				Browser:  p.Browser,
+				Country:  r.pick(countries),
+			})
+		}
+	}
+
+	// Likes: posts and comments by friends.
+	for i, p := range ds.Persons {
+		n := r.around(cfg.LikesPerPerson)
+		for k := 0; k < n && len(ds.Posts) > 0; k++ {
+			like := Like{Person: i, Post: -1, Comment: -1}
+			if len(ds.Comments) > 0 && r.intn(4) == 0 {
+				like.Comment = r.intn(len(ds.Comments))
+				like.Creation = ds.Comments[like.Comment].Creation.Add(time.Hour)
+			} else {
+				target := r.intn(len(ds.Posts))
+				if len(p.Friends) > 0 {
+					f := p.Friends[r.intn(len(p.Friends))]
+					for probe := 0; probe < 5; probe++ {
+						cand := r.intn(len(ds.Posts))
+						if ds.Posts[cand].Creator == f {
+							target = cand
+							break
+						}
+					}
+				}
+				like.Post = target
+				like.Creation = ds.Posts[target].Creation.Add(30 * time.Minute)
+			}
+			ds.Likes = append(ds.Likes, like)
+		}
+	}
+	return ds
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sentence(r *rng, words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += r.pick(contentWords)
+	}
+	return out + "."
+}

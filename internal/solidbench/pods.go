@@ -1,0 +1,302 @@
+package solidbench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ltqp/internal/rdf"
+	"ltqp/internal/solid"
+)
+
+// Vocab builds the host-scoped IRIs of the SolidBench deployment: like the
+// original benchmark, the SNB vocabulary, tags, and places are republished
+// under the benchmark host so that every IRI in the environment is
+// dereferenceable (or at least resolvable) on the same origin.
+type Vocab struct {
+	Host string
+}
+
+// NewVocab returns the vocabulary for a host origin (no trailing slash).
+func NewVocab(host string) Vocab { return Vocab{Host: strings.TrimSuffix(host, "/")} }
+
+// NS returns the vocabulary namespace.
+func (v Vocab) NS() string { return v.Host + "/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/" }
+
+// P returns a vocabulary predicate/class IRI term.
+func (v Vocab) P(name string) rdf.Term { return rdf.NewIRI(v.NS() + name) }
+
+// Tag returns a tag IRI.
+func (v Vocab) Tag(name string) rdf.Term {
+	return rdf.NewIRI(v.Host + "/www.ldbc.eu/ldbc_socialnet/1.0/tag/" + name)
+}
+
+// Place returns a place (city/country) IRI.
+func (v Vocab) Place(name string) rdf.Term {
+	return rdf.NewIRI(v.Host + "/dbpedia.org/resource/" + strings.ReplaceAll(name, " ", "_"))
+}
+
+// PodBase returns the base URL of a person's pod.
+func (d *Dataset) PodBase(person int) string {
+	return fmt.Sprintf("%s/pods/%s/", strings.TrimSuffix(d.Config.Host, "/"), d.Persons[person].PodID())
+}
+
+// WebID returns the WebID of a person.
+func (d *Dataset) WebID(person int) string { return d.PodBase(person) + "profile/card#me" }
+
+// PostIRI returns the IRI of a post (a fragment of its creator's
+// date-fragmented post document).
+func (d *Dataset) PostIRI(post int) string {
+	p := d.Posts[post]
+	return fmt.Sprintf("%sposts/%s#%d", d.PodBase(p.Creator), p.Creation.Format("2006-01-02"), p.ID)
+}
+
+// CommentIRI returns the IRI of a comment.
+func (d *Dataset) CommentIRI(comment int) string {
+	c := d.Comments[comment]
+	return fmt.Sprintf("%scomments/%s#%d", d.PodBase(c.Creator), c.Creation.Format("2006-01-02"), c.ID)
+}
+
+// ForumIRI returns the IRI of a forum (hosted in the moderator's pod).
+func (d *Dataset) ForumIRI(forum int) string {
+	f := d.Forums[forum]
+	return fmt.Sprintf("%sforums/%d#forum", d.PodBase(f.Moderator), f.ID)
+}
+
+// BuildPods fragments the dataset into Solid pods, one per person,
+// following SolidBench's default fragmentation:
+//
+//	profile/card                WebID profile (Listing 2) + SNB person data
+//	settings/publicTypeIndex    type index (Listing 3)
+//	posts/<yyyy-mm-dd>          posts by creation day
+//	comments/<yyyy-mm-dd>       comments by creation day
+//	likes/<yyyy-mm-dd>          likes by day
+//	forums/<id>                 forums moderated by the owner
+//	noise/noise-<k>             query-irrelevant documents
+func (d *Dataset) BuildPods() []*solid.Pod {
+	v := NewVocab(d.Config.Host)
+	r := newRNG(d.Config.Seed + 7)
+	pods := make([]*solid.Pod, len(d.Persons))
+
+	// Index entities by owner once: building each pod must not rescan the
+	// whole dataset, or fragmentation becomes quadratic in persons.
+	idx := ownerIndex{
+		posts:    make([][]int, len(d.Persons)),
+		comments: make([][]int, len(d.Persons)),
+		likes:    make([][]int, len(d.Persons)),
+		forums:   make([][]int, len(d.Persons)),
+	}
+	for pi, p := range d.Posts {
+		idx.posts[p.Creator] = append(idx.posts[p.Creator], pi)
+	}
+	for ci, c := range d.Comments {
+		idx.comments[c.Creator] = append(idx.comments[c.Creator], ci)
+	}
+	for li, l := range d.Likes {
+		idx.likes[l.Person] = append(idx.likes[l.Person], li)
+	}
+	for fi, f := range d.Forums {
+		idx.forums[f.Moderator] = append(idx.forums[f.Moderator], fi)
+	}
+
+	for i := range d.Persons {
+		pods[i] = d.buildPod(i, v, r, idx)
+	}
+	return pods
+}
+
+// ownerIndex maps person index → indexes of their entities.
+type ownerIndex struct {
+	posts, comments, likes, forums [][]int
+}
+
+func (d *Dataset) buildPod(i int, v Vocab, r *rng, idx ownerIndex) *solid.Pod {
+	p := d.Persons[i]
+	pod := solid.NewPod(d.PodBase(i))
+	me := rdf.NewIRI(d.WebID(i))
+
+	// Profile: WebID discovery triples plus the SNB person attributes.
+	friends := make([]string, 0, len(p.Friends))
+	for _, f := range p.Friends {
+		friends = append(friends, d.WebID(f))
+	}
+	profile := pod.BuildProfile(solid.ProfileInfo{
+		Name:        p.FirstName + " " + p.LastName,
+		OIDCIssuer:  d.Config.Host + "/idp/",
+		KnowsWebIDs: friends,
+	})
+	g := profile.Graph
+	g.Add(rdf.NewTriple(me, rdf.NewIRI(rdf.RDFType), v.P("Person")))
+	g.Add(rdf.NewTriple(me, v.P("id"), rdf.Long(p.ID)))
+	g.Add(rdf.NewTriple(me, v.P("firstName"), rdf.NewLiteral(p.FirstName)))
+	g.Add(rdf.NewTriple(me, v.P("lastName"), rdf.NewLiteral(p.LastName)))
+	g.Add(rdf.NewTriple(me, v.P("gender"), rdf.NewLiteral(p.Gender)))
+	g.Add(rdf.NewTriple(me, v.P("birthday"), rdf.Date(p.Birthday)))
+	g.Add(rdf.NewTriple(me, v.P("browserUsed"), rdf.NewLiteral(p.Browser)))
+	g.Add(rdf.NewTriple(me, v.P("locationIP"), rdf.NewLiteral(p.IP)))
+	g.Add(rdf.NewTriple(me, v.P("isLocatedIn"), v.Place(p.City)))
+	g.Add(rdf.NewTriple(me, v.P("creationDate"), rdf.DateTime(p.Creation)))
+	for _, lang := range p.Languages {
+		g.Add(rdf.NewTriple(me, v.P("speaks"), rdf.NewLiteral(lang)))
+	}
+	for _, f := range p.Friends {
+		g.Add(rdf.NewTriple(me, v.P("knows"), rdf.NewIRI(d.WebID(f))))
+	}
+
+	// Type index: the structural entry points of the pod.
+	pod.BuildTypeIndex([]solid.TypeRegistration{
+		{Class: v.NS() + "Post", InstanceContainer: "posts/"},
+		{Class: v.NS() + "Comment", InstanceContainer: "comments/"},
+		{Class: v.NS() + "Forum", InstanceContainer: "forums/"},
+	})
+
+	// Posts, grouped by creation day.
+	postDocs := map[string]*rdf.Graph{}
+	for _, pi := range idx.posts[i] {
+		post := d.Posts[pi]
+		day := post.Creation.Format("2006-01-02")
+		g := postDocs[day]
+		if g == nil {
+			g = rdf.NewGraph()
+			postDocs[day] = g
+		}
+		s := rdf.NewIRI(d.PostIRI(pi))
+		g.Add(rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType), v.P("Post")))
+		g.Add(rdf.NewTriple(s, v.P("id"), rdf.Long(post.ID)))
+		g.Add(rdf.NewTriple(s, v.P("hasCreator"), me))
+		g.Add(rdf.NewTriple(s, v.P("creationDate"), rdf.DateTime(post.Creation)))
+		if post.Image != "" {
+			g.Add(rdf.NewTriple(s, v.P("imageFile"), rdf.NewLiteral(post.Image)))
+		} else {
+			g.Add(rdf.NewTriple(s, v.P("content"), rdf.NewLiteral(post.Content)))
+		}
+		g.Add(rdf.NewTriple(s, v.P("browserUsed"), rdf.NewLiteral(post.Browser)))
+		g.Add(rdf.NewTriple(s, v.P("locationIP"), rdf.NewLiteral(post.IP)))
+		g.Add(rdf.NewTriple(s, v.P("isLocatedIn"), v.Place(post.Country)))
+		for _, tag := range post.Tags {
+			g.Add(rdf.NewTriple(s, v.P("hasTag"), v.Tag(tag)))
+		}
+	}
+	// Deterministic ACL assignment requires a stable iteration order (Go
+	// map ranges are randomized).
+	private := d.Config.PrivateFraction > 0
+	days := make([]string, 0, len(postDocs))
+	for day := range postDocs {
+		days = append(days, day)
+	}
+	sort.Strings(days)
+	for _, day := range days {
+		path := "posts/" + day
+		if private && float64(r.intn(1000))/1000.0 < d.Config.PrivateFraction {
+			agents := append([]string{d.WebID(i)}, friends...)
+			pod.AddPrivate(path, postDocs[day], agents...)
+		} else {
+			pod.Add(path, postDocs[day])
+		}
+	}
+
+	// Comments, grouped by creation day.
+	commentDocs := map[string]*rdf.Graph{}
+	for _, ci := range idx.comments[i] {
+		c := d.Comments[ci]
+		day := c.Creation.Format("2006-01-02")
+		g := commentDocs[day]
+		if g == nil {
+			g = rdf.NewGraph()
+			commentDocs[day] = g
+		}
+		s := rdf.NewIRI(d.CommentIRI(ci))
+		g.Add(rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType), v.P("Comment")))
+		g.Add(rdf.NewTriple(s, v.P("id"), rdf.Long(c.ID)))
+		g.Add(rdf.NewTriple(s, v.P("hasCreator"), me))
+		g.Add(rdf.NewTriple(s, v.P("creationDate"), rdf.DateTime(c.Creation)))
+		g.Add(rdf.NewTriple(s, v.P("content"), rdf.NewLiteral(c.Content)))
+		g.Add(rdf.NewTriple(s, v.P("replyOf"), rdf.NewIRI(d.PostIRI(c.ReplyOf))))
+		g.Add(rdf.NewTriple(s, v.P("browserUsed"), rdf.NewLiteral(c.Browser)))
+		g.Add(rdf.NewTriple(s, v.P("isLocatedIn"), v.Place(c.Country)))
+	}
+	for day, g := range commentDocs {
+		pod.Add("comments/"+day, g)
+	}
+
+	// Likes, grouped by day: <me> snvoc:likes [ snvoc:hasPost <post> ].
+	likeDocs := map[string]*rdf.Graph{}
+	likeN := 0
+	for _, li := range idx.likes[i] {
+		like := d.Likes[li]
+		day := like.Creation.Format("2006-01-02")
+		g := likeDocs[day]
+		if g == nil {
+			g = rdf.NewGraph()
+			likeDocs[day] = g
+		}
+		likeN++
+		node := rdf.NewBlank(fmt.Sprintf("like%d", likeN))
+		g.Add(rdf.NewTriple(me, v.P("likes"), node))
+		if like.Post >= 0 {
+			g.Add(rdf.NewTriple(node, v.P("hasPost"), rdf.NewIRI(d.PostIRI(like.Post))))
+		} else {
+			g.Add(rdf.NewTriple(node, v.P("hasComment"), rdf.NewIRI(d.CommentIRI(like.Comment))))
+		}
+		g.Add(rdf.NewTriple(node, v.P("creationDate"), rdf.DateTime(like.Creation)))
+	}
+	for day, g := range likeDocs {
+		pod.Add("likes/"+day, g)
+	}
+
+	// Forums moderated by this person.
+	for _, fi := range idx.forums[i] {
+		f := d.Forums[fi]
+		g := rdf.NewGraph()
+		s := rdf.NewIRI(d.ForumIRI(fi))
+		g.Add(rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType), v.P("Forum")))
+		g.Add(rdf.NewTriple(s, v.P("id"), rdf.Long(f.ID)))
+		g.Add(rdf.NewTriple(s, v.P("title"), rdf.NewLiteral(f.Title)))
+		g.Add(rdf.NewTriple(s, v.P("hasModerator"), me))
+		for _, pi := range f.Posts {
+			g.Add(rdf.NewTriple(s, v.P("containerOf"), rdf.NewIRI(d.PostIRI(pi))))
+		}
+		pod.Add(fmt.Sprintf("forums/%d", f.ID), g)
+	}
+
+	// Noise documents: plausible but query-irrelevant data (settings,
+	// bookkeeping), as visible in the paper's Fig. 4 waterfall.
+	for k := 0; k < d.Config.NoiseFilesPerPod; k++ {
+		g := rdf.NewGraph()
+		s := rdf.NewIRI(pod.IRI(fmt.Sprintf("noise/noise-%d#it", k)))
+		g.Add(rdf.NewTriple(s, rdf.NewIRI(rdf.RDFType), rdf.NewIRI(d.Config.Host+"/vocab/Noise")))
+		for t := 0; t < 3+r.intn(5); t++ {
+			g.Add(rdf.NewTriple(s, rdf.NewIRI(fmt.Sprintf("%s/vocab/noise%d", d.Config.Host, t)),
+				rdf.NewLiteral(sentence(r, 4))))
+		}
+		pod.Add(fmt.Sprintf("noise/noise-%d", k), g)
+	}
+
+	return pod
+}
+
+// Stats summarizes a generated environment the way the paper reports its
+// deployment (§4.2): pod count, RDF file count, triple count.
+type Stats struct {
+	Pods      int
+	Files     int // data documents, containers excluded
+	Documents int // served documents including containers
+	Triples   int
+}
+
+// ComputeStats materializes all pods and counts documents and triples.
+func ComputeStats(pods []*solid.Pod) Stats {
+	s := Stats{Pods: len(pods)}
+	for _, p := range pods {
+		all := p.Materialize()
+		s.Documents += len(all)
+		for path, doc := range all {
+			if path == "" || strings.HasSuffix(path, "/") {
+				continue // container
+			}
+			s.Files++
+			s.Triples += doc.Graph.Len()
+		}
+	}
+	return s
+}

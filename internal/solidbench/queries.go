@@ -1,0 +1,181 @@
+package solidbench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Query is one catalog entry of the demonstration UI's query dropdown.
+type Query struct {
+	// Name is the display name, e.g. "Discover 6.5".
+	Name string
+	// Text is the SPARQL query.
+	Text string
+	// Person is the dataset person index the query is about.
+	Person int
+	// MultiPod indicates the query is expected to traverse several pods
+	// (like Discover 8.5 in the paper's Fig. 5).
+	MultiPod bool
+}
+
+// discoverTemplate builds one of the eight SolidBench "Discover" query
+// shapes for a person.
+func (d *Dataset) discoverTemplate(shape int, person int) string {
+	v := NewVocab(d.Config.Host)
+	prefix := fmt.Sprintf("PREFIX snvoc: <%s>\n", v.NS())
+	me := "<" + d.WebID(person) + ">"
+	switch shape {
+	case 1: // All posts of a person.
+		return prefix + fmt.Sprintf(`PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?messageId ?messageCreationDate ?messageContent WHERE {
+  ?message snvoc:hasCreator %s;
+    rdf:type snvoc:Post;
+    snvoc:content ?messageContent;
+    snvoc:creationDate ?messageCreationDate;
+    snvoc:id ?messageId.
+}`, me)
+	case 2: // All messages (posts and comments) of a person.
+		return prefix + fmt.Sprintf(`SELECT ?messageId ?messageCreationDate ?messageContent WHERE {
+  ?message snvoc:hasCreator %s;
+    snvoc:content ?messageContent;
+    snvoc:creationDate ?messageCreationDate;
+    snvoc:id ?messageId.
+}`, me)
+	case 3: // Top tags in posts of a person.
+		return prefix + fmt.Sprintf(`SELECT ?tag (COUNT(?message) AS ?messages) WHERE {
+  ?message snvoc:hasCreator %s;
+    snvoc:hasTag ?tag.
+} GROUP BY ?tag ORDER BY DESC(?messages) ?tag`, me)
+	case 4: // Top locations in comments of a person.
+		return prefix + fmt.Sprintf(`PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+SELECT ?location (COUNT(?message) AS ?messages) WHERE {
+  ?message snvoc:hasCreator %s;
+    rdf:type snvoc:Comment;
+    snvoc:isLocatedIn ?location.
+} GROUP BY ?location ORDER BY DESC(?messages) ?location`, me)
+	case 5: // All IPs a person has messaged from.
+		return prefix + fmt.Sprintf(`SELECT DISTINCT ?locationIp WHERE {
+  ?message snvoc:hasCreator %s;
+    snvoc:locationIP ?locationIp.
+}`, me)
+	case 6: // Forums a person has messaged in (the paper's Fig. 2/3 query).
+		return prefix + fmt.Sprintf(`SELECT DISTINCT ?forumId ?forumTitle WHERE {
+  ?message snvoc:hasCreator %s.
+  ?forum snvoc:containerOf ?message;
+    snvoc:id ?forumId;
+    snvoc:title ?forumTitle.
+}`, me)
+	case 7: // Moderators of forums a person has messaged in.
+		return prefix + fmt.Sprintf(`SELECT DISTINCT ?forumTitle ?moderator WHERE {
+  ?message snvoc:hasCreator %s.
+  ?forum snvoc:containerOf ?message;
+    snvoc:title ?forumTitle;
+    snvoc:hasModerator ?moderator.
+}`, me)
+	case 8: // Messages by creators of messages the person likes (Fig. 5).
+		return prefix + fmt.Sprintf(`SELECT DISTINCT ?creator ?messageContent WHERE {
+  %s snvoc:likes _:g_0.
+  _:g_0 (snvoc:hasPost|snvoc:hasComment) ?message.
+  ?message snvoc:hasCreator ?creator.
+  ?otherMessage snvoc:hasCreator ?creator;
+    snvoc:content ?messageContent.
+}`, me)
+	default:
+		panic(fmt.Sprintf("solidbench: unknown discover shape %d", shape))
+	}
+}
+
+// Discover returns the query "Discover <shape>.<variant>", where variant
+// selects a person (1-based), mirroring SolidBench's naming: Discover 1.5
+// is shape 1 instantiated for the fifth seed person.
+func (d *Dataset) Discover(shape, variant int) Query {
+	person := d.variantPerson(variant)
+	return Query{
+		Name:     fmt.Sprintf("Discover %d.%d", shape, variant),
+		Text:     d.discoverTemplate(shape, person),
+		Person:   person,
+		MultiPod: shape == 8,
+	}
+}
+
+// variantPerson maps a 1-based variant number to a person index spread
+// deterministically across the dataset.
+func (d *Dataset) variantPerson(variant int) int {
+	if len(d.Persons) == 0 {
+		return 0
+	}
+	step := len(d.Persons)/6 + 1
+	return (variant * step) % len(d.Persons)
+}
+
+// Catalog returns the demonstration UI's default query set. Like the
+// paper's deployment it offers 37 queries: the eight Discover shapes in
+// four person variants each, plus five short queries.
+func (d *Dataset) Catalog() []Query {
+	var out []Query
+	for shape := 1; shape <= 8; shape++ {
+		for variant := 1; variant <= 4; variant++ {
+			out = append(out, d.Discover(shape, variant))
+		}
+	}
+	v := NewVocab(d.Config.Host)
+	prefix := fmt.Sprintf("PREFIX snvoc: <%s>\nPREFIX foaf: <http://xmlns.com/foaf/0.1/>\n", v.NS())
+	p0 := d.variantPerson(1)
+	p1 := d.variantPerson(2)
+	short := []Query{
+		{
+			Name:   "Short 1: profile of a person",
+			Person: p0,
+			Text: prefix + fmt.Sprintf(`SELECT ?firstName ?lastName ?birthday WHERE {
+  <%s> snvoc:firstName ?firstName;
+    snvoc:lastName ?lastName;
+    snvoc:birthday ?birthday.
+}`, d.WebID(p0)),
+		},
+		{
+			Name:   "Short 2: friends of a person",
+			Person: p0,
+			Text: prefix + fmt.Sprintf(`SELECT DISTINCT ?friend ?name WHERE {
+  <%s> foaf:knows ?friend.
+  OPTIONAL { ?friend foaf:name ?name }
+}`, d.WebID(p0)),
+		},
+		{
+			Name:     "Short 3: friends of friends",
+			Person:   p1,
+			MultiPod: true,
+			Text: prefix + fmt.Sprintf(`SELECT DISTINCT ?fof WHERE {
+  <%s> foaf:knows/foaf:knows ?fof.
+  FILTER(?fof != <%s>)
+}`, d.WebID(p1), d.WebID(p1)),
+		},
+		{
+			Name:   "Short 4: recent posts of a person",
+			Person: p1,
+			Text: prefix + fmt.Sprintf(`PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?message ?date WHERE {
+  ?message snvoc:hasCreator <%s>;
+    snvoc:creationDate ?date.
+} ORDER BY DESC(?date) LIMIT 10`, d.WebID(p1)),
+		},
+		{
+			Name:   "Short 5: does the person use an image post",
+			Person: p0,
+			Text: prefix + fmt.Sprintf(`ASK {
+  ?message snvoc:hasCreator <%s>;
+    snvoc:imageFile ?file.
+}`, d.WebID(p0)),
+		},
+	}
+	return append(out, short...)
+}
+
+// FindQuery returns the catalog query with the given name.
+func (d *Dataset) FindQuery(name string) (Query, bool) {
+	for _, q := range d.Catalog() {
+		if strings.EqualFold(q.Name, name) {
+			return q, true
+		}
+	}
+	return Query{}, false
+}

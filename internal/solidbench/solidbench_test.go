@@ -1,0 +1,370 @@
+package solidbench
+
+import (
+	"strings"
+	"testing"
+
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(SmallConfig())
+	b := Generate(SmallConfig())
+	if len(a.Persons) != len(b.Persons) || len(a.Posts) != len(b.Posts) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a.Persons {
+		if a.Persons[i].ID != b.Persons[i].ID || a.Persons[i].FirstName != b.Persons[i].FirstName {
+			t.Fatalf("person %d differs", i)
+		}
+	}
+	for i := range a.Posts {
+		if a.Posts[i].ID != b.Posts[i].ID || a.Posts[i].Content != b.Posts[i].Content {
+			t.Fatalf("post %d differs", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeeds(t *testing.T) {
+	cfg1 := SmallConfig()
+	cfg2 := SmallConfig()
+	cfg2.Seed = 99
+	a, b := Generate(cfg1), Generate(cfg2)
+	same := 0
+	for i := range a.Persons {
+		if i < len(b.Persons) && a.Persons[i].FirstName == b.Persons[i].FirstName {
+			same++
+		}
+	}
+	if same == len(a.Persons) {
+		t.Error("different seeds produced identical persons")
+	}
+}
+
+func TestSocialNetworkInvariants(t *testing.T) {
+	ds := Generate(SmallConfig())
+	// Friendships are symmetric and irreflexive.
+	for i, p := range ds.Persons {
+		for _, f := range p.Friends {
+			if f == i {
+				t.Errorf("person %d is friends with themself", i)
+			}
+			if !contains(ds.Persons[f].Friends, i) {
+				t.Errorf("friendship %d->%d not symmetric", i, f)
+			}
+		}
+	}
+	// Every post belongs to a forum that lists it.
+	for pi, post := range ds.Posts {
+		found := false
+		for _, fp := range ds.Forums[post.Forum].Posts {
+			if fp == pi {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("post %d not listed in its forum", pi)
+		}
+	}
+	// Comments reply to valid posts, after them in time.
+	for ci, c := range ds.Comments {
+		if c.ReplyOf < 0 || c.ReplyOf >= len(ds.Posts) {
+			t.Fatalf("comment %d has bad target", ci)
+		}
+		if !c.Creation.After(ds.Posts[c.ReplyOf].Creation) {
+			t.Errorf("comment %d predates its post", ci)
+		}
+	}
+	// Likes reference exactly one message.
+	for li, l := range ds.Likes {
+		if (l.Post >= 0) == (l.Comment >= 0) {
+			t.Errorf("like %d references %d posts and %d comments", li, l.Post, l.Comment)
+		}
+	}
+	// Persons have 20-digit pod ids.
+	for _, p := range ds.Persons {
+		if len(p.PodID()) != 20 {
+			t.Errorf("pod id %q not 20 digits", p.PodID())
+		}
+	}
+}
+
+func TestBuildPodsStructure(t *testing.T) {
+	ds := Generate(SmallConfig())
+	pods := ds.BuildPods()
+	if len(pods) != len(ds.Persons) {
+		t.Fatalf("pods = %d", len(pods))
+	}
+	p0 := pods[0]
+	for _, path := range []string{"profile/card", "settings/publicTypeIndex"} {
+		if p0.Documents[path] == nil {
+			t.Errorf("pod missing %s", path)
+		}
+	}
+	var hasPosts, hasComments, hasForum, hasNoise, hasLikes bool
+	for path := range p0.Documents {
+		switch {
+		case strings.HasPrefix(path, "posts/"):
+			hasPosts = true
+		case strings.HasPrefix(path, "comments/"):
+			hasComments = true
+		case strings.HasPrefix(path, "forums/"):
+			hasForum = true
+		case strings.HasPrefix(path, "noise/"):
+			hasNoise = true
+		case strings.HasPrefix(path, "likes/"):
+			hasLikes = true
+		}
+	}
+	if !hasPosts || !hasComments || !hasForum || !hasNoise || !hasLikes {
+		t.Errorf("pod structure incomplete: posts=%v comments=%v forums=%v noise=%v likes=%v",
+			hasPosts, hasComments, hasForum, hasNoise, hasLikes)
+	}
+}
+
+func TestPodDataMatchesDataset(t *testing.T) {
+	ds := Generate(SmallConfig())
+	pods := ds.BuildPods()
+	v := NewVocab(ds.Config.Host)
+
+	// Count hasCreator triples for person 0 across their post documents.
+	me := rdf.NewIRI(ds.WebID(0))
+	wantPosts := 0
+	for _, p := range ds.Posts {
+		if p.Creator == 0 {
+			wantPosts++
+		}
+	}
+	got := 0
+	for path, d := range pods[0].Documents {
+		if !strings.HasPrefix(path, "posts/") {
+			continue
+		}
+		for _, tr := range d.Graph.Triples() {
+			if tr.P == v.P("hasCreator") && tr.O == me {
+				got++
+			}
+		}
+	}
+	if got != wantPosts {
+		t.Errorf("posts in pod = %d, dataset = %d", got, wantPosts)
+	}
+}
+
+func TestForumsReferenceCrossPodPosts(t *testing.T) {
+	ds := Generate(SmallConfig())
+	pods := ds.BuildPods()
+	v := NewVocab(ds.Config.Host)
+	// At least one forum should contain a post by someone other than its
+	// moderator (friends posting on walls) — that is what makes Discover
+	// 6/8 traverse pods.
+	crossPod := false
+	for i := range pods {
+		for path, d := range pods[i].Documents {
+			if !strings.HasPrefix(path, "forums/") {
+				continue
+			}
+			for _, tr := range d.Graph.Triples() {
+				if tr.P == v.P("containerOf") &&
+					!strings.HasPrefix(tr.O.Value, ds.PodBase(i)) {
+					crossPod = true
+				}
+			}
+		}
+	}
+	if !crossPod {
+		t.Error("no cross-pod forum membership generated")
+	}
+}
+
+func TestComputeStatsShape(t *testing.T) {
+	ds := Generate(DefaultConfig())
+	stats := ComputeStats(ds.BuildPods())
+	if stats.Pods != 16 {
+		t.Fatalf("pods = %d", stats.Pods)
+	}
+	filesPerPod := float64(stats.Files) / float64(stats.Pods)
+	triplesPerPod := float64(stats.Triples) / float64(stats.Pods)
+
+	// The paper's environment: 158,233 files and 3,556,159 triples over
+	// 1,531 pods → ≈103 files and ≈2,323 triples per pod. The default
+	// config must stay within a factor ~2 of that per-pod shape.
+	paperFiles := float64(PaperStats.Files) / float64(PaperStats.Pods)
+	paperTriples := float64(PaperStats.Triples) / float64(PaperStats.Pods)
+	if filesPerPod < paperFiles/2 || filesPerPod > paperFiles*2 {
+		t.Errorf("files/pod = %.1f, paper = %.1f", filesPerPod, paperFiles)
+	}
+	if triplesPerPod < paperTriples/2 || triplesPerPod > paperTriples*2 {
+		t.Errorf("triples/pod = %.1f, paper = %.1f", triplesPerPod, paperTriples)
+	}
+}
+
+func TestCatalogHas37Queries(t *testing.T) {
+	ds := Generate(SmallConfig())
+	catalog := ds.Catalog()
+	if len(catalog) != 37 {
+		t.Fatalf("catalog = %d queries, paper provides 37", len(catalog))
+	}
+	names := map[string]bool{}
+	for _, q := range catalog {
+		if names[q.Name] {
+			t.Errorf("duplicate query name %s", q.Name)
+		}
+		names[q.Name] = true
+		if _, err := sparql.ParseQuery(q.Text); err != nil {
+			t.Errorf("query %s does not parse: %v", q.Name, err)
+		}
+	}
+	if !names["Discover 1.1"] || !names["Discover 8.4"] {
+		t.Error("missing expected discover variants")
+	}
+}
+
+func TestDiscoverNaming(t *testing.T) {
+	ds := Generate(SmallConfig())
+	q := ds.Discover(6, 5)
+	if q.Name != "Discover 6.5" {
+		t.Errorf("name = %s", q.Name)
+	}
+	if !strings.Contains(q.Text, "containerOf") {
+		t.Errorf("Discover 6 should query forums:\n%s", q.Text)
+	}
+	if !strings.Contains(q.Text, ds.WebID(q.Person)) {
+		t.Error("query does not mention its person's WebID")
+	}
+	q8 := ds.Discover(8, 1)
+	if !q8.MultiPod {
+		t.Error("Discover 8 should be multi-pod")
+	}
+	if !strings.Contains(q8.Text, "snvoc:hasPost|snvoc:hasComment") {
+		t.Errorf("Discover 8 should use the alternative path:\n%s", q8.Text)
+	}
+}
+
+func TestFindQuery(t *testing.T) {
+	ds := Generate(SmallConfig())
+	q, ok := ds.FindQuery("discover 1.2")
+	if !ok || q.Name != "Discover 1.2" {
+		t.Errorf("FindQuery = %v, %v", q.Name, ok)
+	}
+	if _, ok := ds.FindQuery("nope"); ok {
+		t.Error("FindQuery should miss")
+	}
+}
+
+func TestVocabIRIs(t *testing.T) {
+	v := NewVocab("https://h.example/")
+	if v.NS() != "https://h.example/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/" {
+		t.Errorf("NS = %s", v.NS())
+	}
+	if v.Place("New York").Value != "https://h.example/dbpedia.org/resource/New_York" {
+		t.Errorf("Place = %s", v.Place("New York").Value)
+	}
+	if !strings.Contains(v.Tag("Alan_Turing").Value, "/tag/Alan_Turing") {
+		t.Errorf("Tag = %s", v.Tag("Alan_Turing").Value)
+	}
+}
+
+func TestPrivateFractionMarksDocuments(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.PrivateFraction = 0.95
+	ds := Generate(cfg)
+	pods := ds.BuildPods()
+	private := 0
+	for _, p := range pods {
+		for path, d := range p.Documents {
+			if strings.HasPrefix(path, "posts/") && !d.Access.Public {
+				private++
+				if len(d.Access.Agents) == 0 {
+					t.Error("private doc without agents")
+				}
+			}
+		}
+	}
+	if private == 0 {
+		t.Error("no private documents generated")
+	}
+}
+
+func TestRNGBounds(t *testing.T) {
+	r := newRNG(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.intn(10); v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+	}
+	if r.intn(0) != 0 {
+		t.Error("intn(0) should be 0")
+	}
+	if v := r.around(10); v < 5 || v > 20 {
+		t.Errorf("around(10) = %d", v)
+	}
+	if newRNG(0).next() == 0 {
+		t.Error("zero seed should still produce values")
+	}
+}
+
+func TestComplexQueriesParse(t *testing.T) {
+	ds := Generate(SmallConfig())
+	qs := ds.ComplexQueries()
+	if len(qs) != 3 {
+		t.Fatalf("complex queries = %d", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := sparql.ParseQuery(q.Text); err != nil {
+			t.Errorf("%s: %v", q.Name, err)
+		}
+		if !q.MultiPod {
+			t.Errorf("%s should be multi-pod", q.Name)
+		}
+	}
+}
+
+func TestPodsDeterministicIncludingACLs(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.PrivateFraction = 0.5
+	build := func() map[string]bool {
+		pods := Generate(cfg).BuildPods()
+		acl := map[string]bool{}
+		for _, p := range pods {
+			for path, d := range p.Documents {
+				acl[p.IRI(path)] = d.Access.Public
+			}
+		}
+		return acl
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("document sets differ: %d vs %d", len(a), len(b))
+	}
+	for url, pub := range a {
+		if b[url] != pub {
+			t.Fatalf("ACL for %s differs across builds", url)
+		}
+	}
+}
+
+func TestPaperScaleEnvironment(t *testing.T) {
+	// The full §4.2 environment: 1,531 pods. ~17 s and ~3 GB of heap, so
+	// only in full (non -short) runs.
+	if testing.Short() {
+		t.Skip("paper-scale generation (~17s, ~3GB)")
+	}
+	ds := Generate(PaperConfig())
+	stats := ComputeStats(ds.BuildPods())
+	if stats.Pods != PaperStats.Pods {
+		t.Fatalf("pods = %d, want %d", stats.Pods, PaperStats.Pods)
+	}
+	// Within 15% of the paper's reported file and triple counts.
+	within := func(got, want int) bool {
+		diff := float64(got-want) / float64(want)
+		return diff > -0.15 && diff < 0.15
+	}
+	if !within(stats.Files, PaperStats.Files) {
+		t.Errorf("files = %d, paper = %d", stats.Files, PaperStats.Files)
+	}
+	if !within(stats.Triples, PaperStats.Triples) {
+		t.Errorf("triples = %d, paper = %d", stats.Triples, PaperStats.Triples)
+	}
+}

@@ -1,0 +1,456 @@
+package sparql
+
+import (
+	"strings"
+
+	"ltqp/internal/rdf"
+)
+
+// QueryForm identifies the query form.
+type QueryForm uint8
+
+const (
+	// FormSelect is a SELECT query.
+	FormSelect QueryForm = iota
+	// FormAsk is an ASK query.
+	FormAsk
+	// FormConstruct is a CONSTRUCT query.
+	FormConstruct
+	// FormDescribe is a DESCRIBE query (evaluated as CBD of the resources).
+	FormDescribe
+)
+
+// Query is a parsed SPARQL query.
+type Query struct {
+	Form     QueryForm
+	Base     string
+	Prefixes map[string]string
+
+	// SELECT components.
+	Distinct bool
+	Reduced  bool
+	// Projection lists the projected items; empty means SELECT *.
+	Projection []SelectItem
+
+	// CONSTRUCT template (also used for DESCRIBE resources via Describe).
+	Template []TriplePattern
+	// Describe lists the terms/variables to describe for DESCRIBE queries.
+	Describe []rdf.Term
+
+	// From lists the dataset IRIs of FROM / FROM NAMED clauses. The
+	// traversal engine treats them as additional seed documents.
+	From []string
+
+	// Where is the query pattern.
+	Where *GroupPattern
+
+	GroupBy []GroupCondition
+	Having  []Expression
+	OrderBy []OrderCondition
+	Limit   int // -1 when absent
+	Offset  int
+
+	// Values is the trailing VALUES block, if any.
+	Values *ValuesPattern
+}
+
+// SelectItem is one projection item: a plain variable or (expr AS ?var).
+type SelectItem struct {
+	Var  string
+	Expr Expression // nil for a plain variable
+}
+
+// GroupCondition is one GROUP BY condition: a variable, or expr (AS var).
+type GroupCondition struct {
+	Var  string
+	Expr Expression // nil when grouping on a plain variable
+}
+
+// OrderCondition is one ORDER BY condition.
+type OrderCondition struct {
+	Expr Expression
+	Desc bool
+}
+
+// TriplePattern is a subject-path-object pattern. For simple predicates the
+// path is a PathIRI; richer paths come from the property-path grammar.
+type TriplePattern struct {
+	S    rdf.Term
+	Path Path
+	O    rdf.Term
+}
+
+// IsSimple reports whether the pattern's path is a plain predicate IRI.
+func (tp TriplePattern) IsSimple() (rdf.Triple, bool) {
+	if p, ok := tp.Path.(PathIRI); ok {
+		return rdf.NewTriple(tp.S, rdf.NewIRI(p.IRI), tp.O), true
+	}
+	return rdf.Triple{}, false
+}
+
+// Path is a SPARQL 1.1 property path.
+type Path interface{ isPath() }
+
+// PathIRI is a plain predicate.
+type PathIRI struct{ IRI string }
+
+// PathInverse is ^path.
+type PathInverse struct{ Path Path }
+
+// PathSequence is path1/path2/...
+type PathSequence struct{ Parts []Path }
+
+// PathAlternative is path1|path2|...
+type PathAlternative struct{ Parts []Path }
+
+// PathZeroOrMore is path*.
+type PathZeroOrMore struct{ Path Path }
+
+// PathOneOrMore is path+.
+type PathOneOrMore struct{ Path Path }
+
+// PathZeroOrOne is path?.
+type PathZeroOrOne struct{ Path Path }
+
+// PathNegated is !(iri1|^iri2|...), a negated property set.
+type PathNegated struct {
+	// Forward lists forbidden forward predicates, Inverse forbidden inverse
+	// predicates.
+	Forward []string
+	Inverse []string
+}
+
+func (PathIRI) isPath()         {}
+func (PathInverse) isPath()     {}
+func (PathSequence) isPath()    {}
+func (PathAlternative) isPath() {}
+func (PathZeroOrMore) isPath()  {}
+func (PathOneOrMore) isPath()   {}
+func (PathZeroOrOne) isPath()   {}
+func (PathNegated) isPath()     {}
+
+// GraphPattern is a node of the WHERE-clause pattern tree.
+type GraphPattern interface{ isPattern() }
+
+// BGP is a basic graph pattern: a conjunction of triple patterns.
+type BGP struct{ Patterns []TriplePattern }
+
+// GroupPattern is a `{ ... }` group: the join of its elements in order.
+type GroupPattern struct{ Elements []GraphPattern }
+
+// OptionalPattern is OPTIONAL { ... }. Filters syntactically inside the
+// optional group become part of the left-join condition during algebra
+// translation, per the SPARQL semantics.
+type OptionalPattern struct {
+	Pattern GraphPattern
+}
+
+// UnionPattern is { A } UNION { B }.
+type UnionPattern struct{ Left, Right GraphPattern }
+
+// MinusPattern is MINUS { ... }.
+type MinusPattern struct{ Pattern GraphPattern }
+
+// FilterPattern is FILTER(expr); it scopes over its enclosing group.
+type FilterPattern struct{ Expr Expression }
+
+// BindPattern is BIND(expr AS ?var).
+type BindPattern struct {
+	Expr Expression
+	Var  string
+}
+
+// ValuesPattern is an inline VALUES data block.
+type ValuesPattern struct {
+	Vars []string
+	// Rows holds one binding per row; unbound positions are absent.
+	Rows []rdf.Binding
+}
+
+// GraphGraphPattern is GRAPH term { ... }. The traversal engine queries
+// the union of all dereferenced documents and retains each triple's
+// provenance: a constant graph term restricts matches to triples from that
+// document, a variable graph term binds to the source document.
+type GraphGraphPattern struct {
+	Graph   rdf.Term
+	Pattern GraphPattern
+}
+
+// SubSelect is a nested SELECT query inside a group.
+type SubSelect struct{ Query *Query }
+
+func (BGP) isPattern()               {}
+func (GroupPattern) isPattern()      {}
+func (OptionalPattern) isPattern()   {}
+func (UnionPattern) isPattern()      {}
+func (MinusPattern) isPattern()      {}
+func (FilterPattern) isPattern()     {}
+func (BindPattern) isPattern()       {}
+func (ValuesPattern) isPattern()     {}
+func (GraphGraphPattern) isPattern() {}
+func (SubSelect) isPattern()         {}
+
+// Expression is a SPARQL expression tree node.
+type Expression interface{ isExpr() }
+
+// ExprVar references a variable.
+type ExprVar struct{ Name string }
+
+// ExprTerm is a constant RDF term.
+type ExprTerm struct{ Term rdf.Term }
+
+// ExprBinary is a binary operation: || && = != < > <= >= + - * / .
+type ExprBinary struct {
+	Op   string
+	L, R Expression
+}
+
+// ExprUnary is a unary operation: ! - + .
+type ExprUnary struct {
+	Op string
+	X  Expression
+}
+
+// ExprCall is a builtin function call or aggregate.
+type ExprCall struct {
+	Func     string // upper-cased
+	Args     []Expression
+	Distinct bool   // aggregates: COUNT(DISTINCT ...)
+	Star     bool   // COUNT(*)
+	Sep      string // GROUP_CONCAT separator
+}
+
+// ExprExists is EXISTS { ... } / NOT EXISTS { ... }.
+type ExprExists struct {
+	Not     bool
+	Pattern GraphPattern
+}
+
+// ExprIn is `expr IN (e1, e2, ...)` / NOT IN.
+type ExprIn struct {
+	Not  bool
+	X    Expression
+	List []Expression
+}
+
+func (ExprVar) isExpr()    {}
+func (ExprTerm) isExpr()   {}
+func (ExprBinary) isExpr() {}
+func (ExprUnary) isExpr()  {}
+func (ExprCall) isExpr()   {}
+func (ExprExists) isExpr() {}
+func (ExprIn) isExpr()     {}
+
+// aggregateFuncs enumerates the SPARQL aggregate function names.
+var aggregateFuncs = map[string]bool{
+	"COUNT": true, "SUM": true, "MIN": true, "MAX": true,
+	"AVG": true, "SAMPLE": true, "GROUP_CONCAT": true,
+}
+
+// IsAggregate reports whether the call is an aggregate function.
+func (c ExprCall) IsAggregate() bool { return aggregateFuncs[c.Func] }
+
+// HasAggregates reports whether the expression contains any aggregate call.
+func HasAggregates(e Expression) bool {
+	switch x := e.(type) {
+	case ExprCall:
+		if x.IsAggregate() {
+			return true
+		}
+		for _, a := range x.Args {
+			if HasAggregates(a) {
+				return true
+			}
+		}
+	case ExprBinary:
+		return HasAggregates(x.L) || HasAggregates(x.R)
+	case ExprUnary:
+		return HasAggregates(x.X)
+	case ExprIn:
+		if HasAggregates(x.X) {
+			return true
+		}
+		for _, a := range x.List {
+			if HasAggregates(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ExprVars appends the variables referenced by the expression to out.
+func ExprVars(e Expression, out map[string]bool) {
+	switch x := e.(type) {
+	case ExprVar:
+		out[x.Name] = true
+	case ExprBinary:
+		ExprVars(x.L, out)
+		ExprVars(x.R, out)
+	case ExprUnary:
+		ExprVars(x.X, out)
+	case ExprCall:
+		for _, a := range x.Args {
+			ExprVars(a, out)
+		}
+	case ExprIn:
+		ExprVars(x.X, out)
+		for _, a := range x.List {
+			ExprVars(a, out)
+		}
+	case ExprExists:
+		PatternVars(x.Pattern, out)
+	}
+}
+
+// PatternVars collects all variables mentioned in a pattern tree.
+func PatternVars(p GraphPattern, out map[string]bool) {
+	switch x := p.(type) {
+	case BGP:
+		for _, tp := range x.Patterns {
+			for _, t := range []rdf.Term{tp.S, tp.O} {
+				if t.IsVar() {
+					out[t.Value] = true
+				}
+			}
+			if pv, ok := tp.Path.(PathVar); ok {
+				out[pv.Name] = true
+			}
+		}
+	case *GroupPattern:
+		for _, e := range x.Elements {
+			PatternVars(e, out)
+		}
+	case GroupPattern:
+		for _, e := range x.Elements {
+			PatternVars(e, out)
+		}
+	case OptionalPattern:
+		PatternVars(x.Pattern, out)
+	case UnionPattern:
+		PatternVars(x.Left, out)
+		PatternVars(x.Right, out)
+	case MinusPattern:
+		PatternVars(x.Pattern, out)
+	case FilterPattern:
+		ExprVars(x.Expr, out)
+	case BindPattern:
+		out[x.Var] = true
+		ExprVars(x.Expr, out)
+	case ValuesPattern:
+		for _, v := range x.Vars {
+			out[v] = true
+		}
+	case GraphGraphPattern:
+		if x.Graph.IsVar() {
+			out[x.Graph.Value] = true
+		}
+		PatternVars(x.Pattern, out)
+	case SubSelect:
+		for _, item := range x.Query.Projection {
+			out[item.Var] = true
+		}
+	}
+}
+
+// MentionedIRIs collects the IRIs that occur in subject or object position
+// of the query pattern. The engine uses them as fallback seed URLs when no
+// explicit seeds are supplied ("query-based seed URL selection", §4.1).
+func (q *Query) MentionedIRIs() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(t rdf.Term) {
+		if t.Kind == rdf.TermIRI && rdf.IsHTTPIRI(t.Value) {
+			doc := rdf.DocumentIRI(t)
+			if !seen[doc] {
+				seen[doc] = true
+				out = append(out, doc)
+			}
+		}
+	}
+	var walk func(p GraphPattern)
+	walk = func(p GraphPattern) {
+		switch x := p.(type) {
+		case BGP:
+			for _, tp := range x.Patterns {
+				add(tp.S)
+				// Class IRIs in rdf:type objects are vocabulary, not data
+				// documents; they make poor seeds.
+				if pi, ok := tp.Path.(PathIRI); ok && pi.IRI == rdf.RDFType {
+					continue
+				}
+				add(tp.O)
+			}
+		case *GroupPattern:
+			for _, e := range x.Elements {
+				walk(e)
+			}
+		case GroupPattern:
+			for _, e := range x.Elements {
+				walk(e)
+			}
+		case OptionalPattern:
+			walk(x.Pattern)
+		case UnionPattern:
+			walk(x.Left)
+			walk(x.Right)
+		case MinusPattern:
+			walk(x.Pattern)
+		case GraphGraphPattern:
+			walk(x.Pattern)
+		case SubSelect:
+			if x.Query.Where != nil {
+				walk(*x.Query.Where)
+			}
+		case ValuesPattern:
+			for _, row := range x.Rows {
+				for _, t := range row {
+					add(t)
+				}
+			}
+		}
+	}
+	if q.Where != nil {
+		walk(*q.Where)
+	}
+	if q.Values != nil {
+		walk(*q.Values)
+	}
+	// DESCRIBE <iri> queries mention their resources outside the pattern.
+	for _, d := range q.Describe {
+		add(d)
+	}
+	// FROM clauses name data documents explicitly.
+	for _, f := range q.From {
+		add(rdf.NewIRI(f))
+	}
+	return out
+}
+
+// ProjectedVars returns the output variable names of the query in
+// projection order. For SELECT * it computes the visible pattern variables
+// in sorted order.
+func (q *Query) ProjectedVars() []string {
+	if len(q.Projection) > 0 {
+		vars := make([]string, len(q.Projection))
+		for i, item := range q.Projection {
+			vars[i] = item.Var
+		}
+		return vars
+	}
+	set := map[string]bool{}
+	if q.Where != nil {
+		PatternVars(*q.Where, set)
+	}
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	// Sorted for determinism.
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && strings.Compare(vars[j], vars[j-1]) < 0; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	return vars
+}

@@ -1,0 +1,33 @@
+package sparql
+
+import "testing"
+
+const benchQuery = `
+PREFIX snvoc: <https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/>
+SELECT DISTINCT ?creator ?messageContent WHERE {
+  <https://solidbench.linkeddatafragments.org/pods/00000006597069767117/profile/card#me> snvoc:likes _:g_0.
+  _:g_0 (snvoc:hasPost|snvoc:hasComment) ?message.
+  ?message snvoc:hasCreator ?creator.
+  ?otherMessage snvoc:hasCreator ?creator;
+    snvoc:content ?messageContent.
+  FILTER(STRLEN(?messageContent) > 3 && ?creator != <https://x.example/card#me>)
+  OPTIONAL { ?message snvoc:creationDate ?d }
+} ORDER BY ?creator LIMIT 100`
+
+func BenchmarkParseQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseQuery(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLexQuery(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := lexAll(benchQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

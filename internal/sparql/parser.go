@@ -1,0 +1,822 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"ltqp/internal/rdf"
+)
+
+// ParseQuery parses a SPARQL query string into its AST.
+func ParseQuery(input string) (*Query, error) {
+	toks, err := lexAll(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks, prefixes: map[string]string{}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// qparser is the recursive-descent parser state.
+type qparser struct {
+	toks     []token
+	pos      int
+	base     string
+	prefixes map[string]string
+	bnodeN   int
+}
+
+func (p *qparser) cur() token  { return p.toks[p.pos] }
+func (p *qparser) advance()    { p.pos++ }
+func (p *qparser) peek() token { return p.toks[p.pos] }
+
+func (p *qparser) peekAt(off int) token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *qparser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sparql: line %d: %s", p.cur().line, fmt.Sprintf(format, args...))
+}
+
+// isKeyword reports whether the current token is the given case-insensitive
+// keyword.
+func (p *qparser) isKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokKeyword && strings.EqualFold(t.text, kw)
+}
+
+// acceptKeyword consumes the keyword if present.
+func (p *qparser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or errors.
+func (p *qparser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s, got %s", kw, p.cur())
+	}
+	return nil
+}
+
+// isPunct reports whether the current token is the given punctuation.
+func (p *qparser) isPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+// acceptPunct consumes the punctuation if present.
+func (p *qparser) acceptPunct(s string) bool {
+	if p.isPunct(s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expectPunct consumes the punctuation or errors.
+func (p *qparser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errf("expected %q, got %s", s, p.cur())
+	}
+	return nil
+}
+
+// freshBlank mints a parser-scoped blank node, used for anonymous nodes in
+// patterns (which act as non-projectable variables).
+func (p *qparser) freshBlank() rdf.Term {
+	p.bnodeN++
+	return rdf.NewBlank(fmt.Sprintf("q.genid%d", p.bnodeN))
+}
+
+// expandPName expands "prefix:local" using declared prefixes.
+func (p *qparser) expandPName(pname string) (string, error) {
+	i := strings.IndexByte(pname, ':')
+	ns, ok := p.prefixes[pname[:i]]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", pname[:i])
+	}
+	return ns + pname[i+1:], nil
+}
+
+// parseQuery parses Prologue + query form + final VALUES.
+func (p *qparser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1, Prefixes: p.prefixes}
+	// Prologue.
+	for {
+		switch {
+		case p.isKeyword("PREFIX"):
+			p.advance()
+			t := p.cur()
+			if t.kind != tokPName || !strings.HasSuffix(t.text, ":") {
+				return nil, p.errf("expected prefix declaration, got %s", t)
+			}
+			label := strings.TrimSuffix(t.text, ":")
+			p.advance()
+			iri := p.cur()
+			if iri.kind != tokIRI {
+				return nil, p.errf("expected IRI in PREFIX, got %s", iri)
+			}
+			p.prefixes[label] = rdf.ResolveIRI(p.base, iri.text)
+			p.advance()
+		case p.isKeyword("BASE"):
+			p.advance()
+			iri := p.cur()
+			if iri.kind != tokIRI {
+				return nil, p.errf("expected IRI in BASE, got %s", iri)
+			}
+			p.base = iri.text
+			q.Base = p.base
+			p.advance()
+		default:
+			goto form
+		}
+	}
+form:
+	switch {
+	case p.isKeyword("SELECT"):
+		if err := p.parseSelect(q); err != nil {
+			return nil, err
+		}
+	case p.isKeyword("ASK"):
+		p.advance()
+		q.Form = FormAsk
+		if err := p.parseDatasetClauses(q); err != nil {
+			return nil, err
+		}
+		where, err := p.parseWhereClause()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = where
+		if err := p.parseSolutionModifiers(q); err != nil {
+			return nil, err
+		}
+	case p.isKeyword("CONSTRUCT"):
+		if err := p.parseConstruct(q); err != nil {
+			return nil, err
+		}
+	case p.isKeyword("DESCRIBE"):
+		if err := p.parseDescribe(q); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected SELECT, ASK, CONSTRUCT or DESCRIBE, got %s", p.cur())
+	}
+	// Trailing VALUES clause.
+	if p.isKeyword("VALUES") {
+		v, err := p.parseValues()
+		if err != nil {
+			return nil, err
+		}
+		q.Values = &v
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing input: %s", p.cur())
+	}
+	return q, nil
+}
+
+// parseSelect parses the SELECT form.
+func (p *qparser) parseSelect(q *Query) error {
+	p.advance() // SELECT
+	q.Form = FormSelect
+	if p.acceptKeyword("DISTINCT") {
+		q.Distinct = true
+	} else if p.acceptKeyword("REDUCED") {
+		q.Reduced = true
+	}
+	if p.acceptPunct("*") {
+		// SELECT * — empty projection.
+	} else {
+		for {
+			t := p.cur()
+			if t.kind == tokVar {
+				q.Projection = append(q.Projection, SelectItem{Var: t.text})
+				p.advance()
+			} else if p.isPunct("(") {
+				p.advance()
+				expr, err := p.parseExpression()
+				if err != nil {
+					return err
+				}
+				if err := p.expectKeyword("AS"); err != nil {
+					return err
+				}
+				v := p.cur()
+				if v.kind != tokVar {
+					return p.errf("expected variable after AS, got %s", v)
+				}
+				p.advance()
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				q.Projection = append(q.Projection, SelectItem{Var: v.text, Expr: expr})
+			} else {
+				break
+			}
+		}
+		if len(q.Projection) == 0 {
+			return p.errf("SELECT requires at least one variable or *")
+		}
+	}
+	if err := p.parseDatasetClauses(q); err != nil {
+		return err
+	}
+	where, err := p.parseWhereClause()
+	if err != nil {
+		return err
+	}
+	q.Where = where
+	return p.parseSolutionModifiers(q)
+}
+
+// parseConstruct parses CONSTRUCT { template } WHERE { ... } and the
+// abbreviated CONSTRUCT WHERE { bgp } form.
+func (p *qparser) parseConstruct(q *Query) error {
+	p.advance() // CONSTRUCT
+	q.Form = FormConstruct
+	if p.isPunct("{") {
+		p.advance()
+		tmpl, err := p.parseTriplesBlock()
+		if err != nil {
+			return err
+		}
+		q.Template = tmpl
+		if err := p.expectPunct("}"); err != nil {
+			return err
+		}
+		if err := p.parseDatasetClauses(q); err != nil {
+			return err
+		}
+		where, err := p.parseWhereClause()
+		if err != nil {
+			return err
+		}
+		q.Where = where
+	} else {
+		// CONSTRUCT WHERE { pattern } — template is the pattern itself.
+		if err := p.expectKeyword("WHERE"); err != nil {
+			return err
+		}
+		if err := p.expectPunct("{"); err != nil {
+			return err
+		}
+		tmpl, err := p.parseTriplesBlock()
+		if err != nil {
+			return err
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return err
+		}
+		q.Template = tmpl
+		q.Where = &GroupPattern{Elements: []GraphPattern{BGP{Patterns: tmpl}}}
+	}
+	return p.parseSolutionModifiers(q)
+}
+
+// parseDescribe parses DESCRIBE (var|iri)+ WHERE? { ... }.
+func (p *qparser) parseDescribe(q *Query) error {
+	p.advance()
+	q.Form = FormDescribe
+	if p.acceptPunct("*") {
+		// DESCRIBE * — all pattern variables.
+	} else {
+		for {
+			t := p.cur()
+			switch t.kind {
+			case tokVar:
+				q.Describe = append(q.Describe, rdf.NewVar(t.text))
+				p.advance()
+				continue
+			case tokIRI:
+				q.Describe = append(q.Describe, rdf.NewIRI(rdf.ResolveIRI(p.base, t.text)))
+				p.advance()
+				continue
+			case tokPName:
+				iri, err := p.expandPName(t.text)
+				if err != nil {
+					return err
+				}
+				q.Describe = append(q.Describe, rdf.NewIRI(iri))
+				p.advance()
+				continue
+			}
+			break
+		}
+		if len(q.Describe) == 0 {
+			return p.errf("DESCRIBE requires at least one resource")
+		}
+	}
+	if err := p.parseDatasetClauses(q); err != nil {
+		return err
+	}
+	if p.isPunct("{") || p.isKeyword("WHERE") {
+		where, err := p.parseWhereClause()
+		if err != nil {
+			return err
+		}
+		q.Where = where
+	} else {
+		q.Where = &GroupPattern{}
+	}
+	return p.parseSolutionModifiers(q)
+}
+
+// parseDatasetClauses parses (FROM NAMED? IRI)* into q.From.
+func (p *qparser) parseDatasetClauses(q *Query) error {
+	for p.isKeyword("FROM") {
+		p.advance()
+		p.acceptKeyword("NAMED")
+		t, err := p.parseVarOrIRI()
+		if err != nil {
+			return err
+		}
+		if t.Kind != rdf.TermIRI {
+			return p.errf("expected IRI in FROM clause")
+		}
+		q.From = append(q.From, t.Value)
+	}
+	return nil
+}
+
+// parseWhereClause parses WHERE? GroupGraphPattern.
+func (p *qparser) parseWhereClause() (*GroupPattern, error) {
+	p.acceptKeyword("WHERE")
+	gp, err := p.parseGroupGraphPattern()
+	if err != nil {
+		return nil, err
+	}
+	if g, ok := gp.(GroupPattern); ok {
+		return &g, nil
+	}
+	return &GroupPattern{Elements: []GraphPattern{gp}}, nil
+}
+
+// parseSolutionModifiers parses GROUP BY, HAVING, ORDER BY, LIMIT, OFFSET.
+func (p *qparser) parseSolutionModifiers(q *Query) error {
+	if p.isKeyword("GROUP") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			t := p.cur()
+			if t.kind == tokVar {
+				q.GroupBy = append(q.GroupBy, GroupCondition{Var: t.text})
+				p.advance()
+				continue
+			}
+			if p.isPunct("(") {
+				p.advance()
+				expr, err := p.parseExpression()
+				if err != nil {
+					return err
+				}
+				gc := GroupCondition{Expr: expr}
+				if p.acceptKeyword("AS") {
+					v := p.cur()
+					if v.kind != tokVar {
+						return p.errf("expected variable after AS")
+					}
+					gc.Var = v.text
+					p.advance()
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				q.GroupBy = append(q.GroupBy, gc)
+				continue
+			}
+			break
+		}
+		if len(q.GroupBy) == 0 {
+			return p.errf("GROUP BY requires at least one condition")
+		}
+	}
+	if p.isKeyword("HAVING") {
+		p.advance()
+		for p.isPunct("(") {
+			p.advance()
+			expr, err := p.parseExpression()
+			if err != nil {
+				return err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return err
+			}
+			q.Having = append(q.Having, expr)
+		}
+		if len(q.Having) == 0 {
+			return p.errf("HAVING requires at least one constraint")
+		}
+	}
+	if p.isKeyword("ORDER") {
+		p.advance()
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			switch {
+			case p.isKeyword("ASC"), p.isKeyword("DESC"):
+				desc := p.isKeyword("DESC")
+				p.advance()
+				if err := p.expectPunct("("); err != nil {
+					return err
+				}
+				expr, err := p.parseExpression()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				q.OrderBy = append(q.OrderBy, OrderCondition{Expr: expr, Desc: desc})
+				continue
+			case p.cur().kind == tokVar:
+				q.OrderBy = append(q.OrderBy, OrderCondition{Expr: ExprVar{Name: p.cur().text}})
+				p.advance()
+				continue
+			case p.isPunct("("):
+				p.advance()
+				expr, err := p.parseExpression()
+				if err != nil {
+					return err
+				}
+				if err := p.expectPunct(")"); err != nil {
+					return err
+				}
+				q.OrderBy = append(q.OrderBy, OrderCondition{Expr: expr})
+				continue
+			case p.cur().kind == tokKeyword && isBuiltinName(p.cur().text):
+				expr, err := p.parsePrimaryExpression()
+				if err != nil {
+					return err
+				}
+				q.OrderBy = append(q.OrderBy, OrderCondition{Expr: expr})
+				continue
+			}
+			break
+		}
+		if len(q.OrderBy) == 0 {
+			return p.errf("ORDER BY requires at least one condition")
+		}
+	}
+	// LIMIT and OFFSET in either order.
+	for {
+		switch {
+		case p.isKeyword("LIMIT"):
+			p.advance()
+			n, err := p.parseNonNegInt()
+			if err != nil {
+				return err
+			}
+			q.Limit = n
+		case p.isKeyword("OFFSET"):
+			p.advance()
+			n, err := p.parseNonNegInt()
+			if err != nil {
+				return err
+			}
+			q.Offset = n
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *qparser) parseNonNegInt() (int, error) {
+	t := p.cur()
+	if t.kind != tokInteger {
+		return 0, p.errf("expected integer, got %s", t)
+	}
+	p.advance()
+	n := 0
+	for _, c := range t.text {
+		n = n*10 + int(c-'0')
+	}
+	return n, nil
+}
+
+// parseGroupGraphPattern parses `{ ... }` including subselects.
+func (p *qparser) parseGroupGraphPattern() (GraphPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("SELECT") {
+		sub := &Query{Limit: -1, Prefixes: p.prefixes}
+		if err := p.parseSelect(sub); err != nil {
+			return nil, err
+		}
+		if p.isKeyword("VALUES") {
+			v, err := p.parseValues()
+			if err != nil {
+				return nil, err
+			}
+			sub.Values = &v
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return SubSelect{Query: sub}, nil
+	}
+	group := GroupPattern{}
+	for {
+		if p.isPunct("}") {
+			p.advance()
+			return group, nil
+		}
+		switch {
+		case p.isKeyword("OPTIONAL"):
+			p.advance()
+			inner, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			group.Elements = append(group.Elements, OptionalPattern{Pattern: inner})
+		case p.isKeyword("MINUS"):
+			p.advance()
+			inner, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			group.Elements = append(group.Elements, MinusPattern{Pattern: inner})
+		case p.isKeyword("FILTER"):
+			p.advance()
+			expr, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			group.Elements = append(group.Elements, FilterPattern{Expr: expr})
+		case p.isKeyword("BIND"):
+			p.advance()
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			expr, err := p.parseExpression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			v := p.cur()
+			if v.kind != tokVar {
+				return nil, p.errf("expected variable after AS, got %s", v)
+			}
+			p.advance()
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			group.Elements = append(group.Elements, BindPattern{Expr: expr, Var: v.text})
+		case p.isKeyword("VALUES"):
+			v, err := p.parseValues()
+			if err != nil {
+				return nil, err
+			}
+			group.Elements = append(group.Elements, v)
+		case p.isKeyword("GRAPH"):
+			p.advance()
+			g, err := p.parseVarOrIRI()
+			if err != nil {
+				return nil, err
+			}
+			inner, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			group.Elements = append(group.Elements, GraphGraphPattern{Graph: g, Pattern: inner})
+		case p.isKeyword("SERVICE"):
+			return nil, p.errf("SERVICE (federation) is not supported by the traversal engine")
+		case p.isPunct("{"):
+			first, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			for p.isKeyword("UNION") {
+				p.advance()
+				right, err := p.parseGroupGraphPattern()
+				if err != nil {
+					return nil, err
+				}
+				first = UnionPattern{Left: first, Right: right}
+			}
+			group.Elements = append(group.Elements, first)
+		default:
+			bgp, err := p.parseTriplesBlock()
+			if err != nil {
+				return nil, err
+			}
+			if len(bgp) > 0 {
+				group.Elements = append(group.Elements, BGP{Patterns: bgp})
+			} else {
+				return nil, p.errf("unexpected token %s in group graph pattern", p.cur())
+			}
+		}
+		p.acceptPunct(".")
+	}
+}
+
+// parseConstraint parses a FILTER constraint: parenthesized expression or
+// builtin call.
+func (p *qparser) parseConstraint() (Expression, error) {
+	if p.isPunct("(") {
+		p.advance()
+		expr, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return expr, nil
+	}
+	return p.parsePrimaryExpression()
+}
+
+// parseVarOrIRI parses a variable or IRI term.
+func (p *qparser) parseVarOrIRI() (rdf.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		return rdf.NewVar(t.text), nil
+	case tokIRI:
+		p.advance()
+		return rdf.NewIRI(rdf.ResolveIRI(p.base, t.text)), nil
+	case tokPName:
+		iri, err := p.expandPName(t.text)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		p.advance()
+		return rdf.NewIRI(iri), nil
+	}
+	return rdf.Term{}, p.errf("expected variable or IRI, got %s", t)
+}
+
+// parseValues parses a VALUES data block.
+func (p *qparser) parseValues() (ValuesPattern, error) {
+	p.advance() // VALUES
+	v := ValuesPattern{}
+	multi := false
+	if p.acceptPunct("(") {
+		multi = true
+		for p.cur().kind == tokVar {
+			v.Vars = append(v.Vars, p.cur().text)
+			p.advance()
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return v, err
+		}
+	} else {
+		t := p.cur()
+		if t.kind != tokVar {
+			return v, p.errf("expected variable in VALUES, got %s", t)
+		}
+		v.Vars = []string{t.text}
+		p.advance()
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return v, err
+	}
+	for !p.isPunct("}") {
+		row := rdf.NewBinding()
+		if multi {
+			if err := p.expectPunct("("); err != nil {
+				return v, err
+			}
+			for i := 0; i < len(v.Vars); i++ {
+				term, undef, err := p.parseDataValue()
+				if err != nil {
+					return v, err
+				}
+				if !undef {
+					row[v.Vars[i]] = term
+				}
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return v, err
+			}
+		} else {
+			term, undef, err := p.parseDataValue()
+			if err != nil {
+				return v, err
+			}
+			if !undef {
+				row[v.Vars[0]] = term
+			}
+		}
+		v.Rows = append(v.Rows, row)
+	}
+	p.advance() // '}'
+	return v, nil
+}
+
+// parseDataValue parses one VALUES cell: an IRI, literal, or UNDEF.
+func (p *qparser) parseDataValue() (rdf.Term, bool, error) {
+	if p.isKeyword("UNDEF") {
+		p.advance()
+		return rdf.Term{}, true, nil
+	}
+	term, err := p.parseGraphTerm()
+	if err != nil {
+		return rdf.Term{}, false, err
+	}
+	return term, false, nil
+}
+
+// parseGraphTerm parses a constant term: IRI, literal, boolean, number.
+func (p *qparser) parseGraphTerm() (rdf.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIRI:
+		p.advance()
+		return rdf.NewIRI(rdf.ResolveIRI(p.base, t.text)), nil
+	case tokPName:
+		iri, err := p.expandPName(t.text)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		p.advance()
+		return rdf.NewIRI(iri), nil
+	case tokString:
+		p.advance()
+		return p.parseLiteralTail(t.text)
+	case tokInteger:
+		p.advance()
+		return rdf.NewTypedLiteral(t.text, rdf.XSDInteger), nil
+	case tokDecimal:
+		p.advance()
+		return rdf.NewTypedLiteral(t.text, rdf.XSDDecimal), nil
+	case tokDouble:
+		p.advance()
+		return rdf.NewTypedLiteral(t.text, rdf.XSDDouble), nil
+	case tokKeyword:
+		if strings.EqualFold(t.text, "true") {
+			p.advance()
+			return rdf.Boolean(true), nil
+		}
+		if strings.EqualFold(t.text, "false") {
+			p.advance()
+			return rdf.Boolean(false), nil
+		}
+	case tokPunct:
+		if t.text == "-" || t.text == "+" {
+			// Signed numeric literal.
+			sign := t.text
+			p.advance()
+			n := p.cur()
+			switch n.kind {
+			case tokInteger:
+				p.advance()
+				return rdf.NewTypedLiteral(sign+n.text, rdf.XSDInteger), nil
+			case tokDecimal:
+				p.advance()
+				return rdf.NewTypedLiteral(sign+n.text, rdf.XSDDecimal), nil
+			case tokDouble:
+				p.advance()
+				return rdf.NewTypedLiteral(sign+n.text, rdf.XSDDouble), nil
+			}
+			return rdf.Term{}, p.errf("expected number after %q", sign)
+		}
+	}
+	return rdf.Term{}, p.errf("expected RDF term, got %s", t)
+}
+
+// parseLiteralTail attaches @lang or ^^datatype to a scanned string.
+func (p *qparser) parseLiteralTail(lex string) (rdf.Term, error) {
+	t := p.cur()
+	if t.kind == tokLangTag {
+		p.advance()
+		return rdf.NewLangLiteral(lex, t.text), nil
+	}
+	if t.kind == tokPunct && t.text == "^^" {
+		p.advance()
+		dt := p.cur()
+		switch dt.kind {
+		case tokIRI:
+			p.advance()
+			return rdf.NewTypedLiteral(lex, rdf.ResolveIRI(p.base, dt.text)), nil
+		case tokPName:
+			iri, err := p.expandPName(dt.text)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			p.advance()
+			return rdf.NewTypedLiteral(lex, iri), nil
+		}
+		return rdf.Term{}, p.errf("expected datatype IRI after ^^")
+	}
+	return rdf.NewLiteral(lex), nil
+}

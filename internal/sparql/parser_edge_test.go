@@ -1,0 +1,269 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"ltqp/internal/rdf"
+)
+
+func TestParseDescribeForms(t *testing.T) {
+	q := mustParseQuery(t, `DESCRIBE <http://a> <http://b>`)
+	if q.Form != FormDescribe || len(q.Describe) != 2 {
+		t.Errorf("describe = %#v", q.Describe)
+	}
+	q = mustParseQuery(t, `PREFIX ex: <http://example.org/>
+DESCRIBE ex:thing`)
+	if q.Describe[0] != rdf.NewIRI("http://example.org/thing") {
+		t.Errorf("prefixed describe = %v", q.Describe[0])
+	}
+	q = mustParseQuery(t, `DESCRIBE ?x WHERE { ?x a <http://C> }`)
+	if len(q.Describe) != 1 || !q.Describe[0].IsVar() {
+		t.Errorf("var describe = %#v", q.Describe)
+	}
+	q = mustParseQuery(t, `DESCRIBE * WHERE { ?x ?p ?o }`)
+	if len(q.Describe) != 0 {
+		t.Errorf("DESCRIBE * should have empty list: %#v", q.Describe)
+	}
+	if _, err := ParseQuery(`DESCRIBE`); err == nil {
+		t.Error("bare DESCRIBE should fail")
+	}
+}
+
+func TestParseDollarVariables(t *testing.T) {
+	q := mustParseQuery(t, `SELECT $x WHERE { $x ?p ?o }`)
+	if q.Projection[0].Var != "x" {
+		t.Errorf("projection = %#v", q.Projection)
+	}
+}
+
+func TestParseLongStringsAndEscapes(t *testing.T) {
+	q := mustParseQuery(t, `SELECT ?x WHERE {
+  ?x ?p """multi
+line with "quotes" inside""" .
+  ?x ?q 'single' .
+  ?x ?r "tab\tnewline\nunicodeé\U0001F600" .
+}`)
+	bgp := firstBGP(t, q)
+	if o := bgp.Patterns[0].O; !strings.Contains(o.Value, "\"quotes\"") {
+		t.Errorf("long string = %q", o.Value)
+	}
+	if o := bgp.Patterns[2].O; !strings.Contains(o.Value, "\t") || !strings.Contains(o.Value, "é") || !strings.Contains(o.Value, "😀") {
+		t.Errorf("escapes = %q", o.Value)
+	}
+}
+
+func TestParseNumericLiteralForms(t *testing.T) {
+	q := mustParseQuery(t, `SELECT ?x WHERE { ?x ?p ?o FILTER(?o IN (3, 3.25, 4e2, -7, +8, -2.5)) }`)
+	var in ExprIn
+	for _, e := range q.Where.Elements {
+		if f, ok := e.(FilterPattern); ok {
+			in = f.Expr.(ExprIn)
+		}
+	}
+	dts := []string{rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble}
+	for i, want := range dts {
+		term := in.List[i].(ExprTerm).Term
+		if term.Datatype != want {
+			t.Errorf("item %d datatype = %s, want %s", i, term.Datatype, want)
+		}
+	}
+	// Signed numbers arrive as unary expressions or signed literals.
+	if len(in.List) != 6 {
+		t.Errorf("list = %d", len(in.List))
+	}
+}
+
+func TestParseCommentsInQuery(t *testing.T) {
+	q := mustParseQuery(t, `
+# leading comment
+SELECT ?x # trailing
+WHERE {
+  ?x ?p ?o . # in group
+}`)
+	if len(q.Projection) != 1 {
+		t.Error("comment handling broke the query")
+	}
+}
+
+func TestParseGroupByExprAs(t *testing.T) {
+	q := mustParseQuery(t, `
+SELECT ?y (COUNT(*) AS ?n) WHERE { ?x ?p ?o }
+GROUP BY (STRLEN(STR(?x)) AS ?y)`)
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Var != "y" || q.GroupBy[0].Expr == nil {
+		t.Errorf("group by = %#v", q.GroupBy)
+	}
+}
+
+func TestParseOrderByBuiltinCall(t *testing.T) {
+	q := mustParseQuery(t, `SELECT ?x WHERE { ?x ?p ?o } ORDER BY STRLEN(STR(?x)) DESC(?x)`)
+	if len(q.OrderBy) != 2 {
+		t.Fatalf("order by = %#v", q.OrderBy)
+	}
+	if _, ok := q.OrderBy[0].Expr.(ExprCall); !ok {
+		t.Errorf("first cond = %#v", q.OrderBy[0])
+	}
+}
+
+func TestParseNegatedSingleIRI(t *testing.T) {
+	q := mustParseQuery(t, `PREFIX ex: <http://example.org/>
+SELECT ?o WHERE { ?s !ex:p ?o }`)
+	bgp := firstBGP(t, q)
+	neg, ok := bgp.Patterns[0].Path.(PathNegated)
+	if !ok || len(neg.Forward) != 1 || neg.Forward[0] != "http://example.org/p" {
+		t.Errorf("negated = %#v", bgp.Patterns[0].Path)
+	}
+	// 'a' inside a negated set.
+	q = mustParseQuery(t, `SELECT ?o WHERE { ?s !(a) ?o }`)
+	neg = firstBGP(t, q).Patterns[0].Path.(PathNegated)
+	if neg.Forward[0] != rdf.RDFType {
+		t.Errorf("negated a = %#v", neg)
+	}
+}
+
+func TestParseCollectionSubject(t *testing.T) {
+	q := mustParseQuery(t, `PREFIX ex: <http://example.org/>
+SELECT * WHERE { (1 2) ex:p ?o }`)
+	bgp := firstBGP(t, q)
+	// 4 list triples + the main pattern.
+	if len(bgp.Patterns) != 5 {
+		t.Errorf("patterns = %d", len(bgp.Patterns))
+	}
+}
+
+func TestParseEmptyGroupAndNestedGroups(t *testing.T) {
+	q := mustParseQuery(t, `ASK {}`)
+	if len(q.Where.Elements) != 0 {
+		t.Errorf("empty group = %#v", q.Where.Elements)
+	}
+	q = mustParseQuery(t, `SELECT * WHERE { { ?a ?b ?c } { ?c ?d ?e } }`)
+	if len(q.Where.Elements) != 2 {
+		t.Errorf("nested groups = %d", len(q.Where.Elements))
+	}
+}
+
+func TestParseAnonBlankInPattern(t *testing.T) {
+	q := mustParseQuery(t, `PREFIX ex: <http://example.org/>
+SELECT ?n WHERE { [] ex:name ?n . [ ex:age 5 ] ex:name ?m . }`)
+	bgp := firstBGP(t, q)
+	if len(bgp.Patterns) != 3 {
+		t.Fatalf("patterns = %d", len(bgp.Patterns))
+	}
+	if !bgp.Patterns[0].S.IsBlank() {
+		t.Errorf("anon subject = %v", bgp.Patterns[0].S)
+	}
+}
+
+func TestParseFilterBareBuiltin(t *testing.T) {
+	// FILTER EXISTS / FILTER REGEX(...) without outer parens.
+	q := mustParseQuery(t, `PREFIX ex: <http://example.org/>
+SELECT ?x WHERE {
+  ?x ex:p ?o
+  FILTER REGEX(STR(?o), "a")
+  FILTER EXISTS { ?x ex:q ?z }
+}`)
+	n := 0
+	for _, e := range q.Where.Elements {
+		if _, ok := e.(FilterPattern); ok {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("filters = %d", n)
+	}
+}
+
+func TestParseSameSubjectContinuation(t *testing.T) {
+	// Semicolon-separated predicates where a later verb is a path.
+	q := mustParseQuery(t, `PREFIX ex: <http://example.org/>
+SELECT * WHERE { ?x ex:a ?b ; ex:c/ex:d ?e ; ^ex:f ?g . }`)
+	bgp := firstBGP(t, q)
+	if len(bgp.Patterns) != 3 {
+		t.Fatalf("patterns = %d", len(bgp.Patterns))
+	}
+	if _, ok := bgp.Patterns[1].Path.(PathSequence); !ok {
+		t.Errorf("path = %#v", bgp.Patterns[1].Path)
+	}
+	if _, ok := bgp.Patterns[2].Path.(PathInverse); !ok {
+		t.Errorf("inverse = %#v", bgp.Patterns[2].Path)
+	}
+}
+
+func TestParseMoreErrors(t *testing.T) {
+	cases := []string{
+		`SELECT ?x WHERE { ?x ?p "unterminated }`,
+		`SELECT ?x WHERE { ?x ?p ?o } GROUP BY`,
+		`SELECT ?x WHERE { ?x ?p ?o } HAVING`,
+		`SELECT ?x WHERE { ?x ?p ?o } ORDER BY`,
+		`SELECT ?x WHERE { ?x ?p ?o } LIMIT abc`,
+		`SELECT ?x WHERE { ?x ?p ?o FILTER(?x IN 3) }`,
+		`SELECT (COUNT(?x) AS) WHERE { ?x ?p ?o }`,
+		`SELECT ?x WHERE { ?x <http://p>^^ ?o }`,
+		`SELECT ?x WHERE { ?x !(<http://p> ?o }`,
+		`PREFIX SELECT ?x WHERE {}`,
+		`BASE SELECT ?x WHERE {}`,
+		`SELECT ?x WHERE { GRAPH { ?s ?p ?o } }`,
+		`SELECT ?x WHERE { BIND(1 AS 2) }`,
+		`SELECT ?x WHERE { VALUES ?x { "a" `,
+		`SELECT ?x WHERE { ?x ?p "lit"^^"notiri" }`,
+		`CONSTRUCT { ?x ?p } WHERE { ?x ?p ?o }`,
+	}
+	for _, c := range cases {
+		if _, err := ParseQuery(c); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestParseStringEscapeErrors(t *testing.T) {
+	cases := []string{
+		`SELECT ?x WHERE { ?x ?p "bad\qescape" }`,
+		`SELECT ?x WHERE { ?x ?p "trunc\u00" }`,
+		`SELECT ?x WHERE { ?x ?p "badhex\u00zz" }`,
+		"SELECT ?x WHERE { ?x ?p \"newline\nin short\" }",
+	}
+	for _, c := range cases {
+		if _, err := ParseQuery(c); err == nil {
+			t.Errorf("expected error for %q", c)
+		}
+	}
+}
+
+func TestParseProjectionExprWithoutParens(t *testing.T) {
+	// (expr AS ?v) requires parens; a bare expression fails.
+	if _, err := ParseQuery(`SELECT COUNT(?x) WHERE { ?x ?p ?o }`); err == nil {
+		t.Error("bare aggregate in projection should fail")
+	}
+}
+
+func TestParseFromClauses(t *testing.T) {
+	q := mustParseQuery(t, `
+SELECT ?s FROM <https://pods.example/alice/profile/card>
+FROM NAMED <https://pods.example/bob/profile/card>
+WHERE { ?s ?p ?o }`)
+	if len(q.From) != 2 {
+		t.Fatalf("From = %v", q.From)
+	}
+	seeds := q.MentionedIRIs()
+	found := 0
+	for _, s := range seeds {
+		if strings.HasSuffix(s, "/profile/card") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("FROM documents should become seeds: %v", seeds)
+	}
+	// ASK and CONSTRUCT forms too.
+	q = mustParseQuery(t, `ASK FROM <https://x.example/doc> { ?s ?p ?o }`)
+	if len(q.From) != 1 {
+		t.Errorf("ASK From = %v", q.From)
+	}
+	q = mustParseQuery(t, `CONSTRUCT { ?s ?p ?o } FROM <https://x.example/doc> WHERE { ?s ?p ?o }`)
+	if len(q.From) != 1 {
+		t.Errorf("CONSTRUCT From = %v", q.From)
+	}
+	if _, err := ParseQuery(`SELECT ?s FROM ?var WHERE { ?s ?p ?o }`); err == nil {
+		t.Error("FROM with a variable should fail")
+	}
+}

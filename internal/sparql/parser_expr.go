@@ -1,0 +1,324 @@
+package sparql
+
+import (
+	"strings"
+
+	"ltqp/internal/rdf"
+)
+
+// builtinNames lists the builtin function keywords the expression parser
+// recognizes when they are followed by an argument list.
+var builtinNames = map[string]bool{
+	"STR": true, "LANG": true, "LANGMATCHES": true, "DATATYPE": true,
+	"BOUND": true, "IRI": true, "URI": true, "BNODE": true,
+	"RAND": true, "ABS": true, "CEIL": true, "FLOOR": true, "ROUND": true,
+	"CONCAT": true, "STRLEN": true, "UCASE": true, "LCASE": true,
+	"ENCODE_FOR_URI": true, "CONTAINS": true, "STRSTARTS": true,
+	"STRENDS": true, "STRBEFORE": true, "STRAFTER": true,
+	"YEAR": true, "MONTH": true, "DAY": true, "HOURS": true,
+	"MINUTES": true, "SECONDS": true, "TIMEZONE": true, "TZ": true,
+	"NOW": true, "UUID": true, "STRUUID": true,
+	"MD5": true, "SHA1": true, "SHA256": true, "SHA384": true, "SHA512": true,
+	"COALESCE": true, "IF": true, "STRLANG": true, "STRDT": true,
+	"SAMETERM": true, "ISIRI": true, "ISURI": true, "ISBLANK": true,
+	"ISLITERAL": true, "ISNUMERIC": true, "REGEX": true, "SUBSTR": true,
+	"REPLACE": true,
+	"COUNT":   true, "SUM": true, "MIN": true, "MAX": true, "AVG": true,
+	"SAMPLE": true, "GROUP_CONCAT": true,
+}
+
+// isBuiltinName reports whether the word is a recognized builtin.
+func isBuiltinName(word string) bool {
+	return builtinNames[strings.ToUpper(word)]
+}
+
+// parseExpression parses a full expression (lowest precedence: ||).
+func (p *qparser) parseExpression() (Expression, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: "||", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *qparser) parseAnd() (Expression, error) {
+	left, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		p.advance()
+		right, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		left = ExprBinary{Op: "&&", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *qparser) parseRelational() (Expression, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<", ">", "<=", ">=":
+			p.advance()
+			right, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return ExprBinary{Op: t.text, L: left, R: right}, nil
+		}
+	}
+	if p.isKeyword("IN") {
+		p.advance()
+		list, err := p.parseExpressionList()
+		if err != nil {
+			return nil, err
+		}
+		return ExprIn{X: left, List: list}, nil
+	}
+	if p.isKeyword("NOT") {
+		p.advance()
+		if err := p.expectKeyword("IN"); err != nil {
+			return nil, err
+		}
+		list, err := p.parseExpressionList()
+		if err != nil {
+			return nil, err
+		}
+		return ExprIn{Not: true, X: left, List: list}, nil
+	}
+	return left, nil
+}
+
+func (p *qparser) parseExpressionList() ([]Expression, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var list []Expression
+	if p.acceptPunct(")") {
+		return list, nil
+	}
+	for {
+		e, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, e)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return list, nil
+}
+
+func (p *qparser) parseAdditive() (Expression, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "+" || t.text == "-") {
+			p.advance()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = ExprBinary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *qparser) parseMultiplicative() (Expression, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && (t.text == "*" || t.text == "/") {
+			p.advance()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = ExprBinary{Op: t.text, L: left, R: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *qparser) parseUnary() (Expression, error) {
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "!":
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return ExprUnary{Op: "!", X: x}, nil
+		case "-", "+":
+			p.advance()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return ExprUnary{Op: t.text, X: x}, nil
+		}
+	}
+	return p.parsePrimaryExpression()
+}
+
+// parsePrimaryExpression parses terms, variables, calls, and groups.
+func (p *qparser) parsePrimaryExpression() (Expression, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokVar:
+		p.advance()
+		return ExprVar{Name: t.text}, nil
+	case tokKeyword:
+		upper := strings.ToUpper(t.text)
+		switch upper {
+		case "EXISTS":
+			p.advance()
+			pat, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			return ExprExists{Pattern: pat}, nil
+		case "NOT":
+			p.advance()
+			if err := p.expectKeyword("EXISTS"); err != nil {
+				return nil, err
+			}
+			pat, err := p.parseGroupGraphPattern()
+			if err != nil {
+				return nil, err
+			}
+			return ExprExists{Not: true, Pattern: pat}, nil
+		case "TRUE":
+			p.advance()
+			return ExprTerm{Term: rdf.Boolean(true)}, nil
+		case "FALSE":
+			p.advance()
+			return ExprTerm{Term: rdf.Boolean(false)}, nil
+		}
+		if builtinNames[upper] {
+			p.advance()
+			return p.parseCallArgs(upper)
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.text)
+	case tokIRI, tokPName:
+		// IRI, or IRI function call (e.g. xsd:integer(?x)).
+		term, err := p.parseGraphTerm()
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct("(") {
+			call, err := p.parseCallArgs(term.Value)
+			if err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return ExprTerm{Term: term}, nil
+	case tokString, tokInteger, tokDecimal, tokDouble:
+		term, err := p.parseGraphTerm()
+		if err != nil {
+			return nil, err
+		}
+		return ExprTerm{Term: term}, nil
+	case tokBlank:
+		p.advance()
+		return ExprTerm{Term: rdf.NewBlank("q." + t.text)}, nil
+	}
+	return nil, p.errf("unexpected token %s in expression", t)
+}
+
+// parseCallArgs parses the argument list of a builtin or IRI function call.
+// The function keyword has already been consumed.
+func (p *qparser) parseCallArgs(fn string) (Expression, error) {
+	call := ExprCall{Func: fn}
+	// NOW() style zero-arg calls still need parens.
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("DISTINCT") {
+		call.Distinct = true
+	}
+	if p.acceptPunct("*") {
+		call.Star = true
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return call, nil
+	}
+	if p.acceptPunct(")") {
+		return call, nil
+	}
+	for {
+		e, err := p.parseExpression()
+		if err != nil {
+			return nil, err
+		}
+		call.Args = append(call.Args, e)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	// GROUP_CONCAT(...; SEPARATOR="...").
+	if p.acceptPunct(";") {
+		if err := p.expectKeyword("SEPARATOR"); err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		sep := p.cur()
+		if sep.kind != tokString {
+			return nil, p.errf("expected string SEPARATOR, got %s", sep)
+		}
+		call.Sep = sep.text
+		p.advance()
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

@@ -1,0 +1,494 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"ltqp/internal/rdf"
+)
+
+func mustParseQuery(t *testing.T, q string) *Query {
+	t.Helper()
+	parsed, err := ParseQuery(q)
+	if err != nil {
+		t.Fatalf("ParseQuery error: %v\nquery:\n%s", err, q)
+	}
+	return parsed
+}
+
+// firstBGP digs the first BGP out of the WHERE clause.
+func firstBGP(t *testing.T, q *Query) BGP {
+	t.Helper()
+	for _, e := range q.Where.Elements {
+		if b, ok := e.(BGP); ok {
+			return b
+		}
+	}
+	t.Fatal("no BGP in WHERE")
+	return BGP{}
+}
+
+func TestParseDiscover6_5(t *testing.T) {
+	// The query shown in the paper's Fig. 2 / Fig. 3 (Discover 6.5):
+	// forums containing messages by a given creator.
+	q := mustParseQuery(t, `
+PREFIX snvoc: <https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/>
+SELECT DISTINCT ?forumId ?forumTitle WHERE {
+  ?message snvoc:hasCreator <https://solidbench.linkeddatafragments.org/pods/00000006597069767117/profile/card#me>.
+  ?forum snvoc:containerOf ?message;
+    snvoc:id ?forumId;
+    snvoc:title ?forumTitle.
+}`)
+	if q.Form != FormSelect || !q.Distinct {
+		t.Error("expected SELECT DISTINCT")
+	}
+	if got := q.ProjectedVars(); len(got) != 2 || got[0] != "forumId" || got[1] != "forumTitle" {
+		t.Errorf("projection = %v", got)
+	}
+	bgp := firstBGP(t, q)
+	if len(bgp.Patterns) != 4 {
+		t.Fatalf("patterns = %d, want 4", len(bgp.Patterns))
+	}
+	// First pattern has the pinned creator IRI object.
+	tr, ok := bgp.Patterns[0].IsSimple()
+	if !ok {
+		t.Fatal("pattern 0 should be a simple predicate")
+	}
+	if tr.P != rdf.NewIRI(rdf.SNVocHasCreator) {
+		t.Errorf("predicate = %v", tr.P)
+	}
+	if !strings.HasSuffix(tr.O.Value, "profile/card#me") {
+		t.Errorf("object = %v", tr.O)
+	}
+	// Predicate-object list shares the ?forum subject.
+	for i := 1; i < 4; i++ {
+		tr, _ := bgp.Patterns[i].IsSimple()
+		if tr.S != rdf.NewVar("forum") {
+			t.Errorf("pattern %d subject = %v, want ?forum", i, tr.S)
+		}
+	}
+	// Seed derivation finds the creator document.
+	seeds := q.MentionedIRIs()
+	if len(seeds) != 1 || !strings.HasSuffix(seeds[0], "/profile/card") {
+		t.Errorf("MentionedIRIs = %v", seeds)
+	}
+}
+
+func TestParseDiscover1_5(t *testing.T) {
+	// The paper's Fig. 4 query (Discover 1.5): all posts by a person.
+	q := mustParseQuery(t, `
+PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>
+PREFIX snvoc: <https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/>
+SELECT ?messageId ?messageCreationDate ?messageContent WHERE {
+  ?message snvoc:hasCreator <https://solidbench.linkeddatafragments.org/pods/00000006597069767117/profile/card#me>;
+    rdf:type snvoc:Post;
+    snvoc:content ?messageContent;
+    snvoc:creationDate ?messageCreationDate;
+    snvoc:id ?messageId.
+}`)
+	bgp := firstBGP(t, q)
+	if len(bgp.Patterns) != 5 {
+		t.Fatalf("patterns = %d, want 5", len(bgp.Patterns))
+	}
+	tr, _ := bgp.Patterns[1].IsSimple()
+	if tr.P.Value != rdf.RDFType || tr.O != rdf.NewIRI(rdf.SNVocPost) {
+		t.Errorf("type pattern = %v", tr)
+	}
+}
+
+func TestParseDiscover8_5WithPaths(t *testing.T) {
+	// The paper's Fig. 5 query (Discover 8.5): posts by authors of messages
+	// a person likes — uses an alternative property path and blank nodes.
+	q := mustParseQuery(t, `
+PREFIX snvoc: <https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/>
+SELECT DISTINCT ?creator ?messageContent WHERE {
+  <https://solidbench.linkeddatafragments.org/pods/00000006597069767117/profile/card#me> snvoc:likes _:g_0.
+  _:g_0 (snvoc:hasPost|snvoc:hasComment) ?message.
+  ?message snvoc:hasCreator ?creator.
+  ?otherMessage snvoc:hasCreator ?creator;
+    snvoc:content ?messageContent.
+}`)
+	bgp := firstBGP(t, q)
+	if len(bgp.Patterns) != 5 {
+		t.Fatalf("patterns = %d, want 5: %#v", len(bgp.Patterns), bgp.Patterns)
+	}
+	// Blank node labels become scoped blanks shared across patterns.
+	tr0, _ := bgp.Patterns[0].IsSimple()
+	if !tr0.O.IsBlank() {
+		t.Errorf("likes object should be a blank node: %v", tr0.O)
+	}
+	if bgp.Patterns[1].S != tr0.O {
+		t.Error("blank node should be shared between patterns")
+	}
+	alt, ok := bgp.Patterns[1].Path.(PathAlternative)
+	if !ok {
+		t.Fatalf("expected alternative path, got %T", bgp.Patterns[1].Path)
+	}
+	if len(alt.Parts) != 2 {
+		t.Fatalf("alternative arity = %d", len(alt.Parts))
+	}
+	if p0 := alt.Parts[0].(PathIRI); p0.IRI != rdf.SNVocHasPost {
+		t.Errorf("alt[0] = %v", p0)
+	}
+}
+
+func TestParsePathForms(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX ex: <http://example.org/>
+SELECT ?x ?y WHERE {
+  ?x ex:a/ex:b ?y.
+  ?x ^ex:c ?z.
+  ?x ex:d+ ?w.
+  ?x ex:e* ?v.
+  ?x ex:f? ?u.
+  ?x (ex:g|^ex:h)/ex:i ?s.
+  ?x !(ex:j|^ex:k) ?r.
+  ?x a ex:Class.
+}`)
+	bgp := firstBGP(t, q)
+	if len(bgp.Patterns) != 8 {
+		t.Fatalf("patterns = %d", len(bgp.Patterns))
+	}
+	if _, ok := bgp.Patterns[0].Path.(PathSequence); !ok {
+		t.Errorf("pattern 0: %T", bgp.Patterns[0].Path)
+	}
+	if _, ok := bgp.Patterns[1].Path.(PathInverse); !ok {
+		t.Errorf("pattern 1: %T", bgp.Patterns[1].Path)
+	}
+	if _, ok := bgp.Patterns[2].Path.(PathOneOrMore); !ok {
+		t.Errorf("pattern 2: %T", bgp.Patterns[2].Path)
+	}
+	if _, ok := bgp.Patterns[3].Path.(PathZeroOrMore); !ok {
+		t.Errorf("pattern 3: %T", bgp.Patterns[3].Path)
+	}
+	if _, ok := bgp.Patterns[4].Path.(PathZeroOrOne); !ok {
+		t.Errorf("pattern 4: %T", bgp.Patterns[4].Path)
+	}
+	seq, ok := bgp.Patterns[5].Path.(PathSequence)
+	if !ok {
+		t.Fatalf("pattern 5: %T", bgp.Patterns[5].Path)
+	}
+	if _, ok := seq.Parts[0].(PathAlternative); !ok {
+		t.Errorf("pattern 5 part 0: %T", seq.Parts[0])
+	}
+	neg, ok := bgp.Patterns[6].Path.(PathNegated)
+	if !ok || len(neg.Forward) != 1 || len(neg.Inverse) != 1 {
+		t.Errorf("pattern 6: %#v", bgp.Patterns[6].Path)
+	}
+	if tr, ok := bgp.Patterns[7].IsSimple(); !ok || tr.P.Value != rdf.RDFType {
+		t.Errorf("pattern 7 should be rdf:type")
+	}
+}
+
+func TestParseOptionalUnionFilterBind(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+SELECT ?p ?name ?nick WHERE {
+  ?p foaf:name ?name.
+  OPTIONAL { ?p foaf:nick ?nick. }
+  { ?p a foaf:Person } UNION { ?p a foaf:Agent }
+  FILTER(?name != "ignore" && STRLEN(?name) > 2)
+  BIND(UCASE(?name) AS ?upper)
+}`)
+	var haveOpt, haveUnion, haveFilter, haveBind bool
+	for _, e := range q.Where.Elements {
+		switch x := e.(type) {
+		case OptionalPattern:
+			haveOpt = true
+		case UnionPattern:
+			haveUnion = true
+		case FilterPattern:
+			haveFilter = true
+			if _, ok := x.Expr.(ExprBinary); !ok {
+				t.Errorf("filter expr = %T", x.Expr)
+			}
+		case BindPattern:
+			haveBind = true
+			if x.Var != "upper" {
+				t.Errorf("bind var = %s", x.Var)
+			}
+		}
+	}
+	if !haveOpt || !haveUnion || !haveFilter || !haveBind {
+		t.Errorf("opt=%v union=%v filter=%v bind=%v", haveOpt, haveUnion, haveFilter, haveBind)
+	}
+}
+
+func TestParseNestedUnion(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX ex: <http://example.org/>
+SELECT * WHERE {
+  { ?x ex:a ?y } UNION { ?x ex:b ?y } UNION { ?x ex:c ?y }
+}`)
+	u, ok := q.Where.Elements[0].(UnionPattern)
+	if !ok {
+		t.Fatalf("got %T", q.Where.Elements[0])
+	}
+	if _, ok := u.Left.(UnionPattern); !ok {
+		t.Errorf("left-associated union expected, left = %T", u.Left)
+	}
+}
+
+func TestParseSolutionModifiers(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX ex: <http://example.org/>
+SELECT ?x (COUNT(?y) AS ?n) WHERE { ?x ex:p ?y }
+GROUP BY ?x
+HAVING(COUNT(?y) > 2)
+ORDER BY DESC(?n) ?x
+LIMIT 10 OFFSET 5`)
+	if len(q.GroupBy) != 1 || q.GroupBy[0].Var != "x" {
+		t.Errorf("GroupBy = %#v", q.GroupBy)
+	}
+	if len(q.Having) != 1 {
+		t.Errorf("Having = %#v", q.Having)
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("OrderBy = %#v", q.OrderBy)
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("Limit/Offset = %d/%d", q.Limit, q.Offset)
+	}
+	if q.Projection[1].Expr == nil {
+		t.Error("projection expression missing")
+	}
+	call, ok := q.Projection[1].Expr.(ExprCall)
+	if !ok || call.Func != "COUNT" || !call.IsAggregate() {
+		t.Errorf("aggregate = %#v", q.Projection[1].Expr)
+	}
+}
+
+func TestParseValuesBlocks(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX ex: <http://example.org/>
+SELECT * WHERE {
+  VALUES ?x { ex:a ex:b }
+  VALUES (?y ?z) { (1 "one") (UNDEF "two") }
+  ?x ex:p ?y.
+}`)
+	var blocks []ValuesPattern
+	for _, e := range q.Where.Elements {
+		if v, ok := e.(ValuesPattern); ok {
+			blocks = append(blocks, v)
+		}
+	}
+	if len(blocks) != 2 {
+		t.Fatalf("values blocks = %d", len(blocks))
+	}
+	if len(blocks[0].Rows) != 2 || blocks[0].Rows[0]["x"] != rdf.NewIRI("http://example.org/a") {
+		t.Errorf("block 0 = %#v", blocks[0])
+	}
+	if blocks[1].Rows[1].Has("y") {
+		t.Error("UNDEF cell should be unbound")
+	}
+	if blocks[1].Rows[1]["z"] != rdf.NewLiteral("two") {
+		t.Errorf("row 1 z = %v", blocks[1].Rows[1]["z"])
+	}
+}
+
+func TestParseTrailingValues(t *testing.T) {
+	q := mustParseQuery(t, `
+SELECT ?x WHERE { ?x ?p ?o } VALUES ?x { <http://a> }`)
+	if q.Values == nil || len(q.Values.Rows) != 1 {
+		t.Fatalf("trailing VALUES = %#v", q.Values)
+	}
+}
+
+func TestParseSubSelect(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX ex: <http://example.org/>
+SELECT ?x ?cnt WHERE {
+  ?x a ex:Thing.
+  { SELECT ?x (COUNT(*) AS ?cnt) WHERE { ?x ex:p ?y } GROUP BY ?x }
+}`)
+	var sub *SubSelect
+	for _, e := range q.Where.Elements {
+		if s, ok := e.(SubSelect); ok {
+			sub = &s
+		}
+	}
+	if sub == nil {
+		t.Fatal("no subselect found")
+	}
+	if len(sub.Query.GroupBy) != 1 {
+		t.Errorf("subselect GroupBy = %#v", sub.Query.GroupBy)
+	}
+	if !sub.Query.Projection[1].Expr.(ExprCall).Star {
+		t.Error("COUNT(*) Star flag missing")
+	}
+}
+
+func TestParseAskConstructDescribe(t *testing.T) {
+	ask := mustParseQuery(t, `ASK { ?x ?p ?o }`)
+	if ask.Form != FormAsk {
+		t.Error("ASK form")
+	}
+	c := mustParseQuery(t, `
+PREFIX ex: <http://example.org/>
+CONSTRUCT { ?x ex:q ?y } WHERE { ?x ex:p ?y }`)
+	if c.Form != FormConstruct || len(c.Template) != 1 {
+		t.Errorf("construct = %#v", c.Template)
+	}
+	cw := mustParseQuery(t, `PREFIX ex: <http://example.org/>
+CONSTRUCT WHERE { ?x ex:p ?y }`)
+	if len(cw.Template) != 1 {
+		t.Error("CONSTRUCT WHERE shorthand failed")
+	}
+	d := mustParseQuery(t, `DESCRIBE <http://example.org/a>`)
+	if d.Form != FormDescribe || len(d.Describe) != 1 {
+		t.Errorf("describe = %#v", d.Describe)
+	}
+}
+
+func TestParseExpressionPrecedence(t *testing.T) {
+	q := mustParseQuery(t, `SELECT ?x WHERE { ?x ?p ?o FILTER(1 + 2 * 3 = 7 || false) }`)
+	var filter FilterPattern
+	for _, e := range q.Where.Elements {
+		if f, ok := e.(FilterPattern); ok {
+			filter = f
+		}
+	}
+	or, ok := filter.Expr.(ExprBinary)
+	if !ok || or.Op != "||" {
+		t.Fatalf("top = %#v", filter.Expr)
+	}
+	eq := or.L.(ExprBinary)
+	if eq.Op != "=" {
+		t.Fatalf("eq = %#v", eq)
+	}
+	add := eq.L.(ExprBinary)
+	if add.Op != "+" {
+		t.Fatalf("add = %#v", add)
+	}
+	if mul := add.R.(ExprBinary); mul.Op != "*" {
+		t.Errorf("mul = %#v", mul)
+	}
+}
+
+func TestParseBuiltinsAndCasts(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?x WHERE {
+  ?x ?p ?y
+  FILTER(REGEX(STR(?y), "^a.*b$", "i"))
+  FILTER(xsd:integer(?y) >= 5)
+  FILTER(?y IN (1, 2, 3))
+  FILTER(NOT EXISTS { ?x a ?c })
+  FILTER(IF(BOUND(?y), CONTAINS(LCASE(STR(?y)), "x"), COALESCE(?y, "d") = "d"))
+}`)
+	nfilters := 0
+	for _, e := range q.Where.Elements {
+		if _, ok := e.(FilterPattern); ok {
+			nfilters++
+		}
+	}
+	if nfilters != 5 {
+		t.Errorf("filters = %d, want 5", nfilters)
+	}
+}
+
+func TestParseGroupConcatSeparator(t *testing.T) {
+	q := mustParseQuery(t, `
+SELECT (GROUP_CONCAT(DISTINCT ?n; SEPARATOR=", ") AS ?names) WHERE { ?x ?p ?n }`)
+	call := q.Projection[0].Expr.(ExprCall)
+	if !call.Distinct || call.Sep != ", " {
+		t.Errorf("group_concat = %#v", call)
+	}
+}
+
+func TestParseBlankNodePropertyListInPattern(t *testing.T) {
+	q := mustParseQuery(t, `
+PREFIX ex: <http://example.org/>
+SELECT ?n WHERE {
+  ?x ex:knows [ ex:name ?n ; ex:age 30 ].
+  ( ?a ?b ) ex:coords ?pt.
+}`)
+	bgps := 0
+	total := 0
+	for _, e := range q.Where.Elements {
+		if b, ok := e.(BGP); ok {
+			bgps++
+			total += len(b.Patterns)
+		}
+	}
+	// knows + name + age + 4 list triples + coords = 8
+	if total != 8 {
+		t.Errorf("total patterns = %d, want 8", total)
+	}
+}
+
+func TestParseVariablePredicate(t *testing.T) {
+	q := mustParseQuery(t, `SELECT * WHERE { ?s ?p ?o }`)
+	bgp := firstBGP(t, q)
+	pv, ok := bgp.Patterns[0].Path.(PathVar)
+	if !ok || pv.Name != "p" {
+		t.Fatalf("path = %#v", bgp.Patterns[0].Path)
+	}
+	if got := q.ProjectedVars(); len(got) != 3 {
+		t.Errorf("SELECT * vars = %v", got)
+	}
+}
+
+func TestParseGraphClause(t *testing.T) {
+	q := mustParseQuery(t, `SELECT * WHERE { GRAPH ?g { ?s ?p ?o } }`)
+	g, ok := q.Where.Elements[0].(GraphGraphPattern)
+	if !ok || !g.Graph.IsVar() {
+		t.Fatalf("graph = %#v", q.Where.Elements[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, query string }{
+		{"empty", ``},
+		{"bad keyword", `FROB ?x WHERE {}`},
+		{"no projection", `SELECT WHERE { ?x ?p ?o }`},
+		{"unclosed group", `SELECT ?x WHERE { ?x ?p ?o`},
+		{"undeclared prefix", `SELECT ?x WHERE { ?x ex:p ?o }`},
+		{"service", `SELECT ?x WHERE { SERVICE <http://e> { ?x ?p ?o } }`},
+		{"trailing garbage", `SELECT ?x WHERE { ?x ?p ?o } nonsense`},
+		{"bad filter", `SELECT ?x WHERE { ?x ?p ?o FILTER() }`},
+		{"values arity", `SELECT * WHERE { VALUES (?x { (1) } }`},
+		{"as missing var", `SELECT (1 AS 2) WHERE {}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseQuery(c.query); err == nil {
+				t.Errorf("expected parse error for:\n%s", c.query)
+			}
+		})
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParseQuery(t, `select distinct ?x where { ?x ?p ?o } limit 3`)
+	if !q.Distinct || q.Limit != 3 {
+		t.Error("lowercase keywords should parse")
+	}
+}
+
+func TestHasAggregates(t *testing.T) {
+	q := mustParseQuery(t, `SELECT (SUM(?x) + 1 AS ?s) WHERE { ?a ?b ?x }`)
+	if !HasAggregates(q.Projection[0].Expr) {
+		t.Error("aggregate not detected")
+	}
+	q2 := mustParseQuery(t, `SELECT (STRLEN(?x) AS ?s) WHERE { ?a ?b ?x }`)
+	if HasAggregates(q2.Projection[0].Expr) {
+		t.Error("false aggregate detection")
+	}
+}
+
+func TestMentionedIRIsSkipsVocabulary(t *testing.T) {
+	// Predicates must not become seeds; subjects/objects must.
+	q := mustParseQuery(t, `
+PREFIX snvoc: <https://solidbench.linkeddatafragments.org/www.ldbc.eu/ldbc_socialnet/1.0/vocabulary/>
+SELECT ?m WHERE {
+  ?m snvoc:hasCreator <https://pods.example/u1/profile/card#me>.
+  ?m a snvoc:Post.
+}`)
+	seeds := q.MentionedIRIs()
+	// The class IRI snvoc:Post (object of rdf:type) is vocabulary and must
+	// not become a seed; only the WebID document qualifies.
+	if len(seeds) != 1 || seeds[0] != "https://pods.example/u1/profile/card" {
+		t.Errorf("seeds = %v", seeds)
+	}
+}

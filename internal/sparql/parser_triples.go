@@ -1,0 +1,392 @@
+package sparql
+
+import (
+	"ltqp/internal/rdf"
+)
+
+// parseTriplesBlock parses consecutive triples-same-subject groups until a
+// token that cannot start a subject is reached. Dots between groups are
+// consumed; the final dot (if any) is left for the caller of the enclosing
+// group when absent.
+func (p *qparser) parseTriplesBlock() ([]TriplePattern, error) {
+	var out []TriplePattern
+	for {
+		if !p.canStartSubject() {
+			return out, nil
+		}
+		tps, err := p.parseTriplesSameSubject()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tps...)
+		if p.acceptPunct(".") {
+			continue
+		}
+		return out, nil
+	}
+}
+
+// canStartSubject reports whether the current token can begin a subject.
+func (p *qparser) canStartSubject() bool {
+	t := p.cur()
+	switch t.kind {
+	case tokVar, tokIRI, tokPName, tokBlank, tokString, tokInteger, tokDecimal, tokDouble:
+		return true
+	case tokPunct:
+		return t.text == "[" || t.text == "("
+	case tokKeyword:
+		// true/false literals as subjects are illegal, so no keywords.
+		return false
+	}
+	return false
+}
+
+// parseTriplesSameSubject parses `subject propertyListNotEmpty`.
+func (p *qparser) parseTriplesSameSubject() ([]TriplePattern, error) {
+	var out []TriplePattern
+	var subject rdf.Term
+	switch {
+	case p.isPunct("["):
+		node, tps, err := p.parseBlankNodePropertyListPath()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tps...)
+		subject = node
+		// A bare [...] with no following property list is complete.
+		if !p.canStartVerb() {
+			return out, nil
+		}
+	case p.isPunct("("):
+		node, tps, err := p.parseCollectionPath()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tps...)
+		subject = node
+	default:
+		s, err := p.parseVarOrTerm()
+		if err != nil {
+			return nil, err
+		}
+		subject = s
+	}
+	tps, err := p.parsePropertyListPath(subject)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, tps...), nil
+}
+
+// canStartVerb reports whether the current token can begin a verb/path.
+func (p *qparser) canStartVerb() bool {
+	t := p.cur()
+	switch t.kind {
+	case tokVar, tokIRI, tokPName:
+		return true
+	case tokKeyword:
+		return t.text == "a"
+	case tokPunct:
+		return t.text == "^" || t.text == "(" || t.text == "!"
+	}
+	return false
+}
+
+// parseVarOrTerm parses a variable, IRI, literal, or blank node.
+func (p *qparser) parseVarOrTerm() (rdf.Term, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.advance()
+		return rdf.NewVar(t.text), nil
+	case tokBlank:
+		p.advance()
+		// Blank nodes in query patterns are existential variables scoped to
+		// the query; model them as blank terms which the algebra converts.
+		return rdf.NewBlank("q." + t.text), nil
+	}
+	return p.parseGraphTerm()
+}
+
+// parsePropertyListPath parses `verb objectList (';' (verb objectList)?)*`.
+func (p *qparser) parsePropertyListPath(subject rdf.Term) ([]TriplePattern, error) {
+	var out []TriplePattern
+	for {
+		var path Path
+		var err error
+		if p.cur().kind == tokVar {
+			// Variable predicate.
+			path = PathIRI{IRI: "?" + p.cur().text}
+			p.advance()
+		} else {
+			path, err = p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Object list.
+		for {
+			obj, tps, err := p.parseObjectPath()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, tps...)
+			out = append(out, makeTriplePattern(subject, path, obj))
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if !p.acceptPunct(";") {
+			return out, nil
+		}
+		// Trailing semicolons.
+		for p.acceptPunct(";") {
+		}
+		if !p.canStartVerb() && p.cur().kind != tokVar {
+			return out, nil
+		}
+	}
+}
+
+// makeTriplePattern builds a TriplePattern, converting the variable-predicate
+// marker back into a variable term path.
+func makeTriplePattern(s rdf.Term, path Path, o rdf.Term) TriplePattern {
+	if pi, ok := path.(PathIRI); ok && len(pi.IRI) > 0 && pi.IRI[0] == '?' {
+		return TriplePattern{S: s, Path: PathVar{Name: pi.IRI[1:]}, O: o}
+	}
+	return TriplePattern{S: s, Path: path, O: o}
+}
+
+// PathVar is a variable in predicate position (not a SPARQL path per se,
+// but a pattern with a variable predicate).
+type PathVar struct{ Name string }
+
+func (PathVar) isPath() {}
+
+// parseObjectPath parses one object, which may be a nested blank node
+// property list or collection that contributes extra triples.
+func (p *qparser) parseObjectPath() (rdf.Term, []TriplePattern, error) {
+	switch {
+	case p.isPunct("["):
+		return p.toObject(p.parseBlankNodePropertyListPath())
+	case p.isPunct("("):
+		return p.toObject(p.parseCollectionPath())
+	default:
+		t, err := p.parseVarOrTerm()
+		return t, nil, err
+	}
+}
+
+func (p *qparser) toObject(node rdf.Term, tps []TriplePattern, err error) (rdf.Term, []TriplePattern, error) {
+	return node, tps, err
+}
+
+// parseBlankNodePropertyListPath parses `[ propertyList ]` and returns the
+// fresh node plus its triples.
+func (p *qparser) parseBlankNodePropertyListPath() (rdf.Term, []TriplePattern, error) {
+	p.advance() // '['
+	node := p.freshBlank()
+	if p.acceptPunct("]") {
+		return node, nil, nil
+	}
+	tps, err := p.parsePropertyListPath(node)
+	if err != nil {
+		return rdf.Term{}, nil, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return rdf.Term{}, nil, err
+	}
+	return node, tps, nil
+}
+
+// parseCollectionPath parses `( object* )` into rdf:List triples.
+func (p *qparser) parseCollectionPath() (rdf.Term, []TriplePattern, error) {
+	p.advance() // '('
+	var items []rdf.Term
+	var out []TriplePattern
+	for !p.isPunct(")") {
+		if p.cur().kind == tokEOF {
+			return rdf.Term{}, nil, p.errf("unterminated collection")
+		}
+		obj, tps, err := p.parseObjectPath()
+		if err != nil {
+			return rdf.Term{}, nil, err
+		}
+		out = append(out, tps...)
+		items = append(items, obj)
+	}
+	p.advance() // ')'
+	if len(items) == 0 {
+		return rdf.NewIRI(rdf.RDFNil), out, nil
+	}
+	head := p.freshBlank()
+	cur := head
+	first := PathIRI{IRI: rdf.RDFFirst}
+	rest := PathIRI{IRI: rdf.RDFRest}
+	for i, item := range items {
+		out = append(out, TriplePattern{S: cur, Path: first, O: item})
+		if i == len(items)-1 {
+			out = append(out, TriplePattern{S: cur, Path: rest, O: rdf.NewIRI(rdf.RDFNil)})
+		} else {
+			next := p.freshBlank()
+			out = append(out, TriplePattern{S: cur, Path: rest, O: next})
+			cur = next
+		}
+	}
+	return head, out, nil
+}
+
+// parsePath parses a SPARQL 1.1 property path expression.
+func (p *qparser) parsePath() (Path, error) {
+	return p.parsePathAlternative()
+}
+
+func (p *qparser) parsePathAlternative() (Path, error) {
+	first, err := p.parsePathSequence()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isPunct("|") {
+		return first, nil
+	}
+	alt := PathAlternative{Parts: []Path{first}}
+	for p.acceptPunct("|") {
+		next, err := p.parsePathSequence()
+		if err != nil {
+			return nil, err
+		}
+		alt.Parts = append(alt.Parts, next)
+	}
+	return alt, nil
+}
+
+func (p *qparser) parsePathSequence() (Path, error) {
+	first, err := p.parsePathEltOrInverse()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isPunct("/") {
+		return first, nil
+	}
+	seq := PathSequence{Parts: []Path{first}}
+	for p.acceptPunct("/") {
+		next, err := p.parsePathEltOrInverse()
+		if err != nil {
+			return nil, err
+		}
+		seq.Parts = append(seq.Parts, next)
+	}
+	return seq, nil
+}
+
+func (p *qparser) parsePathEltOrInverse() (Path, error) {
+	if p.acceptPunct("^") {
+		inner, err := p.parsePathElt()
+		if err != nil {
+			return nil, err
+		}
+		return PathInverse{Path: inner}, nil
+	}
+	return p.parsePathElt()
+}
+
+func (p *qparser) parsePathElt() (Path, error) {
+	prim, err := p.parsePathPrimary()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.acceptPunct("*"):
+		return PathZeroOrMore{Path: prim}, nil
+	case p.acceptPunct("+"):
+		return PathOneOrMore{Path: prim}, nil
+	case p.acceptPunct("?"):
+		return PathZeroOrOne{Path: prim}, nil
+	}
+	return prim, nil
+}
+
+func (p *qparser) parsePathPrimary() (Path, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIRI:
+		p.advance()
+		return PathIRI{IRI: rdf.ResolveIRI(p.base, t.text)}, nil
+	case t.kind == tokPName:
+		iri, err := p.expandPName(t.text)
+		if err != nil {
+			return nil, err
+		}
+		p.advance()
+		return PathIRI{IRI: iri}, nil
+	case t.kind == tokKeyword && t.text == "a":
+		p.advance()
+		return PathIRI{IRI: rdf.RDFType}, nil
+	case p.isPunct("("):
+		p.advance()
+		inner, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case p.isPunct("!"):
+		p.advance()
+		return p.parseNegatedPropertySet()
+	}
+	return nil, p.errf("expected property path, got %s", t)
+}
+
+// parseNegatedPropertySet parses `!iri` or `!(iri1|^iri2|...)`.
+func (p *qparser) parseNegatedPropertySet() (Path, error) {
+	neg := PathNegated{}
+	addOne := func() error {
+		inverse := p.acceptPunct("^")
+		t := p.cur()
+		var iri string
+		switch {
+		case t.kind == tokIRI:
+			iri = rdf.ResolveIRI(p.base, t.text)
+			p.advance()
+		case t.kind == tokPName:
+			var err error
+			iri, err = p.expandPName(t.text)
+			if err != nil {
+				return err
+			}
+			p.advance()
+		case t.kind == tokKeyword && t.text == "a":
+			iri = rdf.RDFType
+			p.advance()
+		default:
+			return p.errf("expected IRI in negated property set, got %s", t)
+		}
+		if inverse {
+			neg.Inverse = append(neg.Inverse, iri)
+		} else {
+			neg.Forward = append(neg.Forward, iri)
+		}
+		return nil
+	}
+	if p.acceptPunct("(") {
+		for {
+			if err := addOne(); err != nil {
+				return nil, err
+			}
+			if p.acceptPunct("|") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return neg, nil
+	}
+	if err := addOne(); err != nil {
+		return nil, err
+	}
+	return neg, nil
+}

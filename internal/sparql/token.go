@@ -1,0 +1,405 @@
+// Package sparql implements a SPARQL 1.1 tokenizer and recursive-descent
+// parser producing the abstract syntax tree consumed by the algebra
+// translator. The supported fragment covers everything the Solid/SolidBench
+// workloads need: SELECT/ASK/CONSTRUCT forms, group graph patterns with
+// OPTIONAL, UNION, MINUS, FILTER, BIND, VALUES and subqueries, property
+// paths, expressions with the common builtin functions, aggregates, and all
+// solution modifiers.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind identifies lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF    tokenKind = iota
+	tokIRI              // <http://...>
+	tokPName            // prefix:local or prefix: or :local
+	tokVar              // ?name or $name
+	tokString           // "..." or '...' with escapes applied
+	tokInteger
+	tokDecimal
+	tokDouble
+	tokBlank   // _:label
+	tokKeyword // bare word: SELECT, WHERE, a, true, ...
+	tokLangTag // @en
+	tokPunct   // punctuation / operators
+)
+
+// token is one lexical token with its position for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer scans SPARQL source into tokens.
+type lexer struct {
+	in   string
+	pos  int
+	line int
+}
+
+func newLexer(in string) *lexer { return &lexer{in: in, line: 1} }
+
+func (l *lexer) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("sparql: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) eof() bool { return l.pos >= len(l.in) }
+
+func (l *lexer) peek() byte {
+	if l.eof() {
+		return 0
+	}
+	return l.in[l.pos]
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.in) {
+		return 0
+	}
+	return l.in[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.in[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+	}
+	return c
+}
+
+func (l *lexer) skipWS() {
+	for !l.eof() {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for !l.eof() && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// isNameStart reports whether c can start a bare name (keyword/prefix).
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+// isNameChar reports whether c can continue a bare name.
+func isNameChar(c byte) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9') || c == '-'
+}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	l.skipWS()
+	line := l.line
+	if l.eof() {
+		return token{kind: tokEOF, line: line}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '<':
+		// IRIREF if a '>' appears before whitespace; otherwise an operator.
+		if iri, ok := l.tryIRIRef(); ok {
+			return token{kind: tokIRI, text: iri, line: line}, nil
+		}
+		l.advance()
+		if l.peek() == '=' {
+			l.advance()
+			return token{kind: tokPunct, text: "<=", line: line}, nil
+		}
+		return token{kind: tokPunct, text: "<", line: line}, nil
+
+	case c == '?' || c == '$':
+		l.advance()
+		start := l.pos
+		for !l.eof() && (isNameChar(l.peek())) {
+			l.advance()
+		}
+		if l.pos == start {
+			// A bare '?' is the zero-or-one path operator.
+			return token{kind: tokPunct, text: "?", line: line}, nil
+		}
+		return token{kind: tokVar, text: l.in[start:l.pos], line: line}, nil
+
+	case c == '"' || c == '\'':
+		s, err := l.scanString()
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, line: line}, nil
+
+	case c == '_' && l.peekAt(1) == ':':
+		l.advance()
+		l.advance()
+		start := l.pos
+		for !l.eof() && (isNameChar(l.peek())) {
+			l.advance()
+		}
+		return token{kind: tokBlank, text: l.in[start:l.pos], line: line}, nil
+
+	case c == '@':
+		l.advance()
+		start := l.pos
+		for !l.eof() {
+			c := l.peek()
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '-' {
+				l.advance()
+				continue
+			}
+			break
+		}
+		if l.pos == start {
+			return token{}, l.errf("empty language tag")
+		}
+		return token{kind: tokLangTag, text: strings.ToLower(l.in[start:l.pos]), line: line}, nil
+
+	case c >= '0' && c <= '9' || (c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9'):
+		return l.scanNumber(line)
+
+	case isNameStart(c):
+		return l.scanNameOrPName(line)
+
+	case c == ':':
+		// PName with empty prefix.
+		return l.scanLocalAfterColon("", line)
+
+	default:
+		return l.scanPunct(line)
+	}
+}
+
+// tryIRIRef attempts to scan <...> as an IRI reference. It succeeds only if
+// a closing '>' occurs before any whitespace, so that comparison operators
+// in expressions are not misread.
+func (l *lexer) tryIRIRef() (string, bool) {
+	i := l.pos + 1
+	for i < len(l.in) {
+		c := l.in[i]
+		if c == '>' {
+			iri := l.in[l.pos+1 : i]
+			l.pos = i + 1
+			return iri, true
+		}
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '<' || c == '"' {
+			return "", false
+		}
+		i++
+	}
+	return "", false
+}
+
+// scanString scans short and long quoted strings with escapes.
+func (l *lexer) scanString() (string, error) {
+	quote := l.advance()
+	long := false
+	if l.peek() == quote && l.peekAt(1) == quote {
+		l.advance()
+		l.advance()
+		long = true
+	} else if l.peek() == quote {
+		l.advance()
+		return "", nil
+	}
+	var b strings.Builder
+	for {
+		if l.eof() {
+			return "", l.errf("unterminated string")
+		}
+		c := l.advance()
+		if c == quote {
+			if !long {
+				return b.String(), nil
+			}
+			if l.peek() == quote && l.peekAt(1) == quote {
+				l.advance()
+				l.advance()
+				return b.String(), nil
+			}
+			b.WriteByte(c)
+			continue
+		}
+		if c == '\\' {
+			if l.eof() {
+				return "", l.errf("unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 'b':
+				b.WriteByte('\b')
+			case 'f':
+				b.WriteByte('\f')
+			case '"', '\'', '\\':
+				b.WriteByte(e)
+			case 'u', 'U':
+				n := 4
+				if e == 'U' {
+					n = 8
+				}
+				if l.pos+n > len(l.in) {
+					return "", l.errf("truncated \\%c escape", e)
+				}
+				var v uint32
+				for i := 0; i < n; i++ {
+					v <<= 4
+					h := l.advance()
+					switch {
+					case h >= '0' && h <= '9':
+						v |= uint32(h - '0')
+					case h >= 'a' && h <= 'f':
+						v |= uint32(h-'a') + 10
+					case h >= 'A' && h <= 'F':
+						v |= uint32(h-'A') + 10
+					default:
+						return "", l.errf("invalid hex digit %q", h)
+					}
+				}
+				b.WriteRune(rune(v))
+			default:
+				return "", l.errf("invalid escape \\%c", e)
+			}
+			continue
+		}
+		if !long && (c == '\n' || c == '\r') {
+			return "", l.errf("newline in string")
+		}
+		b.WriteByte(c)
+	}
+}
+
+// scanNumber scans integer/decimal/double numerals.
+func (l *lexer) scanNumber(line int) (token, error) {
+	start := l.pos
+	for !l.eof() && l.peek() >= '0' && l.peek() <= '9' {
+		l.advance()
+	}
+	kind := tokInteger
+	if l.peek() == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9' {
+		kind = tokDecimal
+		l.advance()
+		for !l.eof() && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+		}
+	}
+	if c := l.peek(); c == 'e' || c == 'E' {
+		kind = tokDouble
+		l.advance()
+		if c := l.peek(); c == '+' || c == '-' {
+			l.advance()
+		}
+		for !l.eof() && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+		}
+	}
+	return token{kind: kind, text: l.in[start:l.pos], line: line}, nil
+}
+
+// scanNameOrPName scans a bare name, which is either a keyword (SELECT,
+// FILTER, true, a, ...) or the prefix part of a prefixed name.
+func (l *lexer) scanNameOrPName(line int) (token, error) {
+	start := l.pos
+	for !l.eof() && (isNameChar(l.peek()) || l.peek() == '.') {
+		// A dot ends the name unless followed by a name char (allowed in
+		// the middle of prefixed-name locals, not prefixes; be permissive).
+		if l.peek() == '.' {
+			if !isNameChar(l.peekAt(1)) {
+				break
+			}
+		}
+		l.advance()
+	}
+	word := l.in[start:l.pos]
+	if l.peek() == ':' {
+		return l.scanLocalAfterColon(word, line)
+	}
+	return token{kind: tokKeyword, text: word, line: line}, nil
+}
+
+// scanLocalAfterColon scans the ":local" part of a prefixed name; prefix is
+// the already-scanned prefix label (possibly empty).
+func (l *lexer) scanLocalAfterColon(prefix string, line int) (token, error) {
+	l.advance() // ':'
+	var local strings.Builder
+	for !l.eof() {
+		c := l.peek()
+		if c == '\\' {
+			l.advance()
+			if l.eof() {
+				return token{}, l.errf("unterminated local escape")
+			}
+			local.WriteByte(l.advance())
+			continue
+		}
+		if isNameChar(c) || c == '%' {
+			local.WriteByte(l.advance())
+			continue
+		}
+		if c == '.' && isNameChar(l.peekAt(1)) {
+			local.WriteByte(l.advance())
+			continue
+		}
+		break
+	}
+	return token{kind: tokPName, text: prefix + ":" + local.String(), line: line}, nil
+}
+
+// twoBytePuncts lists the two-character operators.
+var twoBytePuncts = []string{"^^", "||", "&&", "!=", ">=", "<="}
+
+// scanPunct scans punctuation and operators.
+func (l *lexer) scanPunct(line int) (token, error) {
+	for _, p := range twoBytePuncts {
+		if strings.HasPrefix(l.in[l.pos:], p) {
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: p, line: line}, nil
+		}
+	}
+	c := l.advance()
+	switch c {
+	case '{', '}', '(', ')', '[', ']', '.', ';', ',', '*', '+', '/', '|', '^', '!', '=', '>', '-':
+		return token{kind: tokPunct, text: string(c), line: line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+// lexAll scans the whole input, used by the parser.
+func lexAll(in string) ([]token, error) {
+	l := newLexer(in)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"ltqp/internal/rdf"
+)
+
+func benchTriples(n int) []rdf.Triple {
+	out := make([]rdf.Triple, n)
+	for i := range out {
+		out[i] = rdf.NewTriple(
+			rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", i%1000)),
+			rdf.NewIRI(fmt.Sprintf("http://example.org/p%d", i%10)),
+			rdf.NewIRI(fmt.Sprintf("http://example.org/o%d", i)),
+		)
+	}
+	return out
+}
+
+func BenchmarkAddThroughput(b *testing.B) {
+	triples := benchTriples(10000)
+	doc := rdf.NewIRI("http://example.org/doc")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, t := range triples {
+			s.Add(t, doc)
+		}
+	}
+	b.ReportMetric(float64(len(triples)), "triples/op")
+}
+
+func BenchmarkMatchNowByPredicate(b *testing.B) {
+	s := New()
+	doc := rdf.NewIRI("http://example.org/doc")
+	for _, t := range benchTriples(10000) {
+		s.Add(t, doc)
+	}
+	s.Close()
+	pattern := rdf.NewTriple(rdf.NewVar("s"), rdf.NewIRI("http://example.org/p3"), rdf.NewVar("o"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := s.MatchNow(pattern); len(got) != 1000 {
+			b.Fatalf("matches = %d", len(got))
+		}
+	}
+}
+
+func BenchmarkLiveIteratorDrain(b *testing.B) {
+	s := New()
+	doc := rdf.NewIRI("http://example.org/doc")
+	for _, t := range benchTriples(10000) {
+		s.Add(t, doc)
+	}
+	s.Close()
+	pattern := rdf.NewTriple(rdf.NewVar("s"), rdf.NewIRI("http://example.org/p3"), rdf.NewVar("o"))
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := s.Match(pattern)
+		n := 0
+		for {
+			if _, ok := it.Next(ctx); !ok {
+				break
+			}
+			n++
+		}
+		it.Close()
+		if n != 1000 {
+			b.Fatalf("drained = %d", n)
+		}
+	}
+}
+
+func BenchmarkConcurrentAddAndMatch(b *testing.B) {
+	// The LTQP workload: one writer (traversal) and live readers (joins).
+	triples := benchTriples(5000)
+	doc := rdf.NewIRI("http://example.org/doc")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		pattern := rdf.NewTriple(rdf.NewVar("s"), rdf.NewIRI("http://example.org/p3"), rdf.NewVar("o"))
+		done := make(chan int)
+		go func() {
+			it := s.Match(pattern)
+			defer it.Close()
+			n := 0
+			for {
+				if _, ok := it.Next(context.Background()); !ok {
+					break
+				}
+				n++
+			}
+			done <- n
+		}()
+		for _, t := range triples {
+			s.Add(t, doc)
+		}
+		s.Close()
+		if n := <-done; n != 500 {
+			b.Fatalf("reader saw %d", n)
+		}
+	}
+}

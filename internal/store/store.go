@@ -1,0 +1,345 @@
+// Package store provides the engine's internal triple source: a concurrent,
+// append-only, indexed triple store that grows while link traversal is
+// running and supports *live* pattern iterators.
+//
+// A live iterator first streams all currently known matches of a triple
+// pattern and then blocks until either new matching triples arrive or the
+// store is closed (traversal finished). This is what allows the query
+// pipeline to start producing results while documents are still being
+// dereferenced, as described in the paper's architecture (Fig. 1).
+package store
+
+import (
+	"context"
+	"sync"
+
+	"ltqp/internal/rdf"
+)
+
+// Store is the growing internal triple source. The zero value is not usable;
+// construct with New.
+//
+// Triples are deduplicated set-wise (the source is the union of all
+// dereferenced documents), while provenance (which document contributed a
+// triple first) is retained for link extraction and diagnostics.
+type Store struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	triples []rdf.Triple
+	sources []rdf.Term // sources[i] is the document triples[i] came from
+	seen    map[rdf.Triple]int
+
+	bySubject   map[rdf.Term][]int
+	byPredicate map[rdf.Term][]int
+	byObject    map[rdf.Term][]int
+
+	closed    bool
+	documents map[string]bool // document IRIs ingested
+}
+
+// New returns an empty open store.
+func New() *Store {
+	s := &Store{
+		seen:        make(map[rdf.Triple]int),
+		bySubject:   make(map[rdf.Term][]int),
+		byPredicate: make(map[rdf.Term][]int),
+		byObject:    make(map[rdf.Term][]int),
+		documents:   make(map[string]bool),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Add inserts one triple attributed to the given source document. It
+// reports whether the triple was new. Adding to a closed store is a no-op
+// returning false.
+func (s *Store) Add(t rdf.Triple, source rdf.Term) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if _, dup := s.seen[t]; dup {
+		return false
+	}
+	i := len(s.triples)
+	s.seen[t] = i
+	s.triples = append(s.triples, t)
+	s.sources = append(s.sources, source)
+	s.bySubject[t.S] = append(s.bySubject[t.S], i)
+	s.byPredicate[t.P] = append(s.byPredicate[t.P], i)
+	s.byObject[t.O] = append(s.byObject[t.O], i)
+	s.cond.Broadcast()
+	return true
+}
+
+// AddDocument ingests all triples of a dereferenced document and reports
+// how many were new. It also records the document IRI.
+func (s *Store) AddDocument(docIRI string, triples []rdf.Triple) int {
+	src := rdf.NewIRI(docIRI)
+	n := 0
+	for _, t := range triples {
+		if s.Add(t, src) {
+			n++
+		}
+	}
+	s.mu.Lock()
+	s.documents[docIRI] = true
+	s.mu.Unlock()
+	return n
+}
+
+// Close marks the store complete: no further triples will arrive. All
+// blocked iterators drain their remaining matches and then terminate.
+// Close is idempotent.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+}
+
+// Closed reports whether the store has been closed.
+func (s *Store) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Len returns the number of distinct triples currently in the store.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.triples)
+}
+
+// DocumentCount returns the number of documents ingested so far.
+func (s *Store) DocumentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.documents)
+}
+
+// Source returns the document a ground triple was first contributed by.
+func (s *Store) Source(t rdf.Triple) (rdf.Term, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i, ok := s.seen[t]; ok {
+		return s.sources[i], true
+	}
+	return rdf.Term{}, false
+}
+
+// candidateList returns the index list to scan for a pattern, choosing the
+// most selective available index, and whether the list is complete at the
+// time of the call. The caller holds s.mu.
+func (s *Store) candidates(pattern rdf.Triple) []int {
+	switch {
+	case pattern.S.Kind != rdf.TermVar && pattern.S.Kind != rdf.TermUndef:
+		return s.bySubject[pattern.S]
+	case pattern.O.Kind != rdf.TermVar && pattern.O.Kind != rdf.TermUndef:
+		return s.byObject[pattern.O]
+	case pattern.P.Kind != rdf.TermVar && pattern.P.Kind != rdf.TermUndef:
+		return s.byPredicate[pattern.P]
+	default:
+		return nil // full scan
+	}
+}
+
+// fullScan reports whether the pattern has no constant position.
+func fullScan(pattern rdf.Triple) bool {
+	isVar := func(t rdf.Term) bool { return t.Kind == rdf.TermVar || t.Kind == rdf.TermUndef }
+	return isVar(pattern.S) && isVar(pattern.P) && isVar(pattern.O)
+}
+
+// MatchNow returns a snapshot of all current matches of the pattern.
+func (s *Store) MatchNow(pattern rdf.Triple) []rdf.Triple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []rdf.Triple
+	if fullScan(pattern) {
+		for _, t := range s.triples {
+			if pattern.Matches(t) {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	for _, i := range s.candidates(pattern) {
+		if pattern.Matches(s.triples[i]) {
+			out = append(out, s.triples[i])
+		}
+	}
+	return out
+}
+
+// CountNow returns the number of current matches of the pattern. It is used
+// by cardinality-estimating planners and tests.
+func (s *Store) CountNow(pattern rdf.Triple) int {
+	return len(s.MatchNow(pattern))
+}
+
+// Match returns a live iterator over current and future matches of the
+// pattern. The iterator terminates once the store is closed and all matches
+// are drained, or when the iterator itself is closed.
+func (s *Store) Match(pattern rdf.Triple) *Iterator {
+	return &Iterator{store: s, pattern: pattern, scan: fullScan(pattern)}
+}
+
+// Iterator is a live triple-pattern iterator. It is not safe for concurrent
+// use by multiple goroutines; each pipeline operator owns its iterators.
+type Iterator struct {
+	store   *Store
+	pattern rdf.Triple
+	// next is the cursor: an index into the candidate list (or the triples
+	// slice for full scans) of the next entry to examine.
+	next   int
+	scan   bool
+	closed bool
+	mu     sync.Mutex
+}
+
+// Next blocks until a new matching triple is available and returns it, or
+// returns ok=false when the store closed (and matches are exhausted), the
+// iterator was closed, or the context was cancelled.
+func (it *Iterator) Next(ctx context.Context) (rdf.Triple, bool) {
+	s := it.store
+
+	// Wake the wait loop when the context is cancelled. We register a
+	// broadcast goroutine lazily per Next call only when we actually need
+	// to block, to keep the fast path allocation-free.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if it.isClosed() || ctx.Err() != nil {
+			return rdf.Triple{}, false
+		}
+		if t, ok := it.scanLocked(); ok {
+			return t, true
+		}
+		if s.closed {
+			return rdf.Triple{}, false
+		}
+		// Block until new triples arrive or the store closes. A helper
+		// goroutine turns context cancellation into a broadcast.
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case <-stop:
+			}
+		}()
+		s.cond.Wait()
+		close(stop)
+	}
+}
+
+// TryNext returns the next available match without blocking.
+func (it *Iterator) TryNext() (rdf.Triple, bool) {
+	it.store.mu.Lock()
+	defer it.store.mu.Unlock()
+	if it.isClosed() {
+		return rdf.Triple{}, false
+	}
+	return it.scanLocked()
+}
+
+// Done reports whether the iterator can produce no further results without
+// blocking AND the store is closed — i.e. the stream has truly ended.
+func (it *Iterator) Done() bool {
+	it.store.mu.Lock()
+	defer it.store.mu.Unlock()
+	if it.isClosed() {
+		return true
+	}
+	if !it.store.closed {
+		return false
+	}
+	// Peek: are there unscanned matches left?
+	save := it.next
+	_, ok := it.scanLocked()
+	it.next = save
+	return !ok
+}
+
+// scanLocked advances the cursor to the next match. Caller holds store.mu.
+func (it *Iterator) scanLocked() (rdf.Triple, bool) {
+	s := it.store
+	if it.scan {
+		for it.next < len(s.triples) {
+			t := s.triples[it.next]
+			it.next++
+			if it.pattern.Matches(t) {
+				return t, true
+			}
+		}
+		return rdf.Triple{}, false
+	}
+	list := s.candidates(it.pattern)
+	for it.next < len(list) {
+		t := s.triples[list[it.next]]
+		it.next++
+		if it.pattern.Matches(t) {
+			return t, true
+		}
+	}
+	return rdf.Triple{}, false
+}
+
+// Close releases the iterator; pending and future Next calls return false.
+func (it *Iterator) Close() {
+	it.mu.Lock()
+	it.closed = true
+	it.mu.Unlock()
+	it.store.mu.Lock()
+	it.store.cond.Broadcast()
+	it.store.mu.Unlock()
+}
+
+func (it *Iterator) isClosed() bool {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.closed
+}
+
+// Snapshot returns a copy of all triples currently in the store, in
+// insertion order. Used by blocking operators and the centralized baseline.
+func (s *Store) Snapshot() []rdf.Triple {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]rdf.Triple, len(s.triples))
+	copy(out, s.triples)
+	return out
+}
+
+// WaitClosed blocks until the store is closed or the context is cancelled.
+// Blocking operators (ORDER BY, OPTIONAL, aggregation) use it to gate their
+// final emission on traversal quiescence.
+func (s *Store) WaitClosed(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for !s.closed {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case <-stop:
+			}
+		}()
+		s.cond.Wait()
+		close(stop)
+	}
+	return nil
+}

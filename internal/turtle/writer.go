@@ -1,0 +1,237 @@
+package turtle
+
+import (
+	"sort"
+	"strings"
+
+	"ltqp/internal/rdf"
+)
+
+// WriteOptions configures Turtle serialization.
+type WriteOptions struct {
+	// Base, when set, emits an @base directive and relativizes IRIs that
+	// are direct children of it.
+	Base string
+	// Prefixes maps prefix labels to namespaces; only prefixes that are
+	// actually used are emitted.
+	Prefixes map[string]string
+}
+
+// Write serializes triples as Turtle, grouping by subject and predicate to
+// produce the compact `;`/`,` form that Solid servers emit (paper Listings
+// 1–3).
+func Write(triples []rdf.Triple, opts WriteOptions) string {
+	w := &writer{opts: opts, used: map[string]bool{}}
+	return w.write(triples)
+}
+
+// WriteNTriples serializes triples in canonical N-Triples, one per line.
+func WriteNTriples(triples []rdf.Triple) string {
+	var b strings.Builder
+	for _, t := range triples {
+		b.WriteString(t.S.String())
+		b.WriteByte(' ')
+		b.WriteString(t.P.String())
+		b.WriteByte(' ')
+		b.WriteString(t.O.String())
+		b.WriteString(" .\n")
+	}
+	return b.String()
+}
+
+// WriteNQuads serializes quads in N-Quads, one per line.
+func WriteNQuads(quads []rdf.Quad) string {
+	var b strings.Builder
+	for _, q := range quads {
+		b.WriteString(q.S.String())
+		b.WriteByte(' ')
+		b.WriteString(q.P.String())
+		b.WriteByte(' ')
+		b.WriteString(q.O.String())
+		if !q.G.IsZero() {
+			b.WriteByte(' ')
+			b.WriteString(q.G.String())
+		}
+		b.WriteString(" .\n")
+	}
+	return b.String()
+}
+
+type writer struct {
+	opts WriteOptions
+	used map[string]bool
+	body strings.Builder
+}
+
+func (w *writer) write(triples []rdf.Triple) string {
+	// Group triples by subject preserving first-appearance order.
+	type group struct {
+		subject rdf.Term
+		triples []rdf.Triple
+	}
+	var order []rdf.Term
+	groups := map[rdf.Term]*group{}
+	for _, t := range triples {
+		g, ok := groups[t.S]
+		if !ok {
+			g = &group{subject: t.S}
+			groups[t.S] = g
+			order = append(order, t.S)
+		}
+		g.triples = append(g.triples, t)
+	}
+
+	for gi, s := range order {
+		g := groups[s]
+		if gi > 0 {
+			w.body.WriteByte('\n')
+		}
+		w.body.WriteString(w.term(g.subject))
+		// Group by predicate preserving order.
+		var porder []rdf.Term
+		byPred := map[rdf.Term][]rdf.Term{}
+		for _, t := range g.triples {
+			if _, ok := byPred[t.P]; !ok {
+				porder = append(porder, t.P)
+			}
+			byPred[t.P] = append(byPred[t.P], t.O)
+		}
+		for pi, p := range porder {
+			if pi == 0 {
+				w.body.WriteByte(' ')
+			} else {
+				w.body.WriteString(";\n    ")
+			}
+			w.body.WriteString(w.predicate(p))
+			w.body.WriteByte(' ')
+			for oi, o := range byPred[p] {
+				if oi > 0 {
+					w.body.WriteString(", ")
+				}
+				w.body.WriteString(w.term(o))
+			}
+		}
+		w.body.WriteString(".\n")
+	}
+
+	// Emit header with only the used prefixes, sorted for determinism.
+	var head strings.Builder
+	if w.opts.Base != "" {
+		head.WriteString("@base <")
+		head.WriteString(w.opts.Base)
+		head.WriteString(">.\n")
+	}
+	var labels []string
+	for l := range w.used {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		head.WriteString("@prefix ")
+		head.WriteString(l)
+		head.WriteString(": <")
+		head.WriteString(w.opts.Prefixes[l])
+		head.WriteString(">.\n")
+	}
+	if head.Len() > 0 {
+		head.WriteByte('\n')
+	}
+	return head.String() + w.body.String()
+}
+
+// predicate renders a predicate, using `a` for rdf:type.
+func (w *writer) predicate(p rdf.Term) string {
+	if p.Kind == rdf.TermIRI && p.Value == rdf.RDFType {
+		return "a"
+	}
+	return w.term(p)
+}
+
+// term renders any term, preferring prefixed names and relative IRIs.
+func (w *writer) term(t rdf.Term) string {
+	switch t.Kind {
+	case rdf.TermIRI:
+		return w.iri(t.Value)
+	case rdf.TermLiteral:
+		if t.Language == "" && t.Datatype != "" {
+			// Try to shorten the datatype too.
+			lex := rdf.NewLiteral(t.Value).String()
+			return lex + "^^" + w.iri(t.Datatype)
+		}
+		return t.String()
+	default:
+		return t.String()
+	}
+}
+
+// iri renders an IRI with prefix compaction or base-relativization.
+func (w *writer) iri(iri string) string {
+	best, bestNS := "", ""
+	for label, ns := range w.opts.Prefixes {
+		if strings.HasPrefix(iri, ns) && len(ns) > len(bestNS) {
+			local := iri[len(ns):]
+			if validLocalPart(local) {
+				best, bestNS = label, ns
+			}
+		}
+	}
+	if bestNS != "" {
+		w.used[best] = true
+		return best + ":" + iri[len(bestNS):]
+	}
+	if w.opts.Base != "" {
+		if iri == w.opts.Base {
+			return "<>"
+		}
+		if strings.HasPrefix(iri, w.opts.Base) {
+			rel := iri[len(w.opts.Base):]
+			if !strings.ContainsAny(rel, "<>\"{}|^`\\ ") {
+				return "<" + rel + ">"
+			}
+		}
+	}
+	return "<" + escapeIRI(iri) + ">"
+}
+
+// validLocalPart reports whether a local name can be written unescaped.
+func validLocalPart(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '_' || c == '-':
+		case c == '.' && i > 0 && i < len(s)-1:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// escapeIRI escapes characters disallowed inside <...>.
+func escapeIRI(iri string) string {
+	if !strings.ContainsAny(iri, " <>\"{}|^`\\") {
+		return iri
+	}
+	var b strings.Builder
+	for _, r := range iri {
+		switch r {
+		case ' ':
+			b.WriteString("%20")
+		case '<':
+			b.WriteString("%3C")
+		case '>':
+			b.WriteString("%3E")
+		case '"':
+			b.WriteString("%22")
+		case '\\':
+			b.WriteString("%5C")
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
