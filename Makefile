@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the gate every change must keep green.
+test: build
+	$(GO) test ./...
+
+# Pre-merge verification: vet plus the full suite (including the chaos
+# integration tests) under the race detector — the engine is heavily
+# concurrent and must stay race-clean.
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

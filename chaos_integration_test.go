@@ -1,0 +1,227 @@
+package ltqp_test
+
+// Chaos integration tests: the engine runs a SolidBench Discover query
+// end-to-end while the network misbehaves. With transient faults (injected
+// 503s, latency) the retry layer must make the result set identical to the
+// fault-free run; with permanent faults, lenient mode must return partial
+// results and report exactly which documents were lost — degradation is
+// observable, never silent.
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/faultinject"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+// bindingKeys canonicalizes a result set for comparison.
+func bindingKeys(bs []ltqp.Binding, vars []string) []string {
+	out := make([]string, len(bs))
+	for i, b := range bs {
+		out[i] = b.Key(vars)
+	}
+	return out
+}
+
+// runQuery drains a query started against the given client and returns the
+// results plus the finished Result for metrics inspection.
+func runQuery(t *testing.T, cfg ltqp.Config, query string) ([]ltqp.Binding, *ltqp.Result) {
+	t.Helper()
+	engine := ltqp.New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := engine.Query(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []ltqp.Binding
+	for b := range res.Results {
+		all = append(all, b)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return all, res
+}
+
+// TestChaosRetryPreservesResults runs Discover 1.1 fault-free, then again
+// with ~20% of requests answered 503 (plus added latency) — bounded per URL
+// so every document eventually succeeds. The retry path alone (leniency
+// off) must reproduce the identical result set.
+func TestChaosRetryPreservesResults(t *testing.T) {
+	cfg := solidbench.SmallConfig()
+	env := simenv.New(cfg)
+	defer env.Close()
+	q := env.Dataset.Discover(1, 1)
+
+	baseline, baseRes := runQuery(t, ltqp.Config{Client: env.Client(), Lenient: true}, q.Text)
+	if len(baseline) == 0 {
+		t.Fatal("fault-free run returned no results")
+	}
+
+	inj := faultinject.New(1234, faultinject.Rule{
+		Probability:     0.2,
+		Kind:            faultinject.Status,
+		Status:          503,
+		Latency:         time.Millisecond,
+		MaxFaultsPerURL: 2,
+	})
+	chaosCfg := ltqp.Config{
+		Client:  inj.Client(env.Client()),
+		Lenient: true,
+		Retry: &ltqp.RetryPolicy{
+			MaxAttempts: 4,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    10 * time.Millisecond,
+			Seed:        1,
+		},
+	}
+	chaos, res := runQuery(t, chaosCfg, q.Text)
+
+	if inj.FaultCount() == 0 {
+		t.Fatal("no faults injected; the chaos run proved nothing")
+	}
+	vars := res.Vars
+	ltqp.SortBindings(chaos, vars)
+	ltqp.SortBindings(baseline, vars)
+	got, want := bindingKeys(chaos, vars), bindingKeys(baseline, vars)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("chaos results differ from fault-free run:\nchaos: %v\nbaseline: %v", got, want)
+	}
+
+	if res.Stats().Retries == 0 {
+		t.Error("no retries recorded despite injected 503s")
+	}
+	// Every injected fault was transient, so the chaos run must lose
+	// exactly the documents the fault-free run also lost (vocabulary
+	// IRIs that 404 regardless) — nothing more.
+	baseFailed := map[string]bool{}
+	for _, u := range baseRes.Degradation().FailedDocuments {
+		baseFailed[u] = true
+	}
+	for _, u := range res.Degradation().FailedDocuments {
+		if !baseFailed[u] {
+			t.Errorf("transient faults permanently took out %s", u)
+		}
+	}
+}
+
+// TestChaosLenientDegradation makes every post document permanently fail
+// (500s from the pod server itself, via middleware) and runs the same query
+// leniently: the query completes with partial results, and the degradation
+// report names exactly the documents the faults took out.
+func TestChaosLenientDegradation(t *testing.T) {
+	inj := faultinject.New(99, faultinject.Rule{
+		Pattern:     "/posts/",
+		Probability: 1,
+		Kind:        faultinject.Status,
+		Status:      500,
+	})
+	cfg := solidbench.SmallConfig()
+	env := simenv.NewWith(cfg, func(h http.Handler) http.Handler { return inj.Middleware(h) })
+	defer env.Close()
+	q := env.Dataset.Discover(1, 1)
+
+	// The query asks for the person's posts; with every post file down it
+	// must still complete — with fewer results than the data holds.
+	full := 0
+	for _, p := range env.Dataset.Posts {
+		if p.Creator == q.Person && p.Image == "" {
+			full++
+		}
+	}
+	if full == 0 {
+		t.Fatal("dataset has no qualifying posts; query proves nothing")
+	}
+
+	results, res := runQuery(t, ltqp.Config{
+		Client:  env.Client(),
+		Lenient: true,
+		Retry: &ltqp.RetryPolicy{
+			MaxAttempts: 2,
+			BaseDelay:   time.Millisecond,
+			MaxDelay:    2 * time.Millisecond,
+		},
+	}, q.Text)
+
+	if len(results) >= full {
+		t.Errorf("results = %d, want fewer than the fault-free %d", len(results), full)
+	}
+
+	deg := res.Degradation()
+	if len(deg.FailedDocuments) == 0 {
+		t.Fatal("lenient run lost documents but reported none")
+	}
+	// The failure report is accurate: its /posts/ entries are exactly
+	// the distinct URLs the injector faulted, no more, no fewer. (The
+	// report may additionally name vocabulary IRIs that 404 even in
+	// fault-free runs.)
+	faulted := map[string]bool{}
+	for _, ev := range inj.Events() {
+		faulted[ev.URL] = true
+	}
+	failedPosts := map[string]bool{}
+	for _, u := range deg.FailedDocuments {
+		if strings.Contains(u, "/posts/") {
+			failedPosts[u] = true
+		}
+	}
+	if len(failedPosts) != len(faulted) {
+		t.Errorf("degradation reports %d failed post documents, injector faulted %d distinct URLs",
+			len(failedPosts), len(faulted))
+	}
+	for u := range faulted {
+		if !failedPosts[u] {
+			t.Errorf("faulted document %s missing from the degradation report", u)
+		}
+	}
+	if s := res.Stats(); s.FailedDocuments != len(deg.FailedDocuments) {
+		t.Errorf("Stats.FailedDocuments = %d, Degradation = %d", s.FailedDocuments, len(deg.FailedDocuments))
+	}
+}
+
+// TestChaosDeterministicSchedules reruns the same chaos query twice
+// against one environment with same-seeded injectors and asserts the two
+// fault schedules are identical — the property that makes chaos failures
+// reproducible. (The fault decision hashes the full URL, so the runs share
+// an environment to keep the ephemeral test port constant.)
+func TestChaosDeterministicSchedules(t *testing.T) {
+	cfg := solidbench.SmallConfig()
+	env := simenv.New(cfg)
+	defer env.Close()
+	q := env.Dataset.Discover(1, 1)
+
+	schedule := func() []faultinject.Event {
+		inj := faultinject.New(7, faultinject.Rule{
+			Probability:     0.2,
+			Kind:            faultinject.Status,
+			Status:          503,
+			MaxFaultsPerURL: 2,
+		})
+		runQuery(t, ltqp.Config{
+			Client:  inj.Client(env.Client()),
+			Lenient: true,
+			Retry:   &ltqp.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		}, q.Text)
+		return inj.Events()
+	}
+
+	a, b := schedule(), schedule()
+	if len(a) == 0 {
+		t.Fatal("no faults injected")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("schedule lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -53,6 +53,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		adaptive   = fs.Bool("adaptive", false, "re-plan from observed cardinalities after a traversal warmup")
 		maxDepth   = fs.Int("max-depth", 0, "cap traversal depth in hops from the seeds (0 = unbounded)")
 		cacheDocs  = fs.Int("cache", 0, "enable an engine-wide document cache of this many documents")
+		retries    = fs.Int("max-retries", 3, "retries per document on transient failures (429/5xx, transport errors); 0 disables")
+		retryBase  = fs.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles per retry, with deterministic jitter)")
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-attempt HTTP timeout (0 = none)")
+		retrySeed  = fs.Int64("retry-seed", 0, "seed for deterministic backoff jitter (reproducible schedules)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -93,6 +97,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PrioritizedQueue: *prioritize,
 		Adaptive:         *adaptive,
 		CacheDocuments:   *cacheDocs,
+	}
+	if *retries > 0 {
+		cfg.Retry = &ltqp.RetryPolicy{
+			MaxAttempts:    *retries + 1,
+			BaseDelay:      *retryBase,
+			AttemptTimeout: *reqTimeout,
+			Seed:           *retrySeed,
+		}
+		if *reqTimeout == 0 {
+			cfg.Retry.AttemptTimeout = -1
+		}
 	}
 	switch *strategy {
 	case "solid":
@@ -184,6 +199,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			n, elapsed.Round(time.Millisecond), ttfr)
 		fmt.Fprintf(stderr, "%d HTTP requests (%d failed), %d triples from %d documents, max depth %d\n",
 			s.Requests, s.Failed, s.TotalTriples, s.Requests-s.Failed, s.MaxDepth)
+		if deg := res.Degradation(); deg.Degraded() {
+			fmt.Fprintf(stderr, "degraded: %d retries, %d documents abandoned (results may be partial)\n",
+				deg.Retries, len(deg.FailedDocuments))
+		}
 		fmt.Fprintf(stderr, "seeds: %s\n", strings.Join(res.Seeds, " "))
 	}
 	return 0

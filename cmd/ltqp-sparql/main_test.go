@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"ltqp/internal/faultinject"
 	"ltqp/internal/podserver"
 	"ltqp/internal/solidbench"
 )
@@ -163,5 +164,42 @@ func TestCLIAdaptiveAndDepthFlags(t *testing.T) {
 	}
 	if stdout.Len() == 0 {
 		t.Error("no results with adaptive+depth+cache flags")
+	}
+}
+
+// TestCLIRetriesThroughFaults runs the CLI against a pod server that
+// answers 30% of requests with 503 (bounded per URL): the resilience flags
+// must carry the query through, and --stats must report the degradation.
+func TestCLIRetriesThroughFaults(t *testing.T) {
+	ps := podserver.New()
+	inj := faultinject.New(21, faultinject.Rule{
+		Probability:     0.3,
+		Kind:            faultinject.Status,
+		Status:          503,
+		MaxFaultsPerURL: 2,
+	})
+	ts := httptest.NewServer(inj.Middleware(ps))
+	defer ts.Close()
+	cfg := solidbench.SmallConfig()
+	cfg.Host = ts.URL
+	ds := solidbench.Generate(cfg)
+	for _, p := range ds.BuildPods() {
+		ps.AddPod(p)
+	}
+	q := ds.Discover(1, 1)
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"--stats", "--max-retries", "3", "--retry-base", "1ms", q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr.String())
+	}
+	if inj.FaultCount() == 0 {
+		t.Fatal("no faults injected")
+	}
+	if stdout.Len() == 0 {
+		t.Error("no results despite retries")
+	}
+	if !strings.Contains(stderr.String(), "degraded:") {
+		t.Errorf("stats output lacks degradation line:\n%s", stderr.String())
 	}
 }

@@ -64,8 +64,14 @@ type Options struct {
 	MaxDepth int
 	// Lenient makes traversal tolerate fetch/parse failures, mirroring
 	// the --lenient flag of the paper's CLI (Fig. 2). Non-lenient
-	// traversal aborts the query on the first failure.
+	// traversal aborts the query on the first failure. Degradation()
+	// reports what a lenient execution ran without.
 	Lenient bool
+	// Retry, when non-nil, retries transient dereference failures
+	// (transport errors, 429/5xx, stalled responses) with capped
+	// exponential backoff before giving up on a document. Nil means a
+	// single attempt — every failure is immediately terminal.
+	Retry *deref.RetryPolicy
 	// Adaptive enables restart-based adaptive re-planning (the paper's
 	// §5 future-work direction): once AdaptiveWarmupDocs documents have
 	// been traversed, the join order is re-derived from observed pattern
@@ -134,6 +140,15 @@ func (x *Execution) Close() { x.cancel() }
 
 // StoreSize reports how many triples traversal has accumulated so far.
 func (x *Execution) StoreSize() int { return x.store.Len() }
+
+// Degradation reports how far the execution ran short of the fault-free
+// ideal: documents abandoned after exhausting their retries, and the retry
+// count. Under Lenient these losses are otherwise silent — a caller that
+// cares whether results are partial should inspect this after Results
+// closes.
+func (x *Execution) Degradation() metrics.Degradation {
+	return x.Recorder.Degradation()
+}
 
 // Query parses and starts a query. Seed URLs are taken from seeds; when
 // empty, they are derived from IRIs mentioned in the query.
@@ -345,6 +360,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		Auth:      e.opts.Auth,
 		Recorder:  recorder,
 		Cache:     e.opts.Cache,
+		Retry:     e.opts.Retry,
 		UserAgent: "ltqp-go/1.0 (link-traversal SPARQL engine)",
 	}
 

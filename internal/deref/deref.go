@@ -5,10 +5,18 @@
 // which the simulated Solid pod servers verify against per-document access
 // control lists — reproducing the paper's "execute queries on behalf of the
 // logged-in user" behaviour with a simulated Solid-OIDC flow.
+//
+// Fetches on the open Web fail transiently; when a RetryPolicy is set, the
+// dereferencer retries transient failures (transport errors, 429/5xx,
+// stalled responses) with capped exponential backoff and honors Retry-After
+// hints, while terminal failures (other 4xx, unparseable or oversized
+// documents) surface immediately. Every attempt is recorded in the metrics
+// waterfall, so degraded networks stay observable.
 package deref
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -25,8 +33,10 @@ import (
 // dereference.
 const AcceptHeader = "text/turtle;q=1.0, application/n-triples;q=0.9, */*;q=0.1"
 
-// maxBodyBytes caps response bodies to guard against hostile documents.
-const maxBodyBytes = 64 << 20
+// maxBodyBytes caps response bodies to guard against hostile documents. A
+// body over the cap is rejected, never silently truncated. (A variable so
+// tests can exercise the overflow path without 64 MiB bodies.)
+var maxBodyBytes int64 = 64 << 20
 
 // Credentials identifies the agent on whose behalf the engine queries.
 type Credentials struct {
@@ -56,11 +66,15 @@ type Dereferencer struct {
 	Client *http.Client
 	// Auth, when non-nil, is attached to every request.
 	Auth *Credentials
-	// Recorder, when non-nil, receives request metrics.
+	// Recorder, when non-nil, receives request metrics (one event per
+	// attempt, so retries are visible in the waterfall).
 	Recorder *metrics.Recorder
 	// Cache, when non-nil, serves repeated dereferences of a document
 	// without touching the network (Fig. 4's "(disk cache)" behaviour).
 	Cache *Cache
+	// Retry, when non-nil, retries transient failures with backoff. Nil
+	// means a single attempt with no per-attempt timeout.
+	Retry *RetryPolicy
 	// UserAgent is sent as the User-Agent header.
 	UserAgent string
 
@@ -68,15 +82,68 @@ type Dereferencer struct {
 	docCounter atomic.Int64
 }
 
-// Dereference fetches one document and parses it. Failures (transport,
-// status, parse) return an error; the metrics recorder captures the event
-// either way.
+// Dereference fetches one document and parses it, retrying transient
+// failures per the Retry policy. Failures return an error (a *Error for
+// HTTP/transport/parse failures); the metrics recorder captures one event
+// per attempt either way.
 func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason string) (*Result, error) {
+	if d.Cache != nil {
+		if entry, ok := d.Cache.get(cacheKey(url, d.Auth)); ok {
+			ev := metrics.Request{URL: url, Parent: parent, Reason: reason,
+				Start: time.Now(), Status: http.StatusOK, Bytes: entry.bytes,
+				Triples: len(entry.triples), Cached: true, Attempt: 1}
+			ev.End = ev.Start
+			if d.Recorder != nil {
+				d.Recorder.Record(ev)
+			}
+			return &Result{URL: url, FinalURL: entry.finalURL, Triples: entry.triples,
+				Status: http.StatusOK, Bytes: entry.bytes}, nil
+		}
+	}
+
+	maxAttempts := d.Retry.maxAttempts()
+	var lastErr error
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		res, err := d.fetchOnce(ctx, url, parent, reason, attempt)
+		if err == nil {
+			if d.Cache != nil {
+				d.Cache.put(&cacheEntry{
+					key:      cacheKey(url, d.Auth),
+					finalURL: res.FinalURL,
+					triples:  res.Triples,
+					bytes:    res.Bytes,
+				})
+			}
+			return res, nil
+		}
+		lastErr = err
+		if attempt == maxAttempts || !IsRetryable(err) || ctx.Err() != nil {
+			break
+		}
+		delay := d.Retry.Backoff(url, attempt)
+		var de *Error
+		if errors.As(err, &de) && de.RetryAfter > 0 {
+			if de.RetryAfter > d.Retry.maxRetryAfter() {
+				// The server demands a longer pause than we are
+				// willing to wait: give up on this document.
+				break
+			}
+			delay = de.RetryAfter
+		}
+		if err := d.Retry.doSleep(ctx, delay); err != nil {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// fetchOnce performs one fetch+parse attempt and records one metrics event.
+func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string, attempt int) (*Result, error) {
 	client := d.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	ev := metrics.Request{URL: url, Parent: parent, Reason: reason, Start: time.Now()}
+	ev := metrics.Request{URL: url, Parent: parent, Reason: reason, Start: time.Now(), Attempt: attempt}
 	record := func() {
 		ev.End = time.Now()
 		if d.Recorder != nil {
@@ -84,19 +151,14 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 		}
 	}
 
-	if d.Cache != nil {
-		if entry, ok := d.Cache.get(cacheKey(url, d.Auth)); ok {
-			ev.Status = http.StatusOK
-			ev.Bytes = entry.bytes
-			ev.Triples = len(entry.triples)
-			ev.Cached = true
-			record()
-			return &Result{URL: url, FinalURL: entry.finalURL, Triples: entry.triples,
-				Status: http.StatusOK, Bytes: entry.bytes}, nil
-		}
+	attemptCtx := ctx
+	if t := d.Retry.attemptTimeout(); t > 0 {
+		var cancel context.CancelFunc
+		attemptCtx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
 	}
 
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	req, err := http.NewRequestWithContext(attemptCtx, http.MethodGet, url, nil)
 	if err != nil {
 		ev.Err = err.Error()
 		record()
@@ -115,23 +177,38 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 	if err != nil {
 		ev.Err = err.Error()
 		record()
-		return nil, fmt.Errorf("deref %s: %w", url, err)
+		return nil, &Error{URL: url, Retryable: classifyTransport(ctx, err), Err: err}
 	}
 	defer resp.Body.Close()
 	ev.Status = resp.StatusCode
 
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	// Read one byte past the cap so truncation is detected, not silent.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
 	if err != nil {
 		ev.Err = err.Error()
 		record()
-		return nil, fmt.Errorf("deref %s: reading body: %w", url, err)
+		return nil, &Error{URL: url, Status: resp.StatusCode,
+			Retryable: classifyTransport(ctx, err),
+			Err:       fmt.Errorf("reading body: %w", err)}
+	}
+	if int64(len(body)) > maxBodyBytes {
+		ev.Err = "body exceeds size limit"
+		record()
+		return nil, &Error{URL: url, Status: resp.StatusCode,
+			Err: fmt.Errorf("body exceeds %d-byte limit", maxBodyBytes)}
 	}
 	ev.Bytes = int64(len(body))
 
 	if resp.StatusCode != http.StatusOK {
 		ev.Err = fmt.Sprintf("status %d", resp.StatusCode)
 		record()
-		return nil, fmt.Errorf("deref %s: status %d", url, resp.StatusCode)
+		derr := &Error{URL: url, Status: resp.StatusCode, Retryable: RetryableStatus(resp.StatusCode)}
+		if derr.Retryable {
+			if ra, ok := ParseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				derr.RetryAfter = ra
+			}
+		}
+		return nil, derr
 	}
 
 	finalURL := url
@@ -150,7 +227,8 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 	default:
 		ev.Err = "unsupported content type " + ctype
 		record()
-		return nil, fmt.Errorf("deref %s: unsupported content type %q", url, ctype)
+		return nil, &Error{URL: url, Status: resp.StatusCode,
+			Err: fmt.Errorf("unsupported content type %q", ctype)}
 	}
 
 	triples, err := turtle.Parse(string(body), turtle.Options{
@@ -160,17 +238,9 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 	if err != nil {
 		ev.Err = err.Error()
 		record()
-		return nil, fmt.Errorf("deref %s: %w", url, err)
+		return nil, &Error{URL: url, Status: resp.StatusCode, Err: err}
 	}
 	ev.Triples = len(triples)
 	record()
-	if d.Cache != nil {
-		d.Cache.put(&cacheEntry{
-			key:      cacheKey(url, d.Auth),
-			finalURL: finalURL,
-			triples:  triples,
-			bytes:    ev.Bytes,
-		})
-	}
 	return &Result{URL: url, FinalURL: finalURL, Triples: triples, Status: resp.StatusCode, Bytes: ev.Bytes}, nil
 }

@@ -1,0 +1,395 @@
+// Package faultinject deterministically injects network faults into the
+// traversal engine's HTTP path, so the resilience layer (retry/backoff,
+// lenient degradation) can be exercised by reproducible chaos tests.
+//
+// An Injector holds an ordered list of per-URL-pattern Rules. It can sit on
+// either side of the wire: as an http.RoundTripper wrapping the client's
+// transport, or as middleware wrapping the pod server's handler. Faults
+// include added latency, 429/500/503 responses (optionally with a
+// Retry-After header), connection resets, and truncated or corrupted Turtle
+// bodies — the failure modes live Solid pods on the open Web exhibit.
+//
+// Every fault decision is a pure function of (seed, URL, per-URL request
+// number), so two runs with the same seed over the same request multiset
+// produce identical fault schedules regardless of goroutine interleaving.
+package faultinject
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Kind enumerates the injectable fault types.
+type Kind int
+
+const (
+	// None injects nothing (latency from the matched rule still applies).
+	None Kind = iota
+	// Status replaces the response with Rule.Status (e.g. 429/500/503).
+	Status
+	// ConnReset simulates a TCP connection reset: the transport returns
+	// ECONNRESET; the middleware aborts the connection mid-response.
+	ConnReset
+	// Truncate serves only the first half of the body, then fails the
+	// read — a dropped connection mid-transfer.
+	Truncate
+	// Corrupt mangles the body into syntactically invalid Turtle.
+	Corrupt
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case Status:
+		return "status"
+	case ConnReset:
+		return "conn-reset"
+	case Truncate:
+		return "truncate"
+	case Corrupt:
+		return "corrupt"
+	default:
+		return "none"
+	}
+}
+
+// Rule schedules one fault type for matching requests. Rules are evaluated
+// in order; the first rule whose Pattern matches decides the request.
+type Rule struct {
+	// Pattern is matched as a substring of the request URL; "" matches
+	// every request.
+	Pattern string
+	// Probability is the chance a matching request is faulted, in [0, 1].
+	Probability float64
+	// Kind is the fault to inject.
+	Kind Kind
+	// Status is the response code for Kind Status (default 503).
+	Status int
+	// RetryAfter, when > 0, is sent as a Retry-After header (seconds)
+	// with Status faults.
+	RetryAfter time.Duration
+	// Latency is added to every matching request, faulted or not.
+	Latency time.Duration
+	// MaxFaultsPerURL, when > 0, stops faulting a URL after that many
+	// injections — the request "eventually succeeds". Keeping the cap
+	// per-URL (not global) preserves schedule determinism under
+	// concurrency.
+	MaxFaultsPerURL int
+}
+
+// Event records one injected fault.
+type Event struct {
+	// URL is the faulted request URL.
+	URL string
+	// Seq is the per-URL request number (0-based) at injection time.
+	Seq int
+	// Kind and Status describe the injected fault.
+	Kind   Kind
+	Status int
+}
+
+// Injector applies fault rules to HTTP traffic. Safe for concurrent use.
+type Injector struct {
+	seed  int64
+	rules []Rule
+
+	mu     sync.Mutex
+	perURL map[string]int // requests seen per URL
+	faults map[string]int // faults injected per URL
+	events []Event
+}
+
+// New returns an injector with the given deterministic seed and rules.
+func New(seed int64, rules ...Rule) *Injector {
+	return &Injector{
+		seed:   seed,
+		rules:  rules,
+		perURL: map[string]int{},
+		faults: map[string]int{},
+	}
+}
+
+// Events returns the injected faults so far, sorted by URL then sequence
+// number — a canonical order, so schedules from two runs compare equal even
+// though goroutine interleaving differs.
+func (in *Injector) Events() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].URL != out[j].URL {
+			return out[i].URL < out[j].URL
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// FaultCount returns the number of faults injected so far.
+func (in *Injector) FaultCount() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.events)
+}
+
+// decision is the resolved outcome for one request.
+type decision struct {
+	kind       Kind
+	status     int
+	retryAfter time.Duration
+	latency    time.Duration
+}
+
+// decide resolves the fault decision for the next request to url.
+func (in *Injector) decide(url string) decision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := in.perURL[url]
+	in.perURL[url] = n + 1
+	for _, r := range in.rules {
+		if r.Pattern != "" && !strings.Contains(url, r.Pattern) {
+			continue
+		}
+		d := decision{latency: r.Latency}
+		fault := r.Probability > 0 && unitHash(in.seed, url, n) < r.Probability
+		if fault && r.MaxFaultsPerURL > 0 && in.faults[url] >= r.MaxFaultsPerURL {
+			fault = false
+		}
+		if fault && r.Kind != None {
+			in.faults[url]++
+			d.kind = r.Kind
+			d.status = r.Status
+			if d.kind == Status && d.status == 0 {
+				d.status = http.StatusServiceUnavailable
+			}
+			d.retryAfter = r.RetryAfter
+			in.events = append(in.events, Event{URL: url, Seq: n, Kind: d.kind, Status: d.status})
+		}
+		return d // first matching rule decides, faulted or not
+	}
+	return decision{}
+}
+
+// unitHash maps (seed, url, n) to a uniform float in [0, 1) via FNV-1a.
+func unitHash(seed int64, url string, n int) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(url))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(n >> (8 * i))
+	}
+	h.Write(buf[:])
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Transport wraps an http.RoundTripper with fault injection. A nil inner
+// transport means http.DefaultTransport.
+func (in *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &transport{in: in, inner: inner}
+}
+
+// Client returns a copy of base (nil means a zero client) whose transport
+// injects faults.
+func (in *Injector) Client(base *http.Client) *http.Client {
+	c := http.Client{}
+	if base != nil {
+		c = *base
+	}
+	c.Transport = in.Transport(c.Transport)
+	return &c
+}
+
+type transport struct {
+	in    *Injector
+	inner http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.in.decide(req.URL.String())
+	if d.latency > 0 {
+		timer := time.NewTimer(d.latency)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	switch d.kind {
+	case Status:
+		return syntheticResponse(req, d), nil
+	case ConnReset:
+		return nil, &net.OpError{Op: "read", Net: "tcp",
+			Err: fmt.Errorf("injected: %w", syscall.ECONNRESET)}
+	case Truncate, Corrupt:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		return mangleBody(resp, d.kind)
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// syntheticResponse fabricates an error response without touching the
+// network, the way a rate-limiting proxy would.
+func syntheticResponse(req *http.Request, d decision) *http.Response {
+	h := http.Header{"Content-Type": []string{"text/plain"}}
+	if d.retryAfter > 0 {
+		h.Set("Retry-After", strconv.Itoa(int(d.retryAfter.Round(time.Second)/time.Second)))
+	}
+	body := fmt.Sprintf("injected fault: status %d", d.status)
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", d.status, http.StatusText(d.status)),
+		StatusCode:    d.status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// mangleBody rewrites a successful response's body: Truncate serves half
+// and then fails the read (dropped connection); Corrupt prepends bytes that
+// cannot be valid Turtle.
+func mangleBody(resp *http.Response, kind Kind) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case Truncate:
+		resp.Body = &truncatedBody{data: data[:len(data)/2]}
+	case Corrupt:
+		resp.Body = io.NopCloser(bytes.NewReader(append([]byte("@@\x00corrupt<<< "), data...)))
+	}
+	return resp, nil
+}
+
+// truncatedBody yields its data and then fails like a dropped connection.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+// Read implements io.Reader.
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.off >= len(b.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, b.data[b.off:])
+	b.off += n
+	return n, nil
+}
+
+// Close implements io.Closer.
+func (b *truncatedBody) Close() error { return nil }
+
+// Middleware wraps an http.Handler (e.g. the pod server) with fault
+// injection on the server side of the wire.
+func (in *Injector) Middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := in.decide(requestURL(r))
+		if d.latency > 0 {
+			time.Sleep(d.latency)
+		}
+		switch d.kind {
+		case Status:
+			if d.retryAfter > 0 {
+				w.Header().Set("Retry-After",
+					strconv.Itoa(int(d.retryAfter.Round(time.Second)/time.Second)))
+			}
+			http.Error(w, "injected fault", d.status)
+		case ConnReset:
+			// ErrAbortHandler makes the server drop the connection
+			// without a response — the client sees a reset/EOF.
+			panic(http.ErrAbortHandler)
+		case Truncate:
+			rec := capture(next, r)
+			rec.copyHeaders(w, true)
+			w.Write(rec.body.Bytes()[:rec.body.Len()/2])
+			// Announced Content-Length exceeds what was written; the
+			// server closes the connection and the client's read fails.
+			panic(http.ErrAbortHandler)
+		case Corrupt:
+			rec := capture(next, r)
+			rec.copyHeaders(w, false)
+			w.Write([]byte("@@\x00corrupt<<< "))
+			w.Write(rec.body.Bytes())
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// recorder captures a downstream handler's response for mangling.
+type recorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func capture(next http.Handler, r *http.Request) *recorder {
+	rec := &recorder{header: http.Header{}, status: http.StatusOK}
+	next.ServeHTTP(rec, r)
+	return rec
+}
+
+// Header implements http.ResponseWriter.
+func (r *recorder) Header() http.Header { return r.header }
+
+// Write implements http.ResponseWriter.
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+
+// WriteHeader implements http.ResponseWriter.
+func (r *recorder) WriteHeader(status int) { r.status = status }
+
+// copyHeaders replays the captured status and headers onto w. With
+// announceFullLength, the original body length is declared even though
+// less will be written.
+func (r *recorder) copyHeaders(w http.ResponseWriter, announceFullLength bool) {
+	for k, vs := range r.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if announceFullLength {
+		w.Header().Set("Content-Length", strconv.Itoa(r.body.Len()))
+	}
+	w.WriteHeader(r.status)
+}
+
+// requestURL reconstructs the absolute URL of a server-side request.
+func requestURL(r *http.Request) string {
+	scheme := "http"
+	if r.TLS != nil {
+		scheme = "https"
+	}
+	u := url.URL{Scheme: scheme, Host: r.Host, Path: r.URL.Path}
+	return u.String()
+}

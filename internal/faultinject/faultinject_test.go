@@ -1,0 +1,207 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// driveDecisions replays a fixed request multiset against an injector and
+// returns its canonical event schedule.
+func driveDecisions(in *Injector, urls []string, repeats int) []Event {
+	var wg sync.WaitGroup
+	for _, u := range urls {
+		u := u
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < repeats; i++ {
+				in.decide(u)
+			}
+		}()
+	}
+	wg.Wait()
+	return in.Events()
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	urls := []string{"http://h/a", "http://h/b", "http://h/c", "http://h/d", "http://h/e"}
+	rule := Rule{Probability: 0.5, Kind: Status, Status: 503}
+
+	a := driveDecisions(New(42, rule), urls, 20)
+	b := driveDecisions(New(42, rule), urls, 20)
+	if len(a) == 0 {
+		t.Fatal("no faults injected at p=0.5 over 100 requests")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+
+	c := driveDecisions(New(7, rule), urls, 20)
+	if reflect.DeepEqual(a, c) {
+		t.Errorf("different seeds produced identical schedules")
+	}
+}
+
+func TestProbabilityBounds(t *testing.T) {
+	in := New(1, Rule{Probability: 1, Kind: Status, Status: 500})
+	for i := 0; i < 10; i++ {
+		if d := in.decide("http://h/x"); d.kind != Status {
+			t.Fatalf("p=1 request %d not faulted", i)
+		}
+	}
+	in = New(1, Rule{Probability: 0, Kind: Status, Status: 500})
+	for i := 0; i < 10; i++ {
+		if d := in.decide("http://h/x"); d.kind != None {
+			t.Fatalf("p=0 request %d faulted", i)
+		}
+	}
+}
+
+func TestMaxFaultsPerURL(t *testing.T) {
+	in := New(3, Rule{Probability: 1, Kind: Status, Status: 503, MaxFaultsPerURL: 2})
+	faulted := 0
+	for i := 0; i < 6; i++ {
+		if d := in.decide("http://h/doc"); d.kind == Status {
+			faulted++
+		}
+	}
+	if faulted != 2 {
+		t.Errorf("faulted = %d, want 2 (then eventual success)", faulted)
+	}
+}
+
+func TestPatternSelectsRule(t *testing.T) {
+	in := New(9,
+		Rule{Pattern: "/posts/", Probability: 1, Kind: Status, Status: 500},
+		Rule{Probability: 1, Kind: Status, Status: 429},
+	)
+	if d := in.decide("http://h/pods/1/posts/2024"); d.status != 500 {
+		t.Errorf("posts rule not matched: %+v", d)
+	}
+	if d := in.decide("http://h/pods/1/profile/card"); d.status != 429 {
+		t.Errorf("fallback rule not matched: %+v", d)
+	}
+}
+
+func newBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/turtle")
+		w.Write([]byte(`<http://s> <http://p> "a fairly long literal to survive halving" .`))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestTransportStatusAndRetryAfter(t *testing.T) {
+	ts := newBackend(t)
+	client := New(5, Rule{Probability: 1, Kind: Status, Status: 429, RetryAfter: 3 * time.Second}).Client(ts.Client())
+	resp, err := client.Get(ts.URL + "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q", ra)
+	}
+}
+
+func TestTransportConnReset(t *testing.T) {
+	ts := newBackend(t)
+	client := New(5, Rule{Probability: 1, Kind: ConnReset}).Client(ts.Client())
+	_, err := client.Get(ts.URL + "/doc")
+	if err == nil || !strings.Contains(err.Error(), "reset") {
+		t.Errorf("err = %v, want connection reset", err)
+	}
+}
+
+func TestTransportTruncateAndCorrupt(t *testing.T) {
+	ts := newBackend(t)
+	trunc := New(5, Rule{Probability: 1, Kind: Truncate}).Client(ts.Client())
+	resp, err := trunc.Get(ts.URL + "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated read err = %v", err)
+	}
+
+	corrupt := New(5, Rule{Probability: 1, Kind: Corrupt}).Client(ts.Client())
+	resp, err = corrupt.Get(ts.URL + "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "corrupt") {
+		t.Errorf("body not corrupted: %q", body)
+	}
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	backend := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/turtle")
+		w.Write([]byte(`<http://s> <http://p> "a fairly long literal to survive halving" .`))
+	})
+
+	in := New(11,
+		Rule{Pattern: "/status", Probability: 1, Kind: Status, Status: 503, RetryAfter: 2 * time.Second},
+		Rule{Pattern: "/reset", Probability: 1, Kind: ConnReset},
+		Rule{Pattern: "/trunc", Probability: 1, Kind: Truncate},
+		Rule{Pattern: "/corrupt", Probability: 1, Kind: Corrupt},
+	)
+	ts := httptest.NewServer(in.Middleware(backend))
+	defer ts.Close()
+	client := ts.Client()
+
+	resp, err := client.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 || resp.Header.Get("Retry-After") != "2" {
+		t.Errorf("status fault: %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	if _, err := client.Get(ts.URL + "/reset"); err == nil {
+		t.Error("reset fault: want transport error")
+	}
+
+	resp, err = client.Get(ts.URL + "/trunc")
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Error("truncate fault: want read error")
+	}
+
+	resp, err = client.Get(ts.URL + "/corrupt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "corrupt") {
+		t.Errorf("corrupt fault: body %q", body)
+	}
+
+	if in.FaultCount() != 4 {
+		t.Errorf("fault count = %d, want 4", in.FaultCount())
+	}
+}

@@ -32,6 +32,10 @@ type Request struct {
 	// Cached marks requests served from the engine's document cache
 	// rather than the network (the "(disk cache)" rows of Fig. 4).
 	Cached bool
+	// Attempt is the 1-based fetch attempt for this URL within one
+	// dereference; values above 1 are retries after transient failures.
+	// 0 is treated as 1 (recorders predating retry support).
+	Attempt int
 	// Err records a fetch or parse failure.
 	Err string
 }
@@ -157,6 +161,11 @@ type Stats struct {
 	MaxParallel   int
 	WallTime      time.Duration
 	DistinctHosts int
+	// Retries counts retry attempts (request events with Attempt > 1).
+	Retries int
+	// FailedDocuments counts distinct URLs that never yielded a
+	// successful fetch — the documents a lenient traversal ran without.
+	FailedDocuments int
 }
 
 // Stats aggregates the recorded events.
@@ -165,10 +174,18 @@ func (r *Recorder) Stats() Stats {
 	s := Stats{Requests: len(reqs)}
 	depth := map[string]int{}
 	hosts := map[string]bool{}
+	succeeded := map[string]bool{}
+	attempted := map[string]bool{}
 	var minStart, maxEnd time.Time
 	for i, q := range reqs {
 		if q.Status == 0 || q.Status >= 400 || q.Err != "" {
 			s.Failed++
+		} else {
+			succeeded[q.URL] = true
+		}
+		attempted[q.URL] = true
+		if q.Attempt > 1 {
+			s.Retries++
 		}
 		s.TotalBytes += q.Bytes
 		s.TotalTriples += q.Triples
@@ -189,6 +206,11 @@ func (r *Recorder) Stats() Stats {
 		}
 	}
 	s.DistinctHosts = len(hosts)
+	for u := range attempted {
+		if !succeeded[u] {
+			s.FailedDocuments++
+		}
+	}
 	if !minStart.IsZero() {
 		s.WallTime = maxEnd.Sub(minStart)
 	}
@@ -215,6 +237,47 @@ func (r *Recorder) Stats() Stats {
 		}
 	}
 	return s
+}
+
+// Degradation summarizes how far a lenient execution ran short of the
+// fault-free ideal: which documents were abandoned after exhausting their
+// retries, and how many retry attempts the traversal absorbed. It makes
+// partial results observable rather than silent — a lenient engine can
+// report "answered from all but these N documents".
+type Degradation struct {
+	// FailedDocuments are the distinct URLs that never yielded a
+	// successful fetch, ordered by first attempt.
+	FailedDocuments []string
+	// Retries counts retry attempts (request events with Attempt > 1),
+	// including those that eventually succeeded.
+	Retries int
+}
+
+// Degraded reports whether any document was lost or retried.
+func (d Degradation) Degraded() bool { return len(d.FailedDocuments) > 0 || d.Retries > 0 }
+
+// Degradation computes the degradation summary from the recorded events.
+func (r *Recorder) Degradation() Degradation {
+	var d Degradation
+	succeeded := map[string]bool{}
+	for _, q := range r.Requests() {
+		if q.Attempt > 1 {
+			d.Retries++
+		}
+		if q.Status == 0 || q.Status >= 400 || q.Err != "" {
+			continue
+		}
+		succeeded[q.URL] = true
+	}
+	seen := map[string]bool{}
+	for _, q := range r.Requests() {
+		if succeeded[q.URL] || seen[q.URL] {
+			continue
+		}
+		seen[q.URL] = true
+		d.FailedDocuments = append(d.FailedDocuments, q.URL)
+	}
+	return d
 }
 
 // hostAndPod extracts "host/pods/<id>" style prefixes so that multi-pod
@@ -302,13 +365,20 @@ func (r *Recorder) Waterfall(width int) string {
 		if q.Cached {
 			status = "cache"
 		}
+		reason := q.Reason
+		if q.Attempt > 1 {
+			reason += fmt.Sprintf(" (retry %d)", q.Attempt-1)
+		}
 		fmt.Fprintf(&b, "%-*s %6s %8d %7.1f  [%s] %s\n",
 			nameWidth, name, status, q.Bytes,
-			float64(q.Duration().Microseconds())/1000.0, string(bar), q.Reason)
+			float64(q.Duration().Microseconds())/1000.0, string(bar), reason)
 	}
 	s := r.Stats()
-	fmt.Fprintf(&b, "\n%d requests (%d failed), %d triples, %d bytes, max depth %d, max parallel %d, wall %s\n",
-		s.Requests, s.Failed, s.TotalTriples, s.TotalBytes, s.MaxDepth, s.MaxParallel, s.WallTime.Round(time.Microsecond))
+	fmt.Fprintf(&b, "\n%d requests (%d failed, %d retries), %d triples, %d bytes, max depth %d, max parallel %d, wall %s\n",
+		s.Requests, s.Failed, s.Retries, s.TotalTriples, s.TotalBytes, s.MaxDepth, s.MaxParallel, s.WallTime.Round(time.Microsecond))
+	if s.FailedDocuments > 0 {
+		fmt.Fprintf(&b, "%d documents abandoned after exhausting retries\n", s.FailedDocuments)
+	}
 	return b.String()
 }
 

@@ -161,3 +161,76 @@ func TestQueueEvolution(t *testing.T) {
 		t.Errorf("peak = %d", r.PeakQueueLength())
 	}
 }
+
+// recordAttempt is record plus an attempt number and error string.
+func recordAttempt(r *Recorder, url string, attempt int, status int, errStr string) {
+	epoch := r.Epoch()
+	r.Record(Request{
+		URL: url, Reason: "test", Attempt: attempt,
+		Start:  epoch,
+		End:    epoch.Add(5 * time.Millisecond),
+		Status: status, Err: errStr,
+	})
+}
+
+func TestStatsRetriesAndFailedDocuments(t *testing.T) {
+	r := NewRecorder()
+	// Document a: two failed attempts, then success — retried, not lost.
+	recordAttempt(r, "http://h/a", 1, 503, "status 503")
+	recordAttempt(r, "http://h/a", 2, 503, "status 503")
+	recordAttempt(r, "http://h/a", 3, 200, "")
+	// Document b: all attempts fail — abandoned.
+	recordAttempt(r, "http://h/b", 1, 500, "status 500")
+	recordAttempt(r, "http://h/b", 2, 0, "connection reset")
+	// Document c: clean single-attempt success.
+	recordAttempt(r, "http://h/c", 1, 200, "")
+
+	s := r.Stats()
+	if s.Retries != 3 {
+		t.Errorf("Retries = %d, want 3", s.Retries)
+	}
+	if s.FailedDocuments != 1 {
+		t.Errorf("FailedDocuments = %d, want 1", s.FailedDocuments)
+	}
+	if s.Failed != 4 {
+		t.Errorf("Failed = %d, want 4 (per-attempt failures)", s.Failed)
+	}
+}
+
+func TestDegradationReport(t *testing.T) {
+	r := NewRecorder()
+	recordAttempt(r, "http://h/lost1", 1, 503, "status 503")
+	recordAttempt(r, "http://h/lost1", 2, 503, "status 503")
+	recordAttempt(r, "http://h/recovered", 1, 429, "status 429")
+	recordAttempt(r, "http://h/recovered", 2, 200, "")
+	recordAttempt(r, "http://h/lost2", 1, 404, "status 404")
+
+	d := r.Degradation()
+	if !d.Degraded() {
+		t.Fatal("Degraded() = false")
+	}
+	if d.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", d.Retries)
+	}
+	want := []string{"http://h/lost1", "http://h/lost2"}
+	if len(d.FailedDocuments) != 2 || d.FailedDocuments[0] != want[0] || d.FailedDocuments[1] != want[1] {
+		t.Errorf("FailedDocuments = %v, want %v", d.FailedDocuments, want)
+	}
+
+	if (Degradation{}).Degraded() {
+		t.Error("empty degradation reports Degraded")
+	}
+}
+
+func TestWaterfallMarksRetries(t *testing.T) {
+	r := NewRecorder()
+	recordAttempt(r, "http://h/pods/1/doc", 1, 503, "status 503")
+	recordAttempt(r, "http://h/pods/1/doc", 2, 200, "")
+	out := r.Waterfall(40)
+	if !strings.Contains(out, "(retry 1)") {
+		t.Errorf("waterfall does not mark the retry row:\n%s", out)
+	}
+	if !strings.Contains(out, "1 retries") {
+		t.Errorf("summary lacks retry count:\n%s", out)
+	}
+}

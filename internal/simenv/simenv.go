@@ -30,8 +30,19 @@ type Env struct {
 // with the live server origin so that every IRI in the environment
 // dereferences. Call Close when done.
 func New(cfg solidbench.Config) *Env {
+	return NewWith(cfg, nil)
+}
+
+// NewWith starts an environment whose pod server handler is wrapped by mw —
+// e.g. a faultinject middleware, so chaos tests can make the pods
+// misbehave. A nil mw behaves like New.
+func NewWith(cfg solidbench.Config, mw func(http.Handler) http.Handler) *Env {
 	ps := podserver.New()
-	ts := httptest.NewServer(ps)
+	var handler http.Handler = ps
+	if mw != nil {
+		handler = mw(ps)
+	}
+	ts := httptest.NewServer(handler)
 	cfg.Host = ts.URL
 	ds := solidbench.Generate(cfg)
 	pods := ds.BuildPods()
