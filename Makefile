@@ -16,5 +16,14 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-bench:
-	$(GO) test -bench=. -benchmem
+# Performance trajectory: run the micro-benchmarks and archive them as a
+# dated JSON report (see cmd/benchreport --parse-bench). Compare two
+# reports to catch regressions, e.g. the <5% tracing-overhead budget.
+BENCH_PKGS ?= ./internal/store ./internal/turtle ./internal/sparql ./internal/obs
+BENCH_OUT  ?= BENCH_$(shell date +%Y-%m-%d).json
+
+bench: build
+	$(GO) test -bench . -benchmem -run '^$$' $(BENCH_PKGS) \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchreport --parse-bench > $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: ltqp/internal/store
+cpu: AMD EPYC 7B13
+BenchmarkMatchNowByPredicate-8   	    1808	    314750 ns/op	  120 triples/op
+BenchmarkAddThroughput-8         	      60	  19490027 ns/op	 5242880 B/op	      42 allocs/op
+PASS
+ok  	ltqp/internal/store	2.1s
+pkg: ltqp/internal/turtle
+BenchmarkParseDocument-8         	    3600	    316933 ns/op
+PASS
+`
+
+func TestWriteBenchJSON(t *testing.T) {
+	var out strings.Builder
+	if err := writeBenchJSON(strings.NewReader(sampleBenchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var report BenchReport
+	if err := json.Unmarshal([]byte(out.String()), &report); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out.String())
+	}
+	if report.GoOS != "linux" || report.GoArch != "amd64" {
+		t.Errorf("platform = %s/%s", report.GoOS, report.GoArch)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d, want 3", len(report.Benchmarks))
+	}
+
+	b := report.Benchmarks[0]
+	if b.Name != "BenchmarkMatchNowByPredicate" {
+		t.Errorf("name = %q (GOMAXPROCS suffix not stripped?)", b.Name)
+	}
+	if b.Package != "ltqp/internal/store" {
+		t.Errorf("package = %q", b.Package)
+	}
+	if b.Iterations != 1808 || b.NsPerOp != 314750 {
+		t.Errorf("iters/ns = %d/%v", b.Iterations, b.NsPerOp)
+	}
+	if got := b.Extra["triples/op"]; got != 120 {
+		t.Errorf("custom unit triples/op = %v", got)
+	}
+
+	b = report.Benchmarks[1]
+	if b.BytesPerOp == nil || *b.BytesPerOp != 5242880 {
+		t.Errorf("B/op = %v", b.BytesPerOp)
+	}
+	if b.AllocsPerOp == nil || *b.AllocsPerOp != 42 {
+		t.Errorf("allocs/op = %v", b.AllocsPerOp)
+	}
+
+	// Package tracking follows pkg: lines across test binaries.
+	if got := report.Benchmarks[2].Package; got != "ltqp/internal/turtle" {
+		t.Errorf("third benchmark package = %q", got)
+	}
+	if report.Benchmarks[2].BytesPerOp != nil {
+		t.Error("B/op present without -benchmem columns")
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkTooShort-8 100",
+		"BenchmarkBadIters-8 abc 100 ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed %q", line)
+		}
+	}
+}

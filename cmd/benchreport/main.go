@@ -3,6 +3,12 @@
 // paper-vs-measured tables recorded in EXPERIMENTS.md.
 //
 //	benchreport --persons 16 --latency 2ms
+//
+// With --parse-bench it instead converts `go test -bench` output on stdin
+// into a JSON benchmark report on stdout (the BENCH_<date>.json files of
+// `make bench` that seed the performance trajectory):
+//
+//	go test -bench . -benchmem ./internal/store | benchreport --parse-bench
 package main
 
 import (
@@ -19,12 +25,21 @@ import (
 
 func main() {
 	var (
-		persons   = flag.Int("persons", 16, "pods in the simulated environment")
-		seed      = flag.Int64("seed", 42, "generator seed")
-		latency   = flag.Duration("latency", 2*time.Millisecond, "simulated network latency")
-		waterfall = flag.Bool("waterfalls", false, "print the full E3/E4 waterfalls")
+		persons    = flag.Int("persons", 16, "pods in the simulated environment")
+		seed       = flag.Int64("seed", 42, "generator seed")
+		latency    = flag.Duration("latency", 2*time.Millisecond, "simulated network latency")
+		waterfall  = flag.Bool("waterfalls", false, "print the full E3/E4 waterfalls")
+		parseBench = flag.Bool("parse-bench", false, "parse `go test -bench` output from stdin into JSON on stdout")
 	)
 	flag.Parse()
+
+	if *parseBench {
+		if err := writeBenchJSON(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := solidbench.DefaultConfig()
 	cfg.Persons = *persons

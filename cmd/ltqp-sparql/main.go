@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retryBase  = fs.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles per retry, with deterministic jitter)")
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-attempt HTTP timeout (0 = none)")
 		retrySeed  = fs.Int64("retry-seed", 0, "seed for deterministic backoff jitter (reproducible schedules)")
+		traceOut   = fs.String("trace", "", "write the query's span tree as JSON to this file (\"-\" for stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,6 +98,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		PrioritizedQueue: *prioritize,
 		Adaptive:         *adaptive,
 		CacheDocuments:   *cacheDocs,
+		Trace:            *traceOut != "",
 	}
 	if *retries > 0 {
 		cfg.Retry = &ltqp.RetryPolicy{
@@ -199,11 +201,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			n, elapsed.Round(time.Millisecond), ttfr)
 		fmt.Fprintf(stderr, "%d HTTP requests (%d failed), %d triples from %d documents, max depth %d\n",
 			s.Requests, s.Failed, s.TotalTriples, s.Requests-s.Failed, s.MaxDepth)
+		if hits, misses, enabled := res.CacheStats(); enabled {
+			fmt.Fprintf(stderr, "document cache: %d hits this run; engine-wide %d hits / %d misses\n",
+				s.CacheHits, hits, misses)
+		}
 		if deg := res.Degradation(); deg.Degraded() {
 			fmt.Fprintf(stderr, "degraded: %d retries, %d documents abandoned (results may be partial)\n",
 				deg.Retries, len(deg.FailedDocuments))
 		}
 		fmt.Fprintf(stderr, "seeds: %s\n", strings.Join(res.Seeds, " "))
+	}
+	if *traceOut != "" {
+		data, jerr := res.Trace().JSON()
+		if jerr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql: trace:", jerr)
+			return 1
+		}
+		if *traceOut == "-" {
+			fmt.Fprintln(stderr, string(data))
+		} else if werr := os.WriteFile(*traceOut, append(data, '\n'), 0o644); werr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql: trace:", werr)
+			return 1
+		}
 	}
 	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -201,5 +202,89 @@ func TestCLIRetriesThroughFaults(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "degraded:") {
 		t.Errorf("stats output lacks degradation line:\n%s", stderr.String())
+	}
+}
+
+// TestCLITraceExport runs a query with --trace and asserts the emitted
+// JSON span tree's dereference spans equal the waterfall rows reported by
+// --stats ("N HTTP requests"), the acceptance contract of the flag.
+func TestCLITraceExport(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(1, 1)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"--stats", "--trace", tracePath, q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct {
+		Name     string `json:"name"`
+		DurUS    int64  `json:"duration_us"`
+		Children []span `json:"children"`
+	}
+	var root span
+	if err := json.Unmarshal(data, &root); err != nil {
+		t.Fatalf("trace not JSON: %v\n%s", err, data)
+	}
+	if root.Name != "query" {
+		t.Fatalf("root span = %q", root.Name)
+	}
+	count := func(name string) int {
+		n := 0
+		var walk func(span)
+		walk = func(s span) {
+			if s.Name == name {
+				n++
+			}
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		walk(root)
+		return n
+	}
+	for _, stage := range []string{"parse", "plan", "traverse", "exec"} {
+		if count(stage) != 1 {
+			t.Errorf("stage %q spans = %d, want 1", stage, count(stage))
+		}
+	}
+
+	// --stats prints "N HTTP requests (M failed)"; deref spans must equal N.
+	var requests int
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if strings.Contains(line, "HTTP requests") {
+			fmt.Sscanf(line, "%d HTTP requests", &requests)
+		}
+	}
+	if requests == 0 {
+		t.Fatalf("no request count in stats:\n%s", stderr.String())
+	}
+	if got := count("deref"); got != requests {
+		t.Errorf("deref spans = %d, waterfall rows = %d", got, requests)
+	}
+}
+
+// TestCLICacheStats asserts --stats surfaces document cache hit/miss
+// counters when --cache is enabled.
+func TestCLICacheStats(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(1, 1)
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"--stats", "--cache", "128", q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "document cache:") || !strings.Contains(out, "misses") {
+		t.Errorf("stats output lacks cache line:\n%s", out)
 	}
 }

@@ -16,12 +16,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"ltqp"
@@ -34,19 +38,23 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8096", "listen address")
-		simulate = flag.Bool("simulate", false, "host a simulated Solid environment in-process")
-		persons  = flag.Int("persons", 16, "pods for --simulate")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "per-query timeout")
+		addr      = flag.String("addr", "localhost:8096", "listen address")
+		debugAddr = flag.String("debug-addr", "", "extra listener for net/http/pprof + observability endpoints (e.g. localhost:6060)")
+		simulate  = flag.Bool("simulate", false, "host a simulated Solid environment in-process")
+		persons   = flag.Int("persons", 16, "pods for --simulate")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "per-query timeout")
+		cacheDocs = flag.Int("cache", 1024, "engine-wide document cache size (0 disables)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight queries")
 	)
 	flag.Parse()
 
-	cfg := ltqp.Config{Lenient: true}
+	observer := ltqp.NewObserver()
+	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs}
+	var env *simenv.Env
 	if *simulate {
 		scfg := solidbench.DefaultConfig()
 		scfg.Persons = *persons
-		env := simenv.New(scfg)
-		defer env.Close()
+		env = simenv.New(scfg)
 		cfg.Client = env.Client()
 		q := env.Dataset.Discover(1, 1)
 		fmt.Fprintf(os.Stderr, "simulated pods at %s\nexample query name: %s\n", env.Server.URL, q.Name)
@@ -55,11 +63,73 @@ func main() {
 	h := NewHandler(ltqp.New(cfg), *timeout)
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", h)
-	fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql\n", *addr)
-	if err := http.ListenAndServe(*addr, mux); err != nil {
-		fmt.Fprintln(os.Stderr, "sparql-endpoint:", err)
-		os.Exit(1)
+	observer.Register(mux)
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
 	}
+
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		observer.Register(dmux)
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           dmux,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       2 * time.Minute,
+		}
+		go func() {
+			fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/pprof/\n", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "sparql-endpoint: debug:", err)
+			}
+		}()
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// drain in-flight queries within the --drain budget, then close the
+	// simulated environment.
+	stop, stopCancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stopCancel()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (metrics on /metrics, health on /healthz, queries on /debug/queries)\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	exit := 0
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "sparql-endpoint:", err)
+			exit = 1
+		}
+	case <-stop.Done():
+		fmt.Fprintln(os.Stderr, "sparql-endpoint: shutting down, draining in-flight queries...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "sparql-endpoint: shutdown:", err)
+			exit = 1
+		}
+		if debugSrv != nil {
+			debugSrv.Shutdown(shutdownCtx)
+		}
+		cancel()
+	}
+	if env != nil {
+		env.Close()
+	}
+	os.Exit(exit)
 }
 
 // Handler implements the SPARQL 1.1 Protocol over the traversal engine.

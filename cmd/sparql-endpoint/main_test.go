@@ -2,11 +2,13 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -183,4 +185,152 @@ func truncateStr(s string, n int) string {
 		return s
 	}
 	return s[:n] + "..."
+}
+
+// newObservedEndpoint builds the same mux main() serves: the SPARQL
+// handler plus the observer's /metrics, /healthz and /debug/queries.
+func newObservedEndpoint(t *testing.T) (*httptest.Server, *simenv.Env, *ltqp.Observer) {
+	t.Helper()
+	env := simenv.New(solidbench.SmallConfig())
+	t.Cleanup(env.Close)
+	observer := ltqp.NewObserver()
+	h := NewHandler(ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true, Obs: observer, CacheDocuments: 64}), 2*time.Minute)
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", h)
+	observer.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, env, observer
+}
+
+// TestMetricsEndpoint is the acceptance check: after a query, GET /metrics
+// returns Prometheus text whose ltqp_deref_duration_seconds count matches
+// the query's successful document count, alongside the required counter
+// families.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, env, observer := newObservedEndpoint(t)
+	q := env.Dataset.Discover(1, 1)
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(q.Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type = %s", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"ltqp_queries_total 1",
+		"ltqp_documents_fetched_total",
+		"ltqp_cache_hits_total",
+		"# TYPE ltqp_deref_duration_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, truncateStr(text, 600))
+		}
+	}
+	// Histogram count == the query's successful document count.
+	rec := observer.Tracker.Recent()
+	if len(rec) != 1 {
+		t.Fatalf("tracked queries = %d", len(rec))
+	}
+	docs := observer.Metrics.DocumentsFetched.Value() + observer.Metrics.CacheHits.Value()
+	want := fmt.Sprintf("ltqp_deref_duration_seconds_count %d", docs)
+	if !strings.Contains(text, want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+
+	// Health and query-debug endpoints respond.
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"ok"`) {
+		t.Errorf("healthz = %s", body)
+	}
+	resp, err = http.Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg struct {
+		Recent []struct {
+			Query   string `json:"query"`
+			Done    bool   `json:"done"`
+			Results int    `json:"results"`
+		} `json:"recent"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatalf("debug/queries: %v", err)
+	}
+	resp.Body.Close()
+	if len(dbg.Recent) != 1 || !dbg.Recent[0].Done || dbg.Recent[0].Results == 0 {
+		t.Errorf("debug/queries recent = %+v", dbg.Recent)
+	}
+}
+
+// TestEndpointConcurrentQueries exercises the whole protocol stack with
+// parallel clients under -race and asserts the registry aggregates exactly
+// once per query.
+func TestEndpointConcurrentQueries(t *testing.T) {
+	srv, env, observer := newObservedEndpoint(t)
+	const n = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := env.Dataset.Discover(1+i%3, 1)
+			resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(q.Text))
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	m := observer.Metrics
+	if got := m.QueriesStarted.Value(); got != n {
+		t.Errorf("queries_total = %d, want %d", got, n)
+	}
+	if got := m.QueriesSucceeded.Value(); got != n {
+		t.Errorf("queries_succeeded_total = %d, want %d", got, n)
+	}
+	if got := len(observer.Tracker.Recent()); got != n {
+		t.Errorf("tracked recent = %d, want %d", got, n)
+	}
+	// Each tracked query's span tree is self-contained: exactly one
+	// root-level traverse and exec stage per trace.
+	for _, rec := range observer.Tracker.Recent() {
+		if rec.Trace == nil {
+			t.Fatalf("query %d has no trace", rec.ID)
+		}
+		root := rec.Trace.Root()
+		if root.Count("traverse") != 1 || root.Count("exec") != 1 {
+			t.Errorf("query %d: traverse=%d exec=%d (interleaved spans?)",
+				rec.ID, root.Count("traverse"), root.Count("exec"))
+		}
+	}
 }

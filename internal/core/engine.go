@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
+	"time"
 
 	"ltqp/internal/algebra"
 	"ltqp/internal/deref"
@@ -24,6 +26,7 @@ import (
 	"ltqp/internal/extract"
 	"ltqp/internal/linkqueue"
 	"ltqp/internal/metrics"
+	"ltqp/internal/obs"
 	"ltqp/internal/plan"
 	"ltqp/internal/rdf"
 	"ltqp/internal/sparql"
@@ -80,6 +83,17 @@ type Options struct {
 	Adaptive bool
 	// AdaptiveWarmupDocs is the warmup document count (default 12).
 	AdaptiveWarmupDocs int
+	// Obs, when non-nil, aggregates process-level metrics across every
+	// query of this engine (counters, gauges, latency histograms with
+	// Prometheus exposition) and registers executions with the query
+	// tracker behind /debug/queries. Nil disables all of it at zero
+	// cost on the hot paths.
+	Obs *obs.Observer
+	// Trace records a span tree per query (parse → plan → per-document
+	// dereference attempts → link extraction → join/iterator stages)
+	// even without an Observer; Execution.Trace returns it. Tracing is
+	// also enabled when Obs.TraceQueries is set.
+	Trace bool
 }
 
 // Engine executes SPARQL queries over Solid pods by link traversal.
@@ -118,7 +132,12 @@ type Execution struct {
 	err         error
 	store       *store.Store
 	adaptedPlan algebra.Operator
+	trace       *obs.Trace
 }
+
+// Trace returns the execution's span tree, or nil when tracing is off. The
+// tree is complete once Results has closed.
+func (x *Execution) Trace() *obs.Trace { return x.trace }
 
 // Err returns the traversal error, if any. Valid after Results closes.
 func (x *Execution) Err() error {
@@ -153,26 +172,38 @@ func (x *Execution) Degradation() metrics.Degradation {
 // Query parses and starts a query. Seed URLs are taken from seeds; when
 // empty, they are derived from IRIs mentioned in the query.
 func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*Execution, error) {
+	qctx := ctx
+	var trace *obs.Trace
+	if e.opts.Trace || (e.opts.Obs != nil && e.opts.Obs.TraceQueries) {
+		qctx, trace = obs.NewTrace(ctx, "query", obs.Str("query", compactQuery(queryStr)))
+	}
+
+	_, parseSpan := obs.StartSpan(qctx, "parse")
 	q, err := sparql.ParseQuery(queryStr)
 	if err != nil {
+		parseSpan.End()
 		return nil, err
 	}
 	if len(seeds) == 0 {
 		seeds = q.MentionedIRIs()
 	}
+	parseSpan.End()
 	if len(seeds) == 0 {
 		return nil, errors.New("core: no seed URLs: provide seeds or mention IRIs in the query")
 	}
 
+	_, planSpan := obs.StartSpan(qctx, "plan")
 	op, err := algebra.Translate(q)
 	if err != nil {
+		planSpan.End()
 		return nil, err
 	}
 	op = plan.New(seeds).Optimize(op)
+	planSpan.End()
 
 	src := store.New()
 	recorder := metrics.NewRecorder()
-	runCtx, cancel := context.WithCancel(ctx)
+	runCtx, cancel := context.WithCancel(qctx)
 
 	x := &Execution{
 		Query:    q,
@@ -182,7 +213,17 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		Plan:     op,
 		cancel:   cancel,
 		store:    src,
+		trace:    trace,
 	}
+
+	m := obs.On(e.opts.Obs.M())
+	m.QueriesStarted.Inc()
+	m.QueriesInFlight.Inc()
+	var rec *obs.QueryRecord
+	if e.opts.Obs != nil {
+		rec = e.opts.Obs.Tracker.Start(queryStr, seeds, trace)
+	}
+	queryStart := time.Now()
 
 	shape := ShapeOf(q)
 	extractors := extract.DefaultSolidSet(shape)
@@ -192,7 +233,9 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 
 	// Traversal feeds the store; closing the store ends the pipeline.
 	go func() {
-		err := e.traverse(runCtx, seeds, extractors, src, recorder)
+		tctx, tspan := obs.StartSpan(runCtx, "traverse")
+		err := e.traverse(tctx, seeds, extractors, src, recorder)
+		tspan.End()
 		if err != nil && !e.opts.Lenient {
 			x.setErr(err)
 			cancel()
@@ -206,26 +249,49 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	out := make(chan rdf.Binding)
 	go func() {
 		defer close(out)
+		first := true
+		defer func() {
+			err := x.Err()
+			if err != nil {
+				m.QueriesFailed.Inc()
+			} else {
+				m.QueriesSucceeded.Inc()
+			}
+			m.QueriesInFlight.Dec()
+			m.QueryDuration.Observe(time.Since(queryStart).Seconds())
+			trace.End()
+			if e.opts.Obs != nil {
+				e.opts.Obs.Tracker.Finish(rec, err)
+			}
+		}()
 		// A finished pipeline normally aborts any remaining traversal; a
 		// DESCRIBE query still needs the full traversed store for its
 		// concise bounded descriptions, so traversal runs to completion.
 		if q.Form != sparql.FormDescribe {
 			defer cancel()
 		}
+		ectx, espan := obs.StartSpan(runCtx, "exec")
+		defer espan.End()
 		emit := func(b rdf.Binding) bool {
 			select {
 			case out <- b:
+				if first {
+					first = false
+					m.TimeToFirstResult.Observe(time.Since(queryStart).Seconds())
+				}
+				m.ResultsEmitted.Inc()
+				rec.AddResult()
 				return true
 			case <-ctx.Done():
 				return false
 			}
 		}
 		if e.opts.Adaptive && !containsSlice(op) {
-			final := e.runAdaptive(runCtx, op, env, src, recorder, seeds, emit)
+			final := e.runAdaptive(ectx, op, env, src, recorder, seeds, emit)
 			x.setAdaptedPlan(final)
 			return
 		}
-		for b := range exec.Eval(runCtx, op, env) {
+		for b := range exec.Eval(ectx, op, env) {
 			recorder.RecordResult()
 			if !emit(b) {
 				return
@@ -234,6 +300,16 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	}()
 	x.Results = out
 	return x, nil
+}
+
+// compactQuery collapses a query's whitespace for span/tracker annotation.
+func compactQuery(q string) string {
+	fields := strings.Fields(q)
+	s := strings.Join(fields, " ")
+	if len(s) > 200 {
+		s = s[:197] + "..."
+	}
+	return s
 }
 
 // setAdaptedPlan records the plan that finished an adaptive execution.
@@ -351,6 +427,13 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 	if e.opts.NewQueue != nil {
 		queue = e.opts.NewQueue()
 	}
+	if mset := e.opts.Obs.M(); mset != nil {
+		iq := linkqueue.Instrument(queue, mset.LinksQueued, mset.LinkQueueDepth)
+		// Whatever is still queued when traversal ends (cancellation,
+		// document cap) must not linger in the process-wide depth gauge.
+		defer iq.Abandon()
+		queue = iq
+	}
 	for _, s := range seeds {
 		queue.Push(linkqueue.Link{URL: s, Reason: "seed"})
 	}
@@ -361,6 +444,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		Recorder:  recorder,
 		Cache:     e.opts.Cache,
 		Retry:     e.opts.Retry,
+		Obs:       e.opts.Obs.M(),
 		UserAgent: "ltqp-go/1.0 (link-traversal SPARQL engine)",
 	}
 
@@ -381,8 +465,12 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 			cond.Broadcast()
 			mu.Unlock()
 		}()
-		res, err := d.Dereference(ctx, l.URL, l.Via, l.Reason)
+		wctx, dspan := obs.StartSpan(ctx, "document",
+			obs.Str("url", l.URL), obs.Str("reason", l.Reason), obs.Int("depth", l.Depth))
+		res, err := d.Dereference(wctx, l.URL, l.Via, l.Reason)
 		if err != nil {
+			dspan.SetAttr(obs.Str("error", err.Error()))
+			dspan.End()
 			if !e.opts.Lenient {
 				mu.Lock()
 				if firstErr == nil {
@@ -397,6 +485,8 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		g := rdf.NewGraph()
 		g.AddAll(res.Triples)
 		doc := extract.Document{IRI: res.FinalURL, Graph: g}
+		_, xspan := obs.StartSpan(wctx, "extract")
+		accepted := 0
 		for _, ex := range extractors {
 			for _, link := range ex.Extract(doc) {
 				if link.URL == res.FinalURL || link.URL == l.URL {
@@ -406,12 +496,17 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 					continue
 				}
 				if queue.Push(linkqueue.Link{URL: link.URL, Via: res.FinalURL, Reason: link.Reason, Depth: l.Depth + 1}) {
+					accepted++
 					mu.Lock()
 					cond.Broadcast()
 					mu.Unlock()
 				}
 			}
 		}
+		xspan.SetAttr(obs.Int("links", accepted))
+		xspan.End()
+		dspan.SetAttr(obs.Int("triples", len(res.Triples)))
+		dspan.End()
 	}
 
 	// Wake the dispatcher when the context dies.

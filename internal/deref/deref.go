@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ltqp/internal/metrics"
+	"ltqp/internal/obs"
 	"ltqp/internal/rdf"
 	"ltqp/internal/turtle"
 )
@@ -75,6 +76,10 @@ type Dereferencer struct {
 	// Retry, when non-nil, retries transient failures with backoff. Nil
 	// means a single attempt with no per-attempt timeout.
 	Retry *RetryPolicy
+	// Obs, when non-nil, receives process-level metrics (documents
+	// fetched, cache hits/misses, dereference latency) aggregated across
+	// all queries of the owning engine.
+	Obs *obs.Metrics
 	// UserAgent is sent as the User-Agent header.
 	UserAgent string
 
@@ -89,16 +94,25 @@ type Dereferencer struct {
 func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason string) (*Result, error) {
 	if d.Cache != nil {
 		if entry, ok := d.Cache.get(cacheKey(url, d.Auth)); ok {
+			start := time.Now()
 			ev := metrics.Request{URL: url, Parent: parent, Reason: reason,
-				Start: time.Now(), Status: http.StatusOK, Bytes: entry.bytes,
+				Start: start, Status: http.StatusOK, Bytes: entry.bytes,
 				Triples: len(entry.triples), Cached: true, Attempt: 1}
 			ev.End = ev.Start
 			if d.Recorder != nil {
 				d.Recorder.Record(ev)
 			}
+			_, sp := obs.StartSpan(ctx, "deref",
+				obs.Str("url", url), obs.Bool("cached", true),
+				obs.Int("triples", len(entry.triples)))
+			sp.End()
+			m := obs.On(d.Obs)
+			m.CacheHits.Inc()
+			m.DerefDuration.Observe(time.Since(start).Seconds())
 			return &Result{URL: url, FinalURL: entry.finalURL, Triples: entry.triples,
 				Status: http.StatusOK, Bytes: entry.bytes}, nil
 		}
+		obs.On(d.Obs).CacheMisses.Inc()
 	}
 
 	maxAttempts := d.Retry.maxAttempts()
@@ -144,11 +158,27 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		client = http.DefaultClient
 	}
 	ev := metrics.Request{URL: url, Parent: parent, Reason: reason, Start: time.Now(), Attempt: attempt}
+	_, span := obs.StartSpan(ctx, "deref", obs.Str("url", url), obs.Int("attempt", attempt))
+	m := obs.On(d.Obs)
+	if attempt > 1 {
+		m.Retries.Inc()
+	}
 	record := func() {
 		ev.End = time.Now()
 		if d.Recorder != nil {
 			d.Recorder.Record(ev)
 		}
+		if ev.Err != "" {
+			span.SetAttr(obs.Str("error", ev.Err))
+			m.FetchFailures.Inc()
+		} else {
+			span.SetAttr(obs.Int("status", ev.Status), obs.Int64("bytes", ev.Bytes), obs.Int("triples", ev.Triples))
+			m.DocumentsFetched.Inc()
+			m.BytesFetched.Add(ev.Bytes)
+			m.TriplesParsed.Add(int64(ev.Triples))
+			m.DerefDuration.Observe(ev.End.Sub(ev.Start).Seconds())
+		}
+		span.End()
 	}
 
 	attemptCtx := ctx

@@ -72,17 +72,29 @@ func Eval(ctx context.Context, op algebra.Operator, env *Env) Stream {
 	case algebra.Unit:
 		return evalUnit(ctx)
 	case algebra.Pattern:
-		return evalPattern(ctx, x, env)
+		return traced(ctx, "scan", opAttrs(algebra.String(x)), func(ctx context.Context) Stream {
+			return evalPattern(ctx, x, env)
+		})
 	case algebra.PathPattern:
-		return evalPathPattern(ctx, x, env)
+		return traced(ctx, "path", opAttrs(algebra.String(x)), func(ctx context.Context) Stream {
+			return evalPathPattern(ctx, x, env)
+		})
 	case algebra.Join:
-		return evalJoin(ctx, x, env)
+		return traced(ctx, "join", nil, func(ctx context.Context) Stream {
+			return evalJoin(ctx, x, env)
+		})
 	case algebra.LeftJoin:
-		return evalLeftJoin(ctx, x, env)
+		return traced(ctx, "leftjoin", nil, func(ctx context.Context) Stream {
+			return evalLeftJoin(ctx, x, env)
+		})
 	case algebra.Union:
-		return evalUnion(ctx, x, env)
+		return traced(ctx, "union", nil, func(ctx context.Context) Stream {
+			return evalUnion(ctx, x, env)
+		})
 	case algebra.Minus:
-		return evalMinus(ctx, x, env)
+		return traced(ctx, "minus", nil, func(ctx context.Context) Stream {
+			return evalMinus(ctx, x, env)
+		})
 	case algebra.Filter:
 		return evalFilter(ctx, x, env)
 	case algebra.Extend:
@@ -92,15 +104,21 @@ func Eval(ctx context.Context, op algebra.Operator, env *Env) Stream {
 	case algebra.Project:
 		return evalProject(ctx, x, env)
 	case algebra.Distinct:
-		return evalDistinct(ctx, x, env)
+		return traced(ctx, "distinct", nil, func(ctx context.Context) Stream {
+			return evalDistinct(ctx, x, env)
+		})
 	case algebra.Reduced:
 		return evalReduced(ctx, x, env)
 	case algebra.OrderBy:
-		return evalOrderBy(ctx, x, env)
+		return traced(ctx, "orderby", nil, func(ctx context.Context) Stream {
+			return evalOrderBy(ctx, x, env)
+		})
 	case algebra.Slice:
 		return evalSlice(ctx, x, env)
 	case algebra.Group:
-		return evalGroup(ctx, x, env)
+		return traced(ctx, "group", nil, func(ctx context.Context) Stream {
+			return evalGroup(ctx, x, env)
+		})
 	default:
 		// Unknown operator: empty stream.
 		out := make(chan rdf.Binding)

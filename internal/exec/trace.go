@@ -1,0 +1,43 @@
+package exec
+
+import (
+	"context"
+
+	"ltqp/internal/obs"
+	"ltqp/internal/rdf"
+)
+
+// traced wraps an operator's stream in an obs span so traced executions
+// record per-stage timings and row counts (the join/iterator stages of a
+// query's span tree). With no trace on the context this is a single
+// context lookup: the inner stream is returned untouched, so untraced
+// queries pay nothing per solution.
+func traced(ctx context.Context, name string, attrs []obs.Attr, inner func(context.Context) Stream) Stream {
+	ctx, sp := obs.StartSpan(ctx, name, attrs...)
+	s := inner(ctx)
+	if sp == nil {
+		return s
+	}
+	out := make(chan rdf.Binding, chanCap)
+	go func() {
+		defer close(out)
+		rows := 0
+		for b := range s {
+			if !send(ctx, out, b) {
+				break
+			}
+			rows++
+		}
+		sp.SetAttr(obs.Int("rows", rows))
+		sp.End()
+	}()
+	return out
+}
+
+// opAttrs abbreviates an operator description for span annotation.
+func opAttrs(desc string) []obs.Attr {
+	if len(desc) > 80 {
+		desc = desc[:77] + "..."
+	}
+	return []obs.Attr{obs.Str("op", desc)}
+}

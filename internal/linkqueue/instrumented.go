@@ -1,0 +1,46 @@
+package linkqueue
+
+import "ltqp/internal/obs"
+
+// Instrumented wraps a Queue and mirrors its activity into process-level
+// metrics: a counter of links ever accepted and a gauge of the current
+// depth, aggregated across every traversal sharing the instruments. The
+// obs instruments are nil-safe, so a partially wired Instrumented still
+// behaves correctly.
+type Instrumented struct {
+	Queue
+	queued *obs.Counter
+	depth  *obs.Gauge
+}
+
+// Instrument wraps q so accepted pushes bump queued and the depth gauge,
+// and pops decrement the gauge.
+func Instrument(q Queue, queued *obs.Counter, depth *obs.Gauge) *Instrumented {
+	return &Instrumented{Queue: q, queued: queued, depth: depth}
+}
+
+// Push implements Queue.
+func (q *Instrumented) Push(l Link) bool {
+	accepted := q.Queue.Push(l)
+	if accepted {
+		q.queued.Inc()
+		q.depth.Inc()
+	}
+	return accepted
+}
+
+// Pop implements Queue.
+func (q *Instrumented) Pop() (Link, bool) {
+	l, ok := q.Queue.Pop()
+	if ok {
+		q.depth.Dec()
+	}
+	return l, ok
+}
+
+// Abandon removes the still-queued links from the depth gauge; call it
+// when a traversal ends with links left in its queue (cancellation, or a
+// MaxDocuments cap), so the process-wide depth does not drift upward.
+func (q *Instrumented) Abandon() {
+	q.depth.Add(-int64(q.Queue.Len()))
+}

@@ -166,6 +166,9 @@ type Stats struct {
 	// FailedDocuments counts distinct URLs that never yielded a
 	// successful fetch — the documents a lenient traversal ran without.
 	FailedDocuments int
+	// CacheHits counts requests served from the engine's document cache
+	// rather than the network (the "(disk cache)" rows of Fig. 4).
+	CacheHits int
 }
 
 // Stats aggregates the recorded events.
@@ -186,6 +189,9 @@ func (r *Recorder) Stats() Stats {
 		attempted[q.URL] = true
 		if q.Attempt > 1 {
 			s.Retries++
+		}
+		if q.Cached {
+			s.CacheHits++
 		}
 		s.TotalBytes += q.Bytes
 		s.TotalTriples += q.Triples

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkStartSpanUntraced measures the opt-out cost the hot paths pay
+// when tracing is off: one context lookup, no allocation.
+func BenchmarkStartSpanUntraced(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "deref")
+		sp.End()
+	}
+}
+
+// BenchmarkStartSpanTraced measures the per-span cost with tracing on.
+func BenchmarkStartSpanTraced(b *testing.B) {
+	ctx, _ := NewTrace(context.Background(), "query")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "deref")
+		sp.End()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("x", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("x", "", DefaultLatencyBuckets)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.003)
+		}
+	})
+}
+
+func BenchmarkNilMetricsChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		On(nil).DocumentsFetched.Inc()
+	}
+}

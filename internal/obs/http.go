@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// MetricsHandler serves the registry in Prometheus text exposition format.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// HealthHandler serves a trivial liveness probe.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"status\":\"ok\",\"time\":%q}\n", time.Now().UTC().Format(time.RFC3339Nano))
+	})
+}
+
+// querySummaryJSON is the /debug/queries wire format for one query.
+type querySummaryJSON struct {
+	ID         int64     `json:"id"`
+	Query      string    `json:"query"`
+	Seeds      []string  `json:"seeds,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+	Results    int       `json:"results"`
+	Done       bool      `json:"done"`
+	Err        string    `json:"error,omitempty"`
+	Trace      *SpanJSON `json:"trace,omitempty"`
+}
+
+func summarize(r *QueryRecord, withTrace bool) querySummaryJSON {
+	out := querySummaryJSON{
+		ID:         r.ID,
+		Query:      r.Query,
+		Seeds:      r.Seeds,
+		Start:      r.Start,
+		DurationMS: float64(r.Duration().Microseconds()) / 1000,
+		Results:    r.Results(),
+		Done:       r.Done(),
+		Err:        r.Err(),
+	}
+	if withTrace && r.Trace != nil && r.Trace.Root() != nil {
+		root := r.Trace.Root()
+		sj := root.toJSON(root.Start())
+		out.Trace = &sj
+	}
+	return out
+}
+
+// QueriesHandler serves in-flight and recent query summaries as JSON.
+// Span trees are included per query; ?trace=0 omits them, and
+// ?id=N&format=tree renders one query's span tree as indented text.
+func QueriesHandler(t *QueryTracker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "tree" {
+			serveTree(w, req, t)
+			return
+		}
+		withTrace := req.URL.Query().Get("trace") != "0"
+		var payload struct {
+			InFlight []querySummaryJSON `json:"in_flight"`
+			Recent   []querySummaryJSON `json:"recent"`
+		}
+		payload.InFlight = []querySummaryJSON{}
+		payload.Recent = []querySummaryJSON{}
+		for _, r := range t.InFlight() {
+			payload.InFlight = append(payload.InFlight, summarize(r, withTrace))
+		}
+		for _, r := range t.Recent() {
+			payload.Recent = append(payload.Recent, summarize(r, withTrace))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payload)
+	})
+}
+
+func serveTree(w http.ResponseWriter, req *http.Request, t *QueryTracker) {
+	var id int64
+	fmt.Sscanf(req.URL.Query().Get("id"), "%d", &id)
+	for _, r := range append(t.InFlight(), t.Recent()...) {
+		if r.ID == id {
+			if r.Trace == nil {
+				http.Error(w, "query has no trace", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprint(w, r.Trace.Tree())
+			return
+		}
+	}
+	http.Error(w, "unknown query id", http.StatusNotFound)
+}
+
+// Register mounts the observer's exposition endpoints on mux:
+// /metrics (Prometheus text), /healthz, and /debug/queries.
+func (o *Observer) Register(mux *http.ServeMux) {
+	if o == nil || mux == nil {
+		return
+	}
+	mux.Handle("/metrics", MetricsHandler(o.Registry))
+	mux.Handle("/healthz", HealthHandler())
+	mux.Handle("/debug/queries", QueriesHandler(o.Tracker))
+}

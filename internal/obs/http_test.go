@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewQueryTracker(2)
+	r1 := tr.Start("SELECT 1", []string{"http://x/a"}, nil)
+	r2 := tr.Start("SELECT 2", nil, nil)
+	if len(tr.InFlight()) != 2 {
+		t.Fatalf("in-flight = %d", len(tr.InFlight()))
+	}
+	r1.AddResult()
+	r1.AddResult()
+	tr.Finish(r1, nil)
+	tr.Finish(r2, errors.New("boom"))
+	if len(tr.InFlight()) != 0 {
+		t.Fatal("in-flight not drained")
+	}
+	recent := tr.Recent()
+	if len(recent) != 2 || recent[0].ID != r2.ID {
+		t.Fatalf("recent order wrong: %+v", recent)
+	}
+	if recent[0].Err() != "boom" || recent[1].Results() != 2 || !recent[1].Done() {
+		t.Fatalf("outcomes wrong: err=%q results=%d", recent[0].Err(), recent[1].Results())
+	}
+	// Capacity bound: a third finished query evicts the oldest.
+	r3 := tr.Start("SELECT 3", nil, nil)
+	tr.Finish(r3, nil)
+	if got := len(tr.Recent()); got != 2 {
+		t.Fatalf("recent = %d, want capacity 2", got)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *QueryTracker
+	rec := tr.Start("q", nil, nil)
+	rec.AddResult()
+	tr.Finish(rec, nil)
+	if tr.InFlight() != nil || tr.Recent() != nil {
+		t.Fatal("nil tracker must return nil slices")
+	}
+}
+
+func TestExpositionEndpoints(t *testing.T) {
+	o := NewObserver()
+	o.Metrics.QueriesStarted.Inc()
+	ctx, trace := NewTrace(context.Background(), "query", Str("query", "SELECT ?x WHERE {}"))
+	_, sp := StartSpan(ctx, "deref", Str("url", "http://x/a"))
+	sp.End()
+	trace.End()
+	rec := o.Tracker.Start("SELECT ?x WHERE {}", []string{"http://x/a"}, trace)
+	rec.AddResult()
+	o.Tracker.Finish(rec, nil)
+
+	mux := http.NewServeMux()
+	o.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ct, body := get("/metrics")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics: %d %s", code, ct)
+	}
+	if !strings.Contains(body, "ltqp_queries_total 1") {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	code, _, body = get("/healthz")
+	if code != 200 || !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("/healthz: %d %s", code, body)
+	}
+
+	code, ct, body = get("/debug/queries")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/queries: %d %s", code, ct)
+	}
+	var payload struct {
+		InFlight []json.RawMessage `json:"in_flight"`
+		Recent   []struct {
+			Query   string    `json:"query"`
+			Results int       `json:"results"`
+			Done    bool      `json:"done"`
+			Trace   *SpanJSON `json:"trace"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("queries JSON: %v\n%s", err, body)
+	}
+	if len(payload.Recent) != 1 || payload.Recent[0].Results != 1 || !payload.Recent[0].Done {
+		t.Fatalf("recent = %+v", payload.Recent)
+	}
+	if payload.Recent[0].Trace == nil || payload.Recent[0].Trace.Name != "query" {
+		t.Fatalf("trace missing: %+v", payload.Recent[0].Trace)
+	}
+
+	// ?trace=0 omits span trees.
+	_, _, body = get("/debug/queries?trace=0")
+	if strings.Contains(body, `"trace"`) {
+		t.Fatalf("trace=0 still has trees:\n%s", body)
+	}
+
+	// Tree rendering of one query.
+	code, ct, body = get("/debug/queries?format=tree&id=1")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "deref") {
+		t.Fatalf("tree: %d %s %q", code, ct, body)
+	}
+	code, _, _ = get("/debug/queries?format=tree&id=999")
+	if code != 404 {
+		t.Fatalf("unknown id = %d, want 404", code)
+	}
+}

@@ -1,0 +1,107 @@
+package obs
+
+// Metrics is the engine's standard instrument set, registered under the
+// ltqp_ namespace. One Metrics aggregates across every query an engine
+// executes — the process-level counterpart of the per-query
+// metrics.Recorder. All fields tolerate a nil Metrics receiver through the
+// nil-safety of the instruments themselves, so instrumented code calls
+// m.Something().Inc() unconditionally.
+type Metrics struct {
+	QueriesStarted   *Counter
+	QueriesSucceeded *Counter
+	QueriesFailed    *Counter
+	QueriesInFlight  *Gauge
+
+	DocumentsFetched *Counter // successful network fetches (parsed documents)
+	FetchFailures    *Counter // attempts that ended in error (incl. retried)
+	Retries          *Counter // attempts beyond the first for a document
+	BytesFetched     *Counter
+	TriplesParsed    *Counter
+
+	CacheHits   *Counter
+	CacheMisses *Counter
+
+	LinksQueued    *Counter
+	LinkQueueDepth *Gauge
+
+	ResultsEmitted *Counter
+
+	DerefDuration     *Histogram // seconds per successful dereference (incl. cache hits)
+	TimeToFirstResult *Histogram // seconds from query start to first solution
+	QueryDuration     *Histogram // seconds per completed query
+}
+
+// NewMetrics registers the standard instrument set on r. A nil registry
+// yields a Metrics whose instruments are all nil (every operation no-ops).
+func NewMetrics(r *Registry) *Metrics {
+	return &Metrics{
+		QueriesStarted:   r.Counter("ltqp_queries_total", "Queries started."),
+		QueriesSucceeded: r.Counter("ltqp_queries_succeeded_total", "Queries completed without error."),
+		QueriesFailed:    r.Counter("ltqp_queries_failed_total", "Queries that ended with a traversal or execution error."),
+		QueriesInFlight:  r.Gauge("ltqp_queries_in_flight", "Queries currently executing."),
+
+		DocumentsFetched: r.Counter("ltqp_documents_fetched_total", "Documents successfully dereferenced over the network."),
+		FetchFailures:    r.Counter("ltqp_fetch_failures_total", "Dereference attempts that failed (transport, HTTP, or parse)."),
+		Retries:          r.Counter("ltqp_fetch_retries_total", "Dereference attempts beyond the first for a document."),
+		BytesFetched:     r.Counter("ltqp_bytes_fetched_total", "Response body bytes read."),
+		TriplesParsed:    r.Counter("ltqp_triples_parsed_total", "Triples parsed from dereferenced documents."),
+
+		CacheHits:   r.Counter("ltqp_cache_hits_total", "Dereferences served from the engine document cache."),
+		CacheMisses: r.Counter("ltqp_cache_misses_total", "Dereferences that missed the engine document cache."),
+
+		LinksQueued:    r.Counter("ltqp_links_queued_total", "Links accepted by link queues."),
+		LinkQueueDepth: r.Gauge("ltqp_link_queue_depth", "Links currently queued across in-flight traversals."),
+
+		ResultsEmitted: r.Counter("ltqp_results_total", "Solutions streamed to clients."),
+
+		DerefDuration:     r.Histogram("ltqp_deref_duration_seconds", "Wall time per successful dereference (cache hits included).", DefaultLatencyBuckets),
+		TimeToFirstResult: r.Histogram("ltqp_time_to_first_result_seconds", "Delay from query start to first solution.", DefaultLatencyBuckets),
+		QueryDuration:     r.Histogram("ltqp_query_duration_seconds", "Wall time per completed query.", DefaultLatencyBuckets),
+	}
+}
+
+// Observer bundles the observability surfaces one engine shares across its
+// queries: the metrics registry with the standard ltqp_ instrument set, and
+// the query tracker backing /debug/queries. A nil *Observer disables
+// everything at zero cost.
+type Observer struct {
+	Registry *Registry
+	Metrics  *Metrics
+	Tracker  *QueryTracker
+	// TraceQueries makes the engine record a span tree for every query
+	// (required for /debug/queries span output and Result.Trace).
+	TraceQueries bool
+}
+
+// NewObserver builds a ready-to-wire observer: fresh registry, the
+// standard metric set, a tracker remembering the 32 most recent queries,
+// and per-query tracing enabled.
+func NewObserver() *Observer {
+	r := NewRegistry()
+	return &Observer{
+		Registry:     r,
+		Metrics:      NewMetrics(r),
+		Tracker:      NewQueryTracker(32),
+		TraceQueries: true,
+	}
+}
+
+// M returns the observer's metric set; nil-safe.
+func (o *Observer) M() *Metrics {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}
+
+// nilMetrics lets instrumented code chain through a nil *Metrics.
+var nilMetrics = &Metrics{}
+
+// On returns m, or a Metrics of nil instruments when m is nil — so call
+// sites can write obs.On(m).DocumentsFetched.Inc() unconditionally.
+func On(m *Metrics) *Metrics {
+	if m == nil {
+		return nilMetrics
+	}
+	return m
+}

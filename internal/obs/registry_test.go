@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "help")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("x_total", "other") != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	g := r.Gauge("x_depth", "help")
+	g.Set(7)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d", g.Value())
+	}
+}
+
+func TestNilInstrumentsNoop(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a", "")
+	g := r.Gauge("b", "")
+	h := r.Histogram("c", "", DefaultLatencyBuckets)
+	c.Inc()
+	g.Set(3)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must be inert")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile must be NaN")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Fatal(err)
+	}
+	m := On(nil)
+	m.QueriesStarted.Inc()
+	m.DerefDuration.Observe(0.1)
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-56.05) > 1e-9 {
+		t.Fatalf("sum = %v", got)
+	}
+	// Median falls in the (0.1, 1] bucket.
+	if q := h.Quantile(0.5); q < 0.1 || q > 1 {
+		t.Fatalf("p50 = %v", q)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", DefaultLatencyBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-8.0) > 1e-6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ltqp_queries_total", "Queries started.").Add(3)
+	r.Gauge("ltqp_queries_in_flight", "Now running.").Set(1)
+	h := r.Histogram("ltqp_deref_duration_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ltqp_queries_total counter",
+		"ltqp_queries_total 3",
+		"# TYPE ltqp_queries_in_flight gauge",
+		"ltqp_queries_in_flight 1",
+		"# TYPE ltqp_deref_duration_seconds histogram",
+		`ltqp_deref_duration_seconds_bucket{le="0.1"} 1`,
+		`ltqp_deref_duration_seconds_bucket{le="1"} 2`,
+		`ltqp_deref_duration_seconds_bucket{le="+Inf"} 3`,
+		"ltqp_deref_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative bucket counts must be monotone and end at _count.
+	if strings.Index(out, `le="0.1"`) > strings.Index(out, `le="+Inf"`) {
+		t.Error("buckets out of order")
+	}
+}
+
+func TestStandardMetricsRegister(t *testing.T) {
+	r := NewRegistry()
+	m := NewMetrics(r)
+	m.QueriesStarted.Inc()
+	m.DocumentsFetched.Add(2)
+	m.CacheHits.Inc()
+	m.DerefDuration.Observe(0.01)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"ltqp_queries_total 1",
+		"ltqp_documents_fetched_total 2",
+		"ltqp_cache_hits_total 1",
+		"ltqp_deref_duration_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package obs is the engine-wide observability subsystem: structured
+// tracing (per-query span trees carried through context.Context), a
+// process-level metrics registry (atomic counters, gauges and fixed-bucket
+// histograms with Prometheus text exposition), and live HTTP exposition
+// endpoints (/metrics, /healthz, /debug/queries).
+//
+// The paper's demo is itself an observability artifact — Fig. 4's request
+// waterfall and live result streaming exist so users can *see* traversal
+// behave. This package extends that idea from one query to a whole process:
+// where internal/metrics records the HTTP timeline of a single execution,
+// obs aggregates counters across every query an engine serves and records
+// *where* each query spent its time (parse → plan → per-document
+// dereference attempts → link extraction → join/iterator stages).
+//
+// Tracing is opt-out cheap: when no trace is attached to the context,
+// StartSpan performs a single context lookup and returns a nil *Span whose
+// methods are all no-ops, so uninstrumented hot paths pay nothing.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", value)} }
+
+// Int64 builds an int64 attribute.
+func Int64(key string, value int64) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", value)} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr { return Attr{Key: key, Value: fmt.Sprintf("%t", value)} }
+
+// Span is one timed operation in a query's trace tree. Spans are created
+// with StartSpan and closed with End; children may be created concurrently
+// (parallel dereferences under one traversal span). All methods are safe on
+// a nil receiver, which is how untraced executions skip the bookkeeping.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// spanKey carries the current parent span through a context.
+type spanKeyType struct{}
+
+var spanKey spanKeyType
+
+// ContextWithSpan returns a context carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the current span, or nil when the context is
+// untraced.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// StartSpan opens a child span under the context's current span. When the
+// context carries no span (tracing disabled), it returns the context
+// unchanged and a nil *Span — one interface lookup, no allocation.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := newSpan(name, attrs...)
+	parent.mu.Lock()
+	parent.children = append(parent.children, child)
+	parent.mu.Unlock()
+	return ContextWithSpan(ctx, child), child
+}
+
+func newSpan(name string, attrs ...Attr) *Span {
+	return &Span{name: name, start: time.Now(), attrs: attrs}
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr appends an annotation to the span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// Name returns the span name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Start returns the span's start time.
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Duration returns the span's wall time; for an unfinished span, the time
+// elapsed so far.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	end := s.end
+	s.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(s.start)
+	}
+	return end.Sub(s.start)
+}
+
+// Children returns a snapshot of the span's children in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Attrs returns a snapshot of the span's annotations.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Attr, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Attr returns the value of the first attribute with the given key.
+func (s *Span) Attr(key string) (string, bool) {
+	for _, a := range s.Attrs() {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Walk visits the span and every descendant depth-first.
+func (s *Span) Walk(fn func(*Span)) {
+	if s == nil {
+		return
+	}
+	fn(s)
+	for _, c := range s.Children() {
+		c.Walk(fn)
+	}
+}
+
+// Count returns the number of descendant spans (including s) whose name
+// matches.
+func (s *Span) Count(name string) int {
+	n := 0
+	s.Walk(func(sp *Span) {
+		if sp.name == name {
+			n++
+		}
+	})
+	return n
+}
+
+// SpanJSON is the JSON shape of an exported span.
+type SpanJSON struct {
+	Name     string     `json:"name"`
+	StartUS  int64      `json:"start_us"` // offset from the trace root, µs
+	DurUS    int64      `json:"duration_us"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Children []SpanJSON `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON(epoch time.Time) SpanJSON {
+	out := SpanJSON{
+		Name:    s.name,
+		StartUS: s.start.Sub(epoch).Microseconds(),
+		DurUS:   s.Duration().Microseconds(),
+		Attrs:   s.Attrs(),
+	}
+	for _, c := range s.Children() {
+		out.Children = append(out.Children, c.toJSON(epoch))
+	}
+	return out
+}
+
+// Trace is one query's span tree. Create it with NewTrace, attach it to the
+// execution context, and export it with JSON or Tree after the query ends.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace creates a trace rooted at a span with the given name and returns
+// a context carrying that root, ready for StartSpan calls downstream.
+func NewTrace(ctx context.Context, rootName string, attrs ...Attr) (context.Context, *Trace) {
+	root := newSpan(rootName, attrs...)
+	return ContextWithSpan(ctx, root), &Trace{root: root}
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// End closes the root span.
+func (t *Trace) End() { t.Root().End() }
+
+// JSON exports the trace as an indented JSON span tree.
+func (t *Trace) JSON() ([]byte, error) {
+	if t == nil || t.root == nil {
+		return []byte("null"), nil
+	}
+	return json.MarshalIndent(t.root.toJSON(t.root.start), "", "  ")
+}
+
+// Tree renders the trace as a human-readable indented tree:
+//
+//	query 12.3ms query="SELECT ..."
+//	├─ parse 0.1ms
+//	├─ traverse 11.0ms
+//	│  ├─ document 2.1ms url=https://...
+//	...
+func (t *Trace) Tree() string {
+	if t == nil || t.root == nil {
+		return "(no trace)\n"
+	}
+	var b strings.Builder
+	writeTree(&b, t.root, "", true, true)
+	return b.String()
+}
+
+func writeTree(b *strings.Builder, s *Span, prefix string, isLast, isRoot bool) {
+	line := prefix
+	childPrefix := prefix
+	if !isRoot {
+		if isLast {
+			line += "└─ "
+			childPrefix += "   "
+		} else {
+			line += "├─ "
+			childPrefix += "│  "
+		}
+	}
+	b.WriteString(line)
+	b.WriteString(s.Name())
+	fmt.Fprintf(b, " %.1fms", float64(s.Duration().Microseconds())/1000)
+	attrs := s.Attrs()
+	// Stable attr order for readable, diffable output.
+	sort.SliceStable(attrs, func(i, j int) bool { return attrs[i].Key < attrs[j].Key })
+	for _, a := range attrs {
+		v := a.Value
+		if len(v) > 60 {
+			v = v[:57] + "..."
+		}
+		fmt.Fprintf(b, " %s=%s", a.Key, v)
+	}
+	b.WriteByte('\n')
+	children := s.Children()
+	for i, c := range children {
+		writeTree(b, c, childPrefix, i == len(children)-1, false)
+	}
+}

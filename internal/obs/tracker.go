@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// QueryTracker remembers in-flight and recently finished queries for the
+// /debug/queries endpoint: what is running right now, what just ran, how
+// long it took, how many solutions it produced, and (when tracing is on)
+// the full span tree. All methods are nil-safe.
+type QueryTracker struct {
+	capacity int
+	nextID   atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[int64]*QueryRecord
+	recent   []*QueryRecord // newest first, bounded by capacity
+}
+
+// QueryRecord is one tracked query execution.
+type QueryRecord struct {
+	ID    int64
+	Query string
+	Seeds []string
+	Start time.Time
+	Trace *Trace
+
+	mu      sync.Mutex
+	end     time.Time
+	results int
+	errMsg  string
+}
+
+// NewQueryTracker returns a tracker remembering the given number of
+// finished queries (minimum 1).
+func NewQueryTracker(capacity int) *QueryTracker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &QueryTracker{capacity: capacity, inflight: map[int64]*QueryRecord{}}
+}
+
+// Start registers a query execution and returns its record. Nil-safe: a
+// nil tracker returns a nil record whose methods no-op.
+func (t *QueryTracker) Start(query string, seeds []string, trace *Trace) *QueryRecord {
+	if t == nil {
+		return nil
+	}
+	rec := &QueryRecord{
+		ID:    t.nextID.Add(1),
+		Query: query,
+		Seeds: append([]string(nil), seeds...),
+		Start: time.Now(),
+		Trace: trace,
+	}
+	t.mu.Lock()
+	t.inflight[rec.ID] = rec
+	t.mu.Unlock()
+	return rec
+}
+
+// AddResult notes one delivered solution.
+func (r *QueryRecord) AddResult() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.results++
+	r.mu.Unlock()
+}
+
+// Results returns the number of solutions delivered so far.
+func (r *QueryRecord) Results() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.results
+}
+
+// Err returns the recorded failure message ("" when none).
+func (r *QueryRecord) Err() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errMsg
+}
+
+// Duration returns the query's wall time (elapsed-so-far while running).
+func (r *QueryRecord) Duration() time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.end.IsZero() {
+		return time.Since(r.Start)
+	}
+	return r.end.Sub(r.Start)
+}
+
+// Done reports whether the query has finished.
+func (r *QueryRecord) Done() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.end.IsZero()
+}
+
+// Finish moves the record from in-flight to recent, noting the outcome.
+func (t *QueryTracker) Finish(rec *QueryRecord, err error) {
+	if t == nil || rec == nil {
+		return
+	}
+	rec.mu.Lock()
+	if rec.end.IsZero() {
+		rec.end = time.Now()
+	}
+	if err != nil {
+		rec.errMsg = err.Error()
+	}
+	rec.mu.Unlock()
+	t.mu.Lock()
+	delete(t.inflight, rec.ID)
+	t.recent = append([]*QueryRecord{rec}, t.recent...)
+	if len(t.recent) > t.capacity {
+		t.recent = t.recent[:t.capacity]
+	}
+	t.mu.Unlock()
+}
+
+// InFlight returns the currently executing queries, oldest first.
+func (t *QueryTracker) InFlight() []*QueryRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*QueryRecord, 0, len(t.inflight))
+	for _, r := range t.inflight {
+		out = append(out, r)
+	}
+	sortRecords(out)
+	return out
+}
+
+// Recent returns finished queries, newest first.
+func (t *QueryTracker) Recent() []*QueryRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*QueryRecord, len(t.recent))
+	copy(out, t.recent)
+	return out
+}
+
+func sortRecords(rs []*QueryRecord) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].ID < rs[j-1].ID; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
