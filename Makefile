@@ -19,7 +19,7 @@ verify:
 # Performance trajectory: run the micro-benchmarks and archive them as a
 # dated JSON report (see cmd/benchreport --parse-bench). Compare two
 # reports to catch regressions, e.g. the <5% tracing-overhead budget.
-BENCH_PKGS ?= ./internal/store ./internal/turtle ./internal/sparql ./internal/obs
+BENCH_PKGS ?= ./internal/store ./internal/turtle ./internal/sparql ./internal/obs ./internal/exec
 BENCH_OUT  ?= BENCH_$(shell date +%Y-%m-%d).json
 
 bench: build

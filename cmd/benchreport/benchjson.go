@@ -11,10 +11,14 @@ import (
 
 // BenchResult is one parsed `go test -bench` result line.
 type BenchResult struct {
-	Package    string  `json:"package,omitempty"`
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
+	Package string `json:"package,omitempty"`
+	Name    string `json:"name"`
+	// Path is the "/"-separated name split into segments: the benchmark
+	// function first, then each subtest level ("BenchmarkJoin/stars=4"
+	// → ["BenchmarkJoin", "stars=4"]). Omitted for non-subtest names.
+	Path       []string `json:"path,omitempty"`
+	Iterations int64    `json:"iterations"`
+	NsPerOp    float64  `json:"ns_per_op"`
 	// BytesPerOp and AllocsPerOp are present with -benchmem.
 	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
@@ -73,8 +77,11 @@ func parseBenchLine(line string) (BenchResult, bool) {
 		return BenchResult{}, false
 	}
 	name := fields[0]
-	// Strip the -GOMAXPROCS suffix.
-	if i := strings.LastIndexByte(name, '-'); i > 0 {
+	// Strip the -GOMAXPROCS suffix. For subtest names it sits on the last
+	// "/" segment ("BenchmarkJoin/stars=4-8"), so look only after the
+	// final slash — a plain "-N" inside an earlier segment is part of the
+	// subtest's own name.
+	if i := strings.LastIndexByte(name, '-'); i > strings.LastIndexByte(name, '/') {
 		if _, err := strconv.Atoi(name[i+1:]); err == nil {
 			name = name[:i]
 		}
@@ -84,6 +91,9 @@ func parseBenchLine(line string) (BenchResult, bool) {
 		return BenchResult{}, false
 	}
 	b := BenchResult{Name: name, Iterations: iters}
+	if strings.ContainsRune(name, '/') {
+		b.Path = strings.Split(name, "/")
+	}
 	// The rest come in "value unit" pairs.
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)

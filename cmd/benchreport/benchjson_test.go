@@ -76,3 +76,46 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+// TestParseBenchLineSubtests covers "/"-separated subtest names: the full
+// name is preserved, Path splits it into segments, and the -GOMAXPROCS
+// suffix is only stripped from the final segment.
+func TestParseBenchLineSubtests(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkJoin/stars=4-8  1000  250 ns/op")
+	if !ok {
+		t.Fatal("subtest line rejected")
+	}
+	if b.Name != "BenchmarkJoin/stars=4" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if len(b.Path) != 2 || b.Path[0] != "BenchmarkJoin" || b.Path[1] != "stars=4" {
+		t.Errorf("path = %v", b.Path)
+	}
+
+	// A "-N" inside an earlier segment is part of the subtest name.
+	b, ok = parseBenchLine("BenchmarkScan/n-10/cold-8  50  99 ns/op")
+	if !ok {
+		t.Fatal("nested subtest line rejected")
+	}
+	if b.Name != "BenchmarkScan/n-10/cold" {
+		t.Errorf("name = %q", b.Name)
+	}
+	if len(b.Path) != 3 || b.Path[1] != "n-10" {
+		t.Errorf("path = %v", b.Path)
+	}
+
+	// Without a GOMAXPROCS suffix nothing is stripped.
+	b, ok = parseBenchLine("BenchmarkScan/cold  50  99 ns/op")
+	if !ok {
+		t.Fatal("suffix-free line rejected")
+	}
+	if b.Name != "BenchmarkScan/cold" {
+		t.Errorf("name = %q", b.Name)
+	}
+
+	// Plain benchmarks carry no Path.
+	b, _ = parseBenchLine("BenchmarkPlain-8  10  1 ns/op")
+	if b.Path != nil {
+		t.Errorf("plain benchmark path = %v", b.Path)
+	}
+}

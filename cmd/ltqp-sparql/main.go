@@ -46,7 +46,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		limitDocs  = fs.Int("max-documents", 0, "cap on dereferenced documents (0 = unlimited)")
 		waterfall  = fs.Bool("waterfall", false, "print the HTTP resource waterfall after the query")
 		stats      = fs.Bool("stats", false, "print traversal statistics after the query")
-		explain    = fs.Bool("explain", false, "print the optimized logical plan before executing")
+		plan       = fs.Bool("plan", false, "print the optimized logical plan before executing")
+		explainOut = fs.String("explain", "", "write the explain report (traversal topology + result provenance) as JSON to this file (\"-\" for stderr)")
+		explainDot = fs.String("explain-dot", "", "write the traversal topology as a Graphviz digraph to this file (\"-\" for stderr)")
+		provenance = fs.Bool("provenance", false, "annotate each ndjson result with a \"_sources\" list of its source documents")
 		prioritize = fs.Bool("prioritize", false, "use the priority link queue instead of FIFO")
 		queryFile  = fs.String("query-file", "", "read the query from this file")
 		format     = fs.String("format", "ndjson", "result format: ndjson (streaming, as in the paper), json, csv, tsv")
@@ -99,6 +102,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Adaptive:         *adaptive,
 		CacheDocuments:   *cacheDocs,
 		Trace:            *traceOut != "",
+		Explain:          *explainOut != "" || *explainDot != "" || *provenance,
 	}
 	if *retries > 0 {
 		cfg.Retry = &ltqp.RetryPolicy{
@@ -147,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ltqp-sparql:", err)
 		return 1
 	}
-	if *explain {
+	if *plan {
 		fmt.Fprintln(stderr, "plan:", res.PlanString())
 	}
 
@@ -156,7 +160,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "ndjson":
 		// Stream each result as it is produced (paper Fig. 2).
 		for b := range res.Results {
-			fmt.Fprintln(stdout, ltqp.BindingJSON(b))
+			if *provenance {
+				fmt.Fprintln(stdout, ltqp.BindingJSONWithSources(b))
+			} else {
+				fmt.Fprintln(stdout, ltqp.BindingJSON(b))
+			}
 			n++
 		}
 	case "json", "csv", "tsv":
@@ -217,12 +225,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "ltqp-sparql: trace:", jerr)
 			return 1
 		}
-		if *traceOut == "-" {
-			fmt.Fprintln(stderr, string(data))
-		} else if werr := os.WriteFile(*traceOut, append(data, '\n'), 0o644); werr != nil {
+		if werr := writeOut(*traceOut, data, stderr); werr != nil {
 			fmt.Fprintln(stderr, "ltqp-sparql: trace:", werr)
 			return 1
 		}
 	}
+	if *explainOut != "" {
+		data, jerr := res.Explain().JSON()
+		if jerr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql: explain:", jerr)
+			return 1
+		}
+		if werr := writeOut(*explainOut, data, stderr); werr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql: explain:", werr)
+			return 1
+		}
+	}
+	if *explainDot != "" {
+		if werr := writeOut(*explainDot, []byte(strings.TrimRight(res.TopologyDOT(), "\n")), stderr); werr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql: explain-dot:", werr)
+			return 1
+		}
+	}
 	return 0
+}
+
+// writeOut writes data (plus a trailing newline) to path, or to stderr when
+// path is "-".
+func writeOut(path string, data []byte, stderr io.Writer) error {
+	if path == "-" {
+		fmt.Fprintln(stderr, string(data))
+		return nil
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

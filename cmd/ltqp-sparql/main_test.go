@@ -120,16 +120,100 @@ func TestCLIQueryFile(t *testing.T) {
 	}
 }
 
-func TestCLIExplain(t *testing.T) {
+func TestCLIPlan(t *testing.T) {
 	ds, stop := startEnv(t)
 	defer stop()
 	q := ds.Discover(1, 1)
 	var stdout, stderr strings.Builder
-	if code := run([]string{"--explain", q.Text}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"--plan", q.Text}, &stdout, &stderr); code != 0 {
 		t.Fatalf("exit = %d", code)
 	}
 	if !strings.Contains(stderr.String(), "plan: ") || !strings.Contains(stderr.String(), "pattern(") {
-		t.Errorf("explain output missing:\n%s", stderr.String())
+		t.Errorf("plan output missing:\n%s", stderr.String())
+	}
+}
+
+// TestCLIExplainAndProvenance runs a query with --explain and --provenance:
+// the report file must contain a versioned topology with nodes and edges,
+// and every emitted ndjson row must carry a non-empty "_sources" list.
+func TestCLIExplainAndProvenance(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(1, 1)
+	dir := t.TempDir()
+	explainPath := filepath.Join(dir, "explain.json")
+	dotPath := filepath.Join(dir, "topology.dot")
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"--explain", explainPath, "--explain-dot", dotPath, "--provenance", q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr.String())
+	}
+
+	data, err := os.ReadFile(explainPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Schema        int `json:"schema"`
+		Contributions []struct {
+			Document string `json:"document"`
+			Matches  int    `json:"matches"`
+		} `json:"contributions"`
+		Topology struct {
+			Nodes []struct {
+				URL string `json:"url"`
+			} `json:"nodes"`
+			Edges []struct {
+				Extractor string `json:"extractor"`
+				Status    string `json:"status"`
+			} `json:"edges"`
+			Results []struct {
+				Sources []string `json:"sources"`
+			} `json:"results"`
+		} `json:"topology"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("explain report not JSON: %v\n%s", err, data)
+	}
+	if report.Schema != 1 {
+		t.Errorf("explain schema = %d, want 1", report.Schema)
+	}
+	if len(report.Topology.Nodes) == 0 || len(report.Topology.Edges) == 0 {
+		t.Errorf("topology empty: %d nodes, %d edges", len(report.Topology.Nodes), len(report.Topology.Edges))
+	}
+	if len(report.Contributions) == 0 {
+		t.Error("no provenance contributions in report")
+	}
+	if len(report.Topology.Results) == 0 {
+		t.Error("no result events in topology timeline")
+	}
+
+	dot, err := os.ReadFile(dotPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dot), "digraph traversal") {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+
+	rows := 0
+	for _, line := range strings.Split(strings.TrimSpace(stdout.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		rows++
+		var obj map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("result row not JSON: %v\n%s", err, line)
+		}
+		srcs, ok := obj["_sources"].([]interface{})
+		if !ok || len(srcs) == 0 {
+			t.Errorf("row lacks _sources: %s", line)
+		}
+	}
+	if rows == 0 {
+		t.Fatal("no results")
 	}
 }
 
@@ -227,14 +311,25 @@ func TestCLITraceExport(t *testing.T) {
 	type span struct {
 		Name     string `json:"name"`
 		DurUS    int64  `json:"duration_us"`
+		Duration string `json:"duration"`
 		Children []span `json:"children"`
 	}
-	var root span
-	if err := json.Unmarshal(data, &root); err != nil {
+	var envelope struct {
+		Schema int  `json:"schema"`
+		Root   span `json:"root"`
+	}
+	if err := json.Unmarshal(data, &envelope); err != nil {
 		t.Fatalf("trace not JSON: %v\n%s", err, data)
 	}
+	if envelope.Schema != 1 {
+		t.Fatalf("trace schema = %d, want 1", envelope.Schema)
+	}
+	root := envelope.Root
 	if root.Name != "query" {
 		t.Fatalf("root span = %q", root.Name)
+	}
+	if root.Duration == "" {
+		t.Error("root span lacks human-readable duration")
 	}
 	count := func(name string) int {
 		n := 0

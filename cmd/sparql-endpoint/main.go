@@ -49,7 +49,9 @@ func main() {
 	flag.Parse()
 
 	observer := ltqp.NewObserver()
-	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs}
+	// Explain makes every query record its traversal topology and result
+	// provenance, served live on /debug/topology and in /debug/queries.
+	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs, Explain: true}
 	var env *simenv.Env
 	if *simulate {
 		scfg := solidbench.DefaultConfig()
@@ -103,7 +105,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (metrics on /metrics, health on /healthz, queries on /debug/queries)\n", *addr)
+		fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (metrics on /metrics, health on /healthz, queries on /debug/queries, traversal graphs on /debug/topology)\n", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 

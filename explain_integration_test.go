@@ -1,0 +1,225 @@
+package ltqp_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/obs"
+	"ltqp/internal/podserver"
+	"ltqp/internal/solid"
+)
+
+// explainEnv serves a three-document chain a.ttl → b.ttl → c.ttl where each
+// hop's triple lives in a different document, so a 3-pattern join has fully
+// predictable provenance. c.ttl links back to a.ttl to force a duplicate
+// edge in the topology.
+func explainEnv(t *testing.T) (base string, engine *ltqp.Engine, cleanup func()) {
+	t.Helper()
+	ps := podserver.New()
+	srv := httptest.NewServer(ps)
+	base = srv.URL
+	ps.AddDocument(base+"/a.ttl", fmt.Sprintf(
+		"<%s/a.ttl#alice> <http://v/friend> <%s/b.ttl#bob>.", base, base), solid.PublicAccess)
+	ps.AddDocument(base+"/b.ttl", fmt.Sprintf(
+		"<%s/b.ttl#bob> <http://v/post> <%s/c.ttl#p1>.", base, base), solid.PublicAccess)
+	ps.AddDocument(base+"/c.ttl", fmt.Sprintf(
+		"<%s/c.ttl#p1> <http://v/title> \"hello\".\n<%s/c.ttl#p1> <http://v/friend> <%s/a.ttl#alice>.",
+		base, base, base), solid.PublicAccess)
+	engine = ltqp.New(ltqp.Config{
+		Client:   srv.Client(),
+		Strategy: ltqp.StrategyCMatch,
+		Explain:  true,
+	})
+	return base, engine, srv.Close
+}
+
+func explainQuery(base string) string {
+	return fmt.Sprintf(`SELECT ?friend ?post ?title WHERE {
+  <%s/a.ttl#alice> <http://v/friend> ?friend .
+  ?friend <http://v/post> ?post .
+  ?post <http://v/title> ?title .
+}`, base)
+}
+
+// TestExplainThreeHopProvenance is the acceptance test for the explain
+// layer: a join across three documents carries exactly those documents as
+// provenance, and the topology names every dereferenced document with
+// correctly labeled edges.
+func TestExplainThreeHopProvenance(t *testing.T) {
+	base, engine, done := explainEnv(t)
+	defer done()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := engine.Query(ctx, explainQuery(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []ltqp.Binding
+	for b := range res.Results {
+		rows = append(rows, b)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("results = %d, want 1", len(rows))
+	}
+
+	// Per-result provenance: exactly the three contributing documents.
+	wantDocs := []string{base + "/a.ttl", base + "/b.ttl", base + "/c.ttl"}
+	if got := ltqp.Sources(rows[0]); !reflect.DeepEqual(got, wantDocs) {
+		t.Errorf("Sources = %v, want %v", got, wantDocs)
+	}
+	// Provenance is invisible to the solution's variables.
+	if got := rows[0].Vars(); !reflect.DeepEqual(got, []string{"friend", "post", "title"}) {
+		t.Errorf("Vars = %v", got)
+	}
+	if got, _ := rows[0].Get("title"); got.Value != "hello" {
+		t.Errorf("title = %v", got)
+	}
+
+	report := res.Explain()
+	if report == nil {
+		t.Fatal("Explain() = nil with Config.Explain set")
+	}
+	if report.Schema != 1 {
+		t.Errorf("schema = %d", report.Schema)
+	}
+	if !reflect.DeepEqual(report.Seeds, []string{base + "/a.ttl"}) {
+		t.Errorf("seeds = %v", report.Seeds)
+	}
+
+	// Every dereferenced document appears as a node, seed marked, all 200.
+	nodes := map[string]obs.TopoNode{}
+	for _, n := range report.Topology.Nodes {
+		nodes[n.URL] = n
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("topology nodes = %+v, want the 3 documents", report.Topology.Nodes)
+	}
+	for i, doc := range wantDocs {
+		n, ok := nodes[doc]
+		if !ok {
+			t.Fatalf("document %s missing from topology", doc)
+		}
+		if n.Status != 200 || n.Depth != i {
+			t.Errorf("node %s = status %d depth %d, want 200/%d", doc, n.Status, n.Depth, i)
+		}
+		if n.Seed != (i == 0) {
+			t.Errorf("node %s seed = %v", doc, n.Seed)
+		}
+		if n.Triples == 0 {
+			t.Errorf("node %s records no triples", doc)
+		}
+	}
+
+	// Edge labels: the discovery chain is followed, the back-link to the
+	// already-visited seed is a duplicate, subject self-references are self.
+	type key struct{ from, to string }
+	edges := map[key]obs.TopoEdge{}
+	for _, e := range report.Topology.Edges {
+		edges[key{e.From, e.To}] = e
+	}
+	for _, want := range []struct {
+		from, to, extractor, status string
+	}{
+		{"", base + "/a.ttl", "seed", obs.EdgeFollowed},
+		{base + "/a.ttl", base + "/b.ttl", "match", obs.EdgeFollowed},
+		{base + "/b.ttl", base + "/c.ttl", "match", obs.EdgeFollowed},
+		{base + "/c.ttl", base + "/a.ttl", "match", obs.EdgeDuplicate},
+		{base + "/a.ttl", base + "/a.ttl", "match", obs.EdgeSelf},
+	} {
+		e, ok := edges[key{want.from, want.to}]
+		if !ok {
+			t.Errorf("edge %s -> %s missing from topology", want.from, want.to)
+			continue
+		}
+		if e.Extractor != want.extractor || e.Status != want.status {
+			t.Errorf("edge %s -> %s = %s/%s, want %s/%s",
+				want.from, want.to, e.Extractor, e.Status, want.extractor, want.status)
+		}
+	}
+
+	// Each document contributed exactly one pattern match to the join.
+	if len(report.Contributions) != 3 {
+		t.Fatalf("contributions = %+v", report.Contributions)
+	}
+	for i, c := range report.Contributions {
+		if c.Document != wantDocs[i] || c.Matches != 1 {
+			t.Errorf("contribution[%d] = %+v, want {%s 1}", i, c, wantDocs[i])
+		}
+	}
+
+	// The result-arrival timeline interleaves with traversal progress: one
+	// result event carrying the row's source set.
+	if len(report.Topology.Results) != 1 {
+		t.Fatalf("result events = %+v", report.Topology.Results)
+	}
+	if got := report.Topology.Results[0].Sources; !reflect.DeepEqual(got, wantDocs) {
+		t.Errorf("result event sources = %v", got)
+	}
+	resultEvents := 0
+	for _, ev := range report.Topology.Timeline {
+		if ev.Kind == "result" {
+			resultEvents++
+		}
+	}
+	if resultEvents != 1 {
+		t.Errorf("timeline result events = %d, want 1", resultEvents)
+	}
+
+	// The Graphviz export names every document and the duplicate edge
+	// renders de-emphasized.
+	dot := res.TopologyDOT()
+	for _, want := range append(wantDocs, "digraph traversal", "peripheries=2", "style=dotted") {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+
+	if data, err := report.JSON(); err != nil || !strings.Contains(string(data), `"schema": 1`) {
+		t.Errorf("report JSON = %v / %s", err, data)
+	}
+}
+
+// TestExplainDisabledCarriesNothing: the same query without Config.Explain
+// produces bare solutions and a nil report.
+func TestExplainDisabledCarriesNothing(t *testing.T) {
+	ps := podserver.New()
+	srv := httptest.NewServer(ps)
+	defer srv.Close()
+	base := srv.URL
+	ps.AddDocument(base+"/a.ttl", fmt.Sprintf(
+		"<%s/a.ttl#alice> <http://v/friend> <%s/a.ttl#bob>.", base, base), solid.PublicAccess)
+	engine := ltqp.New(ltqp.Config{Client: srv.Client(), Strategy: ltqp.StrategyCMatch})
+
+	rows, err := engine.Select(context.Background(),
+		fmt.Sprintf("SELECT ?f WHERE { <%s/a.ttl#alice> <http://v/friend> ?f . }", base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("results = %d, want 1", len(rows))
+	}
+	if src := ltqp.Sources(rows[0]); src != nil {
+		t.Errorf("explain-disabled run produced sources: %v", src)
+	}
+
+	res, err := engine.Query(context.Background(),
+		fmt.Sprintf("SELECT ?f WHERE { <%s/a.ttl#alice> <http://v/friend> ?f . }", base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range res.Results {
+	}
+	if res.Explain() != nil {
+		t.Error("Explain() non-nil without Config.Explain")
+	}
+}

@@ -94,6 +94,17 @@ type Options struct {
 	// even without an Observer; Execution.Trace returns it. Tracing is
 	// also enabled when Obs.TraceQueries is set.
 	Trace bool
+	// Explain enables the per-query explain layer: every solution is
+	// annotated with the exact set of documents whose triples produced it
+	// (result provenance), and traversal records its link-discovery
+	// topology — a node per dereferenced document, an edge per discovered
+	// link labeled with the extractor that found it and whether it was
+	// followed, deduplicated, or pruned — plus the result-arrival
+	// timeline. Execution.Explain exports the report; when an Observer is
+	// attached, the topology also appears on /debug/topology. Off by
+	// default: the disabled path adds one nil check per pattern match and
+	// zero allocations.
+	Explain bool
 }
 
 // Engine executes SPARQL queries over Solid pods by link traversal.
@@ -133,11 +144,23 @@ type Execution struct {
 	store       *store.Store
 	adaptedPlan algebra.Operator
 	trace       *obs.Trace
+	prov        *exec.Prov
+	topo        *obs.Topology
+	queryStr    string
+	start       time.Time
 }
 
 // Trace returns the execution's span tree, or nil when tracing is off. The
 // tree is complete once Results has closed.
 func (x *Execution) Trace() *obs.Trace { return x.trace }
+
+// Topology returns the traversal topology recorder, or nil when the engine
+// ran without Options.Explain. Complete once Results has closed.
+func (x *Execution) Topology() *obs.Topology { return x.topo }
+
+// Prov returns the provenance sink, or nil when the engine ran without
+// Options.Explain.
+func (x *Execution) Prov() *exec.Prov { return x.prov }
 
 // Err returns the traversal error, if any. Valid after Results closes.
 func (x *Execution) Err() error {
@@ -214,6 +237,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		cancel:   cancel,
 		store:    src,
 		trace:    trace,
+		queryStr: queryStr,
 	}
 
 	m := obs.On(e.opts.Obs.M())
@@ -224,6 +248,12 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		rec = e.opts.Obs.Tracker.Start(queryStr, seeds, trace)
 	}
 	queryStart := time.Now()
+	x.start = queryStart
+	if e.opts.Explain {
+		x.prov = exec.NewProv()
+		x.topo = obs.NewTopology(queryStart)
+		rec.AttachTopology(x.topo)
+	}
 
 	shape := ShapeOf(q)
 	extractors := extract.DefaultSolidSet(shape)
@@ -234,7 +264,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	// Traversal feeds the store; closing the store ends the pipeline.
 	go func() {
 		tctx, tspan := obs.StartSpan(runCtx, "traverse")
-		err := e.traverse(tctx, seeds, extractors, src, recorder)
+		err := e.traverse(tctx, seeds, extractors, src, recorder, x.topo)
 		tspan.End()
 		if err != nil && !e.opts.Lenient {
 			x.setErr(err)
@@ -246,10 +276,12 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	// The executor pipeline drains into the public results channel, where
 	// result timestamps are recorded.
 	env := exec.NewEnv(src)
+	env.Prov = x.prov
 	out := make(chan rdf.Binding)
 	go func() {
 		defer close(out)
 		first := true
+		row := 0
 		defer func() {
 			err := x.Err()
 			if err != nil {
@@ -260,6 +292,9 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 			m.QueriesInFlight.Dec()
 			m.QueryDuration.Observe(time.Since(queryStart).Seconds())
 			trace.End()
+			if x.prov != nil {
+				rec.SetContributions(docMatches(x.prov.Contributions()))
+			}
 			if e.opts.Obs != nil {
 				e.opts.Obs.Tracker.Finish(rec, err)
 			}
@@ -281,6 +316,10 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 				}
 				m.ResultsEmitted.Inc()
 				rec.AddResult()
+				if x.topo != nil {
+					x.topo.Result(row, b.Sources())
+				}
+				row++
 				return true
 			case <-ctx.Done():
 				return false
@@ -419,10 +458,13 @@ func instantiate(tp sparql.TriplePattern, b rdf.Binding, scope int) (rdf.Triple,
 
 // traverse runs the link traversal loop: pop a link, dereference it, add
 // its triples to the source, extract further links, repeat — with up to
-// MaxConcurrent dereferences in flight.
+// MaxConcurrent dereferences in flight. When topo is non-nil, the traversal
+// records its discovery topology: every dereference becomes a node, every
+// extracted link an edge labeled with its extractor and fate.
 func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extract.Extractor,
-	src *store.Store, recorder *metrics.Recorder) error {
+	src *store.Store, recorder *metrics.Recorder, topo *obs.Topology) error {
 
+	m := obs.On(e.opts.Obs.M())
 	queue := linkqueue.Queue(linkqueue.NewFIFO())
 	if e.opts.NewQueue != nil {
 		queue = e.opts.NewQueue()
@@ -435,7 +477,8 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		queue = iq
 	}
 	for _, s := range seeds {
-		queue.Push(linkqueue.Link{URL: s, Reason: "seed"})
+		topo.Seed(s)
+		queue.Push(linkqueue.Link{URL: s, Reason: "seed", Extractor: "seed"})
 	}
 
 	d := &deref.Dereferencer{
@@ -467,8 +510,10 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		}()
 		wctx, dspan := obs.StartSpan(ctx, "document",
 			obs.Str("url", l.URL), obs.Str("reason", l.Reason), obs.Int("depth", l.Depth))
+		fetchStart := time.Now()
 		res, err := d.Dereference(wctx, l.URL, l.Via, l.Reason)
 		if err != nil {
+			topo.DocumentError(l.URL, l.Depth, err.Error(), fetchStart, time.Since(fetchStart))
 			dspan.SetAttr(obs.Str("error", err.Error()))
 			dspan.End()
 			if !e.opts.Lenient {
@@ -482,6 +527,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 			return
 		}
 		src.AddDocument(res.FinalURL, res.Triples)
+		topo.Document(res.FinalURL, l.Depth, res.Status, len(res.Triples), res.Bytes, fetchStart, time.Since(fetchStart))
 		g := rdf.NewGraph()
 		g.AddAll(res.Triples)
 		doc := extract.Document{IRI: res.FinalURL, Graph: g}
@@ -490,16 +536,22 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		for _, ex := range extractors {
 			for _, link := range ex.Extract(doc) {
 				if link.URL == res.FinalURL || link.URL == l.URL {
+					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeSelf)
 					continue
 				}
 				if e.opts.MaxDepth > 0 && l.Depth+1 > e.opts.MaxDepth {
+					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeDepthPruned)
 					continue
 				}
-				if queue.Push(linkqueue.Link{URL: link.URL, Via: res.FinalURL, Reason: link.Reason, Depth: l.Depth + 1}) {
+				if queue.Push(linkqueue.Link{URL: link.URL, Via: res.FinalURL, Reason: link.Reason, Extractor: link.Extractor, Depth: l.Depth + 1}) {
+					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeFollowed)
+					m.LinksByExtractor.With(link.Extractor).Inc()
 					accepted++
 					mu.Lock()
 					cond.Broadcast()
 					mu.Unlock()
+				} else {
+					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeDuplicate)
 				}
 			}
 		}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -167,6 +168,9 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		ev.End = time.Now()
 		if d.Recorder != nil {
 			d.Recorder.Record(ev)
+		}
+		if ev.Status != 0 {
+			m.DocumentsByStatus.With(strconv.Itoa(ev.Status)).Inc()
 		}
 		if ev.Err != "" {
 			span.SetAttr(obs.Str("error", ev.Err))

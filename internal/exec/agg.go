@@ -74,6 +74,17 @@ func evalGroup(ctx context.Context, g algebra.Group, env *Env) Stream {
 		for _, ks := range order {
 			gr := groups[ks]
 			result := gr.key.Copy()
+			if env.Prov != nil {
+				// An aggregate row descends from every row of its group:
+				// its provenance is the union of theirs.
+				for _, row := range gr.rows {
+					for k, v := range row {
+						if rdf.IsProvVar(k) {
+							result[k] = v
+						}
+					}
+				}
+			}
 			for _, item := range g.Items {
 				if item.Expr == nil {
 					// Plain variable: must be a group key; already present.

@@ -34,6 +34,11 @@ type Env struct {
 	Store *store.Store
 	// NowFunc returns the evaluation time for NOW(); fixed per query.
 	Now func() rdf.Term
+	// Prov, when non-nil, makes pattern scans annotate every solution with
+	// the source document of the matched triple, so results carry the set
+	// of documents whose triples joined to produce them. Nil (the default)
+	// disables provenance at zero cost.
+	Prov *Prov
 
 	mu     sync.Mutex
 	bnodeN int
@@ -182,6 +187,9 @@ func evalPattern(ctx context.Context, p algebra.Pattern, env *Env) Stream {
 			b, ok = applyGraphConstraint(env, p.Graph, t, b)
 			if !ok {
 				continue
+			}
+			if env.Prov != nil {
+				b = env.Prov.Annotate(env.Store, b, t)
 			}
 			if !send(ctx, out, b) {
 				return
@@ -428,8 +436,13 @@ func evalMinus(ctx context.Context, m algebra.Minus, env *Env) Stream {
 			for _, r := range rights {
 				// MINUS removes l when some r is compatible AND shares at
 				// least one bound variable with l (SPARQL §8.3.3).
+				// Provenance pseudo-variables are not part of the solution
+				// domain and must not create spurious overlap.
 				sharesDom := false
 				for v := range r {
+					if rdf.IsProvVar(v) {
+						continue
+					}
 					if l.Has(v) {
 						sharesDom = true
 						break
@@ -583,6 +596,10 @@ func evalProject(ctx context.Context, p algebra.Project, env *Env) Stream {
 						if v, err := evalExpr(env, item.Expr, b); err == nil {
 							res[item.Var] = v
 						}
+					}
+					if env.Prov != nil {
+						// Projection narrows variables, not provenance.
+						res = res.WithProvFrom(b)
 					}
 				}
 				if !send(ctx, out, res) {

@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"sort"
+	"sync"
+
+	"ltqp/internal/rdf"
+	"ltqp/internal/store"
+)
+
+// Prov is the per-execution provenance sink. When attached to an Env,
+// pattern scans annotate every solution with the document the matched
+// triple was first contributed by (see rdf prov pseudo-variables); joins
+// then accumulate the union of both sides' documents, so every final result
+// carries the exact set of documents whose triples produced it.
+//
+// A nil *Prov disables everything: the hot path pays one pointer comparison
+// and zero allocations, the same opt-out pattern as the no-op spans.
+type Prov struct {
+	mu   sync.Mutex
+	docs map[string]int // document IRI -> pattern matches it contributed
+}
+
+// NewProv returns an empty provenance sink.
+func NewProv() *Prov {
+	return &Prov{docs: map[string]int{}}
+}
+
+// Annotate extends a pattern-match solution with the source document of the
+// matched triple, tallying the contribution. Nil-safe: a nil sink returns b
+// untouched.
+func (p *Prov) Annotate(s *store.Store, b rdf.Binding, t rdf.Triple) rdf.Binding {
+	if p == nil {
+		return b
+	}
+	src, ok := s.Source(t)
+	if !ok {
+		return b
+	}
+	p.mu.Lock()
+	p.docs[src.Value]++
+	p.mu.Unlock()
+	return b.WithSource(src)
+}
+
+// Contributions returns, per document IRI, how many pattern matches the
+// document's triples fed into the pipeline, sorted by IRI.
+func (p *Prov) Contributions() []DocContribution {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]DocContribution, 0, len(p.docs))
+	for doc, n := range p.docs {
+		out = append(out, DocContribution{Document: doc, Matches: n})
+	}
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Document < out[j].Document })
+	return out
+}
+
+// DocContribution is one document's share of the pattern matches that
+// entered the pipeline.
+type DocContribution struct {
+	Document string `json:"document"`
+	Matches  int    `json:"matches"`
+}

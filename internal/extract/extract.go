@@ -25,9 +25,14 @@ type Document struct {
 type Link struct {
 	// URL of the document to dereference (fragments stripped).
 	URL string
-	// Reason names the producing extractor (stable identifiers used for
-	// queue prioritization and the metrics waterfall).
+	// Reason names the link's discovery label (stable identifiers used for
+	// queue prioritization and the metrics waterfall). One extractor may
+	// emit several labels — SolidProfile emits "solid-profile" and
+	// "storage" links.
 	Reason string
+	// Extractor is the Name() of the extractor that produced the link,
+	// used to label discovery edges in the traversal topology.
+	Extractor string
 }
 
 // Extractor proposes links from a document.
@@ -53,11 +58,11 @@ type QueryShape struct {
 
 // link builds a Link from an IRI term, stripping the fragment; it returns
 // false for non-HTTP terms.
-func link(t rdf.Term, reason string) (Link, bool) {
+func link(t rdf.Term, extractor, reason string) (Link, bool) {
 	if t.Kind != rdf.TermIRI || !rdf.IsHTTPIRI(t.Value) {
 		return Link{}, false
 	}
-	return Link{URL: rdf.DocumentIRI(t), Reason: reason}, true
+	return Link{URL: rdf.DocumentIRI(t), Reason: reason, Extractor: extractor}, true
 }
 
 // dedup removes duplicate URLs preserving order.
@@ -85,7 +90,7 @@ func (LDPContainer) Extract(doc Document) []Link {
 	var out []Link
 	for _, t := range doc.Graph.Triples() {
 		if t.P.Kind == rdf.TermIRI && t.P.Value == rdf.LDPContains {
-			if l, ok := link(t.O, "ldp-container"); ok {
+			if l, ok := link(t.O, "ldp-container", "ldp-container"); ok {
 				out = append(out, l)
 			}
 		}
@@ -110,11 +115,11 @@ func (SolidProfile) Extract(doc Document) []Link {
 		}
 		switch t.P.Value {
 		case rdf.SolidPublicTypeIndex:
-			if l, ok := link(t.O, "solid-profile"); ok {
+			if l, ok := link(t.O, "solid-profile", "solid-profile"); ok {
 				out = append(out, l)
 			}
 		case rdf.PIMStorage:
-			if l, ok := link(t.O, "storage"); ok {
+			if l, ok := link(t.O, "solid-profile", "storage"); ok {
 				out = append(out, l)
 			}
 		}
@@ -147,12 +152,12 @@ func (e TypeIndex) Extract(doc Document) []Link {
 			}
 		}
 		for _, inst := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstance)) {
-			if l, ok := link(inst, "type-index"); ok {
+			if l, ok := link(inst, "type-index", "type-index"); ok {
 				out = append(out, l)
 			}
 		}
 		for _, c := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstanceContainer)) {
-			if l, ok := link(c, "type-index-container"); ok {
+			if l, ok := link(c, "type-index", "type-index-container"); ok {
 				out = append(out, l)
 			}
 		}
@@ -176,7 +181,7 @@ func (SeeAlso) Extract(doc Document) []Link {
 			continue
 		}
 		if t.P.Value == rdf.RDFSSeeAlso || t.P.Value == owlSameAs {
-			if l, ok := link(t.O, "see-also"); ok {
+			if l, ok := link(t.O, "see-also", "see-also"); ok {
 				out = append(out, l)
 			}
 		}
@@ -211,10 +216,10 @@ func (e CMatch) Extract(doc Document) []Link {
 		if !relevant {
 			continue
 		}
-		if l, ok := link(t.S, "match"); ok {
+		if l, ok := link(t.S, "match", "match"); ok {
 			out = append(out, l)
 		}
-		if l, ok := link(t.O, "match"); ok {
+		if l, ok := link(t.O, "match", "match"); ok {
 			out = append(out, l)
 		}
 	}
@@ -235,7 +240,7 @@ func (CAll) Extract(doc Document) []Link {
 	var out []Link
 	for _, t := range doc.Graph.Triples() {
 		for _, term := range [3]rdf.Term{t.S, t.P, t.O} {
-			if l, ok := link(term, "all"); ok {
+			if l, ok := link(term, "all", "all"); ok {
 				out = append(out, l)
 			}
 		}

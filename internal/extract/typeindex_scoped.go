@@ -44,12 +44,12 @@ func (e *TypeIndexScoped) Extract(doc Document) []Link {
 			}
 		}
 		for _, inst := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstance)) {
-			if l, ok := link(inst, "type-index"); ok {
+			if l, ok := link(inst, "type-index", "type-index"); ok {
 				out = append(out, l)
 			}
 		}
 		for _, c := range g.Objects(reg, rdf.NewIRI(rdf.SolidInstanceContainer)) {
-			if l, ok := link(c, "type-index-container"); ok {
+			if l, ok := link(c, "type-index", "type-index-container"); ok {
 				e.mu.Lock()
 				if e.containers == nil {
 					e.containers = map[string]bool{}
@@ -66,7 +66,7 @@ func (e *TypeIndexScoped) Extract(doc Document) []Link {
 	if e.isRegistered(doc.IRI) {
 		for _, t := range g.Triples() {
 			if t.P.Kind == rdf.TermIRI && t.P.Value == rdf.LDPContains {
-				if l, ok := link(t.O, "type-index-container"); ok {
+				if l, ok := link(t.O, "type-index", "type-index-container"); ok {
 					if strings.HasSuffix(l.URL, "/") {
 						e.mu.Lock()
 						e.containers[l.URL] = true

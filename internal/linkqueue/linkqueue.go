@@ -22,9 +22,13 @@ type Link struct {
 	// Via is the document in which the link was discovered; empty for
 	// seeds.
 	Via string
-	// Reason names the link extractor that produced the link ("seed",
-	// "type-index", "ldp-container", ...). Priority queues rank on it.
+	// Reason names the link's discovery label ("seed", "type-index",
+	// "ldp-container", "storage", ...). Priority queues rank on it.
 	Reason string
+	// Extractor is the Name() of the link extractor that produced the
+	// link ("seed" for seeds). The traversal topology labels discovery
+	// edges with it.
+	Extractor string
 	// Depth is the traversal depth (seeds are 0).
 	Depth int
 }

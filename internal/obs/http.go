@@ -34,18 +34,35 @@ type querySummaryJSON struct {
 	Done       bool      `json:"done"`
 	Err        string    `json:"error,omitempty"`
 	Trace      *SpanJSON `json:"trace,omitempty"`
+	// Topology summarizes the traversal graph when explain recording was on.
+	Topology *topoSummaryJSON `json:"topology,omitempty"`
+	// Contributions tallies pattern matches per source document when
+	// provenance was on.
+	Contributions []DocMatches `json:"contributions,omitempty"`
+}
+
+// topoSummaryJSON is the compact traversal-topology summary embedded in
+// query listings; the full graph is served by /debug/topology?id=N.
+type topoSummaryJSON struct {
+	Documents int `json:"documents"`
+	Links     int `json:"links"`
+	Results   int `json:"results"`
 }
 
 func summarize(r *QueryRecord, withTrace bool) querySummaryJSON {
 	out := querySummaryJSON{
-		ID:         r.ID,
-		Query:      r.Query,
-		Seeds:      r.Seeds,
-		Start:      r.Start,
-		DurationMS: float64(r.Duration().Microseconds()) / 1000,
-		Results:    r.Results(),
-		Done:       r.Done(),
-		Err:        r.Err(),
+		ID:            r.ID,
+		Query:         r.Query,
+		Seeds:         r.Seeds,
+		Start:         r.Start,
+		DurationMS:    float64(r.Duration().Microseconds()) / 1000,
+		Results:       r.Results(),
+		Done:          r.Done(),
+		Err:           r.Err(),
+		Contributions: r.Contributions(),
+	}
+	if topo := r.Topology(); topo != nil {
+		out.Topology = &topoSummaryJSON{Documents: topo.Documents(), Links: topo.Links(), Results: topo.Results()}
 	}
 	if withTrace && r.Trace != nil && r.Trace.Root() != nil {
 		root := r.Trace.Root()
@@ -66,9 +83,11 @@ func QueriesHandler(t *QueryTracker) http.Handler {
 		}
 		withTrace := req.URL.Query().Get("trace") != "0"
 		var payload struct {
+			Schema   int                `json:"schema"`
 			InFlight []querySummaryJSON `json:"in_flight"`
 			Recent   []querySummaryJSON `json:"recent"`
 		}
+		payload.Schema = TraceSchemaVersion
 		payload.InFlight = []querySummaryJSON{}
 		payload.Recent = []querySummaryJSON{}
 		for _, r := range t.InFlight() {
@@ -101,8 +120,67 @@ func serveTree(w http.ResponseWriter, req *http.Request, t *QueryTracker) {
 	http.Error(w, "unknown query id", http.StatusNotFound)
 }
 
+// TopologyHandler serves recorded traversal topologies. Without parameters
+// it lists queries that carry a topology (id + summary); ?id=N returns the
+// query's full topology JSON, and ?id=N&format=dot renders it as a Graphviz
+// digraph (Content-Type text/vnd.graphviz).
+func TopologyHandler(t *QueryTracker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		idParam := req.URL.Query().Get("id")
+		if idParam == "" {
+			type entry struct {
+				ID       int64           `json:"id"`
+				Query    string          `json:"query"`
+				Done     bool            `json:"done"`
+				Topology topoSummaryJSON `json:"topology"`
+			}
+			entries := []entry{}
+			for _, r := range append(t.InFlight(), t.Recent()...) {
+				topo := r.Topology()
+				if topo == nil {
+					continue
+				}
+				entries = append(entries, entry{
+					ID:       r.ID,
+					Query:    r.Query,
+					Done:     r.Done(),
+					Topology: topoSummaryJSON{Documents: topo.Documents(), Links: topo.Links(), Results: topo.Results()},
+				})
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(map[string]interface{}{"schema": TraceSchemaVersion, "queries": entries})
+			return
+		}
+		var id int64
+		fmt.Sscanf(idParam, "%d", &id)
+		for _, r := range append(t.InFlight(), t.Recent()...) {
+			if r.ID != id {
+				continue
+			}
+			topo := r.Topology()
+			if topo == nil {
+				http.Error(w, "query has no recorded topology", http.StatusNotFound)
+				return
+			}
+			if req.URL.Query().Get("format") == "dot" {
+				w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+				fmt.Fprint(w, topo.DOT())
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(map[string]interface{}{"schema": TraceSchemaVersion, "id": id, "topology": topo.Snapshot()})
+			return
+		}
+		http.Error(w, "unknown query id", http.StatusNotFound)
+	})
+}
+
 // Register mounts the observer's exposition endpoints on mux:
-// /metrics (Prometheus text), /healthz, and /debug/queries.
+// /metrics (Prometheus text), /healthz, /debug/queries, and /debug/topology.
 func (o *Observer) Register(mux *http.ServeMux) {
 	if o == nil || mux == nil {
 		return
@@ -110,4 +188,5 @@ func (o *Observer) Register(mux *http.ServeMux) {
 	mux.Handle("/metrics", MetricsHandler(o.Registry))
 	mux.Handle("/healthz", HealthHandler())
 	mux.Handle("/debug/queries", QueriesHandler(o.Tracker))
+	mux.Handle("/debug/topology", TopologyHandler(o.Tracker))
 }

@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTrackerLifecycle(t *testing.T) {
@@ -126,5 +128,98 @@ func TestExpositionEndpoints(t *testing.T) {
 	code, _, _ = get("/debug/queries?format=tree&id=999")
 	if code != 404 {
 		t.Fatalf("unknown id = %d, want 404", code)
+	}
+}
+
+// TestTopologyEndpoint drives /debug/topology through its three shapes:
+// the index listing, the per-query JSON graph, and the Graphviz DOT render.
+func TestTopologyEndpoint(t *testing.T) {
+	o := NewObserver()
+	rec := o.Tracker.Start("SELECT ?x WHERE {}", []string{"http://x/a"}, nil)
+	topo := NewTopology(time.Now())
+	topo.Seed("http://x/a")
+	topo.Document("http://x/a", 0, 200, 4, 300, time.Now(), time.Millisecond)
+	topo.Link("http://x/a", "http://x/b", "ldp-container", "ldp-container", EdgeFollowed)
+	topo.Result(0, []string{"http://x/a"})
+	rec.AttachTopology(topo)
+	rec.SetContributions([]DocMatches{{Document: "http://x/a", Matches: 2}})
+	o.Tracker.Finish(rec, nil)
+
+	// A query without topology must not appear in the index.
+	bare := o.Tracker.Start("SELECT ?y WHERE {}", nil, nil)
+	o.Tracker.Finish(bare, nil)
+
+	mux := http.NewServeMux()
+	o.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+	}
+
+	code, ct, body := get("/debug/topology")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/topology: %d %s", code, ct)
+	}
+	var index struct {
+		Schema  int `json:"schema"`
+		Queries []struct {
+			ID       int64 `json:"id"`
+			Topology struct {
+				Documents int `json:"documents"`
+				Links     int `json:"links"`
+			} `json:"topology"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal([]byte(body), &index); err != nil {
+		t.Fatalf("index JSON: %v\n%s", err, body)
+	}
+	if index.Schema != TraceSchemaVersion || len(index.Queries) != 1 {
+		t.Fatalf("index = %+v", index)
+	}
+	if index.Queries[0].Topology.Documents != 1 || index.Queries[0].Topology.Links != 2 {
+		t.Fatalf("summary = %+v", index.Queries[0])
+	}
+
+	code, ct, body = get(fmt.Sprintf("/debug/topology?id=%d", rec.ID))
+	if code != 200 || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("per-query: %d %s", code, ct)
+	}
+	var full struct {
+		Topology TopologyJSON `json:"topology"`
+	}
+	if err := json.Unmarshal([]byte(body), &full); err != nil {
+		t.Fatalf("topology JSON: %v\n%s", err, body)
+	}
+	if len(full.Topology.Nodes) != 1 || len(full.Topology.Edges) != 2 || len(full.Topology.Results) != 1 {
+		t.Fatalf("full topology = %+v", full.Topology)
+	}
+
+	code, ct, body = get(fmt.Sprintf("/debug/topology?id=%d&format=dot", rec.ID))
+	if code != 200 || !strings.HasPrefix(ct, "text/vnd.graphviz") {
+		t.Fatalf("dot: %d %s", code, ct)
+	}
+	if !strings.Contains(body, "digraph traversal") {
+		t.Fatalf("dot body:\n%s", body)
+	}
+
+	if code, _, _ = get("/debug/topology?id=99999"); code != 404 {
+		t.Errorf("unknown id = %d, want 404", code)
+	}
+	if code, _, _ = get(fmt.Sprintf("/debug/topology?id=%d", bare.ID)); code != 404 {
+		t.Errorf("topology-less query = %d, want 404", code)
+	}
+
+	// /debug/queries embeds the topology summary and contributions.
+	_, _, body = get("/debug/queries")
+	if !strings.Contains(body, `"contributions"`) || !strings.Contains(body, `"topology"`) {
+		t.Errorf("/debug/queries lacks explain fields:\n%s", body)
 	}
 }

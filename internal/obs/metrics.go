@@ -23,6 +23,10 @@ type Metrics struct {
 
 	LinksQueued    *Counter
 	LinkQueueDepth *Gauge
+	// LinksByExtractor counts accepted links per link-extractor name.
+	LinksByExtractor *CounterVec
+	// DocumentsByStatus counts completed dereferences per HTTP status code.
+	DocumentsByStatus *CounterVec
 
 	ResultsEmitted *Counter
 
@@ -49,8 +53,10 @@ func NewMetrics(r *Registry) *Metrics {
 		CacheHits:   r.Counter("ltqp_cache_hits_total", "Dereferences served from the engine document cache."),
 		CacheMisses: r.Counter("ltqp_cache_misses_total", "Dereferences that missed the engine document cache."),
 
-		LinksQueued:    r.Counter("ltqp_links_queued_total", "Links accepted by link queues."),
-		LinkQueueDepth: r.Gauge("ltqp_link_queue_depth", "Links currently queued across in-flight traversals."),
+		LinksQueued:       r.Counter("ltqp_links_queued_total", "Links accepted by link queues."),
+		LinkQueueDepth:    r.Gauge("ltqp_link_queue_depth", "Links currently queued across in-flight traversals."),
+		LinksByExtractor:  r.CounterVec("ltqp_links_accepted_total", "Links accepted by link queues, by discovering extractor.", "extractor"),
+		DocumentsByStatus: r.CounterVec("ltqp_documents_by_status_total", "Completed dereference responses by HTTP status code.", "status"),
 
 		ResultsEmitted: r.Counter("ltqp_results_total", "Solutions streamed to clients."),
 

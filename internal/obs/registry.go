@@ -17,18 +17,20 @@ import (
 // instrument methods are safe on nil receivers, so call sites need no
 // "is observability enabled?" branches.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	histograms  map[string]*Histogram
+	counterVecs map[string]*CounterVec
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   map[string]*Counter{},
-		gauges:     map[string]*Gauge{},
-		histograms: map[string]*Histogram{},
+		counters:    map[string]*Counter{},
+		gauges:      map[string]*Gauge{},
+		histograms:  map[string]*Histogram{},
+		counterVecs: map[string]*CounterVec{},
 	}
 }
 
@@ -81,6 +83,49 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
 	r.histograms[name] = h
 	return h
+}
+
+// CounterVec registers (or returns the existing) family of counters keyed
+// by one label. Children are created on first With and rendered as
+// name{label="value"} rows; label values are escaped per the Prometheus
+// text-exposition rules, so arbitrary strings (document URLs, error
+// messages) are safe.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.counterVecs[name]; ok {
+		return v
+	}
+	v := &CounterVec{name: name, help: help, label: label, children: map[string]*Counter{}}
+	r.counterVecs[name] = v
+	return v
+}
+
+// CounterVec is a family of counters distinguished by one label value.
+type CounterVec struct {
+	name, help, label string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label value, creating it on
+// first use. Nil-safe: a nil vec returns a nil counter whose methods no-op.
+func (v *CounterVec) With(labelValue string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[labelValue]; ok {
+		return c
+	}
+	c := &Counter{name: v.name}
+	v.children[labelValue] = c
+	return c
 }
 
 // Counter is a lock-free monotonically increasing counter.
@@ -243,16 +288,34 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, h := range r.histograms {
 		histograms = append(histograms, h)
 	}
+	counterVecs := make([]*CounterVec, 0, len(r.counterVecs))
+	for _, v := range r.counterVecs {
+		counterVecs = append(counterVecs, v)
+	}
 	r.mu.Unlock()
 
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
 	sort.Slice(histograms, func(i, j int) bool { return histograms[i].name < histograms[j].name })
+	sort.Slice(counterVecs, func(i, j int) bool { return counterVecs[i].name < counterVecs[j].name })
 
 	var b strings.Builder
 	for _, c := range counters {
 		writeHeader(&b, c.name, c.help, "counter")
 		fmt.Fprintf(&b, "%s %d\n", c.name, c.Value())
+	}
+	for _, v := range counterVecs {
+		writeHeader(&b, v.name, v.help, "counter")
+		v.mu.Lock()
+		values := make([]string, 0, len(v.children))
+		for lv := range v.children {
+			values = append(values, lv)
+		}
+		sort.Strings(values)
+		for _, lv := range values {
+			fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", v.name, v.label, escapeLabelValue(lv), v.children[lv].Value())
+		}
+		v.mu.Unlock()
 	}
 	for _, g := range gauges {
 		writeHeader(&b, g.name, g.help, "gauge")
@@ -283,4 +346,13 @@ func writeHeader(b *strings.Builder, name, help, typ string) {
 
 func formatBound(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format (version 0.0.4): backslash, double-quote and newline must be
+// backslash-escaped inside the double-quoted label value.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string {
+	return labelEscaper.Replace(s)
 }

@@ -147,3 +147,71 @@ func TestStandardMetricsRegister(t *testing.T) {
 		}
 	}
 }
+
+func TestCounterVecExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ltqp_links_accepted_total", "Links by extractor.", "extractor")
+	v.With("type-index").Add(3)
+	v.With("ldp-container").Inc()
+	// Hostile label values: quotes, backslashes, and newlines must be
+	// escaped per the Prometheus text exposition format.
+	v.With("weird\"quote").Inc()
+	v.With(`back\slash`).Inc()
+	v.With("new\nline").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ltqp_links_accepted_total counter",
+		`ltqp_links_accepted_total{extractor="type-index"} 3`,
+		`ltqp_links_accepted_total{extractor="ldp-container"} 1`,
+		`ltqp_links_accepted_total{extractor="weird\"quote"} 1`,
+		`ltqp_links_accepted_total{extractor="back\\slash"} 1`,
+		`ltqp_links_accepted_total{extractor="new\nline"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "# TYPE ltqp_links_accepted_total") != 1 {
+		t.Error("family header repeated per child")
+	}
+	// A raw (unescaped) newline inside a label value would split the line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "line\"}") {
+			t.Errorf("unescaped newline leaked into exposition:\n%s", out)
+		}
+	}
+}
+
+func TestCounterVecNilSafe(t *testing.T) {
+	var r *Registry
+	v := r.CounterVec("x", "", "l")
+	if v != nil {
+		t.Fatal("nil registry returned non-nil vec")
+	}
+	v.With("a").Inc() // must not panic
+	if v.With("a").Value() != 0 {
+		t.Error("nil vec child counted")
+	}
+	// The nilMetrics path: a zero Metrics has nil vec fields.
+	On(nil).LinksByExtractor.With("seed").Inc()
+	On(nil).DocumentsByStatus.With("200").Inc()
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := map[string]string{
+		"plain":       "plain",
+		`a\b`:         `a\\b`,
+		`say "hi"`:    `say \"hi\"`,
+		"multi\nline": `multi\nline`,
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -208,21 +208,37 @@ func (s *Span) Count(name string) int {
 	return n
 }
 
-// SpanJSON is the JSON shape of an exported span.
+// TraceSchemaVersion identifies the trace export JSON layout. Bump it when
+// the shape of TraceJSON/SpanJSON changes incompatibly, so downstream
+// tooling can reject traces it does not understand.
+const TraceSchemaVersion = 1
+
+// TraceJSON is the versioned envelope of an exported trace.
+type TraceJSON struct {
+	Schema int      `json:"schema"`
+	Root   SpanJSON `json:"root"`
+}
+
+// SpanJSON is the JSON shape of an exported span. Durations appear twice:
+// numerically in microseconds for tooling, and as a human-readable string
+// (time.Duration formatting) for eyeballing raw exports.
 type SpanJSON struct {
 	Name     string     `json:"name"`
 	StartUS  int64      `json:"start_us"` // offset from the trace root, µs
 	DurUS    int64      `json:"duration_us"`
+	Duration string     `json:"duration"`
 	Attrs    []Attr     `json:"attrs,omitempty"`
 	Children []SpanJSON `json:"children,omitempty"`
 }
 
 func (s *Span) toJSON(epoch time.Time) SpanJSON {
+	d := s.Duration()
 	out := SpanJSON{
-		Name:    s.name,
-		StartUS: s.start.Sub(epoch).Microseconds(),
-		DurUS:   s.Duration().Microseconds(),
-		Attrs:   s.Attrs(),
+		Name:     s.name,
+		StartUS:  s.start.Sub(epoch).Microseconds(),
+		DurUS:    d.Microseconds(),
+		Duration: d.Round(time.Microsecond).String(),
+		Attrs:    s.Attrs(),
 	}
 	for _, c := range s.Children() {
 		out.Children = append(out.Children, c.toJSON(epoch))
@@ -254,12 +270,13 @@ func (t *Trace) Root() *Span {
 // End closes the root span.
 func (t *Trace) End() { t.Root().End() }
 
-// JSON exports the trace as an indented JSON span tree.
+// JSON exports the trace as an indented, versioned JSON document:
+// {"schema": 1, "root": {...span tree...}}.
 func (t *Trace) JSON() ([]byte, error) {
 	if t == nil || t.root == nil {
 		return []byte("null"), nil
 	}
-	return json.MarshalIndent(t.root.toJSON(t.root.start), "", "  ")
+	return json.MarshalIndent(TraceJSON{Schema: TraceSchemaVersion, Root: t.root.toJSON(t.root.start)}, "", "  ")
 }
 
 // Tree renders the trace as a human-readable indented tree:

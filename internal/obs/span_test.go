@@ -87,15 +87,22 @@ func TestTraceJSONAndTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var decoded SpanJSON
-	if err := json.Unmarshal(data, &decoded); err != nil {
+	var envelope TraceJSON
+	if err := json.Unmarshal(data, &envelope); err != nil {
 		t.Fatalf("trace JSON does not parse: %v\n%s", err, data)
 	}
+	if envelope.Schema != TraceSchemaVersion {
+		t.Fatalf("schema = %d, want %d", envelope.Schema, TraceSchemaVersion)
+	}
+	decoded := envelope.Root
 	if decoded.Name != "query" || len(decoded.Children) != 1 || decoded.Children[0].Name != "parse" {
 		t.Fatalf("decoded = %+v", decoded)
 	}
 	if decoded.Children[0].DurUS <= 0 {
 		t.Fatal("child duration missing")
+	}
+	if decoded.Children[0].Duration == "" {
+		t.Fatal("child human-readable duration missing")
 	}
 
 	tree := trace.Tree()

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Topology records the link-discovery graph of one traversal: a node per
+// dereferenced document (status, triples, bytes, timing, depth) and an edge
+// per discovered link, labeled with the extractor that found it and with
+// what happened to it (followed, deduplicated, pruned). It also captures
+// the result-arrival timeline interleaved with document completions, which
+// makes the "first results while traversal is still running" behaviour
+// measurable rather than just claimed.
+//
+// All methods are safe on a nil receiver — a nil *Topology is the disabled
+// state and costs nothing, the same opt-out pattern as the no-op spans.
+// Non-nil recorders are safe for concurrent use by traversal workers.
+type Topology struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	nodes   map[string]*TopoNode
+	order   []string
+	edges   []TopoEdge
+	results []ResultEvent
+}
+
+// Edge statuses.
+const (
+	// EdgeFollowed marks a link accepted into the queue for dereferencing.
+	EdgeFollowed = "followed"
+	// EdgeDuplicate marks a link rejected because its URL was already
+	// queued or dereferenced.
+	EdgeDuplicate = "duplicate"
+	// EdgeDepthPruned marks a link rejected by the MaxDepth bound.
+	EdgeDepthPruned = "depth-pruned"
+	// EdgeSelf marks a link pointing back at its own document.
+	EdgeSelf = "self"
+)
+
+// TopoNode is one dereferenced (or attempted) document.
+type TopoNode struct {
+	URL     string  `json:"url"`
+	Depth   int     `json:"depth"`
+	Status  int     `json:"status,omitempty"`
+	Triples int     `json:"triples,omitempty"`
+	Bytes   int64   `json:"bytes,omitempty"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"duration_ms"`
+	Seed    bool    `json:"seed,omitempty"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// TopoEdge is one discovered link.
+type TopoEdge struct {
+	// From is the document the link was found in; To its target.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Extractor names the link extractor that produced the link
+	// ("ldp-container", "type-index", "solid-profile", "match", ...;
+	// "seed" for the synthetic seed edges).
+	Extractor string `json:"extractor"`
+	// Reason is the link's discovery label, used for queue priorities; it
+	// differs from Extractor when one extractor emits several link kinds
+	// (solid-profile emits "storage" links, type-index emits
+	// "type-index-container").
+	Reason string `json:"reason,omitempty"`
+	// Status tells what the traversal did with the link (EdgeFollowed,
+	// EdgeDuplicate, EdgeDepthPruned, EdgeSelf).
+	Status string `json:"status"`
+}
+
+// ResultEvent is one delivered solution on the execution timeline.
+type ResultEvent struct {
+	Row  int     `json:"row"`
+	AtMS float64 `json:"at_ms"`
+	// Sources are the result's source documents (present when the
+	// execution ran with provenance enabled).
+	Sources []string `json:"sources,omitempty"`
+}
+
+// TimelineEvent interleaves document completions and result arrivals.
+type TimelineEvent struct {
+	AtMS float64 `json:"at_ms"`
+	// Kind is "document" or "result".
+	Kind string `json:"kind"`
+	// Ref is the document URL or the result row number rendered as text.
+	Ref string `json:"ref"`
+}
+
+// TopologyJSON is the exported form of a topology.
+type TopologyJSON struct {
+	Nodes    []TopoNode      `json:"nodes"`
+	Edges    []TopoEdge      `json:"edges"`
+	Results  []ResultEvent   `json:"results"`
+	Timeline []TimelineEvent `json:"timeline"`
+}
+
+// NewTopology returns a recorder whose timeline offsets are relative to
+// epoch (the query start).
+func NewTopology(epoch time.Time) *Topology {
+	return &Topology{epoch: epoch, nodes: map[string]*TopoNode{}}
+}
+
+func (t *Topology) sinceMS(at time.Time) float64 {
+	return float64(at.Sub(t.epoch).Microseconds()) / 1000
+}
+
+// Seed records a traversal seed: a root node plus a synthetic "seed" edge
+// with no source document.
+func (t *Topology) Seed(url string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.node(url, 0).Seed = true
+	t.edges = append(t.edges, TopoEdge{To: url, Extractor: "seed", Reason: "seed", Status: EdgeFollowed})
+}
+
+// node returns the node for url, creating it at the given depth.
+// Caller holds t.mu.
+func (t *Topology) node(url string, depth int) *TopoNode {
+	n, ok := t.nodes[url]
+	if !ok {
+		n = &TopoNode{URL: url, Depth: depth}
+		t.nodes[url] = n
+		t.order = append(t.order, url)
+	}
+	return n
+}
+
+// Document records a successful dereference.
+func (t *Topology) Document(url string, depth, status, triples int, bytes int64, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.node(url, depth)
+	n.Status = status
+	n.Triples = triples
+	n.Bytes = bytes
+	n.StartMS = t.sinceMS(start)
+	n.DurMS = float64(dur.Microseconds()) / 1000
+}
+
+// DocumentError records a failed dereference attempt (the node stays in the
+// graph so failures are visible in the topology).
+func (t *Topology) DocumentError(url string, depth int, errMsg string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.node(url, depth)
+	n.Error = errMsg
+	n.StartMS = t.sinceMS(start)
+	n.DurMS = float64(dur.Microseconds()) / 1000
+}
+
+// Link records one discovered link and its fate.
+func (t *Topology) Link(from, to, extractor, reason, status string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.edges = append(t.edges, TopoEdge{From: from, To: to, Extractor: extractor, Reason: reason, Status: status})
+}
+
+// Result records the arrival of result row n (0-based) with its source
+// documents (nil when provenance is off).
+func (t *Topology) Result(row int, sources []string) {
+	if t == nil {
+		return
+	}
+	at := time.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.results = append(t.results, ResultEvent{Row: row, AtMS: t.sinceMS(at), Sources: sources})
+}
+
+// Documents returns the number of recorded nodes.
+func (t *Topology) Documents() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.nodes)
+}
+
+// Links returns the number of recorded edges (seed edges included).
+func (t *Topology) Links() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.edges)
+}
+
+// Results returns the number of recorded result arrivals.
+func (t *Topology) Results() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.results)
+}
+
+// Snapshot exports the topology. Nodes appear in first-touch order, edges
+// in discovery order, and the timeline interleaves document completions
+// with result arrivals sorted by offset.
+func (t *Topology) Snapshot() TopologyJSON {
+	if t == nil {
+		return TopologyJSON{Nodes: []TopoNode{}, Edges: []TopoEdge{}, Results: []ResultEvent{}, Timeline: []TimelineEvent{}}
+	}
+	t.mu.Lock()
+	out := TopologyJSON{
+		Nodes:   make([]TopoNode, 0, len(t.order)),
+		Edges:   append([]TopoEdge{}, t.edges...),
+		Results: append([]ResultEvent{}, t.results...),
+	}
+	for _, url := range t.order {
+		out.Nodes = append(out.Nodes, *t.nodes[url])
+	}
+	t.mu.Unlock()
+
+	out.Timeline = make([]TimelineEvent, 0, len(out.Nodes)+len(out.Results))
+	for _, n := range out.Nodes {
+		out.Timeline = append(out.Timeline, TimelineEvent{AtMS: n.StartMS + n.DurMS, Kind: "document", Ref: n.URL})
+	}
+	for _, r := range out.Results {
+		out.Timeline = append(out.Timeline, TimelineEvent{AtMS: r.AtMS, Kind: "result", Ref: fmt.Sprintf("%d", r.Row)})
+	}
+	sort.SliceStable(out.Timeline, func(i, j int) bool { return out.Timeline[i].AtMS < out.Timeline[j].AtMS })
+	return out
+}
+
+// DOT renders the topology as a Graphviz digraph: one box per document
+// (seeds doubly outlined, failures dashed red) and one edge per link,
+// labeled with the extractor; deduplicated or pruned links are dotted gray.
+func (t *Topology) DOT() string {
+	snap := t.Snapshot()
+	var b strings.Builder
+	b.WriteString("digraph traversal {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range snap.Nodes {
+		label := fmt.Sprintf("%s\\n%d triples, %.1fms", dotShorten(n.URL), n.Triples, n.DurMS)
+		attrs := fmt.Sprintf("label=\"%s\"", dotEscape(label))
+		if n.Seed {
+			attrs += ", peripheries=2"
+		}
+		if n.Error != "" {
+			attrs += ", style=dashed, color=red"
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.URL, attrs)
+	}
+	for _, e := range snap.Edges {
+		if e.From == "" {
+			continue // seed edges have no source node to draw
+		}
+		attrs := fmt.Sprintf("label=%q, fontsize=8", e.Extractor)
+		if e.Status != EdgeFollowed {
+			attrs += ", style=dotted, color=gray"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From, e.To, attrs)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// dotShorten trims long URLs for node labels, keeping the tail (the
+// document path is the informative part).
+func dotShorten(u string) string {
+	if len(u) <= 48 {
+		return u
+	}
+	return "..." + u[len(u)-45:]
+}
+
+// dotEscape escapes a DOT double-quoted string label (backslash-escapes
+// quotes; \n sequences are produced by the caller).
+func dotEscape(s string) string {
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTopologyRecordsGraph(t *testing.T) {
+	epoch := time.Now()
+	topo := NewTopology(epoch)
+	topo.Seed("http://pod/card")
+	topo.Document("http://pod/card", 0, 200, 12, 800, epoch.Add(time.Millisecond), 2*time.Millisecond)
+	topo.Link("http://pod/card", "http://pod/posts/", "solid-profile", "storage", EdgeFollowed)
+	topo.Document("http://pod/posts/", 1, 200, 30, 2000, epoch.Add(4*time.Millisecond), 3*time.Millisecond)
+	topo.Link("http://pod/posts/", "http://pod/card", "match", "match", EdgeDuplicate)
+	topo.Link("http://pod/posts/", "http://pod/deep", "ldp-container", "ldp-container", EdgeDepthPruned)
+	topo.DocumentError("http://pod/missing", 1, "404", epoch.Add(5*time.Millisecond), time.Millisecond)
+	topo.Result(0, []string{"http://pod/card", "http://pod/posts/"})
+
+	if topo.Documents() != 3 || topo.Links() != 4 || topo.Results() != 1 {
+		t.Fatalf("counts: %d docs, %d links, %d results", topo.Documents(), topo.Links(), topo.Results())
+	}
+
+	snap := topo.Snapshot()
+	if len(snap.Nodes) != 3 || !snap.Nodes[0].Seed {
+		t.Fatalf("nodes = %+v", snap.Nodes)
+	}
+	if snap.Nodes[0].Status != 200 || snap.Nodes[0].Triples != 12 || snap.Nodes[0].Bytes != 800 {
+		t.Errorf("seed node = %+v", snap.Nodes[0])
+	}
+	if snap.Nodes[2].Error != "404" {
+		t.Errorf("error node = %+v", snap.Nodes[2])
+	}
+	// Edge 0 is the synthetic seed edge.
+	if snap.Edges[0].Extractor != "seed" || snap.Edges[0].From != "" {
+		t.Errorf("seed edge = %+v", snap.Edges[0])
+	}
+	if snap.Edges[1].Extractor != "solid-profile" || snap.Edges[1].Status != EdgeFollowed {
+		t.Errorf("followed edge = %+v", snap.Edges[1])
+	}
+	if snap.Edges[2].Status != EdgeDuplicate || snap.Edges[3].Status != EdgeDepthPruned {
+		t.Errorf("rejected edges = %+v, %+v", snap.Edges[2], snap.Edges[3])
+	}
+
+	// Timeline interleaves 3 document completions and 1 result, sorted.
+	if len(snap.Timeline) != 4 {
+		t.Fatalf("timeline = %+v", snap.Timeline)
+	}
+	for i := 1; i < len(snap.Timeline); i++ {
+		if snap.Timeline[i].AtMS < snap.Timeline[i-1].AtMS {
+			t.Fatalf("timeline out of order: %+v", snap.Timeline)
+		}
+	}
+}
+
+func TestTopologyDOT(t *testing.T) {
+	topo := NewTopology(time.Now())
+	topo.Seed("http://pod/card")
+	topo.Document("http://pod/card", 0, 200, 5, 100, time.Now(), time.Millisecond)
+	topo.Link("http://pod/card", "http://pod/posts/", "ldp-container", "ldp-container", EdgeFollowed)
+	topo.Link("http://pod/card", "http://pod/dup", "match", "match", EdgeDuplicate)
+	topo.DocumentError("http://pod/dead", 1, "boom", time.Now(), 0)
+
+	dot := topo.DOT()
+	for _, want := range []string{
+		"digraph traversal {",
+		`"http://pod/card" -> "http://pod/posts/"`,
+		`label="ldp-container"`,
+		"peripheries=2",            // seed node
+		"style=dotted, color=gray", // non-followed edge
+		"style=dashed, color=red",  // failed dereference
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// TestTopologyNilSafe: a nil recorder is the disabled state — every method
+// must no-op, and the snapshot must be an empty skeleton.
+func TestTopologyNilSafe(t *testing.T) {
+	var topo *Topology
+	topo.Seed("x")
+	topo.Document("x", 0, 200, 1, 1, time.Now(), 0)
+	topo.DocumentError("x", 0, "e", time.Now(), 0)
+	topo.Link("a", "b", "e", "r", EdgeFollowed)
+	topo.Result(0, nil)
+	if topo.Documents() != 0 || topo.Links() != 0 || topo.Results() != 0 {
+		t.Error("nil topology reported non-zero counts")
+	}
+	snap := topo.Snapshot()
+	if snap.Nodes == nil || snap.Edges == nil || snap.Results == nil || snap.Timeline == nil {
+		t.Error("nil topology snapshot has nil slices (breaks JSON shape)")
+	}
+	if !strings.Contains(topo.DOT(), "digraph traversal") {
+		t.Error("nil topology DOT not a digraph skeleton")
+	}
+}
+
+func TestTopologyConcurrent(t *testing.T) {
+	topo := NewTopology(time.Now())
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				url := "http://pod/doc"
+				topo.Document(url, n, 200, 1, 1, time.Now(), 0)
+				topo.Link(url, "http://pod/next", "match", "match", EdgeFollowed)
+				topo.Result(j, []string{url})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if topo.Documents() != 1 {
+		t.Errorf("documents = %d, want 1 (same URL)", topo.Documents())
+	}
+	if topo.Links() != 400 || topo.Results() != 400 {
+		t.Errorf("links = %d, results = %d, want 400 each", topo.Links(), topo.Results())
+	}
+}

@@ -31,6 +31,15 @@ type QueryRecord struct {
 	end     time.Time
 	results int
 	errMsg  string
+	topo    *Topology
+	contrib []DocMatches
+}
+
+// DocMatches is one document's contribution to a query's results: how many
+// pattern matches used a triple sourced from it.
+type DocMatches struct {
+	Document string `json:"document"`
+	Matches  int    `json:"matches"`
 }
 
 // NewQueryTracker returns a tracker remembering the given number of
@@ -79,6 +88,50 @@ func (r *QueryRecord) Results() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.results
+}
+
+// AttachTopology associates the traversal topology recorded during this
+// query with the record, making it visible on /debug/topology.
+func (r *QueryRecord) AttachTopology(t *Topology) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.topo = t
+	r.mu.Unlock()
+}
+
+// Topology returns the attached traversal topology (nil when the query ran
+// without explain recording).
+func (r *QueryRecord) Topology() *Topology {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.topo
+}
+
+// SetContributions records the per-document provenance tallies (how many
+// pattern matches each document's triples fed).
+func (r *QueryRecord) SetContributions(c []DocMatches) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.contrib = c
+	r.mu.Unlock()
+}
+
+// Contributions returns the per-document provenance tallies (nil when the
+// query ran without provenance).
+func (r *QueryRecord) Contributions() []DocMatches {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.contrib
 }
 
 // Err returns the recorded failure message ("" when none).

@@ -140,10 +140,14 @@ func (b Binding) Project(vars []string) Binding {
 	return c
 }
 
-// Vars returns the bound variable names in sorted order.
+// Vars returns the bound variable names in sorted order. Provenance
+// pseudo-variables (see prov.go) are not variables and are excluded.
 func (b Binding) Vars() []string {
 	vars := make([]string, 0, len(b))
 	for k := range b {
+		if IsProvVar(k) {
+			continue
+		}
 		vars = append(vars, k)
 	}
 	sort.Strings(vars)

@@ -1,0 +1,110 @@
+package rdf
+
+import "sort"
+
+// Provenance rides through the binding pipeline as reserved pseudo-variables:
+// a solution that used a triple from document D carries the entry
+// "\x00" + D  ->  IRI(D). The NUL first byte can never appear in a parsed
+// SPARQL variable name, so provenance entries are invisible to expression
+// evaluation (which looks variables up by real name) and are filtered from
+// Vars. Because the value is a pure function of the key, provenance entries
+// are always Merge-compatible: a join naturally accumulates the union of the
+// source documents of both sides — exactly the per-result provenance set.
+//
+// Nothing in this file runs unless an execution opts in (the provenance
+// sink annotates pattern matches); provenance-free bindings pay only a
+// one-byte prefix check in Vars.
+const provMark = '\x00'
+
+// IsProvVar reports whether a binding key is a provenance pseudo-variable
+// rather than a real query variable.
+func IsProvVar(name string) bool {
+	return len(name) > 0 && name[0] == provMark
+}
+
+// WithSource returns a binding that additionally records doc as a source
+// document of this solution. The receiver is unchanged; when doc is already
+// recorded the receiver is returned as-is.
+func (b Binding) WithSource(doc Term) Binding {
+	key := string(provMark) + doc.Value
+	if _, ok := b[key]; ok {
+		return b
+	}
+	c := make(Binding, len(b)+1)
+	for k, v := range b {
+		c[k] = v
+	}
+	c[key] = doc
+	return c
+}
+
+// Sources returns the solution's source document IRIs in sorted order, or
+// nil when the binding carries no provenance.
+func (b Binding) Sources() []string {
+	var out []string
+	for k, v := range b {
+		if IsProvVar(k) {
+			out = append(out, v.Value)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasSources reports whether the binding carries any provenance.
+func (b Binding) HasSources() bool {
+	for k := range b {
+		if IsProvVar(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// WithoutProv returns the binding stripped of provenance entries; the
+// receiver itself is returned when it carries none.
+func (b Binding) WithoutProv() Binding {
+	n := 0
+	for k := range b {
+		if IsProvVar(k) {
+			n++
+		}
+	}
+	if n == 0 {
+		return b
+	}
+	c := make(Binding, len(b)-n)
+	for k, v := range b {
+		if !IsProvVar(k) {
+			c[k] = v
+		}
+	}
+	return c
+}
+
+// WithProvFrom returns a binding carrying b's entries plus the provenance
+// entries of src (used by operators like projection and grouping that build
+// fresh bindings but must not lose the input rows' provenance). The receiver
+// is returned unchanged when src carries none that b lacks.
+func (b Binding) WithProvFrom(src Binding) Binding {
+	var c Binding
+	for k, v := range src {
+		if !IsProvVar(k) {
+			continue
+		}
+		if _, ok := b[k]; ok {
+			continue
+		}
+		if c == nil {
+			c = make(Binding, len(b)+1)
+			for bk, bv := range b {
+				c[bk] = bv
+			}
+		}
+		c[k] = v
+	}
+	if c == nil {
+		return b
+	}
+	return c
+}

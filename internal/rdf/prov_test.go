@@ -1,0 +1,90 @@
+package rdf
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWithSourceAndSources(t *testing.T) {
+	b := NewBinding()
+	b["x"] = NewIRI("http://example.org/x")
+
+	b2 := b.WithSource(NewIRI("http://pod/b.ttl"))
+	b2 = b2.WithSource(NewIRI("http://pod/a.ttl"))
+	b2 = b2.WithSource(NewIRI("http://pod/a.ttl")) // duplicate is idempotent
+
+	want := []string{"http://pod/a.ttl", "http://pod/b.ttl"}
+	if got := b2.Sources(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Sources = %v, want %v", got, want)
+	}
+	if !b2.HasSources() {
+		t.Error("HasSources = false after WithSource")
+	}
+	// The original binding is untouched (copy-on-write).
+	if b.HasSources() {
+		t.Error("WithSource mutated its receiver")
+	}
+}
+
+func TestProvInvisibleToVars(t *testing.T) {
+	b := NewBinding()
+	b["x"] = NewIRI("http://example.org/x")
+	b = b.WithSource(NewIRI("http://pod/a.ttl"))
+
+	if got := b.Vars(); !reflect.DeepEqual(got, []string{"x"}) {
+		t.Errorf("Vars = %v, want [x] — provenance keys must stay invisible", got)
+	}
+	if !IsProvVar(string(provMark) + "http://pod/a.ttl") {
+		t.Error("IsProvVar false for a provenance key")
+	}
+	if IsProvVar("x") || IsProvVar("") {
+		t.Error("IsProvVar true for a plain variable or empty name")
+	}
+}
+
+func TestMergeUnionsProvenance(t *testing.T) {
+	l := NewBinding()
+	l["x"] = NewIRI("http://example.org/x")
+	l = l.WithSource(NewIRI("http://pod/a.ttl"))
+
+	r := NewBinding()
+	r["x"] = NewIRI("http://example.org/x") // compatible shared var
+	r["y"] = NewIRI("http://example.org/y")
+	r = r.WithSource(NewIRI("http://pod/b.ttl"))
+
+	m, ok := l.Merge(r)
+	if !ok {
+		t.Fatal("compatible bindings failed to merge")
+	}
+	want := []string{"http://pod/a.ttl", "http://pod/b.ttl"}
+	if got := m.Sources(); !reflect.DeepEqual(got, want) {
+		t.Errorf("merged Sources = %v, want %v", got, want)
+	}
+}
+
+func TestWithoutProvAndWithProvFrom(t *testing.T) {
+	b := NewBinding()
+	b["x"] = NewIRI("http://example.org/x")
+	b = b.WithSource(NewIRI("http://pod/a.ttl"))
+
+	clean := b.WithoutProv()
+	if clean.HasSources() {
+		t.Error("WithoutProv left provenance keys")
+	}
+	if _, ok := clean.Get("x"); !ok {
+		t.Error("WithoutProv dropped a plain variable")
+	}
+
+	projected := NewBinding()
+	projected["y"] = NewIRI("http://example.org/y")
+	projected = projected.WithProvFrom(b)
+	if got := projected.Sources(); !reflect.DeepEqual(got, []string{"http://pod/a.ttl"}) {
+		t.Errorf("WithProvFrom Sources = %v", got)
+	}
+	// No provenance on the source → no copy, same map.
+	same := NewBinding()
+	same["z"] = NewIRI("http://example.org/z")
+	if got := same.WithProvFrom(clean); len(got) != 1 {
+		t.Errorf("WithProvFrom over clean source changed the binding: %v", got)
+	}
+}

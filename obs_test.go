@@ -151,9 +151,12 @@ func TestTraceMatchesWaterfall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var decoded obs.SpanJSON
-	if err := json.Unmarshal(data, &decoded); err != nil {
+	var envelope obs.TraceJSON
+	if err := json.Unmarshal(data, &envelope); err != nil {
 		t.Fatal(err)
+	}
+	if envelope.Schema != obs.TraceSchemaVersion {
+		t.Errorf("trace schema = %d, want %d", envelope.Schema, obs.TraceSchemaVersion)
 	}
 	count := 0
 	var walk func(obs.SpanJSON)
@@ -165,7 +168,7 @@ func TestTraceMatchesWaterfall(t *testing.T) {
 			walk(c)
 		}
 	}
-	walk(decoded)
+	walk(envelope.Root)
 	if count != rows {
 		t.Errorf("JSON deref spans = %d, want %d", count, rows)
 	}
