@@ -9,6 +9,14 @@
 // `make bench` that seed the performance trajectory):
 //
 //	go test -bench . -benchmem ./internal/store | benchreport --parse-bench
+//
+// With --replay-journal it analyzes an engine event journal (written by
+// `ltqp-sparql --journal out.jsonl`) offline, reconstructing each query's
+// timeline from the recorded timestamps: per-phase wall clock, time to
+// first result, the dereference concurrency profile, and the slowest
+// documents:
+//
+//	benchreport --replay-journal out.jsonl [--top 10]
 package main
 
 import (
@@ -30,11 +38,20 @@ func main() {
 		latency    = flag.Duration("latency", 2*time.Millisecond, "simulated network latency")
 		waterfall  = flag.Bool("waterfalls", false, "print the full E3/E4 waterfalls")
 		parseBench = flag.Bool("parse-bench", false, "parse `go test -bench` output from stdin into JSON on stdout")
+		replay     = flag.String("replay-journal", "", "analyze an engine event journal (JSONL) offline and print the reconstructed timeline")
+		topN       = flag.Int("top", 10, "with --replay-journal, how many slowest documents to list per query")
 	)
 	flag.Parse()
 
 	if *parseBench {
 		if err := writeBenchJSON(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replay != "" {
+		if err := replayJournal(*replay, *topN, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}

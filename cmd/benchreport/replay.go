@@ -1,0 +1,33 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"ltqp/internal/obs"
+)
+
+// replayJournal reads an engine event journal (JSONL, written by
+// `ltqp-sparql --journal`) and prints the offline timeline reconstruction:
+// per-phase wall clock, TTFR, the dereference concurrency profile, and the
+// top-N slowest documents per query.
+func replayJournal(path string, topN int, out io.Writer) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	summary, err := obs.ReadJournal(r)
+	if err != nil {
+		return fmt.Errorf("replay-journal: %w", err)
+	}
+	summary.WriteReport(out, topN)
+	return nil
+}

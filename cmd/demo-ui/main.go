@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ltqp"
+	"ltqp/internal/obs"
 	"ltqp/internal/simenv"
 	"ltqp/internal/solidbench"
 )
@@ -65,6 +66,8 @@ button { padding: 6px 16px; font-size: 15px; }
 </div><div class="col">
 <h3>Resource waterfall:</h3>
 <pre id="waterfall">(run a query)</pre>
+<h3>Traversal activity:</h3>
+<pre id="traversal">(run a query)</pre>
 </div></div>
 <script>
 const queries = {{.QueryTexts}};
@@ -80,6 +83,7 @@ function execute() {
   const auth = encodeURIComponent(document.getElementById('auth').value);
   const strategy = encodeURIComponent(document.getElementById('strategy').value);
   document.getElementById('results').innerHTML = '';
+  document.getElementById('traversal').textContent = '';
   document.getElementById('status').textContent = 'running…';
   const started = performance.now();
   let n = 0;
@@ -94,6 +98,13 @@ function execute() {
   });
   source.addEventListener('waterfall', e => {
     document.getElementById('waterfall').textContent = JSON.parse(e.data);
+  });
+  source.addEventListener('traversal', e => {
+    const pre = document.getElementById('traversal');
+    const lines = pre.textContent === '' ? [] : pre.textContent.split('\n');
+    lines.push(e.data);
+    while (lines.length > 200) lines.shift();
+    pre.textContent = lines.join('\n');
   });
   source.addEventListener('done', e => {
     document.getElementById('status').textContent =
@@ -164,10 +175,14 @@ func main() {
 	}
 }
 
-// serveQuery runs one query and streams results as server-sent events.
+// serveQuery runs one query and streams results as server-sent events,
+// interleaved with live traversal activity from the engine event bus. The
+// stream sends periodic `: keepalive` comments so proxies keep the
+// connection open, and stops promptly when the browser disconnects.
 func serveQuery(w http.ResponseWriter, r *http.Request, env *simenv.Env) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", 500)
@@ -178,7 +193,8 @@ func serveQuery(w http.ResponseWriter, r *http.Request, env *simenv.Env) {
 		flusher.Flush()
 	}
 
-	cfg := ltqp.Config{Client: env.Client(), Lenient: true}
+	bus := ltqp.NewEventBus()
+	cfg := ltqp.Config{Client: env.Client(), Lenient: true, Events: bus}
 	if webid := r.URL.Query().Get("auth"); webid != "" {
 		cfg.Auth = &ltqp.Credentials{WebID: webid, Token: "sig:" + webid}
 	}
@@ -203,15 +219,73 @@ func serveQuery(w http.ResponseWriter, r *http.Request, env *simenv.Env) {
 		emit("error", err.Error())
 		return
 	}
-	for b := range res.Results {
-		emit("result", ltqp.BindingJSON(b))
+
+	// Follow this query's engine events so the browser can show traversal
+	// activity (dereferences, queued links, retries) next to the results.
+	sub := bus.SubscribeQuery(res.ID(), 1024)
+	defer sub.Close()
+
+	keepalive := time.NewTicker(obs.DefaultKeepAlive)
+	defer keepalive.Stop()
+
+	results := res.Results
+	for results != nil {
+		select {
+		case <-r.Context().Done():
+			// Browser went away: stop streaming immediately; cancelling
+			// ctx aborts the traversal behind us.
+			return
+		case <-keepalive.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
+		case ev := <-sub.C:
+			if line := traversalLine(ev); line != "" {
+				emit("traversal", line)
+			}
+		case b, ok := <-results:
+			if !ok {
+				results = nil
+				continue
+			}
+			emit("result", ltqp.BindingJSON(b))
+		}
 	}
+	// The engine emits query_finished before closing the result channel, so
+	// the tail of the event stream is already buffered: drain it.
+	sub.Close()
+	for _, ev := range sub.Drain() {
+		if line := traversalLine(ev); line != "" {
+			emit("traversal", line)
+		}
+	}
+
 	emit("waterfall", strconv.Quote(res.Metrics().Waterfall(50)))
 	if err := res.Err(); err != nil {
 		emit("error", err.Error())
 		return
 	}
 	emit("done", "ok")
+}
+
+// traversalLine renders one engine event as a compact line for the UI's
+// traversal pane; events that would only add noise return "".
+func traversalLine(ev ltqp.Event) string {
+	switch ev.Kind {
+	case obs.EventDocumentDereferenced:
+		if ev.Err != "" {
+			return fmt.Sprintf("deref FAIL %s: %s", ev.URL, ev.Err)
+		}
+		return fmt.Sprintf("deref %s [%d] %d triples in %.1fms",
+			ev.URL, ev.Status, ev.Triples, float64(ev.DurationUS)/1000)
+	case obs.EventLinkQueued:
+		return fmt.Sprintf("queue %s (%s, depth %d)", ev.URL, ev.Extractor, ev.Depth)
+	case obs.EventRetryScheduled:
+		return fmt.Sprintf("retry #%d %s in %.0fms: %s",
+			ev.Attempt, ev.URL, float64(ev.DelayUS)/1000, ev.Err)
+	case obs.EventQueryFinished:
+		return fmt.Sprintf("finished: %d results in %.1fms", ev.Rows, float64(ev.DurationUS)/1000)
+	}
+	return ""
 }
 
 // splitFields splits on whitespace and commas.

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"ltqp"
+	"ltqp/internal/obs"
 	"ltqp/internal/results"
 )
 
@@ -61,6 +62,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-attempt HTTP timeout (0 = none)")
 		retrySeed  = fs.Int64("retry-seed", 0, "seed for deterministic backoff jitter (reproducible schedules)")
 		traceOut   = fs.String("trace", "", "write the query's span tree as JSON to this file (\"-\" for stderr)")
+		journalOut = fs.String("journal", "", "write the engine event journal (JSONL, one event per line) to this file; replay with benchreport --replay-journal")
+		logFormat  = fs.String("log", "", "enable structured logging to stderr: text or json")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -139,6 +143,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *idp != "" {
 			fmt.Fprintf(stderr, "logged in via %s as %s\n", *idp, *webid)
 		}
+	}
+
+	// The event bus feeds both opt-in consumers; without either flag no
+	// bus is attached and the engine skips event construction entirely.
+	if *journalOut != "" || *logFormat != "" {
+		cfg.Events = ltqp.NewEventBus()
+	}
+	if *logFormat != "" {
+		logger, lerr := obs.NewLogger(stderr, *logFormat, *logLevel)
+		if lerr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql:", lerr)
+			return 2
+		}
+		eventLog := obs.LogEvents(logger, cfg.Events)
+		defer eventLog.Close()
+	}
+	if *journalOut != "" {
+		f, ferr := os.Create(*journalOut)
+		if ferr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql: journal:", ferr)
+			return 1
+		}
+		journal, jerr := ltqp.NewJournal(f, cfg.Events)
+		if jerr != nil {
+			fmt.Fprintln(stderr, "ltqp-sparql: journal:", jerr)
+			return 1
+		}
+		defer func() {
+			if cerr := journal.Close(); cerr != nil {
+				fmt.Fprintln(stderr, "ltqp-sparql: journal:", cerr)
+			}
+			f.Close()
+		}()
 	}
 
 	engine := ltqp.New(cfg)

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ltqp/internal/faultinject"
+	"ltqp/internal/obs"
 	"ltqp/internal/podserver"
 	"ltqp/internal/solidbench"
 )
@@ -381,5 +382,58 @@ func TestCLICacheStats(t *testing.T) {
 	out := stderr.String()
 	if !strings.Contains(out, "document cache:") || !strings.Contains(out, "misses") {
 		t.Errorf("stats output lacks cache line:\n%s", out)
+	}
+}
+
+// TestCLIJournalAndLog asserts --journal writes a complete, replayable
+// JSONL journal while --log narrates the run as structured records on
+// stderr, both fed by the same event bus.
+func TestCLIJournalAndLog(t *testing.T) {
+	ds, stop := startEnv(t)
+	defer stop()
+	q := ds.Discover(1, 1)
+	journalPath := filepath.Join(t.TempDir(), "run.jsonl")
+
+	var stdout, stderr strings.Builder
+	code := run([]string{"--journal", journalPath, "--log", "json", "--log-level", "info", q.Text}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, stderr.String())
+	}
+	results := len(strings.Split(strings.TrimSpace(stdout.String()), "\n"))
+	if results == 0 {
+		t.Fatal("no results")
+	}
+
+	// The journal replays to the same result count the CLI printed.
+	f, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	summary, err := obs.ReadJournal(f)
+	if err != nil {
+		t.Fatalf("journal does not replay: %v", err)
+	}
+	if !summary.HasFooter || len(summary.Queries) != 1 {
+		t.Fatalf("journal summary = %+v", summary)
+	}
+	if got := summary.Queries[0].Results; got != results {
+		t.Errorf("journal results = %d, CLI printed %d", got, results)
+	}
+
+	// The log narrates the lifecycle with the query correlation id.
+	logOut := stderr.String()
+	for _, want := range []string{`"msg":"query started"`, `"msg":"query finished"`, `"query_id":`} {
+		if !strings.Contains(logOut, want) {
+			t.Errorf("log missing %q:\n%s", want, logOut)
+		}
+	}
+
+	// Bad flag values are rejected up front.
+	if code := run([]string{"--log", "xml", q.Text}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad --log exit = %d, want 2", code)
+	}
+	if code := run([]string{"--log", "text", "--log-level", "loud", q.Text}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad --log-level exit = %d, want 2", code)
 	}
 }

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+// TestGracefulDrain is the acceptance test for the endpoint's shutdown
+// path, wired exactly as main() wires it: an in-flight query completes
+// while --drain runs, new connections are refused as soon as draining
+// starts, and the live /debug/events feed closes cleanly (closing comment,
+// then EOF) instead of holding Shutdown hostage.
+func TestGracefulDrain(t *testing.T) {
+	env := simenv.New(solidbench.SmallConfig())
+	t.Cleanup(env.Close)
+	// Enough simulated latency that the query is still traversing when
+	// shutdown begins.
+	env.PodServer.Latency = 30 * time.Millisecond
+
+	observer := ltqp.NewObserver()
+	h := NewHandler(ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true, Obs: observer}), time.Minute)
+	srv := &http.Server{Handler: buildMux(h, observer)}
+	srv.RegisterOnShutdown(observer.Stream.Shutdown)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	// Attach a live event stream and collect everything it delivers.
+	sseResp, err := http.Get(base + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if sseResp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/events status = %d", sseResp.StatusCode)
+	}
+	sseLines := make(chan []string, 1)
+	go func() {
+		var lines []string
+		r := bufio.NewReader(sseResp.Body)
+		for {
+			line, err := r.ReadString('\n')
+			if line != "" {
+				lines = append(lines, strings.TrimRight(line, "\n"))
+			}
+			if err != nil { // EOF once the server closes the drained stream
+				sseLines <- lines
+				return
+			}
+		}
+	}()
+
+	// Fire the in-flight query.
+	q := env.Dataset.Discover(1, 1)
+	type reply struct {
+		status int
+		body   string
+		err    error
+	}
+	qc := make(chan reply, 1)
+	go func() {
+		resp, err := http.Get(base + "/sparql?query=" + url.QueryEscape(q.Text))
+		if err != nil {
+			qc <- reply{err: err}
+			return
+		}
+		var b strings.Builder
+		r := bufio.NewReader(resp.Body)
+		r.WriteTo(&b)
+		resp.Body.Close()
+		qc <- reply{status: resp.StatusCode, body: b.String()}
+	}()
+
+	// Wait until the engine is actually executing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for observer.Metrics.QueriesInFlight.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if observer.Metrics.QueriesInFlight.Value() == 0 {
+		t.Fatal("query never became in-flight")
+	}
+
+	// Begin draining mid-query.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	// New queries are refused once draining starts: the listener closes, so
+	// fresh connections fail.
+	refused := false
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 100*time.Millisecond)
+		if err != nil {
+			refused = true
+			break
+		}
+		conn.Close()
+		time.Sleep(time.Millisecond)
+	}
+	if !refused {
+		t.Error("new connections still accepted while draining")
+	}
+
+	// The in-flight query completes successfully during the drain.
+	select {
+	case r := <-qc:
+		if r.err != nil {
+			t.Fatalf("in-flight query failed: %v", r.err)
+		}
+		if r.status != http.StatusOK {
+			t.Errorf("in-flight query status = %d", r.status)
+		}
+		if !strings.Contains(r.body, "bindings") {
+			t.Errorf("in-flight query body = %s", truncateStr(r.body, 200))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("in-flight query did not complete during drain")
+	}
+
+	// Shutdown finishes inside the budget — nothing held it hostage.
+	select {
+	case err := <-shutdownErr:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown did not return")
+	}
+
+	// The event stream saw the query live and closed cleanly.
+	select {
+	case lines := <-sseLines:
+		joined := strings.Join(lines, "\n")
+		if !strings.Contains(joined, "event: query_started") {
+			t.Errorf("event stream missing query_started:\n%s", truncateStr(joined, 400))
+		}
+		closing := false
+		for _, l := range lines {
+			if strings.HasPrefix(l, ": closing") {
+				closing = true
+			}
+		}
+		if !closing {
+			t.Errorf("event stream ended without closing comment:\n%s", truncateStr(joined, 400))
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event stream did not reach EOF after drain")
+	}
+}

@@ -29,12 +29,17 @@ import (
 	"time"
 
 	"ltqp"
+	"ltqp/internal/obs"
 	"ltqp/internal/results"
 	"ltqp/internal/simenv"
 	"ltqp/internal/solidbench"
 	"ltqp/internal/sparql"
 	"ltqp/internal/turtle"
 )
+
+// version identifies the build in ltqp_build_info (override with
+// -ldflags "-X main.version=v1.2.3").
+var version = "dev"
 
 func main() {
 	var (
@@ -45,10 +50,24 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "per-query timeout")
 		cacheDocs = flag.Int("cache", 1024, "engine-wide document cache size (0 disables)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for in-flight queries")
+		logFormat = flag.String("log", "", "enable structured logging to stderr: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		degraded  = flag.Float64("degraded-threshold", obs.DefaultDegradedThreshold, "recent deref failure ratio above which /healthz reports degraded")
 	)
 	flag.Parse()
 
 	observer := ltqp.NewObserver()
+	observer.Health.Threshold = *degraded
+	obs.StampBuildInfo(observer.Registry, version, time.Now())
+	if *logFormat != "" {
+		logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sparql-endpoint:", err)
+			os.Exit(2)
+		}
+		eventLog := obs.LogEvents(logger, observer.Events)
+		defer eventLog.Close()
+	}
 	// Explain makes every query record its traversal topology and result
 	// provenance, served live on /debug/topology and in /debug/queries.
 	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs, Explain: true}
@@ -63,9 +82,7 @@ func main() {
 	}
 
 	h := NewHandler(ltqp.New(cfg), *timeout)
-	mux := http.NewServeMux()
-	mux.Handle("/sparql", h)
-	observer.Register(mux)
+	mux := buildMux(h, observer)
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -73,6 +90,9 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
+	// Long-lived /debug/events feeds would otherwise hold Shutdown open for
+	// the full drain budget; close them as soon as draining starts.
+	srv.RegisterOnShutdown(observer.Stream.Shutdown)
 
 	var debugSrv *http.Server
 	if *debugAddr != "" {
@@ -105,7 +125,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (metrics on /metrics, health on /healthz, queries on /debug/queries, traversal graphs on /debug/topology)\n", *addr)
+		fmt.Fprintf(os.Stderr, "SPARQL endpoint on http://%s/sparql (metrics on /metrics, health on /healthz, queries on /debug/queries, traversal graphs on /debug/topology, live events on /debug/events)\n", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -132,6 +152,16 @@ func main() {
 		env.Close()
 	}
 	os.Exit(exit)
+}
+
+// buildMux assembles the endpoint's HTTP surface: the SPARQL protocol on
+// /sparql plus the observer's endpoints (/metrics, /healthz, /debug/queries,
+// /debug/topology, /debug/events).
+func buildMux(h *Handler, observer *ltqp.Observer) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", h)
+	observer.Register(mux)
+	return mux
 }
 
 // Handler implements the SPARQL 1.1 Protocol over the traversal engine.

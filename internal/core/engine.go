@@ -94,6 +94,13 @@ type Options struct {
 	// even without an Observer; Execution.Trace returns it. Tracing is
 	// also enabled when Obs.TraceQueries is set.
 	Trace bool
+	// Events, when non-nil, publishes the engine's ordered event stream —
+	// query lifecycle, pipeline stages, dereferences, link discovery and
+	// pruning, retries, result arrival — to whoever subscribes (the SSE
+	// feed, the slog adapter, the JSONL journal). With no subscriber
+	// attached, publishing is a nil check plus one atomic load: the hot
+	// path performs zero allocations (benchmarked in internal/obs).
+	Events *obs.Bus
 	// Explain enables the per-query explain layer: every solution is
 	// annotated with the exact set of documents whose triples produced it
 	// (result provenance), and traversal records its link-discovery
@@ -139,6 +146,7 @@ type Execution struct {
 	Plan algebra.Operator
 
 	cancel      context.CancelFunc
+	id          int64
 	mu          sync.Mutex
 	err         error
 	store       *store.Store
@@ -149,6 +157,12 @@ type Execution struct {
 	queryStr    string
 	start       time.Time
 }
+
+// ID returns the query's correlation id: the same id appears on the
+// query's events, journal lines, structured log records and the
+// /debug/queries tracker, so one execution can be followed across every
+// observability surface.
+func (x *Execution) ID() int64 { return x.id }
 
 // Trace returns the execution's span tree, or nil when tracing is off. The
 // tree is complete once Results has closed.
@@ -195,12 +209,24 @@ func (x *Execution) Degradation() metrics.Degradation {
 // Query parses and starts a query. Seed URLs are taken from seeds; when
 // empty, they are derived from IRIs mentioned in the query.
 func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*Execution, error) {
-	qctx := ctx
+	qid := obs.NextQueryID()
+	qctx := obs.ContextWithQueryID(ctx, qid)
+	emitter := e.opts.Events.ForQuery(qid)
 	var trace *obs.Trace
 	if e.opts.Trace || (e.opts.Obs != nil && e.opts.Obs.TraceQueries) {
-		qctx, trace = obs.NewTrace(ctx, "query", obs.Str("query", compactQuery(queryStr)))
+		qctx, trace = obs.NewTrace(qctx, "query", obs.Str("query", compactQuery(queryStr)))
 	}
 
+	stage := func(name string) func() {
+		emitter.Emit(obs.Event{Kind: obs.EventStageStarted, Stage: name})
+		start := time.Now()
+		return func() {
+			emitter.Emit(obs.Event{Kind: obs.EventStageFinished, Stage: name,
+				DurationUS: time.Since(start).Microseconds()})
+		}
+	}
+
+	t0 := time.Now()
 	_, parseSpan := obs.StartSpan(qctx, "parse")
 	q, err := sparql.ParseQuery(queryStr)
 	if err != nil {
@@ -211,18 +237,33 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		seeds = q.MentionedIRIs()
 	}
 	parseSpan.End()
+	parseDur := time.Since(t0)
 	if len(seeds) == 0 {
 		return nil, errors.New("core: no seed URLs: provide seeds or mention IRIs in the query")
 	}
+	// query_started is always a query's first event; the parse stage pair
+	// is emitted retroactively (with explicit timestamps) once the seeds
+	// it produced are known. A query that fails before this point emits
+	// nothing: no started event without a matching finished one.
+	if emitter.Active() {
+		emitter.Emit(obs.Event{Kind: obs.EventQueryStarted, Time: t0,
+			Detail: compactQuery(queryStr), Seeds: seeds})
+		emitter.Emit(obs.Event{Kind: obs.EventStageStarted, Stage: "parse", Time: t0})
+		emitter.Emit(obs.Event{Kind: obs.EventStageFinished, Stage: "parse",
+			Time: t0.Add(parseDur), DurationUS: parseDur.Microseconds()})
+	}
 
+	planDone := stage("plan")
 	_, planSpan := obs.StartSpan(qctx, "plan")
 	op, err := algebra.Translate(q)
 	if err != nil {
 		planSpan.End()
+		planDone()
 		return nil, err
 	}
 	op = plan.New(seeds).Optimize(op)
 	planSpan.End()
+	planDone()
 
 	src := store.New()
 	recorder := metrics.NewRecorder()
@@ -235,6 +276,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		Seeds:    seeds,
 		Plan:     op,
 		cancel:   cancel,
+		id:       qid,
 		store:    src,
 		trace:    trace,
 		queryStr: queryStr,
@@ -245,7 +287,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	m.QueriesInFlight.Inc()
 	var rec *obs.QueryRecord
 	if e.opts.Obs != nil {
-		rec = e.opts.Obs.Tracker.Start(queryStr, seeds, trace)
+		rec = e.opts.Obs.Tracker.Start(qid, queryStr, seeds, trace)
 	}
 	queryStart := time.Now()
 	x.start = queryStart
@@ -263,9 +305,11 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 
 	// Traversal feeds the store; closing the store ends the pipeline.
 	go func() {
+		traverseDone := stage("traverse")
 		tctx, tspan := obs.StartSpan(runCtx, "traverse")
-		err := e.traverse(tctx, seeds, extractors, src, recorder, x.topo)
+		err := e.traverse(tctx, seeds, extractors, src, recorder, x.topo, emitter)
 		tspan.End()
+		traverseDone()
 		if err != nil && !e.opts.Lenient {
 			x.setErr(err)
 			cancel()
@@ -277,6 +321,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	// result timestamps are recorded.
 	env := exec.NewEnv(src)
 	env.Prov = x.prov
+	env.Events = emitter
 	out := make(chan rdf.Binding)
 	go func() {
 		defer close(out)
@@ -298,6 +343,17 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 			if e.opts.Obs != nil {
 				e.opts.Obs.Tracker.Finish(rec, err)
 			}
+			// Emitted before the deferred close(out) above runs (LIFO), so
+			// the journal's query_finished always precedes the caller
+			// observing the end of the result stream.
+			if emitter.Active() {
+				ev := obs.Event{Kind: obs.EventQueryFinished, Rows: row,
+					DurationUS: time.Since(queryStart).Microseconds()}
+				if err != nil {
+					ev.Err = err.Error()
+				}
+				emitter.Emit(ev)
+			}
 		}()
 		// A finished pipeline normally aborts any remaining traversal; a
 		// DESCRIBE query still needs the full traversed store for its
@@ -305,6 +361,8 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		if q.Form != sparql.FormDescribe {
 			defer cancel()
 		}
+		execDone := stage("exec")
+		defer execDone()
 		ectx, espan := obs.StartSpan(runCtx, "exec")
 		defer espan.End()
 		emit := func(b rdf.Binding) bool {
@@ -320,6 +378,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 					x.topo.Result(row, b.Sources())
 				}
 				row++
+				emitter.Emit(obs.Event{Kind: obs.EventResultEmitted, Row: row})
 				return true
 			case <-ctx.Done():
 				return false
@@ -462,7 +521,7 @@ func instantiate(tp sparql.TriplePattern, b rdf.Binding, scope int) (rdf.Triple,
 // records its discovery topology: every dereference becomes a node, every
 // extracted link an edge labeled with its extractor and fate.
 func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extract.Extractor,
-	src *store.Store, recorder *metrics.Recorder, topo *obs.Topology) error {
+	src *store.Store, recorder *metrics.Recorder, topo *obs.Topology, events *obs.Emitter) error {
 
 	m := obs.On(e.opts.Obs.M())
 	queue := linkqueue.Queue(linkqueue.NewFIFO())
@@ -476,6 +535,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		defer iq.Abandon()
 		queue = iq
 	}
+	queue = linkqueue.WithEvents(queue, events)
 	for _, s := range seeds {
 		topo.Seed(s)
 		queue.Push(linkqueue.Link{URL: s, Reason: "seed", Extractor: "seed"})
@@ -488,6 +548,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		Cache:     e.opts.Cache,
 		Retry:     e.opts.Retry,
 		Obs:       e.opts.Obs.M(),
+		Events:    events,
 		UserAgent: "ltqp-go/1.0 (link-traversal SPARQL engine)",
 	}
 
@@ -514,6 +575,11 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		res, err := d.Dereference(wctx, l.URL, l.Via, l.Reason)
 		if err != nil {
 			topo.DocumentError(l.URL, l.Depth, err.Error(), fetchStart, time.Since(fetchStart))
+			if events.Active() {
+				events.Emit(obs.Event{Kind: obs.EventDocumentDereferenced,
+					URL: l.URL, Via: l.Via, Depth: l.Depth, Err: err.Error(),
+					DurationUS: time.Since(fetchStart).Microseconds()})
+			}
 			dspan.SetAttr(obs.Str("error", err.Error()))
 			dspan.End()
 			if !e.opts.Lenient {
@@ -528,6 +594,10 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		}
 		src.AddDocument(res.FinalURL, res.Triples)
 		topo.Document(res.FinalURL, l.Depth, res.Status, len(res.Triples), res.Bytes, fetchStart, time.Since(fetchStart))
+		events.Emit(obs.Event{Kind: obs.EventDocumentDereferenced,
+			URL: res.FinalURL, Via: l.Via, Depth: l.Depth, Status: res.Status,
+			Triples: len(res.Triples), Bytes: res.Bytes,
+			DurationUS: time.Since(fetchStart).Microseconds()})
 		g := rdf.NewGraph()
 		g.AddAll(res.Triples)
 		doc := extract.Document{IRI: res.FinalURL, Graph: g}
@@ -535,12 +605,19 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		accepted := 0
 		for _, ex := range extractors {
 			for _, link := range ex.Extract(doc) {
+				events.Emit(obs.Event{Kind: obs.EventLinkDiscovered,
+					URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor, Reason: link.Reason})
 				if link.URL == res.FinalURL || link.URL == l.URL {
 					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeSelf)
+					events.Emit(obs.Event{Kind: obs.EventLinkPruned,
+						URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor, Detail: "self"})
 					continue
 				}
 				if e.opts.MaxDepth > 0 && l.Depth+1 > e.opts.MaxDepth {
 					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeDepthPruned)
+					events.Emit(obs.Event{Kind: obs.EventLinkPruned,
+						URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor,
+						Depth: l.Depth + 1, Detail: "depth-pruned"})
 					continue
 				}
 				if queue.Push(linkqueue.Link{URL: link.URL, Via: res.FinalURL, Reason: link.Reason, Extractor: link.Extractor, Depth: l.Depth + 1}) {
@@ -552,6 +629,8 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 					mu.Unlock()
 				} else {
 					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeDuplicate)
+					events.Emit(obs.Event{Kind: obs.EventLinkPruned,
+						URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor, Detail: "duplicate"})
 				}
 			}
 		}

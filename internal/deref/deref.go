@@ -81,6 +81,10 @@ type Dereferencer struct {
 	// fetched, cache hits/misses, dereference latency) aggregated across
 	// all queries of the owning engine.
 	Obs *obs.Metrics
+	// Events, when non-nil, publishes retry_scheduled events to the
+	// owning query's event stream whenever a transient failure is about
+	// to be retried after a backoff delay.
+	Events *obs.Emitter
 	// UserAgent is sent as the User-Agent header.
 	UserAgent string
 
@@ -144,6 +148,10 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 				break
 			}
 			delay = de.RetryAfter
+		}
+		if d.Events.Active() {
+			d.Events.Emit(obs.Event{Kind: obs.EventRetryScheduled, URL: url,
+				Attempt: attempt, DelayUS: delay.Microseconds(), Err: err.Error()})
 		}
 		if err := d.Retry.doSleep(ctx, delay); err != nil {
 			break

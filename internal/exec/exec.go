@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"ltqp/internal/algebra"
+	"ltqp/internal/obs"
 	"ltqp/internal/rdf"
 	"ltqp/internal/sparql"
 	"ltqp/internal/store"
@@ -39,6 +40,11 @@ type Env struct {
 	// of documents whose triples joined to produce them. Nil (the default)
 	// disables provenance at zero cost.
 	Prov *Prov
+	// Events, when non-nil, publishes per-operator stage_started and
+	// stage_finished events (with row counts) to the owning query's event
+	// stream while a subscriber is attached. Nil or audience-less events
+	// cost one atomic load per operator, nothing per solution.
+	Events *obs.Emitter
 
 	mu     sync.Mutex
 	bnodeN int
@@ -77,27 +83,27 @@ func Eval(ctx context.Context, op algebra.Operator, env *Env) Stream {
 	case algebra.Unit:
 		return evalUnit(ctx)
 	case algebra.Pattern:
-		return traced(ctx, "scan", opAttrs(algebra.String(x)), func(ctx context.Context) Stream {
+		return traced(ctx, env, "scan", opAttrs(algebra.String(x)), func(ctx context.Context) Stream {
 			return evalPattern(ctx, x, env)
 		})
 	case algebra.PathPattern:
-		return traced(ctx, "path", opAttrs(algebra.String(x)), func(ctx context.Context) Stream {
+		return traced(ctx, env, "path", opAttrs(algebra.String(x)), func(ctx context.Context) Stream {
 			return evalPathPattern(ctx, x, env)
 		})
 	case algebra.Join:
-		return traced(ctx, "join", nil, func(ctx context.Context) Stream {
+		return traced(ctx, env, "join", nil, func(ctx context.Context) Stream {
 			return evalJoin(ctx, x, env)
 		})
 	case algebra.LeftJoin:
-		return traced(ctx, "leftjoin", nil, func(ctx context.Context) Stream {
+		return traced(ctx, env, "leftjoin", nil, func(ctx context.Context) Stream {
 			return evalLeftJoin(ctx, x, env)
 		})
 	case algebra.Union:
-		return traced(ctx, "union", nil, func(ctx context.Context) Stream {
+		return traced(ctx, env, "union", nil, func(ctx context.Context) Stream {
 			return evalUnion(ctx, x, env)
 		})
 	case algebra.Minus:
-		return traced(ctx, "minus", nil, func(ctx context.Context) Stream {
+		return traced(ctx, env, "minus", nil, func(ctx context.Context) Stream {
 			return evalMinus(ctx, x, env)
 		})
 	case algebra.Filter:
@@ -109,19 +115,19 @@ func Eval(ctx context.Context, op algebra.Operator, env *Env) Stream {
 	case algebra.Project:
 		return evalProject(ctx, x, env)
 	case algebra.Distinct:
-		return traced(ctx, "distinct", nil, func(ctx context.Context) Stream {
+		return traced(ctx, env, "distinct", nil, func(ctx context.Context) Stream {
 			return evalDistinct(ctx, x, env)
 		})
 	case algebra.Reduced:
 		return evalReduced(ctx, x, env)
 	case algebra.OrderBy:
-		return traced(ctx, "orderby", nil, func(ctx context.Context) Stream {
+		return traced(ctx, env, "orderby", nil, func(ctx context.Context) Stream {
 			return evalOrderBy(ctx, x, env)
 		})
 	case algebra.Slice:
 		return evalSlice(ctx, x, env)
 	case algebra.Group:
-		return traced(ctx, "group", nil, func(ctx context.Context) Stream {
+		return traced(ctx, env, "group", nil, func(ctx context.Context) Stream {
 			return evalGroup(ctx, x, env)
 		})
 	default:

@@ -2,22 +2,28 @@ package exec
 
 import (
 	"context"
+	"time"
 
 	"ltqp/internal/obs"
 	"ltqp/internal/rdf"
 )
 
-// traced wraps an operator's stream in an obs span so traced executions
-// record per-stage timings and row counts (the join/iterator stages of a
-// query's span tree). With no trace on the context this is a single
-// context lookup: the inner stream is returned untouched, so untraced
-// queries pay nothing per solution.
-func traced(ctx context.Context, name string, attrs []obs.Attr, inner func(context.Context) Stream) Stream {
+// traced wraps an operator's stream in an obs span — and, when the owning
+// query's event stream has an audience, a stage_started/stage_finished
+// event pair — so traced executions record per-stage timings and row counts
+// (the join/iterator stages of a query's span tree). With no trace on the
+// context and no event subscriber this is a context lookup plus one atomic
+// load: the inner stream is returned untouched, so unobserved queries pay
+// nothing per solution.
+func traced(ctx context.Context, env *Env, name string, attrs []obs.Attr, inner func(context.Context) Stream) Stream {
 	ctx, sp := obs.StartSpan(ctx, name, attrs...)
 	s := inner(ctx)
-	if sp == nil {
+	ev := env.Events
+	if sp == nil && !ev.Active() {
 		return s
 	}
+	ev.Emit(obs.Event{Kind: obs.EventStageStarted, Stage: name, Detail: attrDetail(attrs)})
+	start := time.Now()
 	out := make(chan rdf.Binding, chanCap)
 	go func() {
 		defer close(out)
@@ -30,8 +36,21 @@ func traced(ctx context.Context, name string, attrs []obs.Attr, inner func(conte
 		}
 		sp.SetAttr(obs.Int("rows", rows))
 		sp.End()
+		ev.Emit(obs.Event{Kind: obs.EventStageFinished, Stage: name, Rows: rows,
+			DurationUS: time.Since(start).Microseconds(), Detail: attrDetail(attrs)})
 	}()
 	return out
+}
+
+// attrDetail pulls the operator description out of span attributes for
+// event annotation.
+func attrDetail(attrs []obs.Attr) string {
+	for _, a := range attrs {
+		if a.Key == "op" {
+			return a.Value
+		}
+	}
+	return ""
 }
 
 // opAttrs abbreviates an operator description for span annotation.

@@ -44,3 +44,32 @@ func (q *Instrumented) Pop() (Link, bool) {
 func (q *Instrumented) Abandon() {
 	q.depth.Add(-int64(q.Queue.Len()))
 }
+
+// Evented wraps a Queue and publishes a link_queued event for every link
+// the underlying queue accepts, correlated to the owning query. Rejected
+// (already-seen) pushes emit nothing — the traversal loop reports those as
+// link_pruned with their reason.
+type Evented struct {
+	Queue
+	events *obs.Emitter
+}
+
+// WithEvents wraps q so accepted pushes are announced on the emitter. A
+// nil emitter returns q unchanged — the wrapper costs nothing when events
+// are disabled.
+func WithEvents(q Queue, events *obs.Emitter) Queue {
+	if events == nil {
+		return q
+	}
+	return &Evented{Queue: q, events: events}
+}
+
+// Push implements Queue.
+func (q *Evented) Push(l Link) bool {
+	accepted := q.Queue.Push(l)
+	if accepted {
+		q.events.Emit(obs.Event{Kind: obs.EventLinkQueued, URL: l.URL,
+			Via: l.Via, Extractor: l.Extractor, Reason: l.Reason, Depth: l.Depth})
+	}
+	return accepted
+}

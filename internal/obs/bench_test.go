@@ -50,3 +50,57 @@ func BenchmarkNilMetricsChain(b *testing.B) {
 		On(nil).DocumentsFetched.Inc()
 	}
 }
+
+// BenchmarkEventPublishNilBus measures what instrumented code pays when the
+// engine carries no event bus at all: a nil check. Must stay 0 allocs/op.
+func BenchmarkEventPublishNilBus(b *testing.B) {
+	var bus *Bus
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: EventResultEmitted, Row: i})
+	}
+}
+
+// BenchmarkEventPublishNoSubscriber measures the opt-out cost with a bus
+// attached but nobody listening — the common production configuration: one
+// atomic load. Must stay 0 allocs/op (the acceptance gate for the event
+// instrumentation on the query hot path).
+func BenchmarkEventPublishNoSubscriber(b *testing.B) {
+	bus := NewBus()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: EventResultEmitted, Row: i})
+	}
+}
+
+// BenchmarkEmitterNoSubscriber measures the same opt-out through the
+// per-query Emitter wrapper core/deref/exec actually hold.
+func BenchmarkEmitterNoSubscriber(b *testing.B) {
+	e := NewBus().ForQuery(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Emit(Event{Kind: EventLinkDiscovered, URL: "http://pod/a", Via: "http://pod/b"})
+	}
+}
+
+// BenchmarkEventPublishOneSubscriber measures the opt-in cost: one attached
+// subscriber with a buffer large enough that nothing drops.
+func BenchmarkEventPublishOneSubscriber(b *testing.B) {
+	bus := NewBus()
+	s := bus.Subscribe(1024)
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range s.C {
+		}
+	}()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Event{Kind: EventResultEmitted, Row: i})
+	}
+	b.StopTimer()
+	s.Close()
+	close(s.ch)
+	<-done
+}

@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EventSchemaVersion identifies the engine event wire layout (the JSON shape
+// of Event, the event-kind vocabulary, and the journal envelope records).
+// Bump it when any of those change incompatibly, so journal readers and SSE
+// consumers can reject streams they do not understand. The vocabulary is
+// pinned by a golden-file test (testdata/event_vocab.golden): renaming an
+// event kind or a field is a deliberate, reviewed act.
+const EventSchemaVersion = 1
+
+// EventKind names one kind of engine occurrence.
+type EventKind string
+
+// The event vocabulary, in the rough order a query produces them. One query
+// emits exactly one query_started and one query_finished; everything between
+// carries the same Query correlation id.
+const (
+	// EventQueryStarted opens a query: Detail is the compacted query text,
+	// Seeds the traversal seed URLs.
+	EventQueryStarted EventKind = "query_started"
+	// EventStageStarted marks a pipeline stage beginning: the core phases
+	// (parse, plan, traverse, exec) and, while a subscriber is attached,
+	// the per-operator iterator stages (scan, join, ...) with Detail
+	// describing the operator.
+	EventStageStarted EventKind = "stage_started"
+	// EventStageFinished closes a stage with its wall time; iterator
+	// stages also carry the number of rows they produced.
+	EventStageFinished EventKind = "stage_finished"
+	// EventDocumentDereferenced records one completed dereference — URL,
+	// status, triple/byte counts and wall time on success, Err on failure.
+	EventDocumentDereferenced EventKind = "document_dereferenced"
+	// EventLinkDiscovered records a link an extractor found in a document
+	// (URL discovered in Via by Extractor).
+	EventLinkDiscovered EventKind = "link_discovered"
+	// EventLinkQueued records a discovered link accepted by the link queue.
+	EventLinkQueued EventKind = "link_queued"
+	// EventLinkPruned records a discovered link not followed; Detail names
+	// why (duplicate, depth-pruned, self).
+	EventLinkPruned EventKind = "link_pruned"
+	// EventRetryScheduled records a transient dereference failure about to
+	// be retried after DelayUS.
+	EventRetryScheduled EventKind = "retry_scheduled"
+	// EventResultEmitted records one solution delivered to the client; Row
+	// is the 1-based result number.
+	EventResultEmitted EventKind = "result_emitted"
+	// EventQueryFinished closes a query with its total result count, wall
+	// time, and error if any.
+	EventQueryFinished EventKind = "query_finished"
+)
+
+// EventKinds lists the full vocabulary in emission order.
+var EventKinds = []EventKind{
+	EventQueryStarted, EventStageStarted, EventStageFinished,
+	EventDocumentDereferenced, EventLinkDiscovered, EventLinkQueued,
+	EventLinkPruned, EventRetryScheduled, EventResultEmitted,
+	EventQueryFinished,
+}
+
+// Event is one engine occurrence. Seq is a process-wide total order (replay
+// tooling sorts on it); Query correlates every event of one execution.
+// Unused fields are zero and omitted from JSON.
+type Event struct {
+	Seq   uint64    `json:"seq"`
+	Time  time.Time `json:"time"`
+	Kind  EventKind `json:"kind"`
+	Query int64     `json:"query,omitempty"`
+
+	Stage      string   `json:"stage,omitempty"`
+	URL        string   `json:"url,omitempty"`
+	Via        string   `json:"via,omitempty"`
+	Extractor  string   `json:"extractor,omitempty"`
+	Reason     string   `json:"reason,omitempty"`
+	Seeds      []string `json:"seeds,omitempty"`
+	Status     int      `json:"status,omitempty"`
+	Depth      int      `json:"depth,omitempty"`
+	Attempt    int      `json:"attempt,omitempty"`
+	Triples    int      `json:"triples,omitempty"`
+	Bytes      int64    `json:"bytes,omitempty"`
+	Row        int      `json:"row,omitempty"`
+	Rows       int      `json:"rows,omitempty"`
+	DurationUS int64    `json:"duration_us,omitempty"`
+	DelayUS    int64    `json:"delay_us,omitempty"`
+	Detail     string   `json:"detail,omitempty"`
+	Err        string   `json:"error,omitempty"`
+}
+
+// Bus fans engine events out to subscribers. Publishing is bounded and
+// non-blocking: each subscriber owns a buffered channel, and an event that
+// does not fit is dropped for that subscriber (counted, never stalls the
+// engine). With no subscriber attached, Publish is a nil check plus one
+// atomic load and performs zero allocations — the query hot path pays
+// nothing for carrying a bus (benchmarked in bench_test.go).
+//
+// All methods are safe on a nil *Bus, which is how engines built without
+// Config.Events skip event construction entirely.
+type Bus struct {
+	seq   atomic.Uint64
+	nsubs atomic.Int32
+
+	mu   sync.Mutex // guards subs and orders delivery
+	subs []*Subscription
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Active reports whether at least one subscriber is attached. Instrumented
+// code uses it to skip building expensive event payloads.
+func (b *Bus) Active() bool { return b != nil && b.nsubs.Load() > 0 }
+
+// Publish stamps the event with a sequence number and time and delivers it
+// to every matching subscriber without blocking. No-op without subscribers.
+func (b *Bus) Publish(ev Event) {
+	if !b.Active() {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	ev.Seq = b.seq.Add(1)
+	if ev.Time.IsZero() {
+		ev.Time = time.Now()
+	}
+	for _, s := range b.subs {
+		if s.query != 0 && s.query != ev.Query {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped.Add(1)
+		}
+	}
+}
+
+// Subscribe attaches a subscriber receiving every event, with the given
+// channel buffer (minimum 1; 0 selects a 256-event default). Close the
+// subscription when done.
+func (b *Bus) Subscribe(buffer int) *Subscription {
+	return b.subscribe(0, buffer)
+}
+
+// SubscribeQuery attaches a subscriber receiving only events of the given
+// query correlation id (0 subscribes to all queries).
+func (b *Bus) SubscribeQuery(queryID int64, buffer int) *Subscription {
+	return b.subscribe(queryID, buffer)
+}
+
+func (b *Bus) subscribe(queryID int64, buffer int) *Subscription {
+	if b == nil {
+		return nil
+	}
+	if buffer <= 0 {
+		buffer = 256
+	}
+	s := &Subscription{bus: b, query: queryID, ch: make(chan Event, buffer)}
+	s.C = s.ch
+	b.mu.Lock()
+	b.subs = append(b.subs, s)
+	b.mu.Unlock()
+	b.nsubs.Add(1)
+	return s
+}
+
+// Subscription is one attached event consumer. Read events from C; the
+// channel is never closed by the bus — consumers select on C alongside
+// their own cancellation signal, and call Close to detach.
+type Subscription struct {
+	// C delivers this subscriber's events in publish order.
+	C <-chan Event
+
+	bus     *Bus
+	query   int64
+	ch      chan Event
+	dropped atomic.Uint64
+	closed  atomic.Bool
+}
+
+// Dropped reports how many events were discarded because this subscriber's
+// buffer was full.
+func (s *Subscription) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close detaches the subscription from the bus. Events already buffered on
+// C remain readable (use Drain to collect them); no further events arrive.
+// Safe to call multiple times and on nil.
+func (s *Subscription) Close() {
+	if s == nil || !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	for i, x := range b.subs {
+		if x == s {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+	b.nsubs.Add(-1)
+}
+
+// Drain returns the events still buffered on the subscription without
+// blocking. Call after Close to collect the tail.
+func (s *Subscription) Drain() []Event {
+	if s == nil {
+		return nil
+	}
+	var out []Event
+	for {
+		select {
+		case ev := <-s.ch:
+			out = append(out, ev)
+		default:
+			return out
+		}
+	}
+}
+
+// nextQueryID hands out process-wide query correlation ids.
+var nextQueryID atomic.Int64
+
+// NextQueryID returns a fresh query correlation id. The engine stamps one
+// per execution; the query tracker, event stream, logs and journal all share
+// it, so one query can be followed across every surface.
+func NextQueryID() int64 { return nextQueryID.Add(1) }
+
+// queryIDKey carries the current query id through a context.
+type queryIDKeyType struct{}
+
+var queryIDKey queryIDKeyType
+
+// ContextWithQueryID returns a context carrying the query correlation id.
+func ContextWithQueryID(ctx context.Context, id int64) context.Context {
+	if id == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, queryIDKey, id)
+}
+
+// QueryIDFromContext returns the context's query correlation id (0 when the
+// context carries none).
+func QueryIDFromContext(ctx context.Context) int64 {
+	id, _ := ctx.Value(queryIDKey).(int64)
+	return id
+}
+
+// Emitter binds a Bus to one query's correlation id, so instrumented code
+// deep in the engine (dereferencer, link queue, iterator stages) publishes
+// correlated events without threading the id itself. A nil *Emitter no-ops
+// every method at zero cost, mirroring the nil-span and nil-metrics idiom.
+type Emitter struct {
+	bus   *Bus
+	query int64
+}
+
+// ForQuery returns an emitter stamping events with the query id, or nil
+// when the bus is nil (events disabled).
+func (b *Bus) ForQuery(id int64) *Emitter {
+	if b == nil {
+		return nil
+	}
+	return &Emitter{bus: b, query: id}
+}
+
+// Active reports whether emitted events currently have an audience.
+func (e *Emitter) Active() bool { return e != nil && e.bus.Active() }
+
+// Emit stamps the event with the emitter's query id and publishes it.
+func (e *Emitter) Emit(ev Event) {
+	if e == nil {
+		return
+	}
+	ev.Query = e.query
+	e.bus.Publish(ev)
+}

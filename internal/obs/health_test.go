@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHealthCheckerNilAlwaysOK(t *testing.T) {
+	var h *HealthChecker
+	if st := h.Check(time.Now()); st.Status != "ok" {
+		t.Errorf("nil checker status = %s", st.Status)
+	}
+	h = &HealthChecker{} // no metrics attached
+	if st := h.Check(time.Now()); st.Status != "ok" {
+		t.Errorf("metric-less checker status = %s", st.Status)
+	}
+}
+
+// TestHealthDegradedAndRecovery drives the sliding window: a burst of
+// dereference failures flips the verdict to degraded, and once the burst
+// ages out of the window the verdict returns to ok — all against the same
+// ever-growing cumulative counters.
+func TestHealthDegradedAndRecovery(t *testing.T) {
+	m := NewMetrics(NewRegistry())
+	h := &HealthChecker{Metrics: m, Threshold: 0.5, Window: time.Minute}
+	t0 := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+
+	// Healthy baseline: fetches succeed.
+	m.DocumentsFetched.Add(10)
+	if st := h.Check(t0); st.Status != "ok" {
+		t.Fatalf("baseline status = %+v", st)
+	}
+
+	// A failure burst inside the window: 8 failures vs 2 successes = 0.8.
+	m.FetchFailures.Add(8)
+	m.DocumentsFetched.Add(2)
+	st := h.Check(t0.Add(10 * time.Second))
+	if st.Status != "degraded" {
+		t.Fatalf("burst status = %+v", st)
+	}
+	if st.WindowFailures != 8 || st.WindowAttempts != 10 || st.FailureRatio != 0.8 {
+		t.Errorf("window deltas = %+v", st)
+	}
+
+	// Two minutes later with no further failures the burst has aged out.
+	st = h.Check(t0.Add(2 * time.Minute))
+	if st.Status != "ok" || st.WindowFailures != 0 {
+		t.Errorf("recovered status = %+v", st)
+	}
+
+	// Exactly at the threshold is still ok (degraded requires ratio > threshold).
+	m.FetchFailures.Add(1)
+	m.DocumentsFetched.Add(1)
+	st = h.Check(t0.Add(2*time.Minute + time.Second))
+	if st.FailureRatio != 0.5 || st.Status != "ok" {
+		t.Errorf("at-threshold status = %+v", st)
+	}
+}
+
+// TestHealthCheckHandlerAlways200: degraded is an operational warning, not
+// an outage — the probe stays HTTP 200 and the JSON body carries the
+// distinction.
+func TestHealthCheckHandlerAlways200(t *testing.T) {
+	m := NewMetrics(NewRegistry())
+	h := &HealthChecker{Metrics: m, Threshold: 0.5, Window: time.Minute}
+	srv := httptest.NewServer(HealthCheckHandler(h))
+	defer srv.Close()
+
+	get := func() HealthStatus {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		var st HealthStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	if st := get(); st.Status != "ok" {
+		t.Errorf("healthy body = %+v", st)
+	}
+	m.FetchFailures.Add(9)
+	m.DocumentsFetched.Add(1)
+	if st := get(); st.Status != "degraded" {
+		t.Errorf("degraded body = %+v", st)
+	}
+}
+
+// TestStampBuildInfo: the build-info gauge and uptime appear in the
+// Prometheus exposition.
+func TestStampBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	StampBuildInfo(r, "v1.2.3", time.Now().Add(-2*time.Second))
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	text := b.String()
+	if !strings.Contains(text, `ltqp_build_info{version="v1.2.3"`) ||
+		!strings.Contains(text, `go_version="go`) {
+		t.Errorf("exposition missing build info:\n%s", text)
+	}
+	if !strings.Contains(text, "ltqp_uptime_seconds") {
+		t.Errorf("exposition missing uptime:\n%s", text)
+	}
+	// Empty version defaults to "dev" (replacing the previous registration).
+	StampBuildInfo(r, "", time.Now())
+	b.Reset()
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `version="dev"`) {
+		t.Errorf("empty version not defaulted:\n%s", b.String())
+	}
+}

@@ -180,13 +180,21 @@ func TopologyHandler(t *QueryTracker) http.Handler {
 }
 
 // Register mounts the observer's exposition endpoints on mux:
-// /metrics (Prometheus text), /healthz, /debug/queries, and /debug/topology.
+// /metrics (Prometheus text), /healthz (ok/degraded), /debug/queries,
+// /debug/topology, and /debug/events (live SSE event feed).
 func (o *Observer) Register(mux *http.ServeMux) {
 	if o == nil || mux == nil {
 		return
 	}
 	mux.Handle("/metrics", MetricsHandler(o.Registry))
-	mux.Handle("/healthz", HealthHandler())
+	if o.Health != nil {
+		mux.Handle("/healthz", HealthCheckHandler(o.Health))
+	} else {
+		mux.Handle("/healthz", HealthHandler())
+	}
 	mux.Handle("/debug/queries", QueriesHandler(o.Tracker))
 	mux.Handle("/debug/topology", TopologyHandler(o.Tracker))
+	if o.Stream != nil {
+		mux.Handle("/debug/events", o.Stream)
+	}
 }

@@ -15,8 +15,8 @@ import (
 
 func TestTrackerLifecycle(t *testing.T) {
 	tr := NewQueryTracker(2)
-	r1 := tr.Start("SELECT 1", []string{"http://x/a"}, nil)
-	r2 := tr.Start("SELECT 2", nil, nil)
+	r1 := tr.Start(0, "SELECT 1", []string{"http://x/a"}, nil)
+	r2 := tr.Start(0, "SELECT 2", nil, nil)
 	if len(tr.InFlight()) != 2 {
 		t.Fatalf("in-flight = %d", len(tr.InFlight()))
 	}
@@ -35,7 +35,7 @@ func TestTrackerLifecycle(t *testing.T) {
 		t.Fatalf("outcomes wrong: err=%q results=%d", recent[0].Err(), recent[1].Results())
 	}
 	// Capacity bound: a third finished query evicts the oldest.
-	r3 := tr.Start("SELECT 3", nil, nil)
+	r3 := tr.Start(0, "SELECT 3", nil, nil)
 	tr.Finish(r3, nil)
 	if got := len(tr.Recent()); got != 2 {
 		t.Fatalf("recent = %d, want capacity 2", got)
@@ -44,7 +44,7 @@ func TestTrackerLifecycle(t *testing.T) {
 
 func TestTrackerNilSafe(t *testing.T) {
 	var tr *QueryTracker
-	rec := tr.Start("q", nil, nil)
+	rec := tr.Start(0, "q", nil, nil)
 	rec.AddResult()
 	tr.Finish(rec, nil)
 	if tr.InFlight() != nil || tr.Recent() != nil {
@@ -59,7 +59,7 @@ func TestExpositionEndpoints(t *testing.T) {
 	_, sp := StartSpan(ctx, "deref", Str("url", "http://x/a"))
 	sp.End()
 	trace.End()
-	rec := o.Tracker.Start("SELECT ?x WHERE {}", []string{"http://x/a"}, trace)
+	rec := o.Tracker.Start(0, "SELECT ?x WHERE {}", []string{"http://x/a"}, trace)
 	rec.AddResult()
 	o.Tracker.Finish(rec, nil)
 
@@ -120,8 +120,9 @@ func TestExpositionEndpoints(t *testing.T) {
 		t.Fatalf("trace=0 still has trees:\n%s", body)
 	}
 
-	// Tree rendering of one query.
-	code, ct, body = get("/debug/queries?format=tree&id=1")
+	// Tree rendering of one query. IDs come from the process-wide
+	// correlation counter, so address the record by its actual id.
+	code, ct, body = get(fmt.Sprintf("/debug/queries?format=tree&id=%d", rec.ID))
 	if code != 200 || !strings.HasPrefix(ct, "text/plain") || !strings.Contains(body, "deref") {
 		t.Fatalf("tree: %d %s %q", code, ct, body)
 	}
@@ -135,7 +136,7 @@ func TestExpositionEndpoints(t *testing.T) {
 // the index listing, the per-query JSON graph, and the Graphviz DOT render.
 func TestTopologyEndpoint(t *testing.T) {
 	o := NewObserver()
-	rec := o.Tracker.Start("SELECT ?x WHERE {}", []string{"http://x/a"}, nil)
+	rec := o.Tracker.Start(0, "SELECT ?x WHERE {}", []string{"http://x/a"}, nil)
 	topo := NewTopology(time.Now())
 	topo.Seed("http://x/a")
 	topo.Document("http://x/a", 0, 200, 4, 300, time.Now(), time.Millisecond)
@@ -146,7 +147,7 @@ func TestTopologyEndpoint(t *testing.T) {
 	o.Tracker.Finish(rec, nil)
 
 	// A query without topology must not appear in the index.
-	bare := o.Tracker.Start("SELECT ?y WHERE {}", nil, nil)
+	bare := o.Tracker.Start(0, "SELECT ?y WHERE {}", nil, nil)
 	o.Tracker.Finish(bare, nil)
 
 	mux := http.NewServeMux()

@@ -74,6 +74,16 @@ type Observer struct {
 	Registry *Registry
 	Metrics  *Metrics
 	Tracker  *QueryTracker
+	// Events is the engine event bus: the ordered stream of everything the
+	// engine does, consumed by the SSE feed, the slog adapter and the
+	// JSONL journal. With no subscriber attached it costs the hot path one
+	// atomic load and zero allocations.
+	Events *Bus
+	// Stream serves Events as /debug/events (Server-Sent Events). Call
+	// Stream.Shutdown during graceful drain so open feeds close.
+	Stream *EventStream
+	// Health backs /healthz: ok vs degraded by recent deref failure ratio.
+	Health *HealthChecker
 	// TraceQueries makes the engine record a span tree for every query
 	// (required for /debug/queries span output and Result.Trace).
 	TraceQueries bool
@@ -81,15 +91,29 @@ type Observer struct {
 
 // NewObserver builds a ready-to-wire observer: fresh registry, the
 // standard metric set, a tracker remembering the 32 most recent queries,
-// and per-query tracing enabled.
+// an event bus with its SSE stream, a health checker at the default
+// degraded threshold, and per-query tracing enabled.
 func NewObserver() *Observer {
 	r := NewRegistry()
+	m := NewMetrics(r)
+	bus := NewBus()
 	return &Observer{
 		Registry:     r,
-		Metrics:      NewMetrics(r),
+		Metrics:      m,
 		Tracker:      NewQueryTracker(32),
+		Events:       bus,
+		Stream:       NewEventStream(bus),
+		Health:       &HealthChecker{Metrics: m},
 		TraceQueries: true,
 	}
+}
+
+// Bus returns the observer's event bus; nil-safe.
+func (o *Observer) Bus() *Bus {
+	if o == nil {
+		return nil
+	}
+	return o.Events
 }
 
 // M returns the observer's metric set; nil-safe.

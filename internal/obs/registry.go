@@ -22,6 +22,8 @@ type Registry struct {
 	gauges      map[string]*Gauge
 	histograms  map[string]*Histogram
 	counterVecs map[string]*CounterVec
+	infos       map[string]*Info
+	gaugeFuncs  map[string]*GaugeFunc
 }
 
 // NewRegistry returns an empty registry.
@@ -31,7 +33,55 @@ func NewRegistry() *Registry {
 		gauges:      map[string]*Gauge{},
 		histograms:  map[string]*Histogram{},
 		counterVecs: map[string]*CounterVec{},
+		infos:       map[string]*Info{},
+		gaugeFuncs:  map[string]*GaugeFunc{},
 	}
+}
+
+// Label is one name="value" pair of an Info metric.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Info is a constant gauge of value 1 whose labels carry the payload —
+// the Prometheus idiom for build/version metadata (foo_build_info{...} 1).
+type Info struct {
+	name, help string
+	labels     []Label
+}
+
+// Info registers (or replaces) a constant info metric with the given
+// labels, rendered as name{labels...} 1.
+func (r *Registry) Info(name, help string, labels ...Label) *Info {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	i := &Info{name: name, help: help, labels: append([]Label(nil), labels...)}
+	r.infos[name] = i
+	return i
+}
+
+// GaugeFunc is a gauge whose value is computed at exposition time — for
+// values that derive from the clock or other live state (uptime).
+type GaugeFunc struct {
+	name, help string
+	fn         func() float64
+}
+
+// GaugeFunc registers (or replaces) a computed gauge. fn is called on every
+// scrape; it must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) *GaugeFunc {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.gaugeFuncs[name] = g
+	return g
 }
 
 // Counter registers (or returns the existing) monotonically increasing
@@ -292,12 +342,22 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, v := range r.counterVecs {
 		counterVecs = append(counterVecs, v)
 	}
+	infos := make([]*Info, 0, len(r.infos))
+	for _, i := range r.infos {
+		infos = append(infos, i)
+	}
+	gaugeFuncs := make([]*GaugeFunc, 0, len(r.gaugeFuncs))
+	for _, g := range r.gaugeFuncs {
+		gaugeFuncs = append(gaugeFuncs, g)
+	}
 	r.mu.Unlock()
 
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
 	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
 	sort.Slice(histograms, func(i, j int) bool { return histograms[i].name < histograms[j].name })
 	sort.Slice(counterVecs, func(i, j int) bool { return counterVecs[i].name < counterVecs[j].name })
+	sort.Slice(infos, func(i, j int) bool { return infos[i].name < infos[j].name })
+	sort.Slice(gaugeFuncs, func(i, j int) bool { return gaugeFuncs[i].name < gaugeFuncs[j].name })
 
 	var b strings.Builder
 	for _, c := range counters {
@@ -320,6 +380,18 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, g := range gauges {
 		writeHeader(&b, g.name, g.help, "gauge")
 		fmt.Fprintf(&b, "%s %d\n", g.name, g.Value())
+	}
+	for _, g := range gaugeFuncs {
+		writeHeader(&b, g.name, g.help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.name, strconv.FormatFloat(g.fn(), 'g', -1, 64))
+	}
+	for _, i := range infos {
+		writeHeader(&b, i.name, i.help, "gauge")
+		parts := make([]string, 0, len(i.labels))
+		for _, l := range i.labels {
+			parts = append(parts, fmt.Sprintf("%s=\"%s\"", l.Name, escapeLabelValue(l.Value)))
+		}
+		fmt.Fprintf(&b, "%s{%s} 1\n", i.name, strings.Join(parts, ","))
 	}
 	for _, h := range histograms {
 		writeHeader(&b, h.name, h.help, "histogram")

@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sseOpen connects to the stream and consumes the opening comment, so the
+// caller knows the handler's subscription is attached before publishing.
+func sseOpen(t *testing.T, url string) (*bufio.Reader, func()) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("content type = %s", ct)
+	}
+	r := bufio.NewReader(resp.Body)
+	line, err := r.ReadString('\n')
+	if err != nil || !strings.HasPrefix(line, ": ltqp event stream, schema") {
+		t.Fatalf("opening comment = %q, %v", line, err)
+	}
+	if blank, err := r.ReadString('\n'); err != nil || blank != "\n" {
+		t.Fatalf("opening frame terminator = %q, %v", blank, err)
+	}
+	return r, func() { resp.Body.Close() }
+}
+
+// sseNextEvent reads frames until the next event, skipping comments.
+func sseNextEvent(t *testing.T, r *bufio.Reader) (kind string, ev Event) {
+	t.Helper()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatalf("bad data frame %q: %v", line, err)
+			}
+			return kind, ev
+		}
+	}
+}
+
+func TestEventStreamServesEvents(t *testing.T) {
+	bus := NewBus()
+	stream := NewEventStream(bus)
+	srv := httptest.NewServer(stream)
+	defer srv.Close()
+
+	r, done := sseOpen(t, srv.URL)
+	defer done()
+
+	bus.Publish(Event{Kind: EventQueryStarted, Query: 1, Detail: "SELECT"})
+	bus.Publish(Event{Kind: EventResultEmitted, Query: 1, Row: 1})
+
+	kind, ev := sseNextEvent(t, r)
+	if kind != "query_started" || ev.Query != 1 || ev.Detail != "SELECT" {
+		t.Errorf("first frame = %s %+v", kind, ev)
+	}
+	kind, ev = sseNextEvent(t, r)
+	if kind != "result_emitted" || ev.Row != 1 {
+		t.Errorf("second frame = %s %+v", kind, ev)
+	}
+
+	// Shutdown ends the stream with a closing comment.
+	stream.Shutdown()
+	stream.Shutdown() // idempotent
+	sawClosing := false
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			break
+		}
+		if strings.HasPrefix(line, ": closing") {
+			sawClosing = true
+		}
+	}
+	if !sawClosing {
+		t.Error("no closing comment after Shutdown")
+	}
+}
+
+func TestEventStreamQueryFilter(t *testing.T) {
+	bus := NewBus()
+	stream := NewEventStream(bus)
+	srv := httptest.NewServer(stream)
+	defer srv.Close()
+	defer stream.Shutdown()
+
+	r, done := sseOpen(t, srv.URL+"?id=2")
+	defer done()
+
+	bus.Publish(Event{Kind: EventQueryStarted, Query: 1})
+	bus.Publish(Event{Kind: EventQueryStarted, Query: 2})
+
+	_, ev := sseNextEvent(t, r)
+	if ev.Query != 2 {
+		t.Errorf("filtered stream delivered query %d", ev.Query)
+	}
+}
+
+func TestEventStreamRejectsBadID(t *testing.T) {
+	stream := NewEventStream(NewBus())
+	srv := httptest.NewServer(stream)
+	defer srv.Close()
+	for _, id := range []string{"abc", "-1", "0"} {
+		resp, err := http.Get(srv.URL + "?id=" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("id=%s status = %d", id, resp.StatusCode)
+		}
+	}
+}
+
+func TestEventStreamKeepalive(t *testing.T) {
+	bus := NewBus()
+	stream := NewEventStream(bus)
+	stream.KeepAlive = 10 * time.Millisecond
+	srv := httptest.NewServer(stream)
+	defer srv.Close()
+	defer stream.Shutdown()
+
+	r, done := sseOpen(t, srv.URL)
+	defer done()
+
+	deadline := time.After(2 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		line, err := r.ReadString('\n')
+		if err == nil {
+			got <- line
+		}
+	}()
+	select {
+	case line := <-got:
+		if !strings.HasPrefix(line, ": keepalive") {
+			t.Errorf("idle stream sent %q, want keepalive comment", line)
+		}
+	case <-deadline:
+		t.Fatal("no keepalive within 2s")
+	}
+}
+
+// TestEventStreamClientDisconnect: cancelling the request context returns
+// from ServeHTTP promptly and detaches the subscription.
+func TestEventStreamClientDisconnect(t *testing.T) {
+	bus := NewBus()
+	stream := NewEventStream(bus)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodGet, "/debug/events", nil).WithContext(ctx)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		stream.ServeHTTP(httptest.NewRecorder(), req)
+	}()
+	// Wait until the handler has subscribed, then disconnect.
+	for i := 0; i < 200 && bus.nsubs.Load() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if bus.nsubs.Load() != 1 {
+		t.Fatal("handler never subscribed")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
+	}
+	if n := bus.nsubs.Load(); n != 0 {
+		t.Errorf("subscription leaked: nsubs = %d", n)
+	}
+}
+
+// TestEventStreamDisabled: with no bus there is nothing to stream.
+func TestEventStreamDisabled(t *testing.T) {
+	stream := NewEventStream(nil)
+	srv := httptest.NewServer(stream)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -2,7 +2,6 @@ package obs
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -12,7 +11,6 @@ import (
 // the full span tree. All methods are nil-safe.
 type QueryTracker struct {
 	capacity int
-	nextID   atomic.Int64
 
 	mu       sync.Mutex
 	inflight map[int64]*QueryRecord
@@ -51,14 +49,19 @@ func NewQueryTracker(capacity int) *QueryTracker {
 	return &QueryTracker{capacity: capacity, inflight: map[int64]*QueryRecord{}}
 }
 
-// Start registers a query execution and returns its record. Nil-safe: a
-// nil tracker returns a nil record whose methods no-op.
-func (t *QueryTracker) Start(query string, seeds []string, trace *Trace) *QueryRecord {
+// Start registers a query execution under the given correlation id (from
+// NextQueryID; id <= 0 allocates a fresh one) and returns its record. The
+// same id appears on the query's events, logs and journal lines. Nil-safe:
+// a nil tracker returns a nil record whose methods no-op.
+func (t *QueryTracker) Start(id int64, query string, seeds []string, trace *Trace) *QueryRecord {
 	if t == nil {
 		return nil
 	}
+	if id <= 0 {
+		id = NextQueryID()
+	}
 	rec := &QueryRecord{
-		ID:    t.nextID.Add(1),
+		ID:    id,
 		Query: query,
 		Seeds: append([]string(nil), seeds...),
 		Start: time.Now(),

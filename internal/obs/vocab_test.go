@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEventVocabularyGolden pins the event wire vocabulary — the schema
+// version, the full set of event-kind names, and the JSON field names of
+// Event — against testdata/event_vocab.golden. Journals and SSE feeds are
+// consumed by external tooling, so renaming any of these is a deliberate,
+// reviewed act: update the golden file AND bump EventSchemaVersion when the
+// change is incompatible.
+func TestEventVocabularyGolden(t *testing.T) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schema %d\n\nkinds:\n", EventSchemaVersion)
+	for _, k := range EventKinds {
+		fmt.Fprintf(&b, "%s\n", k)
+	}
+	b.WriteString("\nfields:\n")
+	et := reflect.TypeOf(Event{})
+	for i := 0; i < et.NumField(); i++ {
+		tag := et.Field(i).Tag.Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		if name == "" || name == "-" {
+			t.Fatalf("Event field %s has no JSON name", et.Field(i).Name)
+		}
+		fmt.Fprintf(&b, "%s\n", name)
+	}
+
+	want, err := os.ReadFile("testdata/event_vocab.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != string(want) {
+		t.Errorf("event vocabulary drifted from testdata/event_vocab.golden.\n"+
+			"got:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,155 @@
+package ltqp_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/obs"
+	"ltqp/internal/podserver"
+	"ltqp/internal/solid"
+)
+
+// journalEnv is the 3-hop chain of explainEnv with an event bus attached,
+// so a query's full event stream can be journaled and replayed.
+func journalEnv(t *testing.T, bus *ltqp.EventBus) (base string, engine *ltqp.Engine) {
+	t.Helper()
+	ps := podserver.New()
+	srv := httptest.NewServer(ps)
+	t.Cleanup(srv.Close)
+	base = srv.URL
+	ps.AddDocument(base+"/a.ttl", fmt.Sprintf(
+		"<%s/a.ttl#alice> <http://v/friend> <%s/b.ttl#bob>.", base, base), solid.PublicAccess)
+	ps.AddDocument(base+"/b.ttl", fmt.Sprintf(
+		"<%s/b.ttl#bob> <http://v/post> <%s/c.ttl#p1>.", base, base), solid.PublicAccess)
+	ps.AddDocument(base+"/c.ttl", fmt.Sprintf(
+		"<%s/c.ttl#p1> <http://v/title> \"hello\".", base), solid.PublicAccess)
+	engine = ltqp.New(ltqp.Config{
+		Client:   srv.Client(),
+		Strategy: ltqp.StrategyCMatch,
+		Events:   bus,
+	})
+	return base, engine
+}
+
+// TestJournalReplayMatchesLiveRun is the acceptance test for the journal:
+// capture a query over the 3-hop podserver fixture to a JSONL journal, then
+// replay it offline and check the reconstruction reproduces the live run —
+// same result count, a TTFR bounded by the recorded timestamps, all three
+// documents, and the full phase set.
+func TestJournalReplayMatchesLiveRun(t *testing.T) {
+	bus := ltqp.NewEventBus()
+	var buf bytes.Buffer
+	journal, err := ltqp.NewJournal(&buf, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, engine := journalEnv(t, bus)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := engine.Query(ctx, explainQuery(base))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for range res.Results {
+		live++
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if live != 1 {
+		t.Fatalf("live results = %d, want 1", live)
+	}
+	liveTTFR, ok := res.Metrics().TimeToFirstResult()
+	if !ok {
+		t.Fatal("live run has no TTFR")
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+
+	summary, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !summary.HasFooter || summary.Dropped != 0 {
+		t.Fatalf("journal footer=%v dropped=%d", summary.HasFooter, summary.Dropped)
+	}
+	if len(summary.Queries) != 1 {
+		t.Fatalf("replayed queries = %d", len(summary.Queries))
+	}
+	q := summary.Queries[0]
+	if q.ID != res.ID() {
+		t.Errorf("replay id = %d, want %d", q.ID, res.ID())
+	}
+	if !q.Finished || q.Err != "" {
+		t.Errorf("replay finished=%v err=%q", q.Finished, q.Err)
+	}
+	if q.Results != live {
+		t.Errorf("replay results = %d, live = %d", q.Results, live)
+	}
+
+	// TTFR is reconstructed purely from recorded timestamps: it must exist
+	// and sit inside the query's replayed duration. Compare against the live
+	// recorder loosely — both clocks watched the same run.
+	if !q.HasTTFR {
+		t.Fatal("replay has no TTFR")
+	}
+	if q.TTFR <= 0 || q.TTFR > q.Duration {
+		t.Errorf("replay TTFR = %v outside (0, %v]", q.TTFR, q.Duration)
+	}
+	if diff := (q.TTFR - liveTTFR).Abs(); diff > 250*time.Millisecond {
+		t.Errorf("replay TTFR %v vs live %v (diff %v)", q.TTFR, liveTTFR, diff)
+	}
+
+	// All three documents of the chain, each successfully dereferenced.
+	if len(q.Docs) != 3 {
+		t.Fatalf("replay docs = %+v, want 3", q.Docs)
+	}
+	for _, d := range q.Docs {
+		if d.Failed || d.Status != 200 || d.Triples == 0 {
+			t.Errorf("doc %s = %+v", d.URL, d)
+		}
+	}
+	if q.MaxConcurrency < 1 {
+		t.Errorf("max concurrency = %d", q.MaxConcurrency)
+	}
+
+	// The core phase set is reconstructed in order.
+	var phases []string
+	for _, p := range q.Phases {
+		phases = append(phases, p.Name)
+	}
+	for _, want := range []string{"parse", "plan", "traverse", "exec"} {
+		found := false
+		for _, p := range phases {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("phases = %v, missing %q", phases, want)
+		}
+	}
+
+	// The human-readable report (what benchreport --replay-journal prints)
+	// reflects the same reconstruction.
+	var report strings.Builder
+	summary.WriteReport(&report, 5)
+	for _, want := range []string{
+		fmt.Sprintf("query #%d", q.ID),
+		"1 result",
+		base + "/a.ttl",
+	} {
+		if !strings.Contains(report.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, report.String())
+		}
+	}
+}
