@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench fuzz-smoke differential
 
 build:
 	$(GO) build ./...
@@ -10,16 +10,33 @@ test: build
 	$(GO) test ./...
 
 # Pre-merge verification: vet plus the full suite (including the chaos
-# integration tests) under the race detector — the engine is heavily
-# concurrent and must stay race-clean.
+# integration tests and the traversal-vs-oracle differential harness) under
+# the race detector — the engine is heavily concurrent and must stay
+# race-clean.
 verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
+# Differential harness on its own: ~50 generated SELECT queries, each run
+# through the live traversal engine and the centralized oracle, multisets
+# compared (internal/baseline/differential_test.go).
+differential:
+	$(GO) test -race -run TestDifferentialTraversalVsCentralized -v ./internal/baseline
+
+# Short coverage-guided fuzzing of every fuzz target (Go native fuzzing
+# only supports one -fuzz target per invocation). CI runs this on every
+# change; longer local runs just need a bigger FUZZTIME.
+FUZZTIME ?= 20s
+
+fuzz-smoke: build
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/turtle
+	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/sparql
+	$(GO) test -run '^$$' -fuzz '^FuzzDictRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/rdf
+
 # Performance trajectory: run the micro-benchmarks and archive them as a
 # dated JSON report (see cmd/benchreport --parse-bench). Compare two
 # reports to catch regressions, e.g. the <5% tracing-overhead budget.
-BENCH_PKGS ?= ./internal/store ./internal/turtle ./internal/sparql ./internal/obs ./internal/exec
+BENCH_PKGS ?= ./internal/rdf ./internal/store ./internal/turtle ./internal/sparql ./internal/obs ./internal/exec
 BENCH_OUT  ?= BENCH_$(shell date +%Y-%m-%d).json
 
 bench: build

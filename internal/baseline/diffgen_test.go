@@ -1,0 +1,153 @@
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ltqp/internal/solidbench"
+)
+
+// diffGen deterministically generates SELECT queries over a SolidBench
+// dataset for differential testing: every generated query must produce the
+// exact same solution multiset on the live traversal engine (seeded with
+// every document) and on the centralized oracle store.
+//
+// Generated queries are restricted to a sublanguage where the two systems
+// are observationally equivalent:
+//
+//   - Every subject variable of every group is anchored by a pattern that
+//     can only bind IRIs (rdf:type Post/Comment/Person, or snvoc:hasCreator,
+//     or a fixed WebID subject). The dataset's only blank nodes are its
+//     "likes" reification nodes, and blank node labels legitimately differ
+//     between the two systems (the traversal parser scopes labels per
+//     document), so queries must never bind one.
+//   - No ORDER/LIMIT/OFFSET: results compare as multisets.
+//   - Solution modifiers are limited to DISTINCT; groups use BGPs,
+//     OPTIONAL, FILTER, and UNION — the shapes the paper's demonstration
+//     queries exercise.
+type diffGen struct {
+	r  *rand.Rand
+	ds *solidbench.Dataset
+	ns string
+}
+
+func newDiffGen(seed int64, ds *solidbench.Dataset) *diffGen {
+	v := solidbench.Vocab{Host: ds.Config.Host}
+	return &diffGen{r: rand.New(rand.NewSource(seed)), ds: ds, ns: v.NS()}
+}
+
+func (g *diffGen) prefix() string {
+	return fmt.Sprintf("PREFIX snvoc: <%s>\nPREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n", g.ns)
+}
+
+func (g *diffGen) person() string {
+	return "<" + g.ds.WebID(g.r.Intn(g.ds.Config.Persons)) + ">"
+}
+
+// pick returns a random size-n subset (order preserved) of options.
+func (g *diffGen) pick(options []string, n int) []string {
+	idx := g.r.Perm(len(options))[:n]
+	chosen := make(map[int]bool, n)
+	for _, i := range idx {
+		chosen[i] = true
+	}
+	out := make([]string, 0, n)
+	for i, o := range options {
+		if chosen[i] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// messageAttrs are predicates of post/comment resources paired with the
+// variable each binds.
+var messageAttrs = []string{"content", "creationDate", "browserUsed", "locationIP", "id"}
+
+// personAttrs are predicates of person profiles.
+var personAttrs = []string{"firstName", "lastName", "gender", "browserUsed", "locationIP"}
+
+// messageStar generates an anchored star BGP about ?m and returns the
+// pattern text plus the attribute variables it binds.
+func (g *diffGen) messageStar(mv string) (string, []string) {
+	n := 1 + g.r.Intn(3)
+	attrs := g.pick(messageAttrs, n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "  ?%s snvoc:hasCreator %s .\n", mv, g.person())
+	if g.r.Intn(2) == 0 {
+		kind := "Post"
+		if g.r.Intn(2) == 0 {
+			kind = "Comment"
+		}
+		fmt.Fprintf(&b, "  ?%s rdf:type snvoc:%s .\n", mv, kind)
+	}
+	vars := make([]string, 0, n)
+	for _, a := range attrs {
+		v := mv + "_" + a
+		fmt.Fprintf(&b, "  ?%s snvoc:%s ?%s .\n", mv, a, v)
+		vars = append(vars, v)
+	}
+	return b.String(), vars
+}
+
+// personStar generates an anchored star BGP about ?p.
+func (g *diffGen) personStar(pv string) (string, []string) {
+	n := 1 + g.r.Intn(3)
+	attrs := g.pick(personAttrs, n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "  ?%s rdf:type snvoc:Person .\n", pv)
+	vars := make([]string, 0, n)
+	for _, a := range attrs {
+		v := pv + "_" + a
+		fmt.Fprintf(&b, "  ?%s snvoc:%s ?%s .\n", pv, a, v)
+		vars = append(vars, v)
+	}
+	return b.String(), vars
+}
+
+// Next returns the next generated query.
+func (g *diffGen) Next() string {
+	distinct := ""
+	if g.r.Intn(3) == 0 {
+		distinct = "DISTINCT "
+	}
+	switch g.r.Intn(6) {
+	case 0: // Message star, possibly projecting the message IRI too.
+		body, vars := g.messageStar("m")
+		proj := "?" + strings.Join(vars, " ?")
+		if g.r.Intn(2) == 0 {
+			proj = "?m " + proj
+		}
+		return fmt.Sprintf("%sSELECT %s%s WHERE {\n%s}", g.prefix(), distinct, proj, body)
+	case 1: // Person profile star over all pods.
+		body, vars := g.personStar("p")
+		return fmt.Sprintf("%sSELECT %s?%s WHERE {\n%s}",
+			g.prefix(), distinct, strings.Join(vars, " ?"), body)
+	case 2: // Friend join: fixed person -> knows -> friend attribute.
+		attr := personAttrs[g.r.Intn(len(personAttrs))]
+		return fmt.Sprintf(`%sSELECT %s?f ?v WHERE {
+  %s snvoc:knows ?f .
+  ?f snvoc:%s ?v .
+}`, g.prefix(), distinct, g.person(), attr)
+	case 3: // OPTIONAL: posts with content, optionally an image sibling.
+		return fmt.Sprintf(`%sSELECT %s?m ?d ?img WHERE {
+  ?m snvoc:hasCreator %s .
+  ?m snvoc:creationDate ?d .
+  OPTIONAL { ?m snvoc:imageFile ?img . }
+}`, g.prefix(), distinct, g.person())
+	case 4: // FILTER on a string attribute.
+		body, vars := g.messageStar("m")
+		v := vars[g.r.Intn(len(vars))]
+		needle := []string{"a", "e", "1", "0", "co"}[g.r.Intn(5)]
+		return fmt.Sprintf("%sSELECT %s?%s WHERE {\n%s  FILTER(CONTAINS(STR(?%s), %q))\n}",
+			g.prefix(), distinct, strings.Join(vars, " ?"), body, v, needle)
+	default: // UNION of two creators' messages.
+		attr := messageAttrs[g.r.Intn(len(messageAttrs))]
+		return fmt.Sprintf(`%sSELECT %s?v WHERE {
+  { ?m snvoc:hasCreator %s . ?m snvoc:%s ?v . }
+  UNION
+  { ?m snvoc:hasCreator %s . ?m snvoc:%s ?v . }
+}`, g.prefix(), distinct, g.person(), attr, g.person(), attr)
+	}
+}

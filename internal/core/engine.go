@@ -117,6 +117,11 @@ type Options struct {
 // Engine executes SPARQL queries over Solid pods by link traversal.
 type Engine struct {
 	opts Options
+	// dict is the engine-scoped term dictionary: parsers, the document
+	// cache, and every per-query store intern into it, so term IDs are
+	// stable across queries and repeated documents cost no new string
+	// allocations.
+	dict *rdf.Dict
 }
 
 // New returns an engine with the given options.
@@ -124,7 +129,7 @@ func New(opts Options) *Engine {
 	if opts.MaxConcurrent <= 0 {
 		opts.MaxConcurrent = DefaultMaxConcurrent
 	}
-	return &Engine{opts: opts}
+	return &Engine{opts: opts, dict: rdf.NewDict()}
 }
 
 // Execution is a running query. Results stream on Results while traversal
@@ -265,7 +270,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	planSpan.End()
 	planDone()
 
-	src := store.New()
+	src := store.NewWithDict(e.dict)
 	recorder := metrics.NewRecorder()
 	runCtx, cancel := context.WithCancel(qctx)
 
@@ -550,6 +555,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		Obs:       e.opts.Obs.M(),
 		Events:    events,
 		UserAgent: "ltqp-go/1.0 (link-traversal SPARQL engine)",
+		Dict:      e.dict,
 	}
 
 	var (

@@ -87,6 +87,10 @@ type Dereferencer struct {
 	Events *obs.Emitter
 	// UserAgent is sent as the User-Agent header.
 	UserAgent string
+	// Dict, when non-nil, is the engine term dictionary: parsed documents
+	// are canonicalized into it, so cached documents hold interned terms
+	// and store ingest of a cache hit is pure dictionary map hits.
+	Dict *rdf.Dict
 
 	// docCounter scopes blank node labels per dereferenced document.
 	docCounter atomic.Int64
@@ -276,6 +280,7 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 	triples, err := turtle.Parse(string(body), turtle.Options{
 		Base:        finalURL,
 		BlankPrefix: fmt.Sprintf("d%d.", d.docCounter.Add(1)),
+		Dict:        d.Dict,
 	})
 	if err != nil {
 		ev.Err = err.Error()

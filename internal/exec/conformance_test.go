@@ -212,3 +212,120 @@ SELECT ?n WHERE { ?s ex:q ?n } ORDER BY ?n OFFSET 1`,
 		})
 	}
 }
+
+// TestConformanceTermIdentityVsValueEquality pins the distinction SPARQL
+// draws between *term* equality (joins, DISTINCT, pattern matching — the
+// boundary the dictionary encodes as ID equality) and *value* equality
+// (FILTER =, comparisons). "1"^^xsd:integer and "01"^^xsd:integer denote
+// the same value but are different RDF terms; "x"@EN and "x"@en are the
+// same term (language tags compare case-insensitively); a plain literal and
+// its xsd:string-typed spelling are the same term in RDF 1.1.
+func TestConformanceTermIdentityVsValueEquality(t *testing.T) {
+	ex := func(l string) string { return "<http://example.org/" + l + ">" }
+	intLit := func(s string) string {
+		return `"` + s + `"^^<http://www.w3.org/2001/XMLSchema#integer>`
+	}
+	const data = `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+ex:a ex:q "1"^^xsd:integer .
+ex:b ex:q "01"^^xsd:integer .
+ex:c ex:q "1"^^xsd:integer .
+ex:d ex:label "two"@EN .
+ex:e ex:label "two"@en .
+ex:f ex:name "x" .
+ex:g ex:name "x"^^xsd:string .
+ex:h ex:name "x"@en .
+`
+	cases := []conformanceCase{
+		{
+			// Joins use term equality: "1" and "01" do NOT join even though
+			// they are numerically equal values.
+			name: "join is term-equality not value-equality",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s ?t WHERE { ?s ex:q ?n . ?t ex:q ?n . FILTER(STR(?s) < STR(?t)) }`,
+			want: []string{"?s=" + ex("a") + " ?t=" + ex("c")},
+		},
+		{
+			// FILTER = uses value equality: "1" = "01" is true for
+			// xsd:integer operands.
+			name: "filter equals is value-equality",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s ?t WHERE { ?s ex:q ?m . ?t ex:q ?n .
+  FILTER(?m = ?n && STR(?s) < STR(?t)) }`,
+			want: []string{
+				"?s=" + ex("a") + " ?t=" + ex("b"),
+				"?s=" + ex("a") + " ?t=" + ex("c"),
+				"?s=" + ex("b") + " ?t=" + ex("c"),
+			},
+		},
+		{
+			// DISTINCT dedupes on terms: "1" and "01" stay distinct rows.
+			name: "distinct keeps lexically distinct numerals",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?n WHERE { ?s ex:q ?n }`,
+			want: []string{"?n=" + intLit("01"), "?n=" + intLit("1")},
+		},
+		{
+			// Language tags are case-insensitive: "two"@EN in the data and
+			// "two"@en in the query are the same term, so ex:d and ex:e both
+			// match a query written with the lowercase tag.
+			name: "language tag case-insensitive match",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:label "two"@en }`,
+			want: []string{"?s=" + ex("d"), "?s=" + ex("e")},
+		},
+		{
+			name: "language tag case-insensitive join and distinct",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?l WHERE { ?s ex:label ?l }`,
+			want: []string{`?l="two"@en`},
+		},
+		{
+			// RDF 1.1: a plain literal IS an xsd:string literal. A pattern
+			// spelled with the explicit datatype matches data spelled plain,
+			// and vice versa; the @en-tagged literal stays distinct.
+			name: "plain and xsd:string are one term",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+SELECT ?s WHERE { ?s ex:name "x"^^xsd:string }`,
+			want: []string{"?s=" + ex("f"), "?s=" + ex("g")},
+		},
+		{
+			name: "plain vs xsd:string distinct collapses",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+SELECT DISTINCT ?n WHERE { ?s ex:name ?n }`,
+			want: []string{`?n="x"`, `?n="x"@en`},
+		},
+		{
+			// Mixed-numeral ORDER BY is by value; the tie between "1" and
+			// "01" keeps both rows.
+			name: "order by value across lexical forms",
+			data: data,
+			query: `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:q ?n } ORDER BY ?n STR(?s) LIMIT 2`,
+			want: []string{"?s=" + ex("a"), "?s=" + ex("b")},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := canonicalRows(t, c.data, c.query)
+			if len(got) != len(c.want) {
+				t.Fatalf("rows = %d, want %d\ngot:  %v\nwant: %v", len(got), len(c.want), got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("row %d:\ngot:  %s\nwant: %s", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}

@@ -46,6 +46,11 @@ type Env struct {
 	// cost one atomic load per operator, nothing per solution.
 	Events *obs.Emitter
 
+	// dict is the engine term dictionary (shared with Store); hash-keyed
+	// operators (join, DISTINCT, OPTIONAL bookkeeping) key on packed term
+	// IDs from it instead of rendering lexical strings.
+	dict *rdf.Dict
+
 	mu     sync.Mutex
 	bnodeN int
 	randN  uint64
@@ -55,7 +60,7 @@ type Env struct {
 // value.
 func NewEnv(src *store.Store) *Env {
 	now := rdf.NewTypedLiteral("2024-03-25T00:00:00Z", rdf.XSDDateTime)
-	return &Env{Store: src, Now: func() rdf.Term { return now }, randN: 0x9E3779B97F4A7C15}
+	return &Env{Store: src, Now: func() rdf.Term { return now }, dict: src.Dict(), randN: 0x9E3779B97F4A7C15}
 }
 
 // freshBNode mints a unique blank node for BNODE().
@@ -243,12 +248,17 @@ func evalValues(ctx context.Context, v algebra.Values) Stream {
 // variable unbound (possible below OPTIONAL/VALUES) are probed linearly.
 type joinState struct {
 	shared  []string
-	exact   map[string][]rdf.Binding
+	keyer   idKeyer
+	exact   map[idKey][]rdf.Binding
 	partial []rdf.Binding
 }
 
-func newJoinState(shared []string) *joinState {
-	return &joinState{shared: shared, exact: map[string][]rdf.Binding{}}
+func newJoinState(shared []string, env *Env) *joinState {
+	return &joinState{
+		shared: shared,
+		keyer:  newIDKeyer(env.dict, shared),
+		exact:  map[idKey][]rdf.Binding{},
+	}
 }
 
 // insert stores b and returns the candidate matches from the other side.
@@ -262,7 +272,7 @@ func (s *joinState) insert(b rdf.Binding, other *joinState) []rdf.Binding {
 	}
 	var candidates []rdf.Binding
 	if full {
-		key := b.Key(s.shared)
+		key := s.keyer.key(b)
 		s.exact[key] = append(s.exact[key], b)
 		candidates = append(candidates, other.exact[key]...)
 		candidates = append(candidates, other.partial...)
@@ -283,7 +293,7 @@ func evalJoin(ctx context.Context, j algebra.Join, env *Env) Stream {
 	right := Eval(ctx, j.Right, env)
 	go func() {
 		defer close(out)
-		ls, rs := newJoinState(shared), newJoinState(shared)
+		ls, rs := newJoinState(shared, env), newJoinState(shared, env)
 		l, r := left, right
 		for l != nil || r != nil {
 			var b rdf.Binding
@@ -325,12 +335,13 @@ func evalLeftJoin(ctx context.Context, j algebra.LeftJoin, env *Env) Stream {
 	go func() {
 		defer close(out)
 		var lefts []rdf.Binding
-		ls, rs := newJoinState(shared), newJoinState(shared)
+		ls, rs := newJoinState(shared, env), newJoinState(shared, env)
 		// A left solution is identified by its key over the left-side
 		// variable set; once any extension of it is emitted, its bare row
 		// is suppressed.
-		matched := map[string]bool{}
+		matched := map[idKey]bool{}
 		allVarsL := j.Left.Vars()
+		leftKeyer := newIDKeyer(env.dict, allVarsL)
 
 		conditionOK := func(merged rdf.Binding) bool {
 			for _, f := range j.Filters {
@@ -370,7 +381,7 @@ func evalLeftJoin(ctx context.Context, j algebra.LeftJoin, env *Env) Stream {
 				lefts = append(lefts, b)
 				for _, cand := range ls.insert(b, rs) {
 					if merged, ok := b.Merge(cand); ok && conditionOK(merged) {
-						matched[b.Key(allVarsL)] = true
+						matched[leftKeyer.key(b)] = true
 						if !send(ctx, out, merged) {
 							return
 						}
@@ -379,7 +390,7 @@ func evalLeftJoin(ctx context.Context, j algebra.LeftJoin, env *Env) Stream {
 			} else {
 				for _, cand := range rs.insert(b, ls) {
 					if merged, ok := cand.Merge(b); ok && conditionOK(merged) {
-						matched[cand.Key(allVarsL)] = true
+						matched[leftKeyer.key(cand)] = true
 						if !send(ctx, out, merged) {
 							return
 						}
@@ -389,7 +400,7 @@ func evalLeftJoin(ctx context.Context, j algebra.LeftJoin, env *Env) Stream {
 		}
 		// Emit bare left rows that never joined.
 		for _, b := range lefts {
-			if !matched[b.Key(allVarsL)] {
+			if !matched[leftKeyer.key(b)] {
 				if !send(ctx, out, b) {
 					return
 				}
@@ -623,16 +634,17 @@ func evalDistinct(ctx context.Context, d algebra.Distinct, env *Env) Stream {
 	out := make(chan rdf.Binding, chanCap)
 	in := Eval(ctx, d.Input, env)
 	vars := d.Input.Vars()
+	keyer := newIDKeyer(env.dict, vars)
 	go func() {
 		defer close(out)
-		seen := map[string]bool{}
+		seen := map[idKey]bool{}
 		for {
 			select {
 			case b, ok := <-in:
 				if !ok {
 					return
 				}
-				key := b.Key(vars)
+				key := keyer.key(b)
 				if seen[key] {
 					continue
 				}
@@ -652,9 +664,10 @@ func evalReduced(ctx context.Context, r algebra.Reduced, env *Env) Stream {
 	out := make(chan rdf.Binding, chanCap)
 	in := Eval(ctx, r.Input, env)
 	vars := r.Input.Vars()
+	keyer := newIDKeyer(env.dict, vars)
 	go func() {
 		defer close(out)
-		last := ""
+		var last idKey
 		first := true
 		for {
 			select {
@@ -662,7 +675,7 @@ func evalReduced(ctx context.Context, r algebra.Reduced, env *Env) Stream {
 				if !ok {
 					return
 				}
-				key := b.Key(vars)
+				key := keyer.key(b)
 				if !first && key == last {
 					continue
 				}

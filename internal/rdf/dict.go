@@ -1,0 +1,220 @@
+package rdf
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// TermID is a dictionary-encoded term: a dense integer handle for one
+// distinct Term. ID 0 is reserved for the undefined (zero) term, so a zero
+// TermID unambiguously means "no term". IDs are assigned in first-intern
+// order, are never reused, and stay stable for the lifetime of the Dict —
+// two Terms are equal if and only if their IDs from the same Dict are equal.
+type TermID uint32
+
+// NoTerm is the TermID of the undefined term.
+const NoTerm TermID = 0
+
+// IDTriple is a dictionary-encoded triple: three TermIDs from the same
+// Dict. It is a 12-byte comparable value, so it hashes and compares as a
+// small fixed-size key instead of three lexical strings — the representation
+// the store keeps on its hot ingest and match paths.
+type IDTriple struct {
+	S, P, O TermID
+}
+
+// SP packs subject and predicate into one uint64 composite key, used by the
+// store's (s,p)-constant index.
+func (t IDTriple) SP() uint64 { return uint64(t.S)<<32 | uint64(t.P) }
+
+// PO packs predicate and object into one uint64 composite key, used by the
+// store's (p,o)-constant index.
+func (t IDTriple) PO() uint64 { return uint64(t.P)<<32 | uint64(t.O) }
+
+// PackID2 packs two TermIDs into one uint64 composite key. Join operators
+// use it to key hash buckets on up to two shared variables without
+// rendering any lexical form.
+func PackID2(a, b TermID) uint64 { return uint64(a)<<32 | uint64(b) }
+
+const (
+	// dictShards is the number of lock stripes of the intern map. Power of
+	// two; 64 stripes keep contention negligible at the engine's default
+	// dereference parallelism while costing ~3 KiB of mutexes.
+	dictShards = 64
+
+	// dictChunkSize is the number of terms per decode-table chunk. Chunks
+	// are append-only: once a slot is published it never moves, so readers
+	// decode without taking any lock.
+	dictChunkSize = 1024
+)
+
+// Dict is a concurrent term dictionary: an engine-scoped bijection between
+// Terms and dense TermIDs.
+//
+// Interning is lock-striped: the Term→ID map is split over dictShards
+// stripes, each guarded by its own RWMutex, so concurrent interning from
+// many dereference workers rarely contends, and the common re-intern (hit)
+// path takes only a read lock. Decoding is lock-free: the ID→Term table is
+// a list of fixed-size append-only chunks published with atomic operations,
+// so pattern scans and joins decode IDs with two atomic loads and an index.
+//
+// The dictionary is append-only and grows for the lifetime of its engine;
+// it never forgets a term. That is the standard trade-off of dictionary
+// encoding: bounded, shared string storage in exchange for integer
+// comparisons everywhere downstream.
+type Dict struct {
+	shards [dictShards]dictShard
+
+	// tableMu serializes ID allocation and decode-table appends.
+	tableMu sync.Mutex
+	// chunks is the atomically-published list of decode chunks.
+	chunks atomic.Pointer[[]*dictChunk]
+	// n is the number of published IDs; a reader that observes n >= id is
+	// guaranteed (by the release/acquire pair on n) to see the fully
+	// written decode slot for id.
+	n atomic.Uint32
+}
+
+type dictShard struct {
+	mu sync.RWMutex
+	m  map[Term]TermID
+}
+
+type dictChunk [dictChunkSize]Term
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{}
+	for i := range d.shards {
+		d.shards[i].m = make(map[Term]TermID)
+	}
+	empty := make([]*dictChunk, 0)
+	d.chunks.Store(&empty)
+	return d
+}
+
+// shardOf selects the lock stripe for a term (FNV-1a over its components).
+func shardOf(t Term) uint32 {
+	h := uint32(2166136261)
+	h = (h ^ uint32(t.Kind)) * 16777619
+	for i := 0; i < len(t.Value); i++ {
+		h = (h ^ uint32(t.Value[i])) * 16777619
+	}
+	for i := 0; i < len(t.Datatype); i++ {
+		h = (h ^ uint32(t.Datatype[i])) * 16777619
+	}
+	for i := 0; i < len(t.Language); i++ {
+		h = (h ^ uint32(t.Language[i])) * 16777619
+	}
+	return h & (dictShards - 1)
+}
+
+// Intern returns the ID of t, assigning a fresh one on first sight. The
+// undefined term always interns to NoTerm. Intern is safe for concurrent
+// use; equal terms receive equal IDs no matter which goroutine interned
+// them first.
+func (d *Dict) Intern(t Term) TermID {
+	if t.Kind == TermUndef {
+		return NoTerm
+	}
+	sh := &d.shards[shardOf(t)]
+	sh.mu.RLock()
+	id, ok := sh.m[t]
+	sh.mu.RUnlock()
+	if ok {
+		return id
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if id, ok := sh.m[t]; ok {
+		return id
+	}
+	id = d.appendTerm(t)
+	sh.m[t] = id
+	return id
+}
+
+// appendTerm allocates the next ID and publishes t in the decode table.
+func (d *Dict) appendTerm(t Term) TermID {
+	d.tableMu.Lock()
+	defer d.tableMu.Unlock()
+	next := d.n.Load() // only this goroutine can advance it right now
+	idx := int(next)   // 0-based slot of the new term; its ID is next+1
+	chunks := *d.chunks.Load()
+	if idx/dictChunkSize >= len(chunks) {
+		grown := make([]*dictChunk, len(chunks)+1)
+		copy(grown, chunks)
+		grown[len(chunks)] = new(dictChunk)
+		d.chunks.Store(&grown)
+		chunks = grown
+	}
+	chunks[idx/dictChunkSize][idx%dictChunkSize] = t
+	id := TermID(next + 1)
+	d.n.Store(uint32(id)) // release: publishes the slot write above
+	return id
+}
+
+// Lookup returns the ID of t without interning it. The second result
+// reports whether t has ever been interned. The undefined term reports
+// (NoTerm, true).
+func (d *Dict) Lookup(t Term) (TermID, bool) {
+	if t.Kind == TermUndef {
+		return NoTerm, true
+	}
+	sh := &d.shards[shardOf(t)]
+	sh.mu.RLock()
+	id, ok := sh.m[t]
+	sh.mu.RUnlock()
+	return id, ok
+}
+
+// Decode returns the term for an ID. NoTerm and out-of-range IDs decode to
+// the undefined term. Decode is lock-free and safe concurrently with
+// Intern.
+func (d *Dict) Decode(id TermID) Term {
+	if id == NoTerm || uint32(id) > d.n.Load() { // acquire: pairs with appendTerm
+		return Term{}
+	}
+	idx := int(id) - 1
+	chunks := *d.chunks.Load()
+	return chunks[idx/dictChunkSize][idx%dictChunkSize]
+}
+
+// Canonical interns t and returns the dictionary's copy of it. The
+// canonical term is ==-equal to t but shares the dictionary's backing
+// strings, so parsers that canonicalize as they emit collapse the thousands
+// of repeated IRI/datatype strings of a document set down to one allocation
+// each.
+func (d *Dict) Canonical(t Term) Term {
+	id := d.Intern(t)
+	if id == NoTerm {
+		return Term{}
+	}
+	return d.Decode(id)
+}
+
+// InternTriple interns all three positions of a ground triple.
+func (d *Dict) InternTriple(t Triple) IDTriple {
+	return IDTriple{S: d.Intern(t.S), P: d.Intern(t.P), O: d.Intern(t.O)}
+}
+
+// LookupTriple returns the IDTriple of t if every position has been
+// interned; ok is false otherwise (in which case t cannot be present in any
+// structure keyed by this dictionary).
+func (d *Dict) LookupTriple(t Triple) (IDTriple, bool) {
+	s, ok1 := d.Lookup(t.S)
+	p, ok2 := d.Lookup(t.P)
+	o, ok3 := d.Lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return IDTriple{}, false
+	}
+	return IDTriple{S: s, P: p, O: o}, true
+}
+
+// DecodeTriple decodes all three positions of an IDTriple.
+func (d *Dict) DecodeTriple(t IDTriple) Triple {
+	return Triple{S: d.Decode(t.S), P: d.Decode(t.P), O: d.Decode(t.O)}
+}
+
+// Size returns the number of distinct terms interned so far.
+func (d *Dict) Size() int { return int(d.n.Load()) }

@@ -1,0 +1,171 @@
+package rdf
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDictInternDecodeRoundTrip(t *testing.T) {
+	d := NewDict()
+	terms := []Term{
+		NewIRI("http://example.org/a"),
+		NewIRI("http://example.org/b"),
+		NewLiteral("plain"),
+		NewTypedLiteral("1", XSDInteger),
+		NewTypedLiteral("01", XSDInteger),
+		NewLangLiteral("two", "EN"), // canonicalized to @en by the constructor
+		NewBlank("b1"),
+		NewVar("x"),
+	}
+	ids := make([]TermID, len(terms))
+	for i, term := range terms {
+		ids[i] = d.Intern(term)
+		if ids[i] == NoTerm {
+			t.Fatalf("Intern(%s) = NoTerm", term)
+		}
+		if got := d.Decode(ids[i]); got != term {
+			t.Fatalf("Decode(Intern(%s)) = %s", term, got)
+		}
+	}
+	// IDs are dense, first-intern ordered, and stable on re-intern.
+	for i, term := range terms {
+		if ids[i] != TermID(i+1) {
+			t.Errorf("id of term %d = %d, want %d", i, ids[i], i+1)
+		}
+		if again := d.Intern(term); again != ids[i] {
+			t.Errorf("re-Intern(%s) = %d, want %d", term, again, ids[i])
+		}
+	}
+	if d.Size() != len(terms) {
+		t.Errorf("Size = %d, want %d", d.Size(), len(terms))
+	}
+}
+
+func TestDictDistinctTermsDistinctIDs(t *testing.T) {
+	d := NewDict()
+	// Same lexical value, different kinds/datatypes/languages: all distinct.
+	terms := []Term{
+		NewIRI("x"),
+		NewLiteral("x"),
+		NewBlank("x"),
+		NewVar("x"),
+		NewTypedLiteral("x", XSDInteger),
+		NewLangLiteral("x", "en"),
+		NewLangLiteral("x", "de"),
+	}
+	seen := map[TermID]Term{}
+	for _, term := range terms {
+		id := d.Intern(term)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("terms %s and %s share id %d", prev, term, id)
+		}
+		seen[id] = term
+	}
+}
+
+func TestDictZeroAndOutOfRange(t *testing.T) {
+	d := NewDict()
+	if id := d.Intern(Term{}); id != NoTerm {
+		t.Errorf("Intern(zero) = %d, want NoTerm", id)
+	}
+	if got := d.Decode(NoTerm); !got.IsZero() {
+		t.Errorf("Decode(NoTerm) = %s, want zero term", got)
+	}
+	if got := d.Decode(TermID(999)); !got.IsZero() {
+		t.Errorf("Decode(out of range) = %s, want zero term", got)
+	}
+	if id, ok := d.Lookup(NewIRI("http://never")); ok || id != NoTerm {
+		t.Errorf("Lookup(missing) = (%d, %v), want (NoTerm, false)", id, ok)
+	}
+	if id, ok := d.Lookup(Term{}); !ok || id != NoTerm {
+		t.Errorf("Lookup(zero) = (%d, %v), want (NoTerm, true)", id, ok)
+	}
+}
+
+func TestDictCanonicalSharesStorage(t *testing.T) {
+	d := NewDict()
+	first := NewIRI("http://example.org/shared")
+	d.Intern(first)
+	// A second, equal term built from different backing bytes.
+	second := NewIRI("http://example.org/" + string([]byte("shared")))
+	canon := d.Canonical(second)
+	if canon != first {
+		t.Fatalf("Canonical = %s, want %s", canon, first)
+	}
+	if got := d.Canonical(Term{}); !got.IsZero() {
+		t.Errorf("Canonical(zero) = %s", got)
+	}
+}
+
+func TestDictTripleRoundTrip(t *testing.T) {
+	d := NewDict()
+	tr := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("o"))
+	it := d.InternTriple(tr)
+	if got := d.DecodeTriple(it); got != tr {
+		t.Fatalf("DecodeTriple = %s, want %s", got, tr)
+	}
+	if got, ok := d.LookupTriple(tr); !ok || got != it {
+		t.Fatalf("LookupTriple = (%v, %v)", got, ok)
+	}
+	missing := NewTriple(NewIRI("http://s"), NewIRI("http://p"), NewLiteral("absent"))
+	if _, ok := d.LookupTriple(missing); ok {
+		t.Fatal("LookupTriple reported a never-interned triple present")
+	}
+}
+
+func TestDictGrowsAcrossChunks(t *testing.T) {
+	d := NewDict()
+	n := dictChunkSize*2 + 37
+	for i := 0; i < n; i++ {
+		term := NewIRI(fmt.Sprintf("http://example.org/%d", i))
+		if id := d.Intern(term); id != TermID(i+1) {
+			t.Fatalf("id %d for term %d", id, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := NewIRI(fmt.Sprintf("http://example.org/%d", i))
+		if got := d.Decode(TermID(i + 1)); got != want {
+			t.Fatalf("Decode(%d) = %s, want %s", i+1, got, want)
+		}
+	}
+	if d.Size() != n {
+		t.Errorf("Size = %d, want %d", d.Size(), n)
+	}
+}
+
+func TestPackID2(t *testing.T) {
+	if PackID2(1, 2) == PackID2(2, 1) {
+		t.Fatal("PackID2 is order-insensitive")
+	}
+	if PackID2(0, 1) == PackID2(1, 0) {
+		t.Fatal("PackID2 collides on zero")
+	}
+}
+
+func BenchmarkDictInternHit(b *testing.B) {
+	d := NewDict()
+	terms := make([]Term, 1000)
+	for i := range terms {
+		terms[i] = NewIRI(fmt.Sprintf("http://example.org/term/%d", i))
+		d.Intern(terms[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Intern(terms[i%len(terms)])
+	}
+}
+
+func BenchmarkDictDecode(b *testing.B) {
+	d := NewDict()
+	for i := 0; i < 1000; i++ {
+		d.Intern(NewIRI(fmt.Sprintf("http://example.org/term/%d", i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d.Decode(TermID(i%1000+1)).Kind != TermIRI {
+			b.Fatal("bad decode")
+		}
+	}
+}

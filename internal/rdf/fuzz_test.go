@@ -1,0 +1,63 @@
+package rdf
+
+import "testing"
+
+// FuzzDictRoundTrip pins the dictionary bijection for arbitrary valid
+// terms: intern→decode must be the identity, and re-interning must return
+// the same ID. Terms are built through the package constructors, so the
+// fuzzer explores exactly the term space the parsers can produce (including
+// the canonicalizations the constructors apply: lower-cased language tags,
+// xsd:string folded to the empty datatype).
+func FuzzDictRoundTrip(f *testing.F) {
+	f.Add(uint8(0), "http://example.org/a", "", "")
+	f.Add(uint8(1), "plain literal", "", "")
+	f.Add(uint8(2), "1", "http://www.w3.org/2001/XMLSchema#integer", "")
+	f.Add(uint8(2), "01", "http://www.w3.org/2001/XMLSchema#integer", "")
+	f.Add(uint8(3), "two", "", "EN")
+	f.Add(uint8(4), "b1", "", "")
+	f.Add(uint8(5), "x", "", "")
+	f.Add(uint8(2), "s", "http://www.w3.org/2001/XMLSchema#string", "")
+	f.Add(uint8(1), "\x00\xff not utf8 \xf0", "", "")
+
+	f.Fuzz(func(t *testing.T, kind uint8, value, datatype, lang string) {
+		var term Term
+		switch kind % 6 {
+		case 0:
+			term = NewIRI(value)
+		case 1:
+			term = NewLiteral(value)
+		case 2:
+			term = NewTypedLiteral(value, datatype)
+		case 3:
+			term = NewLangLiteral(value, lang)
+		case 4:
+			term = NewBlank(value)
+		default:
+			term = NewVar(value)
+		}
+
+		d := NewDict()
+		id := d.Intern(term)
+		if term.IsZero() {
+			if id != NoTerm {
+				t.Fatalf("Intern(zero term) = %d, want NoTerm", id)
+			}
+			return
+		}
+		if id == NoTerm {
+			t.Fatalf("Intern(%s) = NoTerm for a non-zero term", term)
+		}
+		if got := d.Decode(id); got != term {
+			t.Fatalf("Decode(Intern(%s)) = %s: round trip not identity", term, got)
+		}
+		if again := d.Intern(term); again != id {
+			t.Fatalf("re-Intern(%s) = %d, want stable %d", term, again, id)
+		}
+		if canon := d.Canonical(term); canon != term {
+			t.Fatalf("Canonical(%s) = %s", term, canon)
+		}
+		if got, ok := d.Lookup(term); !ok || got != id {
+			t.Fatalf("Lookup(%s) = (%d, %v), want (%d, true)", term, got, ok, id)
+		}
+	})
+}

@@ -7,6 +7,14 @@
 // store is closed (traversal finished). This is what allows the query
 // pipeline to start producing results while documents are still being
 // dereferenced, as described in the paper's architecture (Fig. 1).
+//
+// Internally the store is dictionary-encoded: every term is interned in an
+// engine-scoped rdf.Dict, triples are stored and deduplicated as 12-byte
+// rdf.IDTriple values, and the pattern indexes are keyed by integer TermIDs
+// (plus uint64 composite keys for the two-constant (s,p) and (p,o) shapes).
+// The hot ingest and match paths therefore hash and compare small integers
+// instead of lexical strings; terms are decoded back to rdf.Term only at
+// the iterator emission boundary.
 package store
 
 import (
@@ -17,7 +25,7 @@ import (
 )
 
 // Store is the growing internal triple source. The zero value is not usable;
-// construct with New.
+// construct with New or NewWithDict.
 //
 // Triples are deduplicated set-wise (the source is the union of all
 // dereferenced documents), while provenance (which document contributed a
@@ -26,65 +34,120 @@ type Store struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 
-	triples []rdf.Triple
-	sources []rdf.Term // sources[i] is the document triples[i] came from
-	seen    map[rdf.Triple]int
+	// dict is the term dictionary all IDs below refer to. It may be shared
+	// with the parser and document cache of the owning engine.
+	dict *rdf.Dict
 
-	bySubject   map[rdf.Term][]int
-	byPredicate map[rdf.Term][]int
-	byObject    map[rdf.Term][]int
+	triples []rdf.IDTriple
+	sources []rdf.TermID // sources[i] is the document triples[i] came from
+	seen    map[rdf.IDTriple]int32
+
+	bySubject   map[rdf.TermID][]int32
+	byPredicate map[rdf.TermID][]int32
+	byObject    map[rdf.TermID][]int32
+	// Composite two-constant indexes: star joins overwhelmingly probe the
+	// (?s, p, o) and (s, p, ?o) shapes, which these answer exactly instead
+	// of filtering a one-constant candidate list. They are built lazily on
+	// the first probe of their shape (nil until then), so pure ingest never
+	// pays their per-triple cost; once built they are maintained on every
+	// add.
+	bySP map[uint64][]int32
+	byPO map[uint64][]int32
 
 	closed    bool
 	documents map[string]bool // document IRIs ingested
 }
 
-// New returns an empty open store.
+// New returns an empty open store with its own private term dictionary.
 func New() *Store {
+	return NewWithDict(rdf.NewDict())
+}
+
+// NewWithDict returns an empty open store interning into the given
+// dictionary. An engine shares one dictionary between its parser, document
+// cache, and the per-query stores, so repeated documents intern to the same
+// IDs across queries.
+func NewWithDict(dict *rdf.Dict) *Store {
 	s := &Store{
-		seen:        make(map[rdf.Triple]int),
-		bySubject:   make(map[rdf.Term][]int),
-		byPredicate: make(map[rdf.Term][]int),
-		byObject:    make(map[rdf.Term][]int),
+		dict:        dict,
+		seen:        make(map[rdf.IDTriple]int32),
+		bySubject:   make(map[rdf.TermID][]int32),
+		byPredicate: make(map[rdf.TermID][]int32),
+		byObject:    make(map[rdf.TermID][]int32),
 		documents:   make(map[string]bool),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
 }
 
+// Dict returns the store's term dictionary.
+func (s *Store) Dict() *rdf.Dict { return s.dict }
+
 // Add inserts one triple attributed to the given source document. It
 // reports whether the triple was new. Adding to a closed store is a no-op
 // returning false.
 func (s *Store) Add(t rdf.Triple, source rdf.Term) bool {
+	// Intern outside the store lock: interning takes the dictionary's
+	// stripe locks and must not extend the critical section that blocks
+	// live iterators.
+	it := s.dict.InternTriple(t)
+	src := s.dict.Intern(source)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
-	if _, dup := s.seen[t]; dup {
+	if !s.addLocked(it, src) {
 		return false
 	}
-	i := len(s.triples)
-	s.seen[t] = i
-	s.triples = append(s.triples, t)
-	s.sources = append(s.sources, source)
-	s.bySubject[t.S] = append(s.bySubject[t.S], i)
-	s.byPredicate[t.P] = append(s.byPredicate[t.P], i)
-	s.byObject[t.O] = append(s.byObject[t.O], i)
 	s.cond.Broadcast()
 	return true
 }
 
+// addLocked inserts one interned triple. Caller holds s.mu.
+func (s *Store) addLocked(t rdf.IDTriple, src rdf.TermID) bool {
+	if _, dup := s.seen[t]; dup {
+		return false
+	}
+	i := int32(len(s.triples))
+	s.seen[t] = i
+	s.triples = append(s.triples, t)
+	s.sources = append(s.sources, src)
+	s.bySubject[t.S] = append(s.bySubject[t.S], i)
+	s.byPredicate[t.P] = append(s.byPredicate[t.P], i)
+	s.byObject[t.O] = append(s.byObject[t.O], i)
+	if s.bySP != nil {
+		s.bySP[t.SP()] = append(s.bySP[t.SP()], i)
+	}
+	if s.byPO != nil {
+		s.byPO[t.PO()] = append(s.byPO[t.PO()], i)
+	}
+	return true
+}
+
 // AddDocument ingests all triples of a dereferenced document and reports
-// how many were new. It also records the document IRI.
+// how many were new. It also records the document IRI. The whole document
+// is interned outside the store lock and inserted under one lock
+// acquisition with a single iterator wakeup, so ingest cost per document is
+// one critical section, not one per triple.
 func (s *Store) AddDocument(docIRI string, triples []rdf.Triple) int {
-	src := rdf.NewIRI(docIRI)
+	src := s.dict.Intern(rdf.NewIRI(docIRI))
+	ids := make([]rdf.IDTriple, len(triples))
+	for i, t := range triples {
+		ids[i] = s.dict.InternTriple(t)
+	}
 	n := 0
-	for _, t := range triples {
-		if s.Add(t, src) {
-			n++
+	s.mu.Lock()
+	if !s.closed {
+		for _, it := range ids {
+			if s.addLocked(it, src) {
+				n++
+			}
+		}
+		if n > 0 {
+			s.cond.Broadcast()
 		}
 	}
-	s.mu.Lock()
 	s.documents[docIRI] = true
 	s.mu.Unlock()
 	return n
@@ -125,52 +188,145 @@ func (s *Store) DocumentCount() int {
 
 // Source returns the document a ground triple was first contributed by.
 func (s *Store) Source(t rdf.Triple) (rdf.Term, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if i, ok := s.seen[t]; ok {
-		return s.sources[i], true
+	it, ok := s.dict.LookupTriple(t)
+	if !ok {
+		return rdf.Term{}, false
 	}
-	return rdf.Term{}, false
+	s.mu.Lock()
+	i, ok := s.seen[it]
+	var src rdf.TermID
+	if ok {
+		src = s.sources[i]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return rdf.Term{}, false
+	}
+	return s.dict.Decode(src), true
 }
 
-// candidateList returns the index list to scan for a pattern, choosing the
-// most selective available index, and whether the list is complete at the
-// time of the call. The caller holds s.mu.
-func (s *Store) candidates(pattern rdf.Triple) []int {
+// idPattern is a compiled triple pattern: each position is either a
+// constant TermID or a variable slot. Repeated variables (e.g. ?x :p ?x)
+// compile to equality constraints between positions.
+type idPattern struct {
+	id    [3]rdf.TermID // constant ID per position (NoTerm for undef constants)
+	isVar [3]bool       // position is a wildcard
+	// sameAs[i] >= 0 requires position i to equal position sameAs[i]
+	// (repeated variable).
+	sameAs [3]int8
+}
+
+// compilePattern interns the constant positions of a pattern. Interning
+// (rather than looking up) keeps live semantics: a constant term that has
+// not been seen yet receives its final ID now, so the pattern starts
+// matching the moment traversal contributes the term.
+func (s *Store) compilePattern(pattern rdf.Triple) idPattern {
+	var p idPattern
+	p.sameAs = [3]int8{-1, -1, -1}
+	pos := [3]rdf.Term{pattern.S, pattern.P, pattern.O}
+	for i, t := range pos {
+		if t.Kind == rdf.TermVar {
+			p.isVar[i] = true
+			for j := 0; j < i; j++ {
+				if pos[j].Kind == rdf.TermVar && pos[j].Value == t.Value {
+					p.sameAs[i] = int8(j)
+					break
+				}
+			}
+			continue
+		}
+		// Undef compiles to NoTerm, which no ground triple position carries
+		// unless the data itself holds an undef term — preserving the
+		// pre-dictionary semantics of undef-as-constant.
+		p.id[i] = s.dict.Intern(t)
+	}
+	return p
+}
+
+// matches reports whether the compiled pattern matches an ID triple.
+func (p *idPattern) matches(t rdf.IDTriple) bool {
+	ids := [3]rdf.TermID{t.S, t.P, t.O}
+	for i := 0; i < 3; i++ {
+		if p.isVar[i] {
+			if j := p.sameAs[i]; j >= 0 && ids[i] != ids[j] {
+				return false
+			}
+			continue
+		}
+		if ids[i] != p.id[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// fullScan reports whether the pattern has no constant position.
+func (p *idPattern) fullScan() bool {
+	for i := 0; i < 3; i++ {
+		if !p.isVar[i] {
+			// An undef "constant" is not indexable (its ID is NoTerm, which
+			// is never indexed), but it also matches nothing; the full-scan
+			// path handles it like the pre-dictionary store did.
+			if p.id[i] == rdf.NoTerm {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// candidates returns the index list to scan for a compiled pattern,
+// choosing the most selective available index. Caller holds s.mu.
+func (s *Store) candidates(p *idPattern) []int32 {
+	constS := !p.isVar[0] && p.id[0] != rdf.NoTerm
+	constP := !p.isVar[1] && p.id[1] != rdf.NoTerm
+	constO := !p.isVar[2] && p.id[2] != rdf.NoTerm
 	switch {
-	case pattern.S.Kind != rdf.TermVar && pattern.S.Kind != rdf.TermUndef:
-		return s.bySubject[pattern.S]
-	case pattern.O.Kind != rdf.TermVar && pattern.O.Kind != rdf.TermUndef:
-		return s.byObject[pattern.O]
-	case pattern.P.Kind != rdf.TermVar && pattern.P.Kind != rdf.TermUndef:
-		return s.byPredicate[pattern.P]
+	case constS && constP:
+		if s.bySP == nil {
+			s.bySP = make(map[uint64][]int32, len(s.triples))
+			for i, t := range s.triples {
+				s.bySP[t.SP()] = append(s.bySP[t.SP()], int32(i))
+			}
+		}
+		return s.bySP[uint64(p.id[0])<<32|uint64(p.id[1])]
+	case constP && constO:
+		if s.byPO == nil {
+			s.byPO = make(map[uint64][]int32, len(s.triples))
+			for i, t := range s.triples {
+				s.byPO[t.PO()] = append(s.byPO[t.PO()], int32(i))
+			}
+		}
+		return s.byPO[uint64(p.id[1])<<32|uint64(p.id[2])]
+	case constS:
+		return s.bySubject[p.id[0]]
+	case constO:
+		return s.byObject[p.id[2]]
+	case constP:
+		return s.byPredicate[p.id[1]]
 	default:
 		return nil // full scan
 	}
 }
 
-// fullScan reports whether the pattern has no constant position.
-func fullScan(pattern rdf.Triple) bool {
-	isVar := func(t rdf.Term) bool { return t.Kind == rdf.TermVar || t.Kind == rdf.TermUndef }
-	return isVar(pattern.S) && isVar(pattern.P) && isVar(pattern.O)
-}
-
 // MatchNow returns a snapshot of all current matches of the pattern.
 func (s *Store) MatchNow(pattern rdf.Triple) []rdf.Triple {
+	p := s.compilePattern(pattern)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []rdf.Triple
-	if fullScan(pattern) {
+	if p.fullScan() {
 		for _, t := range s.triples {
-			if pattern.Matches(t) {
-				out = append(out, t)
+			if p.matches(t) {
+				out = append(out, s.dict.DecodeTriple(t))
 			}
 		}
 		return out
 	}
-	for _, i := range s.candidates(pattern) {
-		if pattern.Matches(s.triples[i]) {
-			out = append(out, s.triples[i])
+	for _, i := range s.candidates(&p) {
+		if t := s.triples[i]; p.matches(t) {
+			out = append(out, s.dict.DecodeTriple(t))
 		}
 	}
 	return out
@@ -179,21 +335,39 @@ func (s *Store) MatchNow(pattern rdf.Triple) []rdf.Triple {
 // CountNow returns the number of current matches of the pattern. It is used
 // by cardinality-estimating planners and tests.
 func (s *Store) CountNow(pattern rdf.Triple) int {
-	return len(s.MatchNow(pattern))
+	p := s.compilePattern(pattern)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	if p.fullScan() {
+		for _, t := range s.triples {
+			if p.matches(t) {
+				n++
+			}
+		}
+		return n
+	}
+	for _, i := range s.candidates(&p) {
+		if p.matches(s.triples[i]) {
+			n++
+		}
+	}
+	return n
 }
 
 // Match returns a live iterator over current and future matches of the
 // pattern. The iterator terminates once the store is closed and all matches
 // are drained, or when the iterator itself is closed.
 func (s *Store) Match(pattern rdf.Triple) *Iterator {
-	return &Iterator{store: s, pattern: pattern, scan: fullScan(pattern)}
+	p := s.compilePattern(pattern)
+	return &Iterator{store: s, pattern: p, scan: p.fullScan()}
 }
 
 // Iterator is a live triple-pattern iterator. It is not safe for concurrent
 // use by multiple goroutines; each pipeline operator owns its iterators.
 type Iterator struct {
 	store   *Store
-	pattern rdf.Triple
+	pattern idPattern
 	// next is the cursor: an index into the candidate list (or the triples
 	// slice for full scans) of the next entry to examine.
 	next   int
@@ -218,7 +392,7 @@ func (it *Iterator) Next(ctx context.Context) (rdf.Triple, bool) {
 			return rdf.Triple{}, false
 		}
 		if t, ok := it.scanLocked(); ok {
-			return t, true
+			return s.dict.DecodeTriple(t), true
 		}
 		if s.closed {
 			return rdf.Triple{}, false
@@ -242,12 +416,17 @@ func (it *Iterator) Next(ctx context.Context) (rdf.Triple, bool) {
 
 // TryNext returns the next available match without blocking.
 func (it *Iterator) TryNext() (rdf.Triple, bool) {
-	it.store.mu.Lock()
-	defer it.store.mu.Unlock()
+	s := it.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if it.isClosed() {
 		return rdf.Triple{}, false
 	}
-	return it.scanLocked()
+	t, ok := it.scanLocked()
+	if !ok {
+		return rdf.Triple{}, false
+	}
+	return s.dict.DecodeTriple(t), true
 }
 
 // Done reports whether the iterator can produce no further results without
@@ -269,27 +448,27 @@ func (it *Iterator) Done() bool {
 }
 
 // scanLocked advances the cursor to the next match. Caller holds store.mu.
-func (it *Iterator) scanLocked() (rdf.Triple, bool) {
+func (it *Iterator) scanLocked() (rdf.IDTriple, bool) {
 	s := it.store
 	if it.scan {
 		for it.next < len(s.triples) {
 			t := s.triples[it.next]
 			it.next++
-			if it.pattern.Matches(t) {
+			if it.pattern.matches(t) {
 				return t, true
 			}
 		}
-		return rdf.Triple{}, false
+		return rdf.IDTriple{}, false
 	}
-	list := s.candidates(it.pattern)
+	list := s.candidates(&it.pattern)
 	for it.next < len(list) {
 		t := s.triples[list[it.next]]
 		it.next++
-		if it.pattern.Matches(t) {
+		if it.pattern.matches(t) {
 			return t, true
 		}
 	}
-	return rdf.Triple{}, false
+	return rdf.IDTriple{}, false
 }
 
 // Close releases the iterator; pending and future Next calls return false.
@@ -314,7 +493,9 @@ func (s *Store) Snapshot() []rdf.Triple {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]rdf.Triple, len(s.triples))
-	copy(out, s.triples)
+	for i, t := range s.triples {
+		out[i] = s.dict.DecodeTriple(t)
+	}
 	return out
 }
 

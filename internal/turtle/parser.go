@@ -24,6 +24,11 @@ type Options struct {
 	// BlankPrefix is prepended to every blank node label so that labels
 	// from different documents do not collide when merged into one store.
 	BlankPrefix string
+	// Dict, when non-nil, interns every emitted term and replaces it with
+	// the dictionary's canonical copy. Terms across documents parsed with
+	// the same Dict then share backing strings, and downstream consumers
+	// (document cache, store ingest) intern to pure map hits.
+	Dict *rdf.Dict
 }
 
 // Parse parses a Turtle document and returns its triples in document order.
@@ -32,6 +37,7 @@ func Parse(input string, opts Options) ([]rdf.Triple, error) {
 		in:       input,
 		base:     opts.Base,
 		bnPrefix: opts.BlankPrefix,
+		dict:     opts.Dict,
 		prefixes: map[string]string{},
 		line:     1,
 	}
@@ -54,9 +60,22 @@ type parser struct {
 	line     int
 	base     string
 	bnPrefix string
+	dict     *rdf.Dict
 	prefixes map[string]string
 	triples  []rdf.Triple
 	bnodeN   int
+}
+
+// emit appends one parsed triple, canonicalizing its terms through the
+// configured dictionary (if any) so every emitted term is the dictionary's
+// shared copy.
+func (p *parser) emit(s, pred, o rdf.Term) {
+	if p.dict != nil {
+		s = p.dict.Canonical(s)
+		pred = p.dict.Canonical(pred)
+		o = p.dict.Canonical(o)
+	}
+	p.triples = append(p.triples, rdf.NewTriple(s, pred, o))
 }
 
 // errf formats a parse error with the current line number.
@@ -332,7 +351,7 @@ func (p *parser) parseObjectList(subject, pred rdf.Term) error {
 		if err != nil {
 			return err
 		}
-		p.triples = append(p.triples, rdf.NewTriple(subject, pred, obj))
+		p.emit(subject, pred, obj)
 		p.skipWS()
 		if p.peek() != ',' {
 			return nil
@@ -572,12 +591,12 @@ func (p *parser) parseCollection() (rdf.Term, error) {
 	head := p.freshBlank()
 	cur := head
 	for i, item := range items {
-		p.triples = append(p.triples, rdf.NewTriple(cur, rdf.NewIRI(rdf.RDFFirst), item))
+		p.emit(cur, rdf.NewIRI(rdf.RDFFirst), item)
 		if i == len(items)-1 {
-			p.triples = append(p.triples, rdf.NewTriple(cur, rdf.NewIRI(rdf.RDFRest), rdf.NewIRI(rdf.RDFNil)))
+			p.emit(cur, rdf.NewIRI(rdf.RDFRest), rdf.NewIRI(rdf.RDFNil))
 		} else {
 			next := p.freshBlank()
-			p.triples = append(p.triples, rdf.NewTriple(cur, rdf.NewIRI(rdf.RDFRest), next))
+			p.emit(cur, rdf.NewIRI(rdf.RDFRest), next)
 			cur = next
 		}
 	}
