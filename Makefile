@@ -17,11 +17,13 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
-# Differential harness on its own: ~50 generated SELECT queries, each run
-# through the live traversal engine and the centralized oracle, multisets
-# compared (internal/baseline/differential_test.go).
+# Differential harness on its own: 150 generated SELECT queries over the
+# widened grammar (ORDER BY, GROUP BY/aggregates, MINUS, property paths),
+# each run through the live traversal engine and the centralized oracle,
+# multisets compared (internal/baseline/differential_test.go). The default
+# 50-query subset rides in `make verify` via the package tests.
 differential:
-	$(GO) test -race -run TestDifferentialTraversalVsCentralized -v ./internal/baseline
+	LTQP_DIFF_QUERIES=150 $(GO) test -race -run TestDifferentialTraversalVsCentralized -v ./internal/baseline
 
 # Short coverage-guided fuzzing of every fuzz target (Go native fuzzing
 # only supports one -fuzz target per invocation). CI runs this on every
@@ -32,6 +34,7 @@ fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/turtle
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/sparql
 	$(GO) test -run '^$$' -fuzz '^FuzzDictRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/rdf
+	$(GO) test -run '^$$' -fuzz '^FuzzBatchSelection$$' -fuzztime $(FUZZTIME) ./internal/exec
 
 # Performance trajectory: run the micro-benchmarks and archive them as a
 # dated JSON report (see cmd/benchreport --parse-bench). Compare two

@@ -46,6 +46,10 @@ func RunQuery(ctx context.Context, st *store.Store, query string) ([]rdf.Binding
 	}
 	op = plan.New(q.MentionedIRIs()).Optimize(op)
 	env := exec.NewEnv(st)
+	// The oracle is pinned to the row-at-a-time operators: differential
+	// runs compare the vectorized pipeline against these semantics, so the
+	// reference side must never route through the code under test.
+	env.NoVectorize = true
 	var out []rdf.Binding
 	for b := range exec.Eval(ctx, op, env) {
 		out = append(out, b)

@@ -3,7 +3,9 @@ package baseline
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -74,7 +76,17 @@ func canonicalBindingRows(t *testing.T, vars []string, bindings []rdf.Binding) [
 // value-vs-identity bug, lost triple, or duplicated solution in either path
 // shows up as a multiset diff.
 func TestDifferentialTraversalVsCentralized(t *testing.T) {
-	const queries = 50
+	// The tier-1 run keeps a fast 50-query subset; `make differential`
+	// sets LTQP_DIFF_QUERIES=150 for the full sweep over the widened
+	// grammar (ORDER BY, GROUP BY/aggregates, MINUS, property paths).
+	queries := 50
+	if s := os.Getenv("LTQP_DIFF_QUERIES"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			t.Fatalf("invalid LTQP_DIFF_QUERIES=%q", s)
+		}
+		queries = n
+	}
 
 	env := simenv.New(diffConfig())
 	defer env.Close()

@@ -22,10 +22,17 @@ import (
 //     "likes" reification nodes, and blank node labels legitimately differ
 //     between the two systems (the traversal parser scopes labels per
 //     document), so queries must never bind one.
-//   - No ORDER/LIMIT/OFFSET: results compare as multisets.
-//   - Solution modifiers are limited to DISTINCT; groups use BGPs,
-//     OPTIONAL, FILTER, and UNION — the shapes the paper's demonstration
-//     queries exercise.
+//   - No LIMIT/OFFSET: results compare as multisets (ORDER BY is allowed —
+//     it cannot change the multiset, only the order, which the comparison
+//     discards anyway).
+//   - Aggregates are restricted to the order-insensitive folds over exact
+//     values: COUNT, MIN/MAX, and SUM over the dataset's integer ids.
+//     SAMPLE and GROUP_CONCAT depend on encounter order and would diff
+//     spuriously between the two systems.
+//   - Groups use BGPs, OPTIONAL, FILTER, UNION, MINUS (always sharing the
+//     anchored subject variable), GROUP BY, ORDER BY, and property paths
+//     (anchored snvoc:knows+ closures and replyOf/hasCreator sequences) —
+//     the constructs the vectorized executor rewrites or bridges.
 type diffGen struct {
 	r  *rand.Rand
 	ds *solidbench.Dataset
@@ -112,7 +119,7 @@ func (g *diffGen) Next() string {
 	if g.r.Intn(3) == 0 {
 		distinct = "DISTINCT "
 	}
-	switch g.r.Intn(6) {
+	switch g.r.Intn(10) {
 	case 0: // Message star, possibly projecting the message IRI too.
 		body, vars := g.messageStar("m")
 		proj := "?" + strings.Join(vars, " ?")
@@ -142,12 +149,58 @@ func (g *diffGen) Next() string {
 		needle := []string{"a", "e", "1", "0", "co"}[g.r.Intn(5)]
 		return fmt.Sprintf("%sSELECT %s?%s WHERE {\n%s  FILTER(CONTAINS(STR(?%s), %q))\n}",
 			g.prefix(), distinct, strings.Join(vars, " ?"), body, v, needle)
-	default: // UNION of two creators' messages.
+	case 5: // UNION of two creators' messages.
 		attr := messageAttrs[g.r.Intn(len(messageAttrs))]
 		return fmt.Sprintf(`%sSELECT %s?v WHERE {
   { ?m snvoc:hasCreator %s . ?m snvoc:%s ?v . }
   UNION
   { ?m snvoc:hasCreator %s . ?m snvoc:%s ?v . }
 }`, g.prefix(), distinct, g.person(), attr, g.person(), attr)
+	case 6: // ORDER BY over a message star (multiset unchanged by order).
+		body, vars := g.messageStar("m")
+		ov := vars[g.r.Intn(len(vars))]
+		desc := ""
+		if g.r.Intn(2) == 0 {
+			desc = "DESC"
+		}
+		return fmt.Sprintf("%sSELECT %s?%s WHERE {\n%s} ORDER BY %s(?%s)",
+			g.prefix(), distinct, strings.Join(vars, " ?"), body, desc, ov)
+	case 7: // GROUP BY creator with order-insensitive aggregates.
+		agg := [...]string{
+			"(COUNT(?m) AS ?n)",
+			"(COUNT(DISTINCT ?m) AS ?n)",
+			"(SUM(?id) AS ?total)",
+			"(MIN(?d) AS ?lo) (MAX(?d) AS ?hi)",
+			"(COUNT(*) AS ?n)",
+		}[g.r.Intn(5)]
+		return fmt.Sprintf(`%sSELECT ?c %s WHERE {
+  ?m snvoc:hasCreator ?c .
+  ?m snvoc:id ?id .
+  ?m snvoc:creationDate ?d .
+} GROUP BY ?c`, g.prefix(), agg)
+	case 8: // MINUS, sharing the anchored subject variable ?m.
+		excl := [...]string{
+			"?m rdf:type snvoc:Comment .",
+			"?m snvoc:imageFile ?img .",
+			fmt.Sprintf("?m snvoc:browserUsed ?b . FILTER(CONTAINS(STR(?b), %q))", "e"),
+		}[g.r.Intn(3)]
+		return fmt.Sprintf(`%sSELECT %s?m ?d WHERE {
+  ?m snvoc:hasCreator %s .
+  ?m snvoc:creationDate ?d .
+  MINUS { %s }
+}`, g.prefix(), distinct, g.person(), excl)
+	default: // Property paths: anchored knows closure or a sequence path.
+		if g.r.Intn(2) == 0 {
+			attr := personAttrs[g.r.Intn(len(personAttrs))]
+			return fmt.Sprintf(`%sSELECT %s?f ?v WHERE {
+  %s snvoc:knows+ ?f .
+  ?f snvoc:%s ?v .
+}`, g.prefix(), distinct, g.person(), attr)
+		}
+		attr := personAttrs[g.r.Intn(len(personAttrs))]
+		return fmt.Sprintf(`%sSELECT %s?v WHERE {
+  ?cm snvoc:replyOf/snvoc:hasCreator ?p .
+  ?p snvoc:%s ?v .
+}`, g.prefix(), distinct, attr)
 	}
 }

@@ -101,6 +101,9 @@ type Options struct {
 	// attached, publishing is a nil check plus one atomic load: the hot
 	// path performs zero allocations (benchmarked in internal/obs).
 	Events *obs.Bus
+	// ExecWorkers sizes the executor's morsel worker pool (parallel join
+	// probes and grouping); 0 means GOMAXPROCS.
+	ExecWorkers int
 	// Explain enables the per-query explain layer: every solution is
 	// annotated with the exact set of documents whose triples produced it
 	// (result provenance), and traversal records its link-discovery
@@ -327,6 +330,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	env := exec.NewEnv(src)
 	env.Prov = x.prov
 	env.Events = emitter
+	env.Workers = e.opts.ExecWorkers
 	out := make(chan rdf.Binding)
 	go func() {
 		defer close(out)

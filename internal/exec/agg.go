@@ -207,6 +207,14 @@ func evalAggregate(env *Env, call sparql.ExprCall, rows []rdf.Binding) (rdf.Term
 		}
 	}
 
+	return aggCompute(call, values)
+}
+
+// aggCompute folds the collected argument values of one aggregate call.
+// It is shared by the row-path evalAggregate and the vectorized grouping,
+// which collect values differently (expression evaluation per row vs column
+// decode) but must fold identically.
+func aggCompute(call sparql.ExprCall, values []rdf.Term) (rdf.Term, error) {
 	switch call.Func {
 	case "COUNT":
 		return rdf.Integer(int64(len(values))), nil

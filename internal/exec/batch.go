@@ -1,0 +1,345 @@
+// Vectorized execution core: operators exchange *Batch values — fixed-size
+// collections of solution rows laid out as columnar slabs of dictionary term
+// IDs — instead of one rdf.Binding per channel send. A batch carries its own
+// variable schema (one column per variable), an optional selection vector
+// (filters narrow batches without copying), and an optional parallel
+// provenance column (per-row source-document ID sets), so Result.Explain()
+// is unchanged when batches flow through the pipeline.
+//
+// The row-at-a-time operators in exec.go remain the reference semantics:
+// every vectorized operator is pinned against them by the property-based
+// suite (batch_prop_test.go), the differential harness
+// (internal/baseline), and FuzzBatchSelection.
+package exec
+
+import (
+	"context"
+	"sync"
+
+	"ltqp/internal/rdf"
+)
+
+const (
+	// batchCap is the maximum number of rows per batch. Scans fill batches
+	// greedily with whatever the store has available, so first results are
+	// never delayed waiting for a batch to fill.
+	batchCap = 1024
+	// batchChanCap is the buffer size of inter-operator batch channels.
+	batchChanCap = 4
+	// morselSize is the number of rows a worker claims per steal when a
+	// join probe or grouping phase runs morsel-parallel.
+	morselSize = 256
+	// morselMinRows is the row count below which morsel phases stay
+	// sequential: spinning up workers for a near-empty batch costs more
+	// than it saves.
+	morselMinRows = 2 * morselSize
+)
+
+// Batch is one unit of vectorized execution: up to batchCap solution rows
+// over a fixed variable schema, stored column-wise as dictionary term IDs.
+// NoTerm (0) in a column means the variable is unbound in that row — the
+// same UNDEF sentinel the ID-keyed join/DISTINCT layer already uses.
+//
+// A batch is owned by exactly one consumer at a time: operators either
+// mutate it in place (narrowing sel, appending a BIND column) and forward
+// it, or copy what they need and release it to the pool.
+type Batch struct {
+	// vars is the schema: one entry per column. Operators must never
+	// mutate it in place — it is shared between batches of one stream.
+	vars []string
+	// cols holds one slab per schema variable; each slab has n entries.
+	cols [][]rdf.TermID
+	// sel is the selection vector: physical indexes of the live rows, in
+	// order. nil means all n rows are live. Indexes may be sparse and, at
+	// API boundaries (fuzzed), out of order — but never duplicated: a
+	// physical row is live at most once (BIND updates columns in place, so
+	// an aliased row would observe its duplicate's write).
+	sel []int32
+	// prov, when non-nil, parallels the rows: prov[i] is the set of
+	// source-document term IDs row i descends from. nil when provenance
+	// is disabled (the default — zero cost).
+	prov [][]rdf.TermID
+	// n is the number of physical rows.
+	n int
+	// selbuf is the recycled backing slab operators write fresh selection
+	// vectors into; it survives pooling even though sel itself is reset.
+	selbuf []int32
+}
+
+// selSlab returns the batch's recycled selection slab, empty, for an
+// operator about to build a selection vector from scratch.
+func (b *Batch) selSlab() []int32 {
+	if b.selbuf == nil {
+		b.selbuf = make([]int32, 0, batchCap)
+	}
+	b.selbuf = b.selbuf[:0]
+	return b.selbuf
+}
+
+// colSlab returns an empty column slab for a schema-extending operator
+// (BIND), recovering a pooled slab parked beyond len(cols) when one exists.
+func (b *Batch) colSlab() []rdf.TermID {
+	if n := len(b.cols); cap(b.cols) > n {
+		if s := b.cols[:n+1][n]; s != nil {
+			return s[:0]
+		}
+	}
+	return make([]rdf.TermID, 0, batchCap)
+}
+
+// BatchStream is a channel of batches produced by a vectorized operator.
+type BatchStream <-chan *Batch
+
+// Len returns the number of live rows.
+func (b *Batch) Len() int {
+	if b.sel != nil {
+		return len(b.sel)
+	}
+	return b.n
+}
+
+// Row returns the physical index of the i-th live row.
+func (b *Batch) Row(i int) int32 {
+	if b.sel != nil {
+		return b.sel[i]
+	}
+	return int32(i)
+}
+
+// col returns the column index of a variable in the schema, or -1.
+func (b *Batch) col(v string) int {
+	for i, name := range b.vars {
+		if name == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// appendRow adds one physical row given one ID per schema column; prov may
+// be nil. It returns the new physical row index.
+func (b *Batch) appendRow(ids []rdf.TermID, prov []rdf.TermID) int {
+	for c := range b.cols {
+		b.cols[c] = append(b.cols[c], ids[c])
+	}
+	if b.prov != nil {
+		b.prov = append(b.prov, prov)
+	}
+	i := b.n
+	b.n++
+	return i
+}
+
+// batchPool recycles batch shells and their column slabs. Steady-state
+// vectorized execution allocates (almost) nothing per batch: shells cycle
+// between producers and the decode boundary.
+var batchPool = sync.Pool{New: func() any { return new(Batch) }}
+
+// getBatch returns an empty batch over the given schema. withProv
+// preallocates the provenance column.
+func getBatch(vars []string, withProv bool) *Batch {
+	b := batchPool.Get().(*Batch)
+	b.vars = vars
+	if cap(b.cols) < len(vars) {
+		old := b.cols[:cap(b.cols)]
+		b.cols = make([][]rdf.TermID, len(vars))
+		copy(b.cols, old)
+	} else {
+		b.cols = b.cols[:len(vars)]
+	}
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.sel = nil
+	b.n = 0
+	if withProv {
+		if b.prov == nil {
+			b.prov = make([][]rdf.TermID, 0, batchCap)
+		} else {
+			b.prov = b.prov[:0]
+		}
+	} else {
+		b.prov = nil
+	}
+	return b
+}
+
+// putBatch releases a batch to the pool. The caller must not touch it
+// afterwards.
+func putBatch(b *Batch) {
+	if b == nil {
+		return
+	}
+	b.vars = nil
+	b.sel = nil
+	for i := range b.prov {
+		b.prov[i] = nil
+	}
+	b.prov = b.prov[:0]
+	b.n = 0
+	batchPool.Put(b)
+}
+
+// sendBatch delivers b unless the context is cancelled; it reports success.
+// On failure the batch is released — the caller must not use it again.
+func sendBatch(ctx context.Context, out chan<- *Batch, b *Batch) bool {
+	select {
+	case out <- b:
+		return true
+	case <-ctx.Done():
+		putBatch(b)
+		return false
+	}
+}
+
+// sameVars reports whether two schemas are identical.
+func sameVars(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// schemaMap returns, for every variable of to, its column index in from or
+// -1 when absent.
+func schemaMap(from, to []string) []int {
+	m := make([]int, len(to))
+	for i, v := range to {
+		m[i] = -1
+		for j, w := range from {
+			if w == v {
+				m[i] = j
+				break
+			}
+		}
+	}
+	return m
+}
+
+// batchesToRows decodes a batch stream back into the binding representation
+// at the pipeline boundary: IDs become terms only here, after every
+// vectorized operator has run on integers.
+func batchesToRows(ctx context.Context, env *Env, in BatchStream) Stream {
+	out := make(chan rdf.Binding, chanCap)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case b, ok := <-in:
+				if !ok {
+					return
+				}
+				for li := 0; li < b.Len(); li++ {
+					r := b.Row(li)
+					bind := make(rdf.Binding, len(b.vars))
+					for c, v := range b.vars {
+						if id := b.cols[c][r]; id != rdf.NoTerm {
+							bind[v] = env.dict.Decode(id)
+						}
+					}
+					if b.prov != nil {
+						for _, src := range b.prov[r] {
+							t := env.dict.Decode(src)
+							bind[rdf.ProvKey(t.Value)] = t
+						}
+					}
+					if !send(ctx, out, bind) {
+						putBatch(b)
+						return
+					}
+				}
+				putBatch(b)
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// rowsToBatches bridges a row stream into batches: the adapter vectorized
+// operators use to consume a non-vectorized child (blocking operators,
+// VALUES, paths). Rows are interned into columns per schema; a schema
+// change, a full batch, or an input stall flushes — stall-flushing keeps
+// the pipeline's first-result latency at row granularity even though the
+// transport is batched.
+func rowsToBatches(ctx context.Context, env *Env, in Stream) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	go func() {
+		defer close(out)
+		var cur *Batch
+		var curVars []string
+		flush := func() bool {
+			if cur == nil {
+				return true
+			}
+			b := cur
+			cur = nil
+			if b.Len() == 0 {
+				putBatch(b)
+				return true
+			}
+			return sendBatch(ctx, out, b)
+		}
+		add := func(bind rdf.Binding) bool {
+			vars := bind.Vars()
+			if cur != nil && !sameVars(curVars, vars) {
+				if !flush() {
+					return false
+				}
+			}
+			if cur == nil {
+				curVars = vars
+				cur = getBatch(curVars, env.Prov != nil)
+			}
+			for c, v := range curVars {
+				var id rdf.TermID
+				if t, ok := bind[v]; ok {
+					id = env.dict.Intern(t)
+				}
+				cur.cols[c] = append(cur.cols[c], id)
+			}
+			if cur.prov != nil {
+				cur.prov = append(cur.prov, bind.SourceIDs(env.dict))
+			}
+			cur.n++
+			if cur.n >= batchCap {
+				return flush()
+			}
+			return true
+		}
+		for {
+			select {
+			case bind, ok := <-in:
+				if !ok {
+					flush()
+					return
+				}
+				if !add(bind) {
+					return
+				}
+			default:
+				if !flush() {
+					return
+				}
+				select {
+				case bind, ok := <-in:
+					if !ok {
+						return
+					}
+					if !add(bind) {
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+
+	"ltqp/internal/rdf"
+)
+
+// Vectorized symmetric hash join. A sequential coordinator alternates
+// between the two input batch streams; each arriving batch is first
+// inserted into its side's columnar arena, then probed against the other
+// side's arena — insert-before-probe per batch gives exactly-once pair
+// emission, the same invariant as the row join's insert-then-candidates
+// protocol. The probe phase is morsel-driven: workers steal fixed-size row
+// ranges of the just-inserted batch and probe concurrently, which is safe
+// because both arenas are read-only between coordinator steps.
+
+// joinArena is one side's accumulated rows, stored column-wise over the
+// join's output schema (absent variables are NoTerm).
+type joinArena struct {
+	cols [][]rdf.TermID
+	prov [][]rdf.TermID // nil without provenance
+	n    int32
+	// exact buckets rows binding all shared variables by their shared-var
+	// key; rows leaving a shared variable unbound (below OPTIONAL/VALUES)
+	// go to partial and are probed linearly — mirroring joinState.
+	exact   map[idKey][]int32
+	partial []int32
+}
+
+func newJoinArena(width int, withProv bool) *joinArena {
+	a := &joinArena{cols: make([][]rdf.TermID, width), exact: map[idKey][]int32{}}
+	if withProv {
+		a.prov = [][]rdf.TermID{}
+	}
+	return a
+}
+
+// insertBatch appends the live rows of b (mapped through cmap onto the out
+// schema) and files each into exact or partial. It returns the arena index
+// of the first inserted row and, via keys/full (caller-owned scratch,
+// resliced), each row's shared key and fullness.
+func (a *joinArena) insertBatch(b *Batch, cmap []int, sharedIdx []int, keys []idKey, full []bool) (int32, []idKey, []bool) {
+	start := a.n
+	keys, full = keys[:0], full[:0]
+	ids := make([]rdf.TermID, len(sharedIdx))
+	for i := 0; i < b.Len(); i++ {
+		r := b.Row(i)
+		for c, j := range cmap {
+			if j >= 0 {
+				a.cols[c] = append(a.cols[c], b.cols[j][r])
+			} else {
+				a.cols[c] = append(a.cols[c], rdf.NoTerm)
+			}
+		}
+		if a.prov != nil {
+			if b.prov != nil {
+				a.prov = append(a.prov, b.prov[r])
+			} else {
+				a.prov = append(a.prov, nil)
+			}
+		}
+		row := a.n
+		a.n++
+		isFull := true
+		for k, c := range sharedIdx {
+			ids[k] = a.cols[c][row]
+			if ids[k] == rdf.NoTerm {
+				isFull = false
+			}
+		}
+		key := idKeyOf(ids)
+		if isFull {
+			a.exact[key] = append(a.exact[key], row)
+		} else {
+			a.partial = append(a.partial, row)
+		}
+		keys = append(keys, key)
+		full = append(full, isFull)
+	}
+	return start, keys, full
+}
+
+func batchJoin(ctx context.Context, env *Env, outVars, shared []string, left, right BatchStream) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	sharedIdx := make([]int, len(shared))
+	for i, v := range shared {
+		for c, w := range outVars {
+			if w == v {
+				sharedIdx[i] = c
+				break
+			}
+		}
+	}
+	go func() {
+		defer close(out)
+		withProv := env.Prov != nil
+		la := newJoinArena(len(outVars), withProv)
+		ra := newJoinArena(len(outVars), withProv)
+
+		// Per-worker probe state: an output batch under construction and a
+		// scratch row. Workers send full batches themselves; leftovers are
+		// flushed by the coordinator at stream end.
+		nw := env.workerCount()
+		outs := make([]*Batch, nw)
+		scratch := make([][]rdf.TermID, nw)
+		for w := range scratch {
+			scratch[w] = make([]rdf.TermID, len(outVars))
+		}
+		var aborted atomic.Bool
+
+		// tryPair merges arena rows (mr of mine, or of other) into worker
+		// w's output batch; incompatible rows (both bind a variable to
+		// different terms) emit nothing.
+		tryPair := func(w int, mine, other *joinArena, mr, or int32) {
+			ids := scratch[w]
+			for c := range ids {
+				v := mine.cols[c][mr]
+				if ov := other.cols[c][or]; ov != rdf.NoTerm {
+					if v == rdf.NoTerm {
+						v = ov
+					} else if v != ov {
+						return
+					}
+				}
+				ids[c] = v
+			}
+			b := outs[w]
+			if b == nil {
+				b = getBatch(outVars, withProv)
+				outs[w] = b
+			}
+			var prov []rdf.TermID
+			if withProv {
+				mp, op := mine.prov[mr], other.prov[or]
+				prov = make([]rdf.TermID, 0, len(mp)+len(op))
+				prov = append(append(prov, mp...), op...)
+			}
+			b.appendRow(ids, prov)
+			if b.n >= batchCap {
+				outs[w] = nil
+				if !sendBatch(ctx, out, b) {
+					aborted.Store(true)
+				}
+			}
+		}
+
+		var keys []idKey
+		var full []bool
+		// processBatch inserts b into mine, then probes other over the
+		// inserted rows, morsel-parallel.
+		processBatch := func(b *Batch, mine, other *joinArena) {
+			cmap := schemaMap(b.vars, outVars)
+			var first int32
+			first, keys, full = mine.insertBatch(b, cmap, sharedIdx, keys, full)
+			putBatch(b)
+			runMorsels(env, len(keys), func(w, lo, hi int) {
+				for k := lo; k < hi && !aborted.Load(); k++ {
+					mr := first + int32(k)
+					if full[k] {
+						for _, or := range other.exact[keys[k]] {
+							tryPair(w, mine, other, mr, or)
+						}
+						for _, or := range other.partial {
+							tryPair(w, mine, other, mr, or)
+						}
+					} else {
+						for or := int32(0); or < other.n; or++ {
+							tryPair(w, mine, other, mr, or)
+						}
+					}
+				}
+			})
+		}
+
+		// flush forwards every worker's partial output batch. Called by
+		// the coordinator between batches (keeping the pipeline
+		// incremental: results never wait for a batch to fill across
+		// input batches) and at stream end.
+		flush := func() bool {
+			for w, b := range outs {
+				if b == nil {
+					continue
+				}
+				outs[w] = nil
+				if b.Len() == 0 {
+					putBatch(b)
+					continue
+				}
+				if !sendBatch(ctx, out, b) {
+					return false
+				}
+			}
+			return true
+		}
+
+		l, r := left, right
+		for (l != nil || r != nil) && !aborted.Load() {
+			select {
+			case b, ok := <-l:
+				if !ok {
+					l = nil
+					continue
+				}
+				processBatch(b, la, ra)
+			case b, ok := <-r:
+				if !ok {
+					r = nil
+					continue
+				}
+				processBatch(b, ra, la)
+			case <-ctx.Done():
+				return
+			}
+			if !flush() {
+				return
+			}
+		}
+		flush()
+	}()
+	return out
+}

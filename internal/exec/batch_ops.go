@@ -1,0 +1,521 @@
+package exec
+
+import (
+	"context"
+	"sync"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+)
+
+// vectorizableOp reports whether an operator has a vectorized physical
+// implementation. It is the single routing predicate shared by Eval and
+// EvalBatch: Eval decodes the batch pipeline of a vectorizable root back
+// into bindings, EvalBatch bridges a non-vectorizable child through
+// rowsToBatches — the predicate being shared is what makes that mutual
+// recursion terminate.
+func vectorizableOp(op algebra.Operator) bool {
+	switch x := op.(type) {
+	case algebra.Pattern:
+		// GRAPH-constrained scans consult per-triple sources through the
+		// row path.
+		return x.Graph.IsZero()
+	case algebra.Join, algebra.Union, algebra.Distinct, algebra.Reduced, algebra.Extend:
+		return true
+	case algebra.Filter:
+		// EXISTS gates on store completion; it stays on the row path.
+		return !exprContainsExists(x.Expr)
+	case algebra.Project:
+		for _, item := range x.Items {
+			if item.Expr != nil {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// EvalBatch evaluates a logical operator into a stream of ID batches.
+// Operators without a vectorized implementation (blocking operators, paths,
+// VALUES, GRAPH scans) are evaluated on the row path and bridged in, so any
+// plan shape runs end to end with the vectorized operators covering the
+// monotonic core.
+func EvalBatch(ctx context.Context, op algebra.Operator, env *Env) BatchStream {
+	if env.NoVectorize || !vectorizableOp(op) {
+		return rowsToBatches(ctx, env, Eval(ctx, op, env))
+	}
+	switch x := op.(type) {
+	case algebra.Pattern:
+		return tracedBatch(ctx, env, "scan", opAttrs(algebra.String(x)), func(ctx context.Context) BatchStream {
+			return batchScan(ctx, x, env)
+		})
+	case algebra.Join:
+		return tracedBatch(ctx, env, "join", nil, func(ctx context.Context) BatchStream {
+			return batchJoin(ctx, env, x.Vars(), algebra.SharedVars(x.Left, x.Right),
+				EvalBatch(ctx, x.Left, env), EvalBatch(ctx, x.Right, env))
+		})
+	case algebra.Union:
+		return tracedBatch(ctx, env, "union", nil, func(ctx context.Context) BatchStream {
+			return batchUnion(ctx, EvalBatch(ctx, x.Left, env), EvalBatch(ctx, x.Right, env))
+		})
+	case algebra.Filter:
+		return batchFilter(ctx, env, x.Expr, EvalBatch(ctx, x.Input, env))
+	case algebra.Extend:
+		return batchExtend(ctx, env, x.Var, x.Expr, EvalBatch(ctx, x.Input, env))
+	case algebra.Project:
+		if len(x.Items) == 0 {
+			return EvalBatch(ctx, x.Input, env)
+		}
+		vars := make([]string, len(x.Items))
+		for i, item := range x.Items {
+			vars[i] = item.Var
+		}
+		return batchProject(ctx, env, vars, EvalBatch(ctx, x.Input, env))
+	case algebra.Distinct:
+		return tracedBatch(ctx, env, "distinct", nil, func(ctx context.Context) BatchStream {
+			return batchDedup(ctx, env, x.Input.Vars(), true, EvalBatch(ctx, x.Input, env))
+		})
+	case algebra.Reduced:
+		return batchDedup(ctx, env, x.Input.Vars(), false, EvalBatch(ctx, x.Input, env))
+	}
+	return rowsToBatches(ctx, env, Eval(ctx, op, env))
+}
+
+// idKeyOf builds the identity key of a row from its IDs in key-variable
+// order — the exact layout idKeyer.key produces from a binding, so batch
+// DISTINCT/join keys and row-path keys agree.
+func idKeyOf(ids []rdf.TermID) idKey {
+	var out idKey
+	n := len(ids)
+	if n > 0 {
+		out.packed = uint64(ids[0]) << 32
+	}
+	if n > 1 {
+		out.packed |= uint64(ids[1])
+	}
+	if n > 2 {
+		buf := make([]byte, 0, (n-2)*4)
+		for _, id := range ids[2:] {
+			buf = append(buf, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+		}
+		out.rest = string(buf)
+	}
+	return out
+}
+
+// batchScan emits matches of a triple pattern as ID batches straight out of
+// the store postings: no term is decoded. Each NextBatch call drains
+// whatever the store holds (up to batchCap), so first results keep row
+// latency while steady-state flow is batch-granular.
+func batchScan(ctx context.Context, p algebra.Pattern, env *Env) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	vars := p.Triple.Vars()
+	// pos[c] is the triple position (0=S,1=P,2=O) the c-th variable reads
+	// from (its first occurrence; the store already enforced repeated-
+	// variable equality).
+	pos := make([]int, len(vars))
+	pats := [3]rdf.Term{p.Triple.S, p.Triple.P, p.Triple.O}
+	for c, v := range vars {
+		for i, t := range pats {
+			if t.Kind == rdf.TermVar && t.Value == v {
+				pos[c] = i
+				break
+			}
+		}
+	}
+	go func() {
+		defer close(out)
+		it := env.Store.Match(p.Triple)
+		defer it.Close()
+		withProv := env.Prov != nil
+		ids := make([]rdf.IDTriple, batchCap)
+		var srcs []rdf.TermID
+		if withProv {
+			srcs = make([]rdf.TermID, batchCap)
+		}
+		for {
+			n, ok := it.NextBatch(ctx, ids, srcs)
+			if !ok {
+				return
+			}
+			b := getBatch(vars, withProv)
+			for c := range b.cols {
+				col := b.cols[c]
+				switch pos[c] {
+				case 0:
+					for i := 0; i < n; i++ {
+						col = append(col, ids[i].S)
+					}
+				case 1:
+					for i := 0; i < n; i++ {
+						col = append(col, ids[i].P)
+					}
+				default:
+					for i := 0; i < n; i++ {
+						col = append(col, ids[i].O)
+					}
+				}
+				b.cols[c] = col
+			}
+			if withProv {
+				for i := 0; i < n; i++ {
+					src := srcs[i]
+					b.prov = append(b.prov, []rdf.TermID{src})
+					env.Prov.add(env.dict.Decode(src).Value)
+				}
+			}
+			b.n = n
+			if !sendBatch(ctx, out, b) {
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// rowReader decodes the columns an expression needs from a batch into a
+// reusable scratch binding, so vectorized FILTER/BIND evaluate expressions
+// without allocating a binding per row.
+type rowReader struct {
+	scratch rdf.Binding
+	// cols/names are the schema columns the expression reads, resolved
+	// against the current batch schema by bind().
+	cols  []int
+	names []string
+	need  map[string]bool
+	vars  []string // schema the cols/names resolution is valid for
+}
+
+func newRowReader(exprs ...sparql.Expression) *rowReader {
+	need := map[string]bool{}
+	for _, e := range exprs {
+		sparql.ExprVars(e, need)
+	}
+	return &rowReader{scratch: make(rdf.Binding, len(need)), need: need}
+}
+
+// bind resolves the needed variables against a batch schema.
+func (rr *rowReader) bind(b *Batch) {
+	if sameVars(rr.vars, b.vars) {
+		return
+	}
+	rr.vars = b.vars
+	rr.cols = rr.cols[:0]
+	rr.names = rr.names[:0]
+	for c, v := range b.vars {
+		if rr.need[v] {
+			rr.cols = append(rr.cols, c)
+			rr.names = append(rr.names, v)
+		}
+	}
+}
+
+// row materializes physical row r into the scratch binding.
+func (rr *rowReader) row(env *Env, b *Batch, r int32) rdf.Binding {
+	clear(rr.scratch)
+	for i, c := range rr.cols {
+		if id := b.cols[c][r]; id != rdf.NoTerm {
+			rr.scratch[rr.names[i]] = env.dict.Decode(id)
+		}
+	}
+	return rr.scratch
+}
+
+// compactSel narrows a batch to the rows for which keep returns true,
+// rewriting the selection vector in place (reads of sel[i] always precede
+// the write of slot j <= i, so aliasing the slab is safe).
+func compactSel(b *Batch, keep func(r int32) bool) {
+	if b.sel == nil {
+		b.sel = b.selSlab()
+		for r := int32(0); int(r) < b.n; r++ {
+			if keep(r) {
+				b.sel = append(b.sel, r)
+			}
+		}
+		return
+	}
+	kept := b.sel[:0]
+	for _, r := range b.sel {
+		if keep(r) {
+			kept = append(kept, r)
+		}
+	}
+	b.sel = kept
+}
+
+// batchFilter applies a FILTER vectorized: per batch it evaluates the
+// expression over the live rows and narrows the selection vector; the batch
+// itself (columns, provenance) is forwarded untouched. Error semantics
+// match the row path exactly — an evaluation error drops the row, never the
+// stream.
+func batchFilter(ctx context.Context, env *Env, expr sparql.Expression, in BatchStream) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	go func() {
+		defer close(out)
+		rr := newRowReader(expr)
+		for {
+			select {
+			case b, ok := <-in:
+				if !ok {
+					return
+				}
+				rr.bind(b)
+				compactSel(b, func(r int32) bool {
+					v, err := evalExpr(env, expr, rr.row(env, b, r))
+					if err != nil {
+						return false
+					}
+					ok, err := v.EffectiveBooleanValue()
+					return err == nil && ok
+				})
+				if b.Len() == 0 {
+					putBatch(b)
+					continue
+				}
+				if !sendBatch(ctx, out, b) {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// batchExtend applies BIND vectorized: it appends (or updates) the target
+// column in place. Row-path semantics are preserved — an evaluation error
+// leaves the variable as it was, a conflicting rebind drops the row.
+func batchExtend(ctx context.Context, env *Env, name string, expr sparql.Expression, in BatchStream) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	go func() {
+		defer close(out)
+		rr := newRowReader(expr)
+		var extVars []string // cached extended schema, keyed by input schema
+		var forVars []string
+		for {
+			select {
+			case b, ok := <-in:
+				if !ok {
+					return
+				}
+				rr.bind(b)
+				c := b.col(name)
+				if c < 0 {
+					// Fresh variable: extend the schema by one column.
+					if !sameVars(forVars, b.vars) {
+						forVars = b.vars
+						extVars = append(append(make([]string, 0, len(b.vars)+1), b.vars...), name)
+					}
+					b.vars = extVars
+					c = len(b.cols)
+					b.cols = append(b.cols, b.colSlab())
+					col := b.cols[c]
+					for r := 0; r < b.n; r++ {
+						col = append(col, rdf.NoTerm)
+					}
+					b.cols[c] = col
+					for i := 0; i < b.Len(); i++ {
+						r := b.Row(i)
+						if v, err := evalExpr(env, expr, rr.row(env, b, r)); err == nil {
+							col[r] = env.dict.Intern(v)
+						}
+					}
+				} else {
+					// Variable may already be bound: equal value keeps the
+					// row, different value drops it, unbound gets set;
+					// evaluation errors keep the row unchanged.
+					col := b.cols[c]
+					compactSel(b, func(r int32) bool {
+						v, err := evalExpr(env, expr, rr.row(env, b, r))
+						if err != nil {
+							return true
+						}
+						id := env.dict.Intern(v)
+						switch col[r] {
+						case rdf.NoTerm:
+							col[r] = id
+							return true
+						case id:
+							return true
+						default:
+							return false
+						}
+					})
+				}
+				if b.Len() == 0 {
+					putBatch(b)
+					continue
+				}
+				if !sendBatch(ctx, out, b) {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// batchProject narrows batches to the projected variables by gathering the
+// kept columns into a fresh batch (whole-slab copies when no selection
+// vector is set). SELECT * is a passthrough, as on the row path.
+func batchProject(ctx context.Context, env *Env, vars []string, in BatchStream) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case b, ok := <-in:
+				if !ok {
+					return
+				}
+				src := schemaMap(b.vars, vars)
+				nb := getBatch(vars, b.prov != nil)
+				if b.sel == nil {
+					for c, j := range src {
+						if j >= 0 {
+							nb.cols[c] = append(nb.cols[c], b.cols[j]...)
+						} else {
+							for r := 0; r < b.n; r++ {
+								nb.cols[c] = append(nb.cols[c], rdf.NoTerm)
+							}
+						}
+					}
+					if nb.prov != nil {
+						nb.prov = append(nb.prov, b.prov[:b.n]...)
+					}
+					nb.n = b.n
+				} else {
+					for c, j := range src {
+						col := nb.cols[c]
+						for _, r := range b.sel {
+							if j >= 0 {
+								col = append(col, b.cols[j][r])
+							} else {
+								col = append(col, rdf.NoTerm)
+							}
+						}
+						nb.cols[c] = col
+					}
+					if nb.prov != nil {
+						for _, r := range b.sel {
+							nb.prov = append(nb.prov, b.prov[r])
+						}
+					}
+					nb.n = len(b.sel)
+				}
+				putBatch(b)
+				if nb.Len() == 0 {
+					putBatch(nb)
+					continue
+				}
+				if !sendBatch(ctx, out, nb) {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// batchDedup implements DISTINCT (global seen-set) and REDUCED (consecutive
+// duplicates only) over batches by narrowing the selection vector; rows are
+// keyed by their IDs over the input operator's variable set, matching the
+// row-path keyer layout bit for bit.
+func batchDedup(ctx context.Context, env *Env, keyVars []string, distinct bool, in BatchStream) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	go func() {
+		defer close(out)
+		var seen map[idKey]bool
+		if distinct {
+			seen = map[idKey]bool{}
+		}
+		var last idKey
+		first := true
+		ids := make([]rdf.TermID, len(keyVars))
+		var cols []int
+		var forVars []string
+		for {
+			select {
+			case b, ok := <-in:
+				if !ok {
+					return
+				}
+				if !sameVars(forVars, b.vars) {
+					forVars = b.vars
+					cols = schemaMap(b.vars, keyVars)
+				}
+				compactSel(b, func(r int32) bool {
+					for i, c := range cols {
+						if c >= 0 {
+							ids[i] = b.cols[c][r]
+						} else {
+							ids[i] = rdf.NoTerm
+						}
+					}
+					key := idKeyOf(ids)
+					if distinct {
+						if seen[key] {
+							return false
+						}
+						seen[key] = true
+						return true
+					}
+					if !first && key == last {
+						return false
+					}
+					first = false
+					last = key
+					return true
+				})
+				if b.Len() == 0 {
+					putBatch(b)
+					continue
+				}
+				if !sendBatch(ctx, out, b) {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// batchUnion forwards the batches of both operands into one stream. Batches
+// keep their own schemas; downstream operators resolve schemas per batch.
+func batchUnion(ctx context.Context, left, right BatchStream) BatchStream {
+	out := make(chan *Batch, batchChanCap)
+	var wg sync.WaitGroup
+	forward := func(in BatchStream) {
+		defer wg.Done()
+		for {
+			select {
+			case b, ok := <-in:
+				if !ok {
+					return
+				}
+				if !sendBatch(ctx, out, b) {
+					return
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go forward(left)
+	go forward(right)
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ltqp/internal/algebra"
+	"ltqp/internal/plan"
+	"ltqp/internal/rdf"
+	"ltqp/internal/sparql"
+	"ltqp/internal/store"
+)
+
+// Stress suite for the vectorized pipeline, meant to run under -race: the
+// morsel workers, the store's batch iterator, and traversal's concurrent
+// AddDocument all interleave here.
+
+func stressPlan(t *testing.T, query string) algebra.Operator {
+	t.Helper()
+	q, err := sparql.ParseQuery(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := algebra.Translate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.New(nil).Optimize(op)
+}
+
+// TestConcurrentAddDocumentAndQuery runs a vectorized DISTINCT join while
+// documents are still being added — the traversal engine's normal mode. The
+// final multiset must be exactly one row per document: a row pairing o_i
+// with w_j (i != j) would be a torn tuple, a duplicate or missing row a
+// DISTINCT bug under concurrency.
+func TestConcurrentAddDocumentAndQuery(t *testing.T) {
+	const docs = 300
+	op := stressPlan(t, `SELECT DISTINCT ?s ?o ?w WHERE {
+  ?s <http://v/p> ?o .
+  ?s <http://v/q> ?w .
+}`)
+	for iter := 0; iter < 3; iter++ {
+		s := store.New()
+		env := NewEnv(s)
+		env.Workers = 4
+		ctx := context.Background()
+
+		type row struct{ s, o, w string }
+		results := make(chan []rdf.Binding, 1)
+		go func() {
+			var got []rdf.Binding
+			for b := range Eval(ctx, op, env) {
+				got = append(got, b)
+			}
+			results <- got
+		}()
+
+		for i := 0; i < docs; i++ {
+			subj := rdf.NewIRI(fmt.Sprintf("http://example.org/s%d", i))
+			s.AddDocument(fmt.Sprintf("http://example.org/doc%d", i), []rdf.Triple{
+				rdf.NewTriple(subj, rdf.NewIRI("http://v/p"), rdf.NewLiteral(fmt.Sprintf("o%d", i))),
+				rdf.NewTriple(subj, rdf.NewIRI("http://v/q"), rdf.NewLiteral(fmt.Sprintf("w%d", i))),
+			})
+		}
+		s.Close()
+
+		got := <-results
+		if len(got) != docs {
+			t.Fatalf("iter %d: %d DISTINCT rows, want %d", iter, len(got), docs)
+		}
+		seen := map[row]bool{}
+		for _, b := range got {
+			r := row{b["s"].Value, b["o"].Value, b["w"].Value}
+			want := row{
+				s: r.s,
+				o: "o" + r.s[len("http://example.org/s"):],
+				w: "w" + r.s[len("http://example.org/s"):],
+			}
+			if r != want {
+				t.Fatalf("iter %d: torn tuple %+v (want %+v)", iter, r, want)
+			}
+			if seen[r] {
+				t.Fatalf("iter %d: duplicate DISTINCT row %+v", iter, r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+// stressStore builds a deterministic store with enough rows that join
+// probes and grouping run morsel-parallel.
+func stressStore() *store.Store {
+	r := rand.New(rand.NewSource(7))
+	s := store.New()
+	doc := rdf.NewIRI("http://example.org/doc")
+	for i := 0; i < 4000; i++ {
+		msg := rdf.NewIRI(fmt.Sprintf("http://example.org/m%d", i))
+		creator := rdf.NewIRI(fmt.Sprintf("http://example.org/u%d", r.Intn(17)))
+		s.Add(rdf.NewTriple(msg, rdf.NewIRI("http://v/hasCreator"), creator), doc)
+		s.Add(rdf.NewTriple(msg, rdf.NewIRI("http://v/content"),
+			rdf.NewLiteral(fmt.Sprintf("content %d %c", i, 'a'+rune(r.Intn(26))))), doc)
+		if r.Intn(3) > 0 {
+			s.Add(rdf.NewTriple(msg, rdf.NewIRI("http://v/id"), rdf.Long(int64(r.Intn(500)))), doc)
+		}
+	}
+	s.Close()
+	return s
+}
+
+// TestResultsDeterministicAcrossWorkerCounts pins the acceptance criterion
+// that morsel scheduling never leaks into results: the same query over the
+// same store yields the same solution multiset for every worker-pool size,
+// including the GOMAXPROCS default (so `go test -cpu 1,4,8` sweeps it too).
+func TestResultsDeterministicAcrossWorkerCounts(t *testing.T) {
+	s := stressStore()
+	queries := []string{
+		`SELECT ?m ?c ?id WHERE {
+  ?m <http://v/hasCreator> <http://example.org/u3> .
+  ?m <http://v/content> ?c .
+  ?m <http://v/id> ?id .
+  FILTER(CONTAINS(?c, "a"))
+}`,
+		`SELECT DISTINCT ?u ?id WHERE {
+  { ?m <http://v/hasCreator> ?u . ?m <http://v/id> ?id . }
+  UNION
+  { ?m <http://v/hasCreator> ?u . ?m <http://v/id> ?id . }
+}`,
+		`SELECT ?u (COUNT(?m) AS ?n) (MIN(?id) AS ?lo) WHERE {
+  ?m <http://v/hasCreator> ?u .
+  ?m <http://v/id> ?id .
+} GROUP BY ?u`,
+	}
+	ctx := context.Background()
+	for qi, query := range queries {
+		op := stressPlan(t, query)
+		vars := op.Vars()
+		var base []string
+		for _, workers := range []int{1, 0, 2, 4, 8} {
+			env := NewEnv(s)
+			env.Workers = workers
+			got := canon(vars, collect(Eval(ctx, op, env)))
+			if len(got) == 0 {
+				t.Fatalf("query %d produced no rows; store shape regressed", qi)
+			}
+			if base == nil {
+				base = got
+				continue
+			}
+			if len(got) != len(base) {
+				t.Fatalf("query %d workers=%d: %d rows vs %d at workers=1", qi, workers, len(got), len(base))
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("query %d workers=%d: row %d differs\ngot:  %s\nwant: %s",
+						qi, workers, i, got[i], base[i])
+				}
+			}
+		}
+	}
+}

@@ -62,6 +62,26 @@ SELECT ?m ?c ?id WHERE {
 	}
 }
 
+func BenchmarkDistinctPipeline(b *testing.B) {
+	s := benchStore(2000)
+	op := benchPlan(b, `
+SELECT DISTINCT ?creator WHERE {
+  ?m <http://v/hasCreator> ?creator .
+}`)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for range Eval(ctx, op, NewEnv(s)) {
+			n++
+		}
+		if n != 20 {
+			b.Fatalf("results = %d", n)
+		}
+	}
+}
+
 func BenchmarkAggregationPipeline(b *testing.B) {
 	s := benchStore(2000)
 	op := benchPlan(b, `

@@ -45,6 +45,13 @@ type Env struct {
 	// stream while a subscriber is attached. Nil or audience-less events
 	// cost one atomic load per operator, nothing per solution.
 	Events *obs.Emitter
+	// Workers is the morsel worker-pool size for parallel join probes and
+	// grouping; 0 means GOMAXPROCS.
+	Workers int
+	// NoVectorize pins the whole execution to the row-at-a-time operators.
+	// The differential oracle and the property-test reference side set it,
+	// so the batch pipeline is always measured against the row semantics.
+	NoVectorize bool
 
 	// dict is the engine term dictionary (shared with Store); hash-keyed
 	// operators (join, DISTINCT, OPTIONAL bookkeeping) key on packed term
@@ -83,7 +90,16 @@ func (e *Env) nextRand() float64 {
 
 // Eval evaluates a logical operator into a stream of bindings. The stream
 // closes when the operator is exhausted or the context is cancelled.
+//
+// Operators with a vectorized implementation run on the batch pipeline
+// (EvalBatch) and are decoded back into bindings at this boundary; the
+// row-at-a-time implementations below remain both the fallback for
+// non-vectorizable operators and the reference semantics the batch
+// operators are tested against.
 func Eval(ctx context.Context, op algebra.Operator, env *Env) Stream {
+	if !env.NoVectorize && vectorizableOp(op) {
+		return batchesToRows(ctx, env, EvalBatch(ctx, op, env))
+	}
 	switch x := op.(type) {
 	case algebra.Unit:
 		return evalUnit(ctx)
@@ -133,6 +149,9 @@ func Eval(ctx context.Context, op algebra.Operator, env *Env) Stream {
 		return evalSlice(ctx, x, env)
 	case algebra.Group:
 		return traced(ctx, env, "group", nil, func(ctx context.Context) Stream {
+			if !env.NoVectorize && vectorizableGroup(x) {
+				return evalGroupBatch(ctx, x, env)
+			}
 			return evalGroup(ctx, x, env)
 		})
 	default:

@@ -43,6 +43,18 @@ func (p *Prov) Annotate(s *store.Store, b rdf.Binding, t rdf.Triple) rdf.Binding
 	return b.WithSource(src)
 }
 
+// add tallies one pattern match contributed by the document. Batch scans
+// use it directly: they carry source IDs in the batch provenance column
+// instead of binding entries, but the contribution ledger is the same.
+func (p *Prov) add(doc string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.docs[doc]++
+	p.mu.Unlock()
+}
+
 // Contributions returns, per document IRI, how many pattern matches the
 // document's triples fed into the pipeline, sorted by IRI.
 func (p *Prov) Contributions() []DocContribution {

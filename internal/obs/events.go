@@ -33,6 +33,11 @@ const (
 	// EventStageFinished closes a stage with its wall time; iterator
 	// stages also carry the number of rows they produced.
 	EventStageFinished EventKind = "stage_finished"
+	// EventMorselProcessed records one batch forwarded by a vectorized
+	// operator stage: Stage names the operator, Rows the batch's live row
+	// count, Row the batch ordinal within the stage. Only emitted while a
+	// subscriber is attached. (Additive to schema 1.)
+	EventMorselProcessed EventKind = "morsel_processed"
 	// EventDocumentDereferenced records one completed dereference — URL,
 	// status, triple/byte counts and wall time on success, Err on failure.
 	EventDocumentDereferenced EventKind = "document_dereferenced"
@@ -58,6 +63,7 @@ const (
 // EventKinds lists the full vocabulary in emission order.
 var EventKinds = []EventKind{
 	EventQueryStarted, EventStageStarted, EventStageFinished,
+	EventMorselProcessed,
 	EventDocumentDereferenced, EventLinkDiscovered, EventLinkQueued,
 	EventLinkPruned, EventRetryScheduled, EventResultEmitted,
 	EventQueryFinished,

@@ -190,6 +190,7 @@ func TestQueryIDContext(t *testing.T) {
 func TestEventKindsMatchesConstants(t *testing.T) {
 	want := map[EventKind]bool{
 		EventQueryStarted: true, EventStageStarted: true, EventStageFinished: true,
+		EventMorselProcessed:      true,
 		EventDocumentDereferenced: true, EventLinkDiscovered: true, EventLinkQueued: true,
 		EventLinkPruned: true, EventRetryScheduled: true, EventResultEmitted: true,
 		EventQueryFinished: true,

@@ -22,6 +22,25 @@ func IsProvVar(name string) bool {
 	return len(name) > 0 && name[0] == provMark
 }
 
+// ProvKey returns the pseudo-variable key under which doc is recorded as a
+// source document. The vectorized executor uses it to rebuild provenance
+// entries when a batch's provenance column is decoded back into bindings.
+func ProvKey(doc string) string { return string(provMark) + doc }
+
+// SourceIDs returns the dictionary IDs of the solution's source documents,
+// interning them as needed. The vectorized executor uses it to lift binding
+// provenance into a batch's provenance column; nil when the binding carries
+// none.
+func (b Binding) SourceIDs(d *Dict) []TermID {
+	var out []TermID
+	for k, v := range b {
+		if IsProvVar(k) {
+			out = append(out, d.Intern(v))
+		}
+	}
+	return out
+}
+
 // WithSource returns a binding that additionally records doc as a source
 // document of this solution. The receiver is unchanged; when doc is already
 // recorded the receiver is returned as-is.

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"context"
+
+	"ltqp/internal/rdf"
+)
+
+// Batch iteration: the vectorized executor pulls matches out of the store as
+// slabs of dictionary-encoded ID triples instead of one decoded rdf.Triple
+// per call. NextBatch preserves the live-iterator contract of Next — stream
+// everything currently known, then block until new triples arrive or the
+// store closes — but amortizes the store lock and the channel send over up
+// to a full batch, and never decodes: terms stay integers until the
+// pipeline's projection boundary.
+
+// scanLockedIdx advances the cursor to the next match and additionally
+// returns the triple's index into the store's triples/sources arrays, so
+// batch scans can attach provenance without a seen-map lookup. Caller holds
+// store.mu.
+func (it *Iterator) scanLockedIdx() (rdf.IDTriple, int32, bool) {
+	s := it.store
+	if it.scan {
+		for it.next < len(s.triples) {
+			i := int32(it.next)
+			t := s.triples[i]
+			it.next++
+			if it.pattern.matches(t) {
+				return t, i, true
+			}
+		}
+		return rdf.IDTriple{}, 0, false
+	}
+	list := s.candidates(&it.pattern)
+	for it.next < len(list) {
+		i := list[it.next]
+		t := s.triples[i]
+		it.next++
+		if it.pattern.matches(t) {
+			return t, i, true
+		}
+	}
+	return rdf.IDTriple{}, 0, false
+}
+
+// NextBatch fills ids (and, when srcs is non-nil, the parallel srcs slice
+// with each triple's source-document ID) with as many matches as are
+// available without blocking, up to len(ids). When no match is available it
+// blocks like Next until new triples arrive, the store closes, the iterator
+// is closed, or the context is cancelled. It returns the number of matches
+// written and ok=false only when the stream has ended.
+func (it *Iterator) NextBatch(ctx context.Context, ids []rdf.IDTriple, srcs []rdf.TermID) (int, bool) {
+	if len(ids) == 0 {
+		return 0, false
+	}
+	s := it.store
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if it.isClosed() || ctx.Err() != nil {
+			return 0, false
+		}
+		n := 0
+		for n < len(ids) {
+			t, idx, ok := it.scanLockedIdx()
+			if !ok {
+				break
+			}
+			ids[n] = t
+			if srcs != nil {
+				srcs[n] = s.sources[idx]
+			}
+			n++
+		}
+		if n > 0 {
+			return n, true
+		}
+		if s.closed {
+			return 0, false
+		}
+		// Block until new triples arrive or the store closes; a helper
+		// goroutine turns context cancellation into a broadcast (same
+		// pattern as Next).
+		stop := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.mu.Lock()
+				s.cond.Broadcast()
+				s.mu.Unlock()
+			case <-stop:
+			}
+		}()
+		s.cond.Wait()
+		close(stop)
+	}
+}

@@ -449,26 +449,8 @@ func (it *Iterator) Done() bool {
 
 // scanLocked advances the cursor to the next match. Caller holds store.mu.
 func (it *Iterator) scanLocked() (rdf.IDTriple, bool) {
-	s := it.store
-	if it.scan {
-		for it.next < len(s.triples) {
-			t := s.triples[it.next]
-			it.next++
-			if it.pattern.matches(t) {
-				return t, true
-			}
-		}
-		return rdf.IDTriple{}, false
-	}
-	list := s.candidates(&it.pattern)
-	for it.next < len(list) {
-		t := s.triples[list[it.next]]
-		it.next++
-		if it.pattern.matches(t) {
-			return t, true
-		}
-	}
-	return rdf.IDTriple{}, false
+	t, _, ok := it.scanLockedIdx()
+	return t, ok
 }
 
 // Close releases the iterator; pending and future Next calls return false.
