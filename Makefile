@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench fuzz-smoke differential
+.PHONY: build test verify bench fuzz-smoke differential loadgen-smoke bench-loadgen
 
 build:
 	$(GO) build ./...
@@ -47,3 +47,19 @@ bench: build
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchreport --parse-bench > $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# Multi-tenant serving smoke (CI): a short multi-client load run that must
+# finish with zero errors, nonzero shared-cache hits, and zero duplicate
+# in-flight fetches (the singleflight invariant).
+loadgen-smoke: build
+	$(GO) run ./cmd/loadgen --clients 8 --duration 5s --persons 4 --check > /dev/null
+
+# Full load benchmark: baseline (no shared cache) vs shared-cache run at
+# 256 concurrent clients, archived as a dated artifact in bench/.
+LOADGEN_OUT ?= bench/BENCH_$(shell date +%Y-%m-%d)_loadgen.json
+
+bench-loadgen: build
+	$(GO) run ./cmd/loadgen --clients 256 --tenants 32 --duration 15s \
+		--persons 8 --compare --out $(LOADGEN_OUT) > /dev/null
+	$(GO) run ./cmd/benchreport --loadgen $(LOADGEN_OUT)
+	@echo "wrote $(LOADGEN_OUT)"

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ltqp/internal/serve"
+)
+
+// renderLoadReport pretty-prints a cmd/loadgen artifact.
+func renderLoadReport(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rep serve.LoadReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Kind != "loadgen" {
+		return fmt.Errorf("%s: kind %q, want \"loadgen\"", path, rep.Kind)
+	}
+
+	c := rep.Config
+	fmt.Fprintf(w, "## Load run — %s\n\n", rep.Generated.Format("2006-01-02 15:04 MST"))
+	fmt.Fprintf(w, "%d clients over %d tenants, %.0fs per run, %d pods, %.1fms pod latency, %d-query mix, max in-flight %d",
+		c.Clients, c.Tenants, c.DurationSec, c.Persons, c.LatencyMS, c.QueryMix, c.MaxInFlight)
+	if c.TenantQuota > 0 {
+		fmt.Fprintf(w, ", tenant quota %d", c.TenantQuota)
+	}
+	fmt.Fprintf(w, "\n\n")
+
+	fmt.Fprintf(w, "| run | qps | p50 ms | p95 ms | p99 ms | completed | rejected | errors | pod reqs | 304s | hit ratio | dedups | dup-inflight |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rep.Runs {
+		hitRatio := "-"
+		dedups := "-"
+		dup := "-"
+		if r.Cache.Hits+r.Cache.Misses > 0 {
+			hitRatio = fmt.Sprintf("%.1f%%", r.Cache.HitRatio()*100)
+			dedups = fmt.Sprintf("%d", r.Cache.Dedups)
+			dup = fmt.Sprintf("%d", r.Cache.DuplicateInflight)
+		}
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %.1f | %.1f | %d | %d | %d | %d | %d | %s | %s | %s |\n",
+			r.Label, r.QPS, r.P50MS, r.P95MS, r.P99MS,
+			r.Completed, r.Rejected, r.Errors,
+			r.PodRequests, r.PodNotModified, hitRatio, dedups, dup)
+	}
+	if rep.SpeedupVsBaseline > 0 {
+		fmt.Fprintf(w, "\nShared-cache speedup vs baseline: **%.1fx** throughput.\n", rep.SpeedupVsBaseline)
+	}
+	return nil
+}

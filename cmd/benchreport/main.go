@@ -40,8 +40,17 @@ func main() {
 		parseBench = flag.Bool("parse-bench", false, "parse `go test -bench` output from stdin into JSON on stdout")
 		replay     = flag.String("replay-journal", "", "analyze an engine event journal (JSONL) offline and print the reconstructed timeline")
 		topN       = flag.Int("top", 10, "with --replay-journal, how many slowest documents to list per query")
+		loadFile   = flag.String("loadgen", "", "render a cmd/loadgen artifact (bench/BENCH_*_loadgen.json) as a table")
 	)
 	flag.Parse()
+
+	if *loadFile != "" {
+		if err := renderLoadReport(*loadFile, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parseBench {
 		if err := writeBenchJSON(os.Stdin, os.Stdout); err != nil {

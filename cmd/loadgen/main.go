@@ -1,0 +1,365 @@
+// Command loadgen measures the multi-tenant serving subsystem under
+// concurrent load: it self-hosts a SPARQL endpoint over a simulated Solid
+// environment, replays the SolidBench Discover query mix from k concurrent
+// clients, and reports throughput, latency percentiles, and the shared
+// cache's counters.
+//
+//	loadgen --clients 16 --duration 10s
+//	loadgen --clients 256 --compare --out bench/BENCH_$(date +%F)_loadgen.json
+//
+// With --compare it measures a no-shared-cache baseline first, then the
+// same load with the shared document cache and singleflight dedup on, and
+// reports the speedup. With --check it exits non-zero unless the run
+// completed without errors, hit the shared cache, and kept the
+// zero-duplicate-inflight-fetch invariant — the CI smoke configuration.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/serve"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		clients     = fs.Int("clients", 16, "concurrent clients")
+		tenants     = fs.Int("tenants", 16, "distinct tenant identities the clients rotate through")
+		duration    = fs.Duration("duration", 10*time.Second, "measured wall clock per run")
+		persons     = fs.Int("persons", 8, "pods in the simulated environment")
+		seed        = fs.Int64("seed", 42, "environment generator seed")
+		latency     = fs.Duration("latency", 2*time.Millisecond, "simulated pod network latency")
+		queryMix    = fs.Int("query-mix", 8, "distinct Discover queries in rotation (max 32)")
+		maxInflight = fs.Int("max-inflight", 4*runtime.GOMAXPROCS(0), "admission in-flight cap")
+		tenantQuota = fs.Int("tenant-quota", 0, "per-tenant in-flight quota (0 = none)")
+		compare     = fs.Bool("compare", false, "measure a no-shared-cache baseline first and report the speedup")
+		check       = fs.Bool("check", false, "CI smoke: exit non-zero on errors, zero cache hits, or duplicate in-flight fetches")
+		out         = fs.String("out", "", "write the JSON artifact to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *queryMix < 1 {
+		*queryMix = 1
+	}
+	if *queryMix > 32 {
+		*queryMix = 32
+	}
+	if *tenants < 1 {
+		*tenants = 1
+	}
+
+	fmt.Fprintf(stderr, "loadgen: building environment (%d pods)...\n", *persons)
+	scfg := solidbench.DefaultConfig()
+	scfg.Persons = *persons
+	scfg.Seed = *seed
+	env := simenv.New(scfg)
+	defer env.Close()
+	env.PodServer.Latency = *latency
+
+	// The rotation covers the eight Discover shapes across variants —
+	// the same mix the paper's demonstration runs.
+	catalog := env.Dataset.Catalog()[:*queryMix]
+	queries := make([]string, len(catalog))
+	for i, q := range catalog {
+		queries[i] = q.Text
+	}
+
+	report := serve.LoadReport{
+		Generated: time.Now().UTC(),
+		Kind:      "loadgen",
+		Config: serve.LoadConfig{
+			Clients: *clients, Tenants: *tenants,
+			DurationSec: duration.Seconds(),
+			Persons:     *persons,
+			LatencyMS:   float64(latency.Microseconds()) / 1000,
+			QueryMix:    len(queries),
+			MaxInFlight: *maxInflight,
+			TenantQuota: *tenantQuota,
+		},
+	}
+
+	harness := harness{
+		env: env, queries: queries,
+		clients: *clients, tenants: *tenants, duration: *duration,
+		maxInflight: *maxInflight, tenantQuota: *tenantQuota,
+	}
+
+	if *compare {
+		fmt.Fprintf(stderr, "loadgen: baseline (no shared cache), %d clients for %s...\n", *clients, *duration)
+		base := harness.run("baseline", false)
+		report.Runs = append(report.Runs, base)
+		fmt.Fprintf(stderr, "loadgen: baseline %.1f qps, p95 %.1fms\n", base.QPS, base.P95MS)
+	}
+
+	fmt.Fprintf(stderr, "loadgen: shared cache + singleflight, %d clients for %s...\n", *clients, *duration)
+	sharedRun := harness.run("shared", true)
+	report.Runs = append(report.Runs, sharedRun)
+	fmt.Fprintf(stderr, "loadgen: shared %.1f qps, p95 %.1fms, hit ratio %.0f%%, %d dedups\n",
+		sharedRun.QPS, sharedRun.P95MS, sharedRun.Cache.HitRatio()*100, sharedRun.Cache.Dedups)
+
+	if *compare && report.Runs[0].QPS > 0 {
+		report.SpeedupVsBaseline = sharedRun.QPS / report.Runs[0].QPS
+		fmt.Fprintf(stderr, "loadgen: speedup %.1fx\n", report.SpeedupVsBaseline)
+	}
+
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(report)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+		fenc := json.NewEncoder(f)
+		fenc.SetIndent("", "  ")
+		fenc.Encode(report)
+		f.Close()
+	}
+
+	if *check {
+		switch {
+		case sharedRun.Errors > 0:
+			fmt.Fprintf(stderr, "loadgen: CHECK FAILED: %d errors\n", sharedRun.Errors)
+			return 1
+		case sharedRun.Completed == 0:
+			fmt.Fprintln(stderr, "loadgen: CHECK FAILED: no queries completed")
+			return 1
+		case sharedRun.Cache.Hits == 0:
+			fmt.Fprintln(stderr, "loadgen: CHECK FAILED: shared cache never hit")
+			return 1
+		case sharedRun.Cache.DuplicateInflight != 0:
+			fmt.Fprintf(stderr, "loadgen: CHECK FAILED: %d duplicate in-flight fetches\n", sharedRun.Cache.DuplicateInflight)
+			return 1
+		}
+		fmt.Fprintln(stderr, "loadgen: check ok")
+	}
+	return 0
+}
+
+// harness drives one measured configuration against a fresh endpoint.
+type harness struct {
+	env      *simenv.Env
+	queries  []string
+	clients  int
+	tenants  int
+	duration time.Duration
+
+	maxInflight int
+	tenantQuota int
+}
+
+func (h *harness) run(label string, withSharedCache bool) serve.LoadRun {
+	cfg := ltqp.Config{Client: h.env.Client(), Lenient: true}
+	serving := Servingish{}
+	var shared *serve.SharedCache
+	if withSharedCache {
+		shared = serve.NewSharedCache(serve.SharedCacheOptions{})
+		cfg.SharedCache = shared
+	}
+	admission := serve.NewAdmission(serve.AdmissionOptions{
+		MaxInFlight: h.maxInflight,
+		QueueDepth:  h.clients * 2,
+		TenantQuota: h.tenantQuota,
+		RetryAfter:  100 * time.Millisecond,
+	})
+	serving.shared = shared
+	serving.admission = admission
+
+	engine := ltqp.New(cfg)
+	srv := httptest.NewServer(serving.handler(engine))
+	defer srv.Close()
+
+	h.env.PodServer.ResetRequestCount()
+
+	ctx, cancel := context.WithTimeout(context.Background(), h.duration)
+	defer cancel()
+
+	var (
+		completed atomic.Int64
+		rejected  atomic.Int64
+		errors    atomic.Int64
+		latMu     sync.Mutex
+		latencies []float64
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < h.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("tenant-%d", c%h.tenants)
+			client := &http.Client{}
+			i := c // stagger the rotation so clients don't move in lockstep
+			for ctx.Err() == nil {
+				q := h.queries[i%len(h.queries)]
+				i++
+				start := time.Now()
+				status, retryAfter, err := doQuery(ctx, client, srv.URL, q, tenant)
+				switch {
+				case err != nil:
+					if ctx.Err() != nil {
+						return // cut off mid-request by the deadline
+					}
+					errors.Add(1)
+				case status == http.StatusOK:
+					completed.Add(1)
+					ms := float64(time.Since(start).Microseconds()) / 1000
+					latMu.Lock()
+					latencies = append(latencies, ms)
+					latMu.Unlock()
+				case status == http.StatusTooManyRequests:
+					rejected.Add(1)
+					select {
+					case <-time.After(retryAfter):
+					case <-ctx.Done():
+						return
+					}
+				default:
+					errors.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	run := serve.LoadRun{
+		Label:          label,
+		Completed:      completed.Load(),
+		Rejected:       rejected.Load(),
+		Errors:         errors.Load(),
+		QPS:            float64(completed.Load()) / h.duration.Seconds(),
+		PodRequests:    h.env.PodServer.RequestCount(),
+		PodNotModified: h.env.PodServer.NotModifiedCount(),
+	}
+	if shared != nil {
+		run.Cache = shared.Stats()
+	}
+	sort.Float64s(latencies)
+	run.P50MS = percentile(latencies, 50)
+	run.P95MS = percentile(latencies, 95)
+	run.P99MS = percentile(latencies, 99)
+	if len(latencies) > 0 {
+		var sum float64
+		for _, v := range latencies {
+			sum += v
+		}
+		run.MeanMS = sum / float64(len(latencies))
+	}
+	return run
+}
+
+// doQuery issues one SPARQL Protocol GET, returning the status and any
+// Retry-After hint on 429.
+func doQuery(ctx context.Context, client *http.Client, base, query, tenant string) (status int, retryAfter time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		base+"/sparql?query="+url.QueryEscape(query), nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("X-API-Key", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	retryAfter = 50 * time.Millisecond
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if retryAfter > 200*time.Millisecond {
+		retryAfter = 200 * time.Millisecond // keep the harness responsive
+	}
+	return resp.StatusCode, retryAfter, nil
+}
+
+// percentile returns the p-th percentile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// Servingish is the loadgen-local handler wrapper: admission + tenant
+// bucketing around the plain SPARQL handler, mirroring cmd/sparql-endpoint
+// without importing its main package.
+type Servingish struct {
+	shared    *serve.SharedCache
+	admission *serve.Admission
+}
+
+func (s Servingish) handler(engine *ltqp.Engine) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tenant := serve.TenantFromRequest(r)
+		if s.admission != nil {
+			release, err := s.admission.Admit(r.Context(), tenant)
+			if err != nil {
+				var rej *serve.RejectionError
+				if errors.As(err, &rej) {
+					w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(rej.RetryAfter.Seconds()))))
+					http.Error(w, "too many requests", http.StatusTooManyRequests)
+					return
+				}
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			defer release()
+		}
+		query := r.URL.Query().Get("query")
+		if query == "" {
+			http.Error(w, "missing query", http.StatusBadRequest)
+			return
+		}
+		res, err := engine.Query(r.Context(), query)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		n := 0
+		for range res.Results {
+			n++
+		}
+		if err := res.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"results\":%d}\n", n)
+	})
+}

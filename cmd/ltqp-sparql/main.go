@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		adaptive   = fs.Bool("adaptive", false, "re-plan from observed cardinalities after a traversal warmup")
 		maxDepth   = fs.Int("max-depth", 0, "cap traversal depth in hops from the seeds (0 = unbounded)")
 		cacheDocs  = fs.Int("cache", 0, "enable an engine-wide document cache of this many documents")
+		sharedMB   = fs.Int64("shared-cache", 0, "enable a shared revalidating document cache with this byte budget in MiB (singleflight dedup included)")
 		retries    = fs.Int("max-retries", 3, "retries per document on transient failures (429/5xx, transport errors); 0 disables")
 		retryBase  = fs.Duration("retry-base", 100*time.Millisecond, "initial retry backoff (doubles per retry, with deterministic jitter)")
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-attempt HTTP timeout (0 = none)")
@@ -107,6 +108,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheDocuments:   *cacheDocs,
 		Trace:            *traceOut != "",
 		Explain:          *explainOut != "" || *explainDot != "" || *provenance,
+	}
+	if *sharedMB > 0 {
+		cfg.SharedCache = ltqp.NewSharedCache(ltqp.SharedCacheOptions{MaxBytes: *sharedMB << 20})
 	}
 	if *retries > 0 {
 		cfg.Retry = &ltqp.RetryPolicy{
@@ -249,6 +253,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if hits, misses, enabled := res.CacheStats(); enabled {
 			fmt.Fprintf(stderr, "document cache: %d hits this run; engine-wide %d hits / %d misses\n",
 				s.CacheHits, hits, misses)
+		}
+		if sc, enabled := engine.SharedCacheStats(); enabled {
+			fmt.Fprintf(stderr, "shared cache: %.0f%% hit ratio (%d hits / %d misses), %d docs / %d bytes held, %d revalidations (%d answered 304), %d singleflight dedups\n",
+				sc.HitRatio()*100, sc.Hits, sc.Misses, sc.Documents, sc.Bytes,
+				sc.Revalidations, sc.NotModified, sc.Dedups)
 		}
 		if deg := res.Degradation(); deg.Degraded() {
 			fmt.Fprintf(stderr, "degraded: %d retries, %d documents abandoned (results may be partial)\n",

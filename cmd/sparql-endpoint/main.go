@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -31,6 +33,7 @@ import (
 	"ltqp"
 	"ltqp/internal/obs"
 	"ltqp/internal/results"
+	"ltqp/internal/serve"
 	"ltqp/internal/simenv"
 	"ltqp/internal/solidbench"
 	"ltqp/internal/sparql"
@@ -53,6 +56,16 @@ func main() {
 		logFormat = flag.String("log", "", "enable structured logging to stderr: text or json")
 		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		degraded  = flag.Float64("degraded-threshold", obs.DefaultDegradedThreshold, "recent deref failure ratio above which /healthz reports degraded")
+
+		sharedBytes = flag.Int64("shared-cache-bytes", serve.DefaultMaxBytes, "shared document cache byte budget (0 disables the shared cache)")
+		sharedTTL   = flag.Duration("shared-cache-ttl", serve.DefaultTTL, "shared-cache freshness lifetime before conditional revalidation")
+		resultCache = flag.Int("result-cache", serve.DefaultResultCacheEntries, "result cache entries for repeated SELECT queries (0 disables)")
+		maxInflight = flag.Int("max-inflight", serve.DefaultMaxInFlight, "queries executing at once across all tenants (0 disables admission control)")
+		queueDepth  = flag.Int("queue-depth", serve.DefaultQueueDepth, "queries allowed to wait for an execution slot; beyond it requests get 429")
+		tenantQuota = flag.Int("tenant-quota", 4, "in-flight queries per tenant (X-API-Key or client IP; 0 = no per-tenant limit)")
+		retryAfter  = flag.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint attached to 429 rejections")
+		maxDocs     = flag.Int("max-docs-per-query", 0, "documents one query may dereference (0 = unbounded)")
+		maxRows     = flag.Int("max-result-rows", 0, "rows one SELECT may return; excess is truncated (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -70,7 +83,8 @@ func main() {
 	}
 	// Explain makes every query record its traversal topology and result
 	// provenance, served live on /debug/topology and in /debug/queries.
-	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs, Explain: true}
+	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs,
+		Explain: true, MaxDocuments: *maxDocs}
 	var env *simenv.Env
 	if *simulate {
 		scfg := solidbench.DefaultConfig()
@@ -81,7 +95,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simulated pods at %s\nexample query name: %s\n", env.Server.URL, q.Name)
 	}
 
-	h := NewHandler(ltqp.New(cfg), *timeout)
+	// Serving subsystem: shared document cache, admission control, result
+	// cache. Each piece is individually optional via its flag.
+	var serving Serving
+	if *sharedBytes > 0 {
+		serving.Shared = serve.NewSharedCache(serve.SharedCacheOptions{
+			MaxBytes: *sharedBytes, TTL: *sharedTTL,
+			Obs: observer.Metrics, Events: observer.Events,
+		})
+		cfg.SharedCache = serving.Shared
+	}
+	if *maxInflight > 0 {
+		qd := *queueDepth
+		if qd <= 0 {
+			qd = serve.QueueDepthNone
+		}
+		serving.Admission = serve.NewAdmission(serve.AdmissionOptions{
+			MaxInFlight: *maxInflight, QueueDepth: qd, TenantQuota: *tenantQuota,
+			RetryAfter: *retryAfter, Obs: observer.Metrics, Events: observer.Events,
+		})
+	}
+	if *resultCache > 0 {
+		serving.ResultCache = serve.NewResultCache(*resultCache, observer.Metrics)
+	}
+	serving.MaxResultRows = *maxRows
+	observer.Health.Serving = servingHealth(observer, serving)
+
+	h := NewServingHandler(ltqp.New(cfg), *timeout, serving)
 	mux := buildMux(h, observer)
 
 	srv := &http.Server{
@@ -139,6 +179,11 @@ func main() {
 	case <-stop.Done():
 		fmt.Fprintln(os.Stderr, "sparql-endpoint: shutting down, draining in-flight queries...")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		if serving.Admission != nil {
+			// Reject queued and new queries immediately (429 draining)
+			// while in-flight ones finish under the same budget.
+			go serving.Admission.Drain(shutdownCtx)
+		}
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "sparql-endpoint: shutdown:", err)
 			exit = 1
@@ -155,41 +200,128 @@ func main() {
 }
 
 // buildMux assembles the endpoint's HTTP surface: the SPARQL protocol on
-// /sparql plus the observer's endpoints (/metrics, /healthz, /debug/queries,
-// /debug/topology, /debug/events).
+// /sparql, POST /admin/invalidate (bump the shared-cache epoch), plus the
+// observer's endpoints (/metrics, /healthz, /debug/queries, /debug/topology,
+// /debug/events).
 func buildMux(h *Handler, observer *ltqp.Observer) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", h)
+	if h.serving.Shared != nil {
+		mux.HandleFunc("/admin/invalidate", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			epoch := h.serving.Shared.Invalidate()
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, "{\"epoch\":%d}\n", epoch)
+		})
+	}
 	observer.Register(mux)
 	return mux
+}
+
+// servingHealth builds the /healthz serving section from the subsystem's
+// live counters.
+func servingHealth(observer *ltqp.Observer, s Serving) func() *obs.ServingHealth {
+	if s.Shared == nil && s.Admission == nil {
+		return nil
+	}
+	return func() *obs.ServingHealth {
+		st := s.Shared.Stats() // nil-safe: zero stats without a shared cache
+		h := &obs.ServingHealth{
+			CacheHitRatio:      st.HitRatio(),
+			CacheHits:          st.Hits,
+			CacheMisses:        st.Misses,
+			CacheBytes:         st.Bytes,
+			CacheDocuments:     st.Documents,
+			Revalidations:      st.Revalidations,
+			NotModified:        st.NotModified,
+			SingleflightDedups: st.Dedups,
+			CacheEpoch:         st.Epoch,
+		}
+		if s.Admission != nil {
+			h.Admitted = s.Admission.Admitted()
+			h.Rejected = s.Admission.Rejected()
+			h.InFlight = s.Admission.InFlight()
+			h.Queued = s.Admission.Queued()
+		}
+		return h
+	}
+}
+
+// Serving bundles the optional multi-tenant serving pieces of a Handler.
+type Serving struct {
+	// Shared is the process-wide document cache (epoch source for the
+	// result cache and target of /admin/invalidate). May be nil.
+	Shared *serve.SharedCache
+	// Admission gates queries; nil admits everything unconditionally.
+	Admission *serve.Admission
+	// ResultCache memoizes SELECT results; nil disables.
+	ResultCache *serve.ResultCache
+	// MaxResultRows truncates SELECT responses (0 = unbounded).
+	MaxResultRows int
 }
 
 // Handler implements the SPARQL 1.1 Protocol over the traversal engine.
 type Handler struct {
 	engine  *ltqp.Engine
 	timeout time.Duration
+	serving Serving
 }
 
-// NewHandler builds a protocol handler around an engine.
+// NewHandler builds a protocol handler around an engine, with no admission
+// control or caching layers.
 func NewHandler(engine *ltqp.Engine, timeout time.Duration) *Handler {
 	return &Handler{engine: engine, timeout: timeout}
 }
 
+// NewServingHandler builds a protocol handler with the multi-tenant serving
+// pieces attached.
+func NewServingHandler(engine *ltqp.Engine, timeout time.Duration, s Serving) *Handler {
+	return &Handler{engine: engine, timeout: timeout, serving: s}
+}
+
+// cachedSelect is one memoized SELECT result (rows are immutable once
+// stored; every response re-renders them in the negotiated format).
+type cachedSelect struct {
+	vars []string
+	rows []ltqp.Binding
+}
+
 // ServeHTTP handles SPARQL Protocol query operations (GET with ?query=,
-// POST with form or application/sparql-query body).
+// POST with form or application/sparql-query body). With admission control
+// attached, overload answers 429 Too Many Requests plus a Retry-After hint.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	query, err := extractQuery(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), h.timeout)
+	tenant := serve.TenantFromRequest(r)
+	ctx, cancel := context.WithTimeout(obs.ContextWithTenant(r.Context(), tenant), h.timeout)
 	defer cancel()
 
 	parsed, err := sparql.ParseQuery(query)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
+	}
+
+	if h.serving.Admission != nil {
+		release, err := h.serving.Admission.Admit(ctx, tenant)
+		if err != nil {
+			var rej *serve.RejectionError
+			if errors.As(err, &rej) {
+				w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(rej.RetryAfter.Seconds()))))
+				http.Error(w, "too many requests: "+rej.Reason, http.StatusTooManyRequests)
+				return
+			}
+			// The client gave up (or timed out) while queued.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		defer release()
 	}
 
 	accept := r.Header.Get("Accept")
@@ -223,30 +355,61 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, turtle.Write(triples, turtle.WriteOptions{Prefixes: ltqp.CommonPrefixes()}))
 
 	default: // SELECT
+		// The result cache is keyed on the normalized query, the seed set,
+		// and the shared cache's invalidation epoch — so POST
+		// /admin/invalidate expires cached results and cached documents in
+		// one stroke.
+		var key string
+		if h.serving.ResultCache != nil {
+			key = serve.ResultKey(query, nil, h.serving.Shared.Epoch())
+			if v, ok := h.serving.ResultCache.Get(key); ok {
+				cached := v.(*cachedSelect)
+				w.Header().Set("X-Result-Cache", "hit")
+				writeSelect(w, accept, cached.vars, cached.rows)
+				return
+			}
+		}
 		res, err := h.engine.Query(ctx, query)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		var all []ltqp.Binding
+		truncated := false
 		for b := range res.Results {
+			if h.serving.MaxResultRows > 0 && len(all) >= h.serving.MaxResultRows {
+				truncated = true
+				res.Close()
+				break
+			}
 			all = append(all, b)
 		}
 		if err := res.Err(); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		switch {
-		case strings.Contains(accept, "text/csv"):
-			w.Header().Set("Content-Type", "text/csv")
-			results.WriteCSV(w, res.Vars, all)
-		case strings.Contains(accept, "text/tab-separated-values"):
-			w.Header().Set("Content-Type", "text/tab-separated-values")
-			results.WriteTSV(w, res.Vars, all)
-		default:
-			w.Header().Set("Content-Type", "application/sparql-results+json")
-			results.WriteJSON(w, res.Vars, all)
+		if key != "" && !truncated && ctx.Err() == nil {
+			h.serving.ResultCache.Put(key, &cachedSelect{vars: res.Vars, rows: all})
 		}
+		if truncated {
+			w.Header().Set("X-Results-Truncated", strconv.Itoa(h.serving.MaxResultRows))
+		}
+		writeSelect(w, accept, res.Vars, all)
+	}
+}
+
+// writeSelect renders SELECT rows in the negotiated format.
+func writeSelect(w http.ResponseWriter, accept string, vars []string, rows []ltqp.Binding) {
+	switch {
+	case strings.Contains(accept, "text/csv"):
+		w.Header().Set("Content-Type", "text/csv")
+		results.WriteCSV(w, vars, rows)
+	case strings.Contains(accept, "text/tab-separated-values"):
+		w.Header().Set("Content-Type", "text/tab-separated-values")
+		results.WriteTSV(w, vars, rows)
+	default:
+		w.Header().Set("Content-Type", "application/sparql-results+json")
+		results.WriteJSON(w, vars, rows)
 	}
 }
 

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/obs"
+	"ltqp/internal/serve"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+// newServingEndpoint builds an endpoint with the full serving subsystem
+// attached, returning the pieces tests need to poke.
+func newServingEndpoint(t *testing.T, s Serving) (*httptest.Server, *simenv.Env, *ltqp.Observer) {
+	t.Helper()
+	env := simenv.New(solidbench.SmallConfig())
+	t.Cleanup(env.Close)
+	observer := ltqp.NewObserver()
+	cfg := ltqp.Config{Client: env.Client(), Lenient: true, Obs: observer}
+	if s.Shared != nil {
+		cfg.SharedCache = s.Shared
+	}
+	observer.Health.Serving = servingHealth(observer, s)
+	h := NewServingHandler(ltqp.New(cfg), 2*time.Minute, s)
+	srv := httptest.NewServer(buildMux(h, observer))
+	t.Cleanup(srv.Close)
+	return srv, env, observer
+}
+
+// TestOverloadRejectsWith429WhileInFlightCompletes is the acceptance-
+// criteria integration test: with one execution slot and no queue, a slow
+// in-flight query forces concurrent requests into 429 + Retry-After — and
+// the in-flight query still completes successfully.
+func TestOverloadRejectsWith429WhileInFlightCompletes(t *testing.T) {
+	shared := serve.NewSharedCache(serve.SharedCacheOptions{})
+	admission := serve.NewAdmission(serve.AdmissionOptions{
+		MaxInFlight: 1, QueueDepth: serve.QueueDepthNone, RetryAfter: 3 * time.Second,
+	})
+	srv, env, _ := newServingEndpoint(t, Serving{Shared: shared, Admission: admission})
+	// Slow the pods down so the first query reliably holds its slot while
+	// the rejected burst arrives.
+	env.PodServer.Latency = 30 * time.Millisecond
+	q := env.Dataset.Discover(1, 1)
+	target := srv.URL + "/sparql?query=" + url.QueryEscape(q.Text)
+
+	type outcome struct {
+		status     int
+		retryAfter string
+		body       string
+	}
+	const clients = 6
+	results := make([]outcome, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(target)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			results[i] = outcome{resp.StatusCode, resp.Header.Get("Retry-After"), string(body)}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, rejected int
+	for _, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+			var parsed struct {
+				Results struct {
+					Bindings []map[string]any `json:"bindings"`
+				} `json:"results"`
+			}
+			if err := json.Unmarshal([]byte(r.body), &parsed); err != nil {
+				t.Errorf("winner's body is not results JSON: %v", err)
+			} else if len(parsed.Results.Bindings) == 0 {
+				t.Error("in-flight query completed with no bindings")
+			}
+		case http.StatusTooManyRequests:
+			rejected++
+			secs, err := strconv.Atoi(r.retryAfter)
+			if err != nil || secs < 1 {
+				t.Errorf("429 without usable Retry-After: %q", r.retryAfter)
+			}
+		default:
+			t.Errorf("unexpected status %d: %s", r.status, r.body)
+		}
+	}
+	if ok == 0 {
+		t.Fatal("no query completed despite admission")
+	}
+	if rejected == 0 {
+		t.Fatal("no query was rejected despite a single slot and zero queue")
+	}
+}
+
+// TestSharedCacheServesRepeatQueries proves cross-query sharing: the second
+// identical query is answered from the shared document cache (hits > 0) and
+// issues no new pod fetches.
+func TestSharedCacheServesRepeatQueries(t *testing.T) {
+	shared := serve.NewSharedCache(serve.SharedCacheOptions{})
+	srv, env, _ := newServingEndpoint(t, Serving{Shared: shared})
+	q := env.Dataset.Discover(1, 1)
+	target := srv.URL + "/sparql?query=" + url.QueryEscape(q.Text)
+
+	fetch := func() {
+		resp, err := http.Get(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+	}
+	fetch()
+	requestsAfterFirst := env.PodServer.RequestCount()
+	st := shared.Stats()
+	if st.Misses == 0 {
+		t.Fatal("first query should have missed the shared cache")
+	}
+	fetch()
+	// Successful documents are all served from the shared cache; only
+	// failed dereferences (cache-ineligible 404s etc.) may refetch.
+	failedFirstRun := requestsAfterFirst - int64(st.Documents)
+	if extra := env.PodServer.RequestCount() - requestsAfterFirst; extra > failedFirstRun {
+		t.Fatalf("second query issued %d new pod requests, want at most the %d failed ones",
+			extra, failedFirstRun)
+	}
+	st = shared.Stats()
+	if st.Hits == 0 {
+		t.Fatal("second query should have hit the shared cache")
+	}
+	if st.DuplicateInflight != 0 {
+		t.Fatalf("duplicate in-flight fetches: %d", st.DuplicateInflight)
+	}
+}
+
+// TestAdminInvalidateBumpsEpochAndRevalidates: POST /admin/invalidate must
+// bump the epoch; the next query revalidates documents (304s, no duplicate
+// parse) instead of serving possibly-stale cache entries.
+func TestAdminInvalidateBumpsEpochAndRevalidates(t *testing.T) {
+	shared := serve.NewSharedCache(serve.SharedCacheOptions{})
+	srv, env, _ := newServingEndpoint(t, Serving{Shared: shared})
+	q := env.Dataset.Discover(1, 1)
+	target := srv.URL + "/sparql?query=" + url.QueryEscape(q.Text)
+
+	resp, err := http.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Post(srv.URL+"/admin/invalidate", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bump struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bump); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if bump.Epoch != 1 || shared.Epoch() != 1 {
+		t.Fatalf("epoch = %d/%d, want 1", bump.Epoch, shared.Epoch())
+	}
+
+	resp, err = http.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	st := shared.Stats()
+	if st.Revalidations == 0 || st.NotModified == 0 {
+		t.Fatalf("post-invalidate query did not revalidate: %+v", st)
+	}
+	if env.PodServer.NotModifiedCount() == 0 {
+		t.Fatal("pod server answered no 304s")
+	}
+}
+
+// TestResultCacheHitSkipsEngine: an identical repeated SELECT is served
+// from the result cache without reaching the engine at all.
+func TestResultCacheHitSkipsEngine(t *testing.T) {
+	shared := serve.NewSharedCache(serve.SharedCacheOptions{})
+	srv, env, observer := newServingEndpoint(t, Serving{
+		Shared: shared, ResultCache: serve.NewResultCache(16, nil),
+	})
+	q := env.Dataset.Discover(1, 1)
+	target := srv.URL + "/sparql?query=" + url.QueryEscape(q.Text)
+
+	get := func() (*http.Response, string) {
+		resp, err := http.Get(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+	_, first := get()
+	started := observer.Metrics.QueriesStarted.Value()
+	resp, second := get()
+	if resp.Header.Get("X-Result-Cache") != "hit" {
+		t.Fatal("repeat query missed the result cache")
+	}
+	if second != first {
+		t.Fatal("cached response differs from the original")
+	}
+	if observer.Metrics.QueriesStarted.Value() != started {
+		t.Fatal("result-cache hit still started an engine query")
+	}
+
+	// Epoch bump must invalidate the cached result.
+	shared.Invalidate()
+	resp, _ = get()
+	if resp.Header.Get("X-Result-Cache") == "hit" {
+		t.Fatal("result cache served across an epoch bump")
+	}
+}
+
+// TestHealthzReportsServing: /healthz carries the serving section with a
+// hit ratio once traffic has flowed.
+func TestHealthzReportsServing(t *testing.T) {
+	shared := serve.NewSharedCache(serve.SharedCacheOptions{})
+	admission := serve.NewAdmission(serve.AdmissionOptions{MaxInFlight: 4})
+	srv, env, _ := newServingEndpoint(t, Serving{Shared: shared, Admission: admission})
+	q := env.Dataset.Discover(1, 1)
+	target := srv.URL + "/sparql?query=" + url.QueryEscape(q.Text)
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st obs.HealthStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Serving == nil {
+		t.Fatal("healthz missing serving section")
+	}
+	if st.Serving.CacheHits == 0 || st.Serving.CacheHitRatio <= 0 {
+		t.Fatalf("no cache hits surfaced: %+v", st.Serving)
+	}
+	if st.Serving.CacheBytes == 0 || st.Serving.CacheDocuments == 0 {
+		t.Fatalf("no occupancy surfaced: %+v", st.Serving)
+	}
+	if st.Serving.Admitted == 0 {
+		t.Fatalf("admission counters not surfaced: %+v", st.Serving)
+	}
+}
+
+// TestTenantAppearsInDebugQueries: queries carry their tenant (API key
+// bucket) into /debug/queries.
+func TestTenantAppearsInDebugQueries(t *testing.T) {
+	shared := serve.NewSharedCache(serve.SharedCacheOptions{})
+	admission := serve.NewAdmission(serve.AdmissionOptions{MaxInFlight: 4})
+	srv, env, _ := newServingEndpoint(t, Serving{Shared: shared, Admission: admission})
+	q := env.Dataset.Discover(1, 1)
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/sparql?query="+url.QueryEscape(q.Text), nil)
+	req.Header.Set("X-API-Key", "alice-key")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(srv.URL + "/debug/queries?trace=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Recent []struct {
+			Tenant string `json:"tenant"`
+		} `json:"recent"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range payload.Recent {
+		if r.Tenant == "key:alice-key" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tenant not in /debug/queries: %+v", payload.Recent)
+	}
+}

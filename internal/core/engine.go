@@ -101,6 +101,12 @@ type Options struct {
 	// attached, publishing is a nil check plus one atomic load: the hot
 	// path performs zero allocations (benchmarked in internal/obs).
 	Events *obs.Bus
+	// Shared, when non-nil, layers a cross-engine shared document cache
+	// (internal/serve.SharedCache) under every dereference: fresh entries
+	// skip the network, stale entries revalidate with conditional GETs,
+	// and concurrent fetches of one IRI collapse to a single flight. It
+	// takes precedence over Cache.
+	Shared deref.SharedCache
 	// ExecWorkers sizes the executor's morsel worker pool (parallel join
 	// probes and grouping); 0 means GOMAXPROCS.
 	ExecWorkers int
@@ -296,6 +302,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	var rec *obs.QueryRecord
 	if e.opts.Obs != nil {
 		rec = e.opts.Obs.Tracker.Start(qid, queryStr, seeds, trace)
+		rec.SetTenant(obs.TenantFromContext(ctx))
 	}
 	queryStart := time.Now()
 	x.start = queryStart
@@ -555,6 +562,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		Auth:      e.opts.Auth,
 		Recorder:  recorder,
 		Cache:     e.opts.Cache,
+		Shared:    e.opts.Shared,
 		Retry:     e.opts.Retry,
 		Obs:       e.opts.Obs.M(),
 		Events:    events,

@@ -60,6 +60,42 @@ type Result struct {
 	Triples []rdf.Triple
 	Status  int
 	Bytes   int64
+	// Validators are the HTTP cache validators the server attached to a
+	// 200 response; a shared document cache stores them to revalidate the
+	// entry with a conditional request later.
+	Validators Validators
+	// NotModified is set when a conditional fetch was answered with
+	// 304 Not Modified: the caller's cached copy is still current and
+	// Triples is empty.
+	NotModified bool
+}
+
+// Validators are the HTTP cache validators of a document: the strong entity
+// tag and Last-Modified date a server reported, replayed on revalidation as
+// If-None-Match / If-Modified-Since.
+type Validators struct {
+	ETag         string
+	LastModified string
+}
+
+// Zero reports whether no validator is present (a conditional request is
+// impossible; revalidation degrades to a full refetch).
+func (v Validators) Zero() bool { return v.ETag == "" && v.LastModified == "" }
+
+// FetchFunc performs one dereference (with retries) on behalf of a shared
+// cache, sending the given validators as a conditional request when present.
+// It returns a NotModified result when the server answered 304.
+type FetchFunc func(ctx context.Context, vals Validators) (*Result, error)
+
+// SharedCache is a cross-engine shared document cache layered under the
+// dereferencer (implemented by internal/serve). Dereference serves the key
+// from cache when fresh, revalidates stale entries with a conditional fetch,
+// and deduplicates concurrent fetches of the same key so N concurrent
+// queries issue one upstream request. hit reports whether this caller was
+// served without a network request of its own (fresh hit or deduplicated
+// join of another caller's in-flight fetch).
+type SharedCache interface {
+	Dereference(ctx context.Context, key, url string, fetch FetchFunc) (res *Result, hit bool, err error)
 }
 
 // Dereferencer fetches and parses RDF documents.
@@ -91,6 +127,12 @@ type Dereferencer struct {
 	// are canonicalized into it, so cached documents hold interned terms
 	// and store ingest of a cache hit is pure dictionary map hits.
 	Dict *rdf.Dict
+	// Shared, when non-nil, layers a cross-engine shared document cache
+	// under the dereferencer (see internal/serve): fresh entries are
+	// served without touching the network, stale entries revalidate with
+	// conditional requests, and concurrent dereferences of the same key
+	// collapse into one upstream fetch. Takes precedence over Cache.
+	Shared SharedCache
 
 	// docCounter scopes blank node labels per dereferenced document.
 	docCounter atomic.Int64
@@ -101,42 +143,70 @@ type Dereferencer struct {
 // HTTP/transport/parse failures); the metrics recorder captures one event
 // per attempt either way.
 func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason string) (*Result, error) {
+	if d.Shared != nil {
+		res, hit, err := d.Shared.Dereference(ctx, cacheKey(url, d.Auth), url,
+			func(fctx context.Context, vals Validators) (*Result, error) {
+				return d.fetchWithRetry(fctx, url, parent, reason, vals)
+			})
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			d.recordCacheHit(ctx, url, parent, reason, res)
+		}
+		return res, nil
+	}
+
 	if d.Cache != nil {
 		if entry, ok := d.Cache.get(cacheKey(url, d.Auth)); ok {
-			start := time.Now()
-			ev := metrics.Request{URL: url, Parent: parent, Reason: reason,
-				Start: start, Status: http.StatusOK, Bytes: entry.bytes,
-				Triples: len(entry.triples), Cached: true, Attempt: 1}
-			ev.End = ev.Start
-			if d.Recorder != nil {
-				d.Recorder.Record(ev)
-			}
-			_, sp := obs.StartSpan(ctx, "deref",
-				obs.Str("url", url), obs.Bool("cached", true),
-				obs.Int("triples", len(entry.triples)))
-			sp.End()
-			m := obs.On(d.Obs)
-			m.CacheHits.Inc()
-			m.DerefDuration.Observe(time.Since(start).Seconds())
-			return &Result{URL: url, FinalURL: entry.finalURL, Triples: entry.triples,
-				Status: http.StatusOK, Bytes: entry.bytes}, nil
+			res := &Result{URL: url, FinalURL: entry.finalURL, Triples: entry.triples,
+				Status: http.StatusOK, Bytes: entry.bytes}
+			d.recordCacheHit(ctx, url, parent, reason, res)
+			return res, nil
 		}
 		obs.On(d.Obs).CacheMisses.Inc()
 	}
 
+	res, err := d.fetchWithRetry(ctx, url, parent, reason, Validators{})
+	if err == nil && d.Cache != nil {
+		d.Cache.put(&cacheEntry{
+			key:      cacheKey(url, d.Auth),
+			finalURL: res.FinalURL,
+			triples:  res.Triples,
+			bytes:    res.Bytes,
+		})
+	}
+	return res, err
+}
+
+// recordCacheHit records a dereference served from a cache (engine-local or
+// shared) in the per-query waterfall, span stream and process metrics.
+func (d *Dereferencer) recordCacheHit(ctx context.Context, url, parent, reason string, res *Result) {
+	start := time.Now()
+	ev := metrics.Request{URL: url, Parent: parent, Reason: reason,
+		Start: start, Status: http.StatusOK, Bytes: res.Bytes,
+		Triples: len(res.Triples), Cached: true, Attempt: 1}
+	ev.End = ev.Start
+	if d.Recorder != nil {
+		d.Recorder.Record(ev)
+	}
+	_, sp := obs.StartSpan(ctx, "deref",
+		obs.Str("url", url), obs.Bool("cached", true),
+		obs.Int("triples", len(res.Triples)))
+	sp.End()
+	m := obs.On(d.Obs)
+	m.CacheHits.Inc()
+	m.DerefDuration.Observe(time.Since(start).Seconds())
+}
+
+// fetchWithRetry performs the network dereference with the configured retry
+// policy, sending vals as a conditional request when present.
+func (d *Dereferencer) fetchWithRetry(ctx context.Context, url, parent, reason string, vals Validators) (*Result, error) {
 	maxAttempts := d.Retry.maxAttempts()
 	var lastErr error
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
-		res, err := d.fetchOnce(ctx, url, parent, reason, attempt)
+		res, err := d.fetchOnce(ctx, url, parent, reason, attempt, vals)
 		if err == nil {
-			if d.Cache != nil {
-				d.Cache.put(&cacheEntry{
-					key:      cacheKey(url, d.Auth),
-					finalURL: res.FinalURL,
-					triples:  res.Triples,
-					bytes:    res.Bytes,
-				})
-			}
 			return res, nil
 		}
 		lastErr = err
@@ -165,7 +235,9 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 }
 
 // fetchOnce performs one fetch+parse attempt and records one metrics event.
-func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string, attempt int) (*Result, error) {
+// When vals carries validators the request is conditional and a 304 answer
+// yields a NotModified result instead of an error.
+func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string, attempt int, vals Validators) (*Result, error) {
 	client := d.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -184,10 +256,16 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		if ev.Status != 0 {
 			m.DocumentsByStatus.With(strconv.Itoa(ev.Status)).Inc()
 		}
-		if ev.Err != "" {
+		switch {
+		case ev.Err != "":
 			span.SetAttr(obs.Str("error", ev.Err))
 			m.FetchFailures.Inc()
-		} else {
+		case ev.Status == http.StatusNotModified:
+			// Revalidation confirmed the cached copy: no new document,
+			// bytes or triples — only the round trip itself.
+			span.SetAttr(obs.Int("status", ev.Status))
+			m.DerefDuration.Observe(ev.End.Sub(ev.Start).Seconds())
+		default:
 			span.SetAttr(obs.Int("status", ev.Status), obs.Int64("bytes", ev.Bytes), obs.Int("triples", ev.Triples))
 			m.DocumentsFetched.Inc()
 			m.BytesFetched.Add(ev.Bytes)
@@ -218,6 +296,12 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		req.Header.Set("Authorization", "Bearer "+d.Auth.Token)
 		req.Header.Set("X-WebID", d.Auth.WebID)
 	}
+	if vals.ETag != "" {
+		req.Header.Set("If-None-Match", vals.ETag)
+	}
+	if vals.LastModified != "" {
+		req.Header.Set("If-Modified-Since", vals.LastModified)
+	}
 
 	resp, err := client.Do(req)
 	if err != nil {
@@ -244,6 +328,15 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 			Err: fmt.Errorf("body exceeds %d-byte limit", maxBodyBytes)}
 	}
 	ev.Bytes = int64(len(body))
+
+	if resp.StatusCode == http.StatusNotModified && !vals.Zero() {
+		// The cached copy is current; the caller (a shared cache) keeps
+		// serving its stored parse. Recorded as a 304 in the waterfall,
+		// not as a fetched document.
+		record()
+		return &Result{URL: url, FinalURL: url, Status: resp.StatusCode,
+			NotModified: true, Validators: vals}, nil
+	}
 
 	if resp.StatusCode != http.StatusOK {
 		ev.Err = fmt.Sprintf("status %d", resp.StatusCode)
@@ -289,5 +382,6 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 	}
 	ev.Triples = len(triples)
 	record()
-	return &Result{URL: url, FinalURL: finalURL, Triples: triples, Status: resp.StatusCode, Bytes: ev.Bytes}, nil
+	return &Result{URL: url, FinalURL: finalURL, Triples: triples, Status: resp.StatusCode, Bytes: ev.Bytes,
+		Validators: Validators{ETag: resp.Header.Get("ETag"), LastModified: resp.Header.Get("Last-Modified")}}, nil
 }

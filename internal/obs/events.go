@@ -58,6 +58,23 @@ const (
 	// EventQueryFinished closes a query with its total result count, wall
 	// time, and error if any.
 	EventQueryFinished EventKind = "query_finished"
+	// EventCacheHit records a dereference served fresh from the shared
+	// document cache without a network request. (Additive to schema 1.)
+	EventCacheHit EventKind = "cache_hit"
+	// EventCacheRevalidated records a stale shared-cache entry refreshed by
+	// a conditional request; Status 304 means the cached parse was kept,
+	// 200 that the document changed and was re-parsed. (Additive.)
+	EventCacheRevalidated EventKind = "cache_revalidated"
+	// EventCacheEvicted records a document evicted from the shared cache
+	// under its byte budget. (Additive.)
+	EventCacheEvicted EventKind = "cache_evicted"
+	// EventQueryAdmitted records a query passing admission control; Tenant
+	// names the quota bucket it was charged to. (Additive.)
+	EventQueryAdmitted EventKind = "query_admitted"
+	// EventQueryRejected records a query turned away by admission control
+	// (429 + Retry-After); Detail names why — queue full, tenant quota,
+	// draining. (Additive.)
+	EventQueryRejected EventKind = "query_rejected"
 )
 
 // EventKinds lists the full vocabulary in emission order.
@@ -67,6 +84,8 @@ var EventKinds = []EventKind{
 	EventDocumentDereferenced, EventLinkDiscovered, EventLinkQueued,
 	EventLinkPruned, EventRetryScheduled, EventResultEmitted,
 	EventQueryFinished,
+	EventCacheHit, EventCacheRevalidated, EventCacheEvicted,
+	EventQueryAdmitted, EventQueryRejected,
 }
 
 // Event is one engine occurrence. Seq is a process-wide total order (replay
@@ -94,6 +113,7 @@ type Event struct {
 	DurationUS int64    `json:"duration_us,omitempty"`
 	DelayUS    int64    `json:"delay_us,omitempty"`
 	Detail     string   `json:"detail,omitempty"`
+	Tenant     string   `json:"tenant,omitempty"`
 	Err        string   `json:"error,omitempty"`
 }
 
@@ -262,6 +282,27 @@ func ContextWithQueryID(ctx context.Context, id int64) context.Context {
 func QueryIDFromContext(ctx context.Context) int64 {
 	id, _ := ctx.Value(queryIDKey).(int64)
 	return id
+}
+
+// tenantKey carries the requesting tenant through a context.
+type tenantKeyType struct{}
+
+var tenantKey tenantKeyType
+
+// ContextWithTenant returns a context carrying the tenant identity a query
+// is charged to (API key or client address); the query tracker stamps it on
+// the execution's /debug/queries record.
+func ContextWithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey, tenant)
+}
+
+// TenantFromContext returns the context's tenant identity ("" when none).
+func TenantFromContext(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey).(string)
+	return t
 }
 
 // Emitter binds a Bus to one query's correlation id, so instrumented code

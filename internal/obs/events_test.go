@@ -194,6 +194,8 @@ func TestEventKindsMatchesConstants(t *testing.T) {
 		EventDocumentDereferenced: true, EventLinkDiscovered: true, EventLinkQueued: true,
 		EventLinkPruned: true, EventRetryScheduled: true, EventResultEmitted: true,
 		EventQueryFinished: true,
+		EventCacheHit:      true, EventCacheRevalidated: true, EventCacheEvicted: true,
+		EventQueryAdmitted: true, EventQueryRejected: true,
 	}
 	if len(EventKinds) != len(want) {
 		t.Fatalf("EventKinds has %d entries, want %d", len(EventKinds), len(want))

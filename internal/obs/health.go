@@ -30,9 +30,38 @@ type HealthChecker struct {
 	Threshold float64
 	// Window is the sliding window width (default DefaultHealthWindow).
 	Window time.Duration
+	// Serving, when set, contributes the shared serving subsystem's state
+	// (shared-cache hit ratio and occupancy, singleflight dedup count,
+	// admission pressure) to the /healthz body.
+	Serving func() *ServingHealth
 
 	mu      sync.Mutex
 	samples []healthSample
+}
+
+// ServingHealth is the serving-subsystem section of the /healthz body.
+type ServingHealth struct {
+	// CacheHitRatio is shared-cache hits / (hits + misses), 0 when idle.
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	// CacheBytes / CacheDocuments are the cache's current occupancy.
+	CacheBytes     int64 `json:"cache_bytes"`
+	CacheDocuments int   `json:"cache_documents"`
+	// Revalidations counts conditional refetches of stale entries;
+	// NotModified the share answered 304.
+	Revalidations int64 `json:"revalidations"`
+	NotModified   int64 `json:"not_modified"`
+	// SingleflightDedups counts dereferences that joined another caller's
+	// in-flight fetch instead of issuing their own.
+	SingleflightDedups int64 `json:"singleflight_dedups"`
+	// CacheEpoch is the current invalidation epoch.
+	CacheEpoch uint64 `json:"cache_epoch"`
+	// Admitted / Rejected / Queued describe admission-control pressure.
+	Admitted int64 `json:"admitted,omitempty"`
+	Rejected int64 `json:"rejected,omitempty"`
+	InFlight int   `json:"in_flight,omitempty"`
+	Queued   int   `json:"queued,omitempty"`
 }
 
 type healthSample struct {
@@ -53,12 +82,21 @@ type HealthStatus struct {
 	WindowAttempts int64   `json:"window_attempts"`
 	WindowSeconds  float64 `json:"window_seconds"`
 	Goroutines     int     `json:"goroutines"`
+	// Serving reports the shared serving subsystem (shared cache,
+	// singleflight, admission) when the endpoint runs one.
+	Serving *ServingHealth `json:"serving,omitempty"`
 }
 
 // Check computes the current verdict at the given time.
 func (h *HealthChecker) Check(now time.Time) HealthStatus {
 	st := HealthStatus{Status: "ok", Time: now.UTC(), Goroutines: runtime.NumGoroutine()}
-	if h == nil || h.Metrics == nil {
+	if h == nil {
+		return st
+	}
+	if h.Serving != nil {
+		st.Serving = h.Serving()
+	}
+	if h.Metrics == nil {
 		return st
 	}
 	threshold := h.Threshold

@@ -25,10 +25,13 @@ func HealthHandler() http.Handler {
 
 // querySummaryJSON is the /debug/queries wire format for one query.
 type querySummaryJSON struct {
-	ID         int64     `json:"id"`
-	Query      string    `json:"query"`
-	Seeds      []string  `json:"seeds,omitempty"`
-	Start      time.Time `json:"start"`
+	ID int64 `json:"id"`
+	// Tenant is the quota bucket (API key / client address) the query was
+	// admitted under; empty for untracked callers (library use, CLI).
+	Tenant string    `json:"tenant,omitempty"`
+	Query  string    `json:"query"`
+	Seeds  []string  `json:"seeds,omitempty"`
+	Start  time.Time `json:"start"`
 	DurationMS float64   `json:"duration_ms"`
 	Results    int       `json:"results"`
 	Done       bool      `json:"done"`
@@ -52,6 +55,7 @@ type topoSummaryJSON struct {
 func summarize(r *QueryRecord, withTrace bool) querySummaryJSON {
 	out := querySummaryJSON{
 		ID:            r.ID,
+		Tenant:        r.Tenant(),
 		Query:         r.Query,
 		Seeds:         r.Seeds,
 		Start:         r.Start,

@@ -30,6 +30,23 @@ type Metrics struct {
 
 	ResultsEmitted *Counter
 
+	// Shared serving subsystem (internal/serve): the cross-engine document
+	// cache with revalidation, singleflight dereference dedup, admission
+	// control and the result cache.
+	SharedCacheHits          *Counter
+	SharedCacheMisses        *Counter
+	SharedCacheRevalidations *Counter // conditional refetches issued for stale entries
+	SharedCacheNotModified   *Counter // revalidations answered 304 (cached copy kept)
+	SharedCacheEvictions     *Counter
+	SharedCacheBytes         *Gauge // current byte occupancy of the shared cache
+	SharedCacheDocuments     *Gauge // documents currently cached
+	SingleflightDedups       *Counter
+	QueriesAdmitted          *Counter
+	QueriesRejected          *Counter
+	AdmissionQueueDepth      *Gauge
+	ResultCacheHits          *Counter
+	ResultCacheMisses        *Counter
+
 	DerefDuration     *Histogram // seconds per successful dereference (incl. cache hits)
 	TimeToFirstResult *Histogram // seconds from query start to first solution
 	QueryDuration     *Histogram // seconds per completed query
@@ -59,6 +76,20 @@ func NewMetrics(r *Registry) *Metrics {
 		DocumentsByStatus: r.CounterVec("ltqp_documents_by_status_total", "Completed dereference responses by HTTP status code.", "status"),
 
 		ResultsEmitted: r.Counter("ltqp_results_total", "Solutions streamed to clients."),
+
+		SharedCacheHits:          r.Counter("ltqp_shared_cache_hits_total", "Dereferences served fresh from the shared document cache."),
+		SharedCacheMisses:        r.Counter("ltqp_shared_cache_misses_total", "Dereferences the shared document cache had no entry for."),
+		SharedCacheRevalidations: r.Counter("ltqp_shared_cache_revalidations_total", "Conditional refetches issued for stale shared-cache entries."),
+		SharedCacheNotModified:   r.Counter("ltqp_shared_cache_not_modified_total", "Revalidations answered 304 Not Modified (cached parse kept)."),
+		SharedCacheEvictions:     r.Counter("ltqp_shared_cache_evictions_total", "Documents evicted from the shared cache under its byte budget."),
+		SharedCacheBytes:         r.Gauge("ltqp_shared_cache_bytes", "Current byte occupancy of the shared document cache."),
+		SharedCacheDocuments:     r.Gauge("ltqp_shared_cache_documents", "Documents currently held by the shared document cache."),
+		SingleflightDedups:       r.Counter("ltqp_singleflight_dedup_total", "Concurrent dereferences that joined another caller's in-flight fetch of the same IRI."),
+		QueriesAdmitted:          r.Counter("ltqp_queries_admitted_total", "Queries admitted by the admission controller."),
+		QueriesRejected:          r.Counter("ltqp_queries_rejected_total", "Queries rejected with 429 by the admission controller."),
+		AdmissionQueueDepth:      r.Gauge("ltqp_admission_queue_depth", "Queries currently waiting in the admission queue."),
+		ResultCacheHits:          r.Counter("ltqp_result_cache_hits_total", "Queries answered from the result cache."),
+		ResultCacheMisses:        r.Counter("ltqp_result_cache_misses_total", "Queries that missed the result cache."),
 
 		DerefDuration:     r.Histogram("ltqp_deref_duration_seconds", "Wall time per successful dereference (cache hits included).", DefaultLatencyBuckets),
 		TimeToFirstResult: r.Histogram("ltqp_time_to_first_result_seconds", "Delay from query start to first solution.", DefaultLatencyBuckets),

@@ -31,6 +31,7 @@ type QueryRecord struct {
 	errMsg  string
 	topo    *Topology
 	contrib []DocMatches
+	tenant  string
 }
 
 // DocMatches is one document's contribution to a query's results: how many
@@ -71,6 +72,27 @@ func (t *QueryTracker) Start(id int64, query string, seeds []string, trace *Trac
 	t.inflight[rec.ID] = rec
 	t.mu.Unlock()
 	return rec
+}
+
+// SetTenant records which tenant (API key / client address) the query is
+// charged to, shown as the tenant column of /debug/queries.
+func (r *QueryRecord) SetTenant(tenant string) {
+	if r == nil || tenant == "" {
+		return
+	}
+	r.mu.Lock()
+	r.tenant = tenant
+	r.mu.Unlock()
+}
+
+// Tenant returns the tenant the query was charged to ("" when untracked).
+func (r *QueryRecord) Tenant() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tenant
 }
 
 // AddResult notes one delivered solution.

@@ -1,0 +1,111 @@
+package podserver
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"ltqp/internal/solid"
+)
+
+func TestResponsesCarryValidators(t *testing.T) {
+	_, ts, pod := newTestServer(t)
+	resp, body := get(t, ts.Client(), pod.IRI("profile/card"), nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || etag[0] != '"' {
+		t.Fatalf("missing or weak ETag: %q", etag)
+	}
+	lm := resp.Header.Get("Last-Modified")
+	if _, err := http.ParseTime(lm); err != nil {
+		t.Fatalf("unparseable Last-Modified %q: %v", lm, err)
+	}
+	if body == "" {
+		t.Fatal("empty body")
+	}
+	// Same body → same strong validator on a second request.
+	resp2, _ := get(t, ts.Client(), pod.IRI("profile/card"), nil)
+	if resp2.Header.Get("ETag") != etag {
+		t.Fatalf("ETag not stable: %q then %q", etag, resp2.Header.Get("ETag"))
+	}
+}
+
+func TestIfNoneMatchRevalidation(t *testing.T) {
+	ps, ts, pod := newTestServer(t)
+	resp, _ := get(t, ts.Client(), pod.IRI("profile/card"), nil)
+	etag := resp.Header.Get("ETag")
+
+	resp, body := get(t, ts.Client(), pod.IRI("profile/card"), map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("matching If-None-Match: status = %d, want 304", resp.StatusCode)
+	}
+	if body != "" {
+		t.Fatalf("304 must carry no body, got %d bytes", len(body))
+	}
+	if resp.Header.Get("ETag") != etag {
+		t.Fatal("304 must echo the validator")
+	}
+	if ps.NotModifiedCount() != 1 {
+		t.Fatalf("NotModifiedCount = %d, want 1", ps.NotModifiedCount())
+	}
+
+	// A non-matching tag gets the full document.
+	resp, body = get(t, ts.Client(), pod.IRI("profile/card"), map[string]string{"If-None-Match": `"deadbeef"`})
+	if resp.StatusCode != http.StatusOK || body == "" {
+		t.Fatalf("stale If-None-Match: status = %d, body %d bytes", resp.StatusCode, len(body))
+	}
+
+	// Weak-comparison: W/-prefixed candidate still matches.
+	resp, _ = get(t, ts.Client(), pod.IRI("profile/card"), map[string]string{"If-None-Match": "W/" + etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("weak If-None-Match: status = %d, want 304", resp.StatusCode)
+	}
+}
+
+func TestIfModifiedSinceRevalidation(t *testing.T) {
+	_, ts, pod := newTestServer(t)
+	resp, _ := get(t, ts.Client(), pod.IRI("profile/card"), nil)
+	lm := resp.Header.Get("Last-Modified")
+
+	resp, _ = get(t, ts.Client(), pod.IRI("profile/card"), map[string]string{"If-Modified-Since": lm})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-Modified-Since at mod time: status = %d, want 304", resp.StatusCode)
+	}
+
+	old := time.Now().Add(-24 * time.Hour).UTC().Format(http.TimeFormat)
+	resp, body := get(t, ts.Client(), pod.IRI("profile/card"), map[string]string{"If-Modified-Since": old})
+	if resp.StatusCode != http.StatusOK || body == "" {
+		t.Fatalf("stale If-Modified-Since: status = %d, body %d bytes", resp.StatusCode, len(body))
+	}
+
+	// If-None-Match wins over If-Modified-Since (RFC 9110 §13.1).
+	resp, _ = get(t, ts.Client(), pod.IRI("profile/card"), map[string]string{
+		"If-None-Match": `"deadbeef"`, "If-Modified-Since": lm,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("If-None-Match must take precedence: status = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestRebaseRecomputesETags(t *testing.T) {
+	ps := New()
+	ps.AddDocument("http://old.example/d", "<http://old.example/d#s> <http://x/p> <http://x/o>.", solid.PublicAccess)
+	ps.mu.RLock()
+	before := ps.docs["http://old.example/d"].etag
+	ps.mu.RUnlock()
+	ps.Rebase("http://old.example", "http://new.example")
+	ps.mu.RLock()
+	after, ok := ps.docs["http://new.example/d"]
+	ps.mu.RUnlock()
+	if !ok {
+		t.Fatal("document not rebased")
+	}
+	if after.etag == before {
+		t.Fatal("body changed but ETag did not")
+	}
+	if after.etag != etagFor(after.turtle) {
+		t.Fatal("rebased ETag does not validate the rebased body")
+	}
+}

@@ -5,9 +5,16 @@
 // Document-level access control is enforced from bearer WebID credentials,
 // and an artificial network latency can be injected so that resource
 // waterfalls (Figs. 4 and 5) exhibit realistic request timing.
+//
+// Responses carry strong ETags and Last-Modified stamps, and conditional
+// requests (If-None-Match / If-Modified-Since) are answered 304 Not
+// Modified, so revalidating clients — the engine's shared document cache in
+// particular — can refresh an entry without re-downloading the body.
 package podserver
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -28,6 +35,16 @@ func TokenFor(webID string) string { return "sig:" + webID }
 type servedDoc struct {
 	turtle string
 	access solid.Access
+	etag   string    // strong validator over the body
+	mod    time.Time // Last-Modified (second resolution, per HTTP-date)
+}
+
+// etagFor computes the strong entity tag of a body: a quoted content hash,
+// so identical bodies validate across restarts and rebases only change the
+// tag when they change the body.
+func etagFor(body string) string {
+	sum := sha256.Sum256([]byte(body))
+	return `"` + hex.EncodeToString(sum[:8]) + `"`
 }
 
 // Server hosts a set of materialized pods.
@@ -40,12 +57,25 @@ type Server struct {
 	// BytesPerSecond, when > 0, adds size-proportional delay.
 	BytesPerSecond int64
 
-	requests atomic.Int64
+	// modTime stamps documents registered from now on; defaults to server
+	// creation time. HTTP dates carry second resolution, so it is truncated.
+	modTime time.Time
+
+	requests    atomic.Int64
+	notModified atomic.Int64
 }
 
 // New returns an empty server.
 func New() *Server {
-	return &Server{docs: map[string]servedDoc{}}
+	return &Server{docs: map[string]servedDoc{}, modTime: time.Now().UTC().Truncate(time.Second)}
+}
+
+// SetModTime sets the Last-Modified stamp applied to subsequently
+// registered (or rebased) documents — tests use it to step document age.
+func (s *Server) SetModTime(t time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.modTime = t.UTC().Truncate(time.Second)
 }
 
 // AddPod materializes the pod (containers included) and registers all its
@@ -55,7 +85,8 @@ func (s *Server) AddPod(p *solid.Pod) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for path, d := range docs {
-		s.docs[p.IRI(path)] = servedDoc{turtle: p.Turtle(d), access: d.Access}
+		body := p.Turtle(d)
+		s.docs[p.IRI(path)] = servedDoc{turtle: body, access: d.Access, etag: etagFor(body), mod: s.modTime}
 	}
 }
 
@@ -63,7 +94,7 @@ func (s *Server) AddPod(p *solid.Pod) {
 func (s *Server) AddDocument(url, turtleBody string, access solid.Access) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.docs[url] = servedDoc{turtle: turtleBody, access: access}
+	s.docs[url] = servedDoc{turtle: turtleBody, access: access, etag: etagFor(turtleBody), mod: s.modTime}
 }
 
 // DocumentCount returns the number of registered documents.
@@ -76,13 +107,20 @@ func (s *Server) DocumentCount() int {
 // RequestCount returns the number of HTTP requests served.
 func (s *Server) RequestCount() int64 { return s.requests.Load() }
 
-// ResetRequestCount zeroes the request counter (benchmarks).
-func (s *Server) ResetRequestCount() { s.requests.Store(0) }
+// NotModifiedCount returns how many requests were answered 304.
+func (s *Server) NotModifiedCount() int64 { return s.notModified.Load() }
+
+// ResetRequestCount zeroes the request counters (benchmarks).
+func (s *Server) ResetRequestCount() {
+	s.requests.Store(0)
+	s.notModified.Store(0)
+}
 
 // Rebase rewrites all registered document URLs and bodies from one base URL
 // prefix to another. The simulated environment builds pods under a
 // placeholder origin; once the HTTP test server assigns a real port, Rebase
-// moves the content there so that all intra-pod links dereference.
+// moves the content there so that all intra-pod links dereference. Bodies
+// change, so entity tags are recomputed.
 func (s *Server) Rebase(oldPrefix, newPrefix string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -90,13 +128,15 @@ func (s *Server) Rebase(oldPrefix, newPrefix string) {
 	for u, d := range s.docs {
 		nu := strings.Replace(u, oldPrefix, newPrefix, 1)
 		d.turtle = strings.ReplaceAll(d.turtle, oldPrefix, newPrefix)
+		d.etag = etagFor(d.turtle)
 		out[nu] = d
 	}
 	s.docs = out
 }
 
 // ServeHTTP implements http.Handler with Solid-ish behaviour: Turtle
-// responses, 401/403 for protected documents, 404 otherwise.
+// responses with strong validators, 304 on successful revalidation, 401/403
+// for protected documents, 404 otherwise.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if s.Latency > 0 {
@@ -126,6 +166,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	w.Header().Set("ETag", d.etag)
+	w.Header().Set("Last-Modified", d.mod.Format(http.TimeFormat))
+	if notModified(r, d) {
+		s.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
 	if s.BytesPerSecond > 0 {
 		time.Sleep(time.Duration(int64(len(d.turtle)) * int64(time.Second) / s.BytesPerSecond))
 	}
@@ -135,6 +182,31 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprint(w, d.turtle)
+}
+
+// notModified evaluates the request's conditional headers against the
+// document's validators. If-None-Match takes precedence over
+// If-Modified-Since, per RFC 9110 §13.1.
+func notModified(r *http.Request, d servedDoc) bool {
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		if inm == "*" {
+			return true
+		}
+		for _, candidate := range strings.Split(inm, ",") {
+			candidate = strings.TrimSpace(candidate)
+			// Weak comparison: a W/ prefix on either side is ignored.
+			if strings.TrimPrefix(candidate, "W/") == strings.TrimPrefix(d.etag, "W/") {
+				return true
+			}
+		}
+		return false
+	}
+	if ims := r.Header.Get("If-Modified-Since"); ims != "" {
+		if t, err := http.ParseTime(ims); err == nil {
+			return !d.mod.After(t)
+		}
+	}
+	return false
 }
 
 // authorize extracts and verifies the caller's WebID, then checks the ACL.

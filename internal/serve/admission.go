@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ltqp/internal/obs"
+)
+
+// Admission defaults.
+const (
+	DefaultMaxInFlight = 16
+	DefaultQueueDepth  = 64
+	DefaultRetryAfter  = time.Second
+)
+
+// AdmissionOptions configures an Admission controller.
+type AdmissionOptions struct {
+	// MaxInFlight caps queries executing at once across all tenants
+	// (default DefaultMaxInFlight).
+	MaxInFlight int
+	// QueueDepth caps queries waiting for an execution slot (default
+	// DefaultQueueDepth). A full queue rejects with ErrOverloaded.
+	QueueDepth int
+	// TenantQuota caps in-flight queries per tenant; 0 disables per-tenant
+	// limits. A tenant at quota queues even when global slots are free, so
+	// one aggressive client cannot monopolize the process.
+	TenantQuota int
+	// RetryAfter is the hint attached to rejections (default
+	// DefaultRetryAfter), surfaced as the 429 Retry-After header.
+	RetryAfter time.Duration
+	// Obs, when non-nil, receives admitted/rejected counters and the queue
+	// depth gauge. Events, when non-nil, receives query_admitted /
+	// query_rejected events.
+	Obs    *obs.Metrics
+	Events *obs.Bus
+}
+
+// RejectionError is returned when a query cannot be admitted. HTTP servers
+// translate it to 429 Too Many Requests with a Retry-After header.
+type RejectionError struct {
+	Reason     string // "queue_full", "draining"
+	RetryAfter time.Duration
+}
+
+func (e *RejectionError) Error() string {
+	return fmt.Sprintf("query rejected: %s (retry after %s)", e.Reason, e.RetryAfter)
+}
+
+// ErrOverloaded is the sentinel matched by errors.Is for any rejection.
+var ErrOverloaded = errors.New("server overloaded")
+
+// Is makes every RejectionError match ErrOverloaded.
+func (e *RejectionError) Is(target error) bool { return target == ErrOverloaded }
+
+// Admission is the query admission controller: a global in-flight cap, a
+// bounded wait queue, and per-tenant concurrency quotas with round-robin
+// dispatch across waiting tenants so no tenant is starved by a flood from
+// another. Safe for concurrent use.
+type Admission struct {
+	maxInFlight int
+	queueDepth  int
+	tenantQuota int
+	retryAfter  time.Duration
+	obs         *obs.Metrics
+	events      *obs.Bus
+
+	nAdmitted, nRejected atomic.Int64
+
+	mu       sync.Mutex
+	inFlight int
+	byTenant map[string]int
+	// waiting holds per-tenant FIFO queues; order is the round-robin ring
+	// of tenants that currently have waiters.
+	waiting map[string][]*waiter
+	queued  int
+	order   []string
+	next    int // round-robin cursor into order
+	// draining refuses new work while letting admitted queries finish.
+	draining bool
+	// idle is closed when draining and inFlight reaches zero.
+	idle chan struct{}
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	tenant string
+	ready  chan struct{} // closed by dispatch when a slot is granted
+	// granted distinguishes a dispatch grant from a caller abandoning the
+	// wait (context cancellation); guarded by Admission.mu.
+	granted bool
+}
+
+// NewAdmission builds an admission controller.
+func NewAdmission(o AdmissionOptions) *Admission {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = DefaultMaxInFlight
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	} else if o.QueueDepth == 0 {
+		o.QueueDepth = DefaultQueueDepth
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = DefaultRetryAfter
+	}
+	return &Admission{
+		maxInFlight: o.MaxInFlight,
+		queueDepth:  o.QueueDepth,
+		tenantQuota: o.TenantQuota,
+		retryAfter:  o.RetryAfter,
+		obs:         o.Obs,
+		events:      o.Events,
+		byTenant:    map[string]int{},
+		waiting:     map[string][]*waiter{},
+	}
+}
+
+// QueueDepthNone as AdmissionOptions.QueueDepth yields a queue of zero
+// slots: reject immediately whenever all in-flight slots are busy.
+const QueueDepthNone = -1
+
+// Admit blocks until the query may run, then returns a release function the
+// caller must invoke exactly once when the query finishes. It fails with a
+// *RejectionError (matching ErrOverloaded) when the wait queue is full or
+// the controller is draining, and with ctx.Err() when the caller gives up
+// while queued.
+func (a *Admission) Admit(ctx context.Context, tenant string) (release func(), err error) {
+	a.mu.Lock()
+	if a.draining {
+		a.mu.Unlock()
+		return nil, a.reject(ctx, tenant, "draining")
+	}
+	if a.grantableLocked(tenant) {
+		a.grantLocked(tenant)
+		a.mu.Unlock()
+		a.admitted(ctx, tenant, false)
+		return func() { a.release(tenant) }, nil
+	}
+	if a.queued >= a.queueDepth {
+		a.mu.Unlock()
+		return nil, a.reject(ctx, tenant, "queue_full")
+	}
+	w := &waiter{tenant: tenant, ready: make(chan struct{})}
+	if len(a.waiting[tenant]) == 0 {
+		a.order = append(a.order, tenant)
+	}
+	a.waiting[tenant] = append(a.waiting[tenant], w)
+	a.queued++
+	obs.On(a.obs).AdmissionQueueDepth.Set(int64(a.queued))
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		a.mu.Lock()
+		granted := w.granted
+		a.mu.Unlock()
+		if !granted {
+			// Woken by Drain flushing the queue, not by a slot grant.
+			return nil, a.reject(ctx, tenant, "draining")
+		}
+		a.admitted(ctx, tenant, true)
+		return func() { a.release(tenant) }, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// Dispatch raced our cancellation and already granted the
+			// slot; hand it back.
+			a.mu.Unlock()
+			a.release(tenant)
+			return nil, ctx.Err()
+		}
+		a.removeWaiterLocked(w)
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// grantableLocked reports whether tenant could start a query right now.
+func (a *Admission) grantableLocked(tenant string) bool {
+	if a.inFlight >= a.maxInFlight {
+		return false
+	}
+	if a.tenantQuota > 0 && a.byTenant[tenant] >= a.tenantQuota {
+		return false
+	}
+	// Queued waiters go first: a newcomer must not jump the queue.
+	return a.queued == 0
+}
+
+// grantLocked commits a slot to tenant.
+func (a *Admission) grantLocked(tenant string) {
+	a.inFlight++
+	a.byTenant[tenant]++
+}
+
+// release returns tenant's slot and dispatches waiters.
+func (a *Admission) release(tenant string) {
+	a.mu.Lock()
+	a.inFlight--
+	if a.byTenant[tenant] <= 1 {
+		delete(a.byTenant, tenant)
+	} else {
+		a.byTenant[tenant]--
+	}
+	a.dispatchLocked()
+	if a.draining && a.inFlight == 0 && a.idle != nil {
+		close(a.idle)
+		a.idle = nil
+	}
+	a.mu.Unlock()
+}
+
+// dispatchLocked hands free slots to queued waiters, visiting tenants
+// round-robin so each tenant with waiters gets one grant per pass
+// regardless of queue lengths. Caller holds a.mu.
+func (a *Admission) dispatchLocked() {
+	for a.inFlight < a.maxInFlight && len(a.order) > 0 {
+		granted := false
+		// One full ring pass: the first tenant under quota wins the slot.
+		for scanned := 0; scanned < len(a.order); scanned++ {
+			if a.next >= len(a.order) {
+				a.next = 0
+			}
+			tenant := a.order[a.next]
+			if a.tenantQuota > 0 && a.byTenant[tenant] >= a.tenantQuota {
+				a.next++
+				continue
+			}
+			q := a.waiting[tenant]
+			w := q[0]
+			if len(q) == 1 {
+				delete(a.waiting, tenant)
+				a.order = append(a.order[:a.next], a.order[a.next+1:]...)
+				// a.next now indexes the following tenant; no advance.
+			} else {
+				a.waiting[tenant] = q[1:]
+				a.next++
+			}
+			a.queued--
+			a.grantLocked(tenant)
+			w.granted = true
+			close(w.ready)
+			granted = true
+			break
+		}
+		if !granted {
+			break // every waiting tenant is at quota
+		}
+	}
+	obs.On(a.obs).AdmissionQueueDepth.Set(int64(a.queued))
+}
+
+// removeWaiterLocked drops an abandoned waiter. Caller holds a.mu.
+func (a *Admission) removeWaiterLocked(w *waiter) {
+	q := a.waiting[w.tenant]
+	for i, other := range q {
+		if other == w {
+			q = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if len(q) == 0 {
+		delete(a.waiting, w.tenant)
+		for i, t := range a.order {
+			if t == w.tenant {
+				a.order = append(a.order[:i], a.order[i+1:]...)
+				if a.next > i {
+					a.next--
+				}
+				break
+			}
+		}
+	} else {
+		a.waiting[w.tenant] = q
+	}
+	a.queued--
+	obs.On(a.obs).AdmissionQueueDepth.Set(int64(a.queued))
+}
+
+// reject accounts and constructs a rejection.
+func (a *Admission) reject(ctx context.Context, tenant, reason string) error {
+	a.nRejected.Add(1)
+	obs.On(a.obs).QueriesRejected.Inc()
+	if a.events.Active() {
+		a.events.Publish(obs.Event{Kind: obs.EventQueryRejected, Tenant: tenant,
+			Reason: reason, Query: obs.QueryIDFromContext(ctx)})
+	}
+	return &RejectionError{Reason: reason, RetryAfter: a.retryAfter}
+}
+
+// admitted accounts a grant.
+func (a *Admission) admitted(ctx context.Context, tenant string, queued bool) {
+	a.nAdmitted.Add(1)
+	obs.On(a.obs).QueriesAdmitted.Inc()
+	if a.events.Active() {
+		detail := "immediate"
+		if queued {
+			detail = "queued"
+		}
+		a.events.Publish(obs.Event{Kind: obs.EventQueryAdmitted, Tenant: tenant,
+			Detail: detail, Query: obs.QueryIDFromContext(ctx)})
+	}
+}
+
+// RetryAfter returns the hint attached to this controller's rejections.
+func (a *Admission) RetryAfter() time.Duration { return a.retryAfter }
+
+// Admitted returns the cumulative number of granted admissions.
+func (a *Admission) Admitted() int64 { return a.nAdmitted.Load() }
+
+// Rejected returns the cumulative number of rejections.
+func (a *Admission) Rejected() int64 { return a.nRejected.Load() }
+
+// InFlight returns the number of queries currently executing.
+func (a *Admission) InFlight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight
+}
+
+// Queued returns the number of queries waiting for a slot.
+func (a *Admission) Queued() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// Drain switches the controller to draining: every subsequent Admit is
+// rejected, queued waiters are rejected immediately, and Drain blocks until
+// in-flight queries release their slots or ctx expires. Used for graceful
+// shutdown: stop taking work, finish what was admitted.
+func (a *Admission) Drain(ctx context.Context) error {
+	a.mu.Lock()
+	if !a.draining {
+		a.draining = true
+		// Flush the queue: waiters learn immediately instead of waiting
+		// for slots that will never be granted to them.
+		for _, q := range a.waiting {
+			for _, w := range q {
+				close(w.ready)
+			}
+		}
+		a.waiting = map[string][]*waiter{}
+		a.order = nil
+		a.next = 0
+		a.queued = 0
+		obs.On(a.obs).AdmissionQueueDepth.Set(0)
+	}
+	var idle chan struct{}
+	if a.inFlight > 0 {
+		if a.idle == nil {
+			a.idle = make(chan struct{})
+		}
+		idle = a.idle
+	}
+	a.mu.Unlock()
+	if idle == nil {
+		return nil
+	}
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

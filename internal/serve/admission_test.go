@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmitReleaseBasics(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 2})
+	r1, err := a.Admit(context.Background(), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Admit(context.Background(), "t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.InFlight() != 2 {
+		t.Fatalf("in flight = %d", a.InFlight())
+	}
+	r1()
+	r2()
+	if a.InFlight() != 0 {
+		t.Fatalf("in flight after release = %d", a.InFlight())
+	}
+}
+
+func TestQueueFullRejectsWithRetryAfter(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 1, QueueDepth: QueueDepthNone, RetryAfter: 7 * time.Second})
+	release, err := a.Admit(context.Background(), "t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	_, err = a.Admit(context.Background(), "t2")
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want RejectionError", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("rejections must match ErrOverloaded")
+	}
+	if rej.Reason != "queue_full" || rej.RetryAfter != 7*time.Second {
+		t.Fatalf("rejection = %+v", rej)
+	}
+}
+
+func TestQueuedWaiterRunsAfterRelease(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 1, QueueDepth: 4})
+	r1, _ := a.Admit(context.Background(), "t1")
+
+	admitted := make(chan func(), 1)
+	go func() {
+		r2, err := a.Admit(context.Background(), "t2")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		admitted <- r2
+	}()
+
+	// The waiter must be queued, not admitted.
+	deadline := time.After(2 * time.Second)
+	for a.Queued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r1()
+	select {
+	case r2 := <-admitted:
+		r2()
+	case <-deadline:
+		t.Fatal("queued waiter never admitted after release")
+	}
+}
+
+func TestTenantQuotaQueuesEvenWithFreeSlots(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 8, QueueDepth: 8, TenantQuota: 1})
+	r1, err := a.Admit(context.Background(), "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tenant at quota: must queue despite 7 free global slots.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := a.Admit(ctx, "hog"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("over-quota admit: err = %v, want deadline", err)
+	}
+	// A different tenant sails through.
+	r2, err := a.Admit(context.Background(), "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+}
+
+// TestAdmissionFairness floods the controller from one aggressive tenant
+// and a set of modest ones; every tenant's queries must complete — no
+// starvation — and the aggressor must not hold more slots than its quota.
+func TestAdmissionFairness(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 4, QueueDepth: 256, TenantQuota: 2})
+
+	const modestTenants = 4
+	const modestQueries = 8
+	const aggressorQueries = 64
+
+	var wg sync.WaitGroup
+	var completed sync.Map // tenant → *atomic.Int64
+	run := func(tenant string, n int) {
+		counter := &atomic.Int64{}
+		completed.Store(tenant, counter)
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				release, err := a.Admit(context.Background(), tenant)
+				if err != nil {
+					t.Error(tenant, err)
+					return
+				}
+				time.Sleep(time.Millisecond)
+				release()
+				counter.Add(1)
+			}()
+		}
+	}
+	run("aggressor", aggressorQueries)
+	for i := 0; i < modestTenants; i++ {
+		run(fmt.Sprintf("modest%d", i), modestQueries)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("fairness test did not complete — some tenant starved")
+	}
+
+	completed.Range(func(k, v any) bool {
+		tenant, n := k.(string), v.(*atomic.Int64).Load()
+		want := int64(modestQueries)
+		if tenant == "aggressor" {
+			want = aggressorQueries
+		}
+		if n != want {
+			t.Errorf("tenant %s completed %d/%d queries", tenant, n, want)
+		}
+		return true
+	})
+}
+
+func TestCancelWhileQueuedLeavesNoLeak(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 1, QueueDepth: 4})
+	r1, _ := a.Admit(context.Background(), "t1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Admit(ctx, "t2")
+		errc <- err
+	}()
+	deadline := time.After(2 * time.Second)
+	for a.Queued() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if a.Queued() != 0 {
+		t.Fatalf("queued = %d after abandoned wait", a.Queued())
+	}
+	r1()
+	// The abandoned waiter must not have consumed the freed slot.
+	r3, err := a.Admit(context.Background(), "t3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3()
+}
+
+// TestDrainWithFullQueue: draining must reject every queued waiter
+// immediately, refuse new work, and return once in-flight queries release.
+func TestDrainWithFullQueue(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 1, QueueDepth: 8})
+	release, _ := a.Admit(context.Background(), "t0")
+
+	const queued = 8
+	var rejections atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < queued; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := a.Admit(context.Background(), fmt.Sprintf("t%d", i%3+1))
+			if errors.Is(err, ErrOverloaded) {
+				rejections.Add(1)
+			} else if err == nil {
+				t.Error("waiter admitted during drain")
+			}
+		}(i)
+	}
+	deadline := time.After(5 * time.Second)
+	for a.Queued() < queued {
+		select {
+		case <-deadline:
+			t.Fatalf("only %d/%d waiters queued", a.Queued(), queued)
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- a.Drain(context.Background()) }()
+
+	wg.Wait() // every queued waiter must be flushed with a rejection
+	if got := rejections.Load(); got != queued {
+		t.Fatalf("rejections = %d, want %d", got, queued)
+	}
+
+	// Drain must still be waiting on the in-flight query.
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a query was in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	// New work is refused while draining.
+	if _, err := a.Admit(context.Background(), "late"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("admit during drain: err = %v", err)
+	}
+
+	release()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Drain did not return after last release")
+	}
+}
+
+func TestDrainTimesOutOnStuckQuery(t *testing.T) {
+	a := NewAdmission(AdmissionOptions{MaxInFlight: 1})
+	release, _ := a.Admit(context.Background(), "t")
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := a.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+}

@@ -1,0 +1,53 @@
+package serve
+
+import "time"
+
+// LoadReport is the artifact written by cmd/loadgen (bench/BENCH_*_loadgen
+// .json): one multi-client load run — or a baseline-vs-shared-cache pair —
+// against a self-hosted endpoint, with throughput, latency percentiles, and
+// the serving subsystem's counters. cmd/benchreport renders it with
+// --loadgen.
+type LoadReport struct {
+	Generated time.Time  `json:"generated"`
+	Kind      string     `json:"kind"` // always "loadgen"
+	Config    LoadConfig `json:"config"`
+	Runs      []LoadRun  `json:"runs"`
+	// SpeedupVsBaseline is shared-cache QPS / baseline QPS when the report
+	// holds a --compare pair (0 otherwise).
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// LoadConfig records the harness parameters a run was taken under.
+type LoadConfig struct {
+	Clients     int    `json:"clients"`
+	Tenants     int    `json:"tenants"`
+	DurationSec float64 `json:"duration_sec"`
+	Persons     int    `json:"persons"`
+	LatencyMS   float64 `json:"latency_ms"`
+	QueryMix    int    `json:"query_mix"` // distinct queries in rotation
+	MaxInFlight int    `json:"max_in_flight"`
+	TenantQuota int    `json:"tenant_quota"`
+}
+
+// LoadRun is one measured configuration.
+type LoadRun struct {
+	// Label names the configuration: "baseline" (no shared cache) or
+	// "shared" (shared cache + singleflight).
+	Label string `json:"label"`
+	// QPS is completed queries per second of wall clock.
+	QPS       float64 `json:"qps"`
+	Completed int64   `json:"completed"`
+	Rejected  int64   `json:"rejected"` // 429s absorbed by client backoff
+	Errors    int64   `json:"errors"`
+	// Latency percentiles over completed queries, milliseconds.
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+	// PodRequests / PodNotModified count origin traffic during the run.
+	PodRequests    int64 `json:"pod_requests"`
+	PodNotModified int64 `json:"pod_not_modified"`
+	// Cache snapshots the shared cache after the run (zero for baseline);
+	// Cache.DuplicateInflight proves the singleflight invariant held.
+	Cache CacheStats `json:"cache"`
+}

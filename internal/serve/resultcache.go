@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"ltqp/internal/obs"
+)
+
+// DefaultResultCacheEntries bounds the result cache when no capacity is
+// given.
+const DefaultResultCacheEntries = 256
+
+// ResultKey identifies one cacheable query execution: the normalized query
+// text, the sorted seed set, and the shared cache's invalidation epoch at
+// execution time. Bumping the epoch (POST /admin/invalidate) therefore
+// invalidates cached results together with cached documents.
+func ResultKey(query string, seeds []string, epoch uint64) string {
+	norm := normalizeQuery(query)
+	s := append([]string(nil), seeds...)
+	sort.Strings(s)
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\x00%s\x00", epoch, norm)
+	for _, seed := range s {
+		h.Write([]byte(seed))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// normalizeQuery collapses whitespace runs so trivially reformatted queries
+// share a cache entry. It deliberately does not parse: queries differing in
+// more than whitespace are distinct keys even when semantically equal.
+func normalizeQuery(q string) string {
+	return strings.Join(strings.Fields(q), " ")
+}
+
+// ResultCache memoizes completed query results keyed by ResultKey, LRU-
+// bounded by entry count. Values are opaque to the cache (the endpoint
+// stores its serialized response); callers must treat them as immutable.
+// Safe for concurrent use.
+type ResultCache struct {
+	capacity int
+	obs      *obs.Metrics
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List
+
+	hits, misses atomic.Int64
+}
+
+type resultEntry struct {
+	key   string
+	value any
+}
+
+// NewResultCache builds a result cache holding up to capacity entries
+// (DefaultResultCacheEntries when capacity <= 0).
+func NewResultCache(capacity int, m *obs.Metrics) *ResultCache {
+	if capacity <= 0 {
+		capacity = DefaultResultCacheEntries
+	}
+	return &ResultCache{
+		capacity: capacity,
+		obs:      m,
+		entries:  map[string]*list.Element{},
+		lru:      list.New(),
+	}
+}
+
+// Get returns the cached value for key, if present.
+func (c *ResultCache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	var value any
+	if ok {
+		c.lru.MoveToFront(el)
+		value = el.Value.(*resultEntry).value
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		obs.On(c.obs).ResultCacheMisses.Inc()
+		return nil, false
+	}
+	c.hits.Add(1)
+	obs.On(c.obs).ResultCacheHits.Inc()
+	return value, true
+}
+
+// Put stores value under key, evicting the least recently used entry past
+// capacity.
+func (c *ResultCache) Put(key string, value any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*resultEntry).value = value
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&resultEntry{key: key, value: value})
+	for c.lru.Len() > c.capacity {
+		last := c.lru.Back()
+		delete(c.entries, last.Value.(*resultEntry).key)
+		c.lru.Remove(last)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns cumulative (hits, misses).
+func (c *ResultCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestResultKeyNormalizesWhitespace(t *testing.T) {
+	a := ResultKey("SELECT ?s WHERE { ?s ?p ?o }", nil, 0)
+	b := ResultKey("  SELECT   ?s\n WHERE {\t?s ?p ?o }  ", nil, 0)
+	if a != b {
+		t.Fatal("whitespace variants must share a key")
+	}
+	if a == ResultKey("SELECT ?x WHERE { ?x ?p ?o }", nil, 0) {
+		t.Fatal("different queries must not collide")
+	}
+}
+
+func TestResultKeySeedOrderInsensitive(t *testing.T) {
+	a := ResultKey("q", []string{"http://a", "http://b"}, 0)
+	b := ResultKey("q", []string{"http://b", "http://a"}, 0)
+	if a != b {
+		t.Fatal("seed order must not matter")
+	}
+	if a == ResultKey("q", []string{"http://a"}, 0) {
+		t.Fatal("different seed sets must not collide")
+	}
+}
+
+func TestResultKeyEpochInvalidates(t *testing.T) {
+	if ResultKey("q", nil, 0) == ResultKey("q", nil, 1) {
+		t.Fatal("epoch bump must change the key")
+	}
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := NewResultCache(2, nil)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a") // refresh a
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry survived past capacity")
+	}
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatal("recently used entry evicted")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestResultCacheNilSafe(t *testing.T) {
+	var c *ResultCache
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache must miss")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache must be empty")
+	}
+}
+
+func TestResultCacheConcurrent(t *testing.T) {
+	c := NewResultCache(32, nil)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*i)%48)
+				c.Put(key, i)
+				c.Get(key)
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 32 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

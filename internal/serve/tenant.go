@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+)
+
+// TenantHeader is the request header carrying an explicit tenant identity.
+const TenantHeader = "X-API-Key"
+
+// TenantFromRequest derives the admission-quota bucket for an HTTP request:
+// the X-API-Key header when present, otherwise the client IP (port
+// stripped). Every request maps to some bucket, so anonymous floods from
+// one address are throttled like any other tenant.
+func TenantFromRequest(r *http.Request) string {
+	if key := r.Header.Get(TenantHeader); key != "" {
+		return "key:" + key
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil || host == "" {
+		host = r.RemoteAddr
+	}
+	if host == "" {
+		return "anon"
+	}
+	return "ip:" + host
+}
