@@ -52,7 +52,10 @@ bench: build
 # finish with zero errors, nonzero shared-cache hits, and zero duplicate
 # in-flight fetches (the singleflight invariant).
 loadgen-smoke: build
-	$(GO) run ./cmd/loadgen --clients 8 --duration 5s --persons 4 --check > /dev/null
+	$(GO) run ./cmd/loadgen --clients 8 --duration 5s --persons 4 --check \
+		--heap-profile loadgen-heap.pprof --metrics-out loadgen-metrics.prom > /dev/null
+	@grep -q '^ltqp_query_mem_bytes_count' loadgen-metrics.prom \
+		|| { echo "loadgen-smoke: ltqp_query_mem_bytes missing from /metrics"; exit 1; }
 
 # Full load benchmark: baseline (no shared cache) vs shared-cache run at
 # 256 concurrent clients, archived as a dated artifact in bench/.

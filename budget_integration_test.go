@@ -1,0 +1,199 @@
+package ltqp_test
+
+// Budget integration tests: a query whose traversal balloons past
+// Config.MemBudget must fail with a typed *ltqp.BudgetExceededError whose
+// breakdown attributes the spend per layer — while sibling queries on the
+// same engine, untouched by the pressure, complete normally. Memory
+// pressure is injected with the faultinject Bloat rule, which pads one
+// pod's documents with thousands of synthetic (but valid) triples.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/faultinject"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+// measurePeak runs a query with accounting on and returns its peak bytes.
+func measurePeak(t *testing.T, engine *ltqp.Engine, query string) int64 {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := engine.Query(ctx, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range res.Results {
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	snap := res.Resources()
+	if snap == nil {
+		t.Fatal("accounting enabled but Resources() returned nil")
+	}
+	if snap.Peak <= 0 {
+		t.Fatalf("peak = %d, want > 0", snap.Peak)
+	}
+	return snap.Peak
+}
+
+// TestBudgetExceededIsolatesSiblings bloats one person's pod so a query
+// against it blows through the memory budget, and runs a second query
+// against a different pod concurrently on the same engine. The pressured
+// query must fail with a typed error carrying the full ledger breakdown;
+// the sibling must complete with results, unaffected.
+func TestBudgetExceededIsolatesSiblings(t *testing.T) {
+	cfg := solidbench.SmallConfig()
+	env := simenv.New(cfg)
+	defer env.Close()
+	qa := env.Dataset.Discover(1, 1)
+	qb := env.Dataset.Discover(1, 2)
+	if qa.Person == qb.Person {
+		t.Fatal("variants resolve to the same person; test proves nothing")
+	}
+
+	// Calibrate the budget from fault-free peaks: generous headroom over
+	// either clean query, far below what the bloated run will attempt.
+	base := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true, Obs: ltqp.NewObserver()})
+	budget := measurePeak(t, base, qa.Text)
+	if p := measurePeak(t, base, qb.Text); p > budget {
+		budget = p
+	}
+	budget *= 2
+
+	inj := faultinject.New(7, faultinject.Rule{
+		Pattern:      env.Dataset.PodBase(qa.Person),
+		Probability:  1,
+		Kind:         faultinject.Bloat,
+		BloatTriples: 16384,
+	})
+	engine := ltqp.New(ltqp.Config{
+		Client:    inj.Client(env.Client()),
+		Lenient:   true,
+		MemBudget: budget,
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Sibling query: different pod, no bloat, must finish under budget.
+	sibling := make(chan error, 1)
+	go func() {
+		res, err := engine.Query(ctx, qb.Text)
+		if err != nil {
+			sibling <- err
+			return
+		}
+		n := 0
+		for range res.Results {
+			n++
+		}
+		if err := res.Err(); err != nil {
+			sibling <- err
+			return
+		}
+		if n == 0 {
+			sibling <- errors.New("sibling query returned no results")
+			return
+		}
+		sibling <- nil
+	}()
+
+	// Pressured query: same engine, bloated pod, must hit the budget.
+	res, err := engine.Query(ctx, qa.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range res.Results {
+	}
+	qerr := res.Err()
+	if qerr == nil {
+		t.Fatalf("bloated query completed under budget %d; injector faulted %d requests", budget, inj.FaultCount())
+	}
+	var be *ltqp.BudgetExceededError
+	if !errors.As(qerr, &be) {
+		t.Fatalf("error = %v (%T), want *ltqp.BudgetExceededError", qerr, qerr)
+	}
+	if be.Budget != budget {
+		t.Errorf("BudgetExceededError.Budget = %d, want %d", be.Budget, budget)
+	}
+	if be.Attempted <= budget {
+		t.Errorf("Attempted = %d, want > budget %d", be.Attempted, budget)
+	}
+	if be.Breakdown == nil {
+		t.Fatal("BudgetExceededError.Breakdown is nil")
+	}
+	if !be.Breakdown.Exceeded {
+		t.Error("Breakdown.Exceeded = false, want true")
+	}
+	if be.Breakdown.TopLayer == "" {
+		t.Error("Breakdown.TopLayer is empty; the breakdown names no dominant layer")
+	}
+	if len(be.Breakdown.Layers) == 0 {
+		t.Error("Breakdown has no per-layer usage")
+	}
+	if inj.FaultCount() == 0 {
+		t.Error("no bloat injected; the budget was exceeded without pressure")
+	}
+	// The final snapshot agrees with the typed error about the failure.
+	if snap := res.Resources(); snap == nil {
+		t.Error("Resources() = nil after a budget failure")
+	} else if !snap.Exceeded {
+		t.Error("final snapshot does not mark the budget as exceeded")
+	}
+
+	if err := <-sibling; err != nil {
+		t.Errorf("sibling query on the same engine failed: %v", err)
+	}
+}
+
+// TestBudgetUnderLimitCompletes sets a generous budget and asserts the
+// same bloat-free query completes with accounting attached — enforcement
+// must not penalize queries that stay inside their allowance.
+func TestBudgetUnderLimitCompletes(t *testing.T) {
+	cfg := solidbench.SmallConfig()
+	env := simenv.New(cfg)
+	defer env.Close()
+	q := env.Dataset.Discover(1, 1)
+
+	engine := ltqp.New(ltqp.Config{
+		Client:    env.Client(),
+		Lenient:   true,
+		MemBudget: 1 << 30, // 1 GiB: far above any SmallConfig query
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := engine.Query(ctx, q.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range res.Results {
+		n++
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("query under budget returned no results")
+	}
+	snap := res.Resources()
+	if snap == nil {
+		t.Fatal("MemBudget set but Resources() returned nil")
+	}
+	if snap.Exceeded {
+		t.Error("snapshot marks a comfortably-under-budget query as exceeded")
+	}
+	if snap.Budget != 1<<30 {
+		t.Errorf("snapshot budget = %d, want %d", snap.Budget, int64(1)<<30)
+	}
+	if snap.Peak <= 0 || snap.TopLayer == "" {
+		t.Errorf("snapshot not populated: peak %d, top layer %q", snap.Peak, snap.TopLayer)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"ltqp/internal/resource"
 	"ltqp/internal/serve"
 )
 
@@ -32,8 +33,8 @@ func renderLoadReport(path string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\n\n")
 
-	fmt.Fprintf(w, "| run | qps | p50 ms | p95 ms | p99 ms | completed | rejected | errors | pod reqs | 304s | hit ratio | dedups | dup-inflight |\n")
-	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	fmt.Fprintf(w, "| run | qps | p50 ms | p95 ms | p99 ms | completed | rejected | errors | pod reqs | 304s | hit ratio | dedups | dup-inflight | peak mem |\n")
+	fmt.Fprintf(w, "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
 	for _, r := range rep.Runs {
 		hitRatio := "-"
 		dedups := "-"
@@ -43,10 +44,14 @@ func renderLoadReport(path string, w io.Writer) error {
 			dedups = fmt.Sprintf("%d", r.Cache.Dedups)
 			dup = fmt.Sprintf("%d", r.Cache.DuplicateInflight)
 		}
-		fmt.Fprintf(w, "| %s | %.1f | %.1f | %.1f | %.1f | %d | %d | %d | %d | %d | %s | %s | %s |\n",
+		peak := "-"
+		if r.PeakMemBytes > 0 {
+			peak = resource.FormatBytes(r.PeakMemBytes)
+		}
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %.1f | %.1f | %d | %d | %d | %d | %d | %s | %s | %s | %s |\n",
 			r.Label, r.QPS, r.P50MS, r.P95MS, r.P99MS,
 			r.Completed, r.Rejected, r.Errors,
-			r.PodRequests, r.PodNotModified, hitRatio, dedups, dup)
+			r.PodRequests, r.PodNotModified, hitRatio, dedups, dup, peak)
 	}
 	if rep.SpeedupVsBaseline > 0 {
 		fmt.Fprintf(w, "\nShared-cache speedup vs baseline: **%.1fx** throughput.\n", rep.SpeedupVsBaseline)

@@ -24,6 +24,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"net/url"
 	"os"
 	"runtime"
@@ -59,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		compare     = fs.Bool("compare", false, "measure a no-shared-cache baseline first and report the speedup")
 		check       = fs.Bool("check", false, "CI smoke: exit non-zero on errors, zero cache hits, or duplicate in-flight fetches")
 		out         = fs.String("out", "", "write the JSON artifact to this file")
+		heapProfile = fs.String("heap-profile", "", "after the measured run, capture /debug/pprof/heap to this file")
+		metricsOut  = fs.String("metrics-out", "", "after the measured run, capture the /metrics exposition to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,8 +123,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "loadgen: shared cache + singleflight, %d clients for %s...\n", *clients, *duration)
 	sharedRun := harness.run("shared", true)
 	report.Runs = append(report.Runs, sharedRun)
-	fmt.Fprintf(stderr, "loadgen: shared %.1f qps, p95 %.1fms, hit ratio %.0f%%, %d dedups\n",
-		sharedRun.QPS, sharedRun.P95MS, sharedRun.Cache.HitRatio()*100, sharedRun.Cache.Dedups)
+	fmt.Fprintf(stderr, "loadgen: shared %.1f qps, p95 %.1fms, hit ratio %.0f%%, %d dedups, peak query mem %d bytes\n",
+		sharedRun.QPS, sharedRun.P95MS, sharedRun.Cache.HitRatio()*100, sharedRun.Cache.Dedups, sharedRun.PeakMemBytes)
+
+	if *heapProfile != "" || *metricsOut != "" {
+		if err := harness.captureDebug(*heapProfile, *metricsOut); err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 1
+		}
+	}
 
 	if *compare && report.Runs[0].QPS > 0 {
 		report.SpeedupVsBaseline = sharedRun.QPS / report.Runs[0].QPS
@@ -173,10 +183,19 @@ type harness struct {
 
 	maxInflight int
 	tenantQuota int
+
+	// lastObs is the measured run's observer, kept so the post-run debug
+	// capture (--heap-profile / --metrics-out) can serve its endpoints.
+	lastObs *ltqp.Observer
 }
 
 func (h *harness) run(label string, withSharedCache bool) serve.LoadRun {
-	cfg := ltqp.Config{Client: h.env.Client(), Lenient: true}
+	// Each run gets its own observer so the resource ledger attributes
+	// every query's memory; span recording stays off under load.
+	observer := ltqp.NewObserver()
+	observer.TraceQueries = false
+	h.lastObs = observer
+	cfg := ltqp.Config{Client: h.env.Client(), Lenient: true, Obs: observer}
 	serving := Servingish{}
 	var shared *serve.SharedCache
 	if withSharedCache {
@@ -260,6 +279,7 @@ func (h *harness) run(label string, withSharedCache bool) serve.LoadRun {
 	if shared != nil {
 		run.Cache = shared.Stats()
 	}
+	run.PeakMemBytes = observer.Resources.MaxPeak()
 	sort.Float64s(latencies)
 	run.P50MS = percentile(latencies, 50)
 	run.P95MS = percentile(latencies, 95)
@@ -272,6 +292,40 @@ func (h *harness) run(label string, withSharedCache bool) serve.LoadRun {
 		run.MeanMS = sum / float64(len(latencies))
 	}
 	return run
+}
+
+// captureDebug serves the measured run's observability endpoints on a
+// loopback server and captures /debug/pprof/heap and /metrics to files —
+// the CI smoke job's artifacts.
+func (h *harness) captureDebug(heapPath, metricsPath string) error {
+	mux := http.NewServeMux()
+	h.lastObs.Register(mux)
+	mux.Handle("/debug/pprof/heap", pprof.Handler("heap"))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	capture := func(path, out string) error {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(out, body, 0o644)
+	}
+	if heapPath != "" {
+		if err := capture("/debug/pprof/heap", heapPath); err != nil {
+			return fmt.Errorf("heap profile: %w", err)
+		}
+	}
+	if metricsPath != "" {
+		if err := capture("/metrics", metricsPath); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
 }
 
 // doQuery issues one SPARQL Protocol GET, returning the status and any

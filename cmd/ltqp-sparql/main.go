@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		journalOut = fs.String("journal", "", "write the engine event journal (JSONL, one event per line) to this file; replay with benchreport --replay-journal")
 		logFormat  = fs.String("log", "", "enable structured logging to stderr: text or json")
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
+		memBudget  = fs.Int64("mem-budget-per-query", 0, "ledger-accounted memory the query may hold in bytes; crossing it aborts with the per-layer breakdown (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -108,6 +109,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		CacheDocuments:   *cacheDocs,
 		Trace:            *traceOut != "",
 		Explain:          *explainOut != "" || *explainDot != "" || *provenance,
+		MemBudget:        *memBudget,
 	}
 	if *sharedMB > 0 {
 		cfg.SharedCache = ltqp.NewSharedCache(ltqp.SharedCacheOptions{MaxBytes: *sharedMB << 20})
@@ -262,6 +264,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if deg := res.Degradation(); deg.Degraded() {
 			fmt.Fprintf(stderr, "degraded: %d retries, %d documents abandoned (results may be partial)\n",
 				deg.Retries, len(deg.FailedDocuments))
+		}
+		if snap := res.Resources(); snap != nil {
+			line := fmt.Sprintf("memory: peak %d bytes (%s)", snap.Peak, snap.BreakdownString())
+			if snap.Budget > 0 {
+				line += fmt.Sprintf(", budget %d bytes", snap.Budget)
+				if snap.Exceeded {
+					line += " EXCEEDED"
+				}
+			}
+			fmt.Fprintln(stderr, line)
 		}
 		fmt.Fprintf(stderr, "seeds: %s\n", strings.Join(res.Seeds, " "))
 	}

@@ -66,6 +66,7 @@ func main() {
 		retryAfter  = flag.Duration("retry-after", serve.DefaultRetryAfter, "Retry-After hint attached to 429 rejections")
 		maxDocs     = flag.Int("max-docs-per-query", 0, "documents one query may dereference (0 = unbounded)")
 		maxRows     = flag.Int("max-result-rows", 0, "rows one SELECT may return; excess is truncated (0 = unbounded)")
+		memBudget   = flag.Int64("mem-budget-per-query", 0, "ledger-accounted memory one query may hold in bytes; over-budget queries are cancelled with 507 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -84,7 +85,7 @@ func main() {
 	// Explain makes every query record its traversal topology and result
 	// provenance, served live on /debug/topology and in /debug/queries.
 	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs,
-		Explain: true, MaxDocuments: *maxDocs}
+		Explain: true, MaxDocuments: *maxDocs, MemBudget: *memBudget}
 	var env *simenv.Env
 	if *simulate {
 		scfg := solidbench.DefaultConfig()
@@ -329,7 +330,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case sparql.FormAsk:
 		ok, err := h.engine.Ask(ctx, query)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), queryErrorStatus(err))
 			return
 		}
 		w.Header().Set("Content-Type", "application/sparql-results+json")
@@ -343,7 +344,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			triples, err = h.engine.Describe(ctx, query)
 		}
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), queryErrorStatus(err))
 			return
 		}
 		if strings.Contains(accept, "application/n-triples") {
@@ -385,7 +386,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			all = append(all, b)
 		}
 		if err := res.Err(); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			http.Error(w, err.Error(), queryErrorStatus(err))
 			return
 		}
 		if key != "" && !truncated && ctx.Err() == nil {
@@ -399,6 +400,18 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeSelect renders SELECT rows in the negotiated format.
+// queryErrorStatus maps an execution failure to its HTTP status: a query
+// cancelled for crossing --mem-budget-per-query answers 507 Insufficient
+// Storage (the error text carries the per-layer ledger breakdown);
+// everything else stays a 500.
+func queryErrorStatus(err error) int {
+	var be *ltqp.BudgetExceededError
+	if errors.As(err, &be) {
+		return http.StatusInsufficientStorage
+	}
+	return http.StatusInternalServerError
+}
+
 func writeSelect(w http.ResponseWriter, accept string, vars []string, rows []ltqp.Binding) {
 	switch {
 	case strings.Contains(accept, "text/csv"):

@@ -29,6 +29,7 @@ import (
 	"ltqp/internal/obs"
 	"ltqp/internal/plan"
 	"ltqp/internal/rdf"
+	"ltqp/internal/resource"
 	"ltqp/internal/sparql"
 	"ltqp/internal/store"
 )
@@ -121,6 +122,12 @@ type Options struct {
 	// default: the disabled path adds one nil check per pattern match and
 	// zero allocations.
 	Explain bool
+	// MemBudget caps one query's ledger-accounted memory in bytes (0 =
+	// unlimited). A query whose live charges cross the budget is cancelled
+	// with a *resource.BudgetExceededError carrying the full per-layer
+	// breakdown; sibling queries on the same engine are unaffected. A
+	// positive budget enables the resource ledger even without an Observer.
+	MemBudget int64
 }
 
 // Engine executes SPARQL queries over Solid pods by link traversal.
@@ -168,6 +175,7 @@ type Execution struct {
 	trace       *obs.Trace
 	prov        *exec.Prov
 	topo        *obs.Topology
+	ledger      *resource.Ledger
 	queryStr    string
 	start       time.Time
 }
@@ -189,6 +197,12 @@ func (x *Execution) Topology() *obs.Topology { return x.topo }
 // Prov returns the provenance sink, or nil when the engine ran without
 // Options.Explain.
 func (x *Execution) Prov() *exec.Prov { return x.prov }
+
+// Resources returns the query's resource-ledger snapshot — live and peak
+// bytes per layer, budget state — or nil when the engine ran without
+// accounting (no Observer and no MemBudget). Final once Results has closed;
+// calling earlier returns the in-flight state.
+func (x *Execution) Resources() *resource.Snapshot { return x.ledger.Snapshot() }
 
 // Err returns the traversal error, if any. Valid after Results closes.
 func (x *Execution) Err() error {
@@ -312,6 +326,29 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		rec.AttachTopology(x.topo)
 	}
 
+	// The resource ledger accounts every layer's memory against this query:
+	// deref charges fetched documents, the store its triples and indexes,
+	// exec its batches and arenas, serve its pinned cache entries. Enabled
+	// whenever an Observer is attached (live cost attribution) or a budget
+	// is set (enforcement); otherwise nil, and every charge site no-ops.
+	var ledger *resource.Ledger
+	if e.opts.MemBudget > 0 || e.opts.Obs != nil {
+		ledger = resource.New(qid, obs.TenantFromContext(ctx), e.opts.MemBudget)
+		ledger.OnExceeded(func(berr *resource.BudgetExceededError) {
+			x.setErr(berr)
+			m.MemBudgetExceeded.Inc()
+			if emitter.Active() {
+				emitter.Emit(obs.Event{Kind: obs.EventResourceSnapshot,
+					MemBytes: berr.Attempted, MemPeak: berr.Breakdown.Peak,
+					Detail: berr.Breakdown.BreakdownString(), Err: berr.Error()})
+			}
+			cancel()
+		})
+		x.ledger = ledger
+		src.SetLedger(ledger)
+		rec.AttachLedger(ledger)
+	}
+
 	shape := ShapeOf(q)
 	extractors := extract.DefaultSolidSet(shape)
 	if e.opts.Extractors != nil {
@@ -322,7 +359,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	go func() {
 		traverseDone := stage("traverse")
 		tctx, tspan := obs.StartSpan(runCtx, "traverse")
-		err := e.traverse(tctx, seeds, extractors, src, recorder, x.topo, emitter)
+		err := e.traverse(tctx, seeds, extractors, src, recorder, x.topo, emitter, ledger)
 		tspan.End()
 		traverseDone()
 		if err != nil && !e.opts.Lenient {
@@ -338,6 +375,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	env.Prov = x.prov
 	env.Events = emitter
 	env.Workers = e.opts.ExecWorkers
+	env.Ledger = ledger
 	out := make(chan rdf.Binding)
 	go func() {
 		defer close(out)
@@ -352,6 +390,22 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 			}
 			m.QueriesInFlight.Dec()
 			m.QueryDuration.Observe(time.Since(queryStart).Seconds())
+			if ledger != nil {
+				m.QueryMemPeak.Observe(float64(ledger.Peak()))
+				if charged := ledger.Charged(); charged > 0 {
+					tenant := ledger.Tenant()
+					if tenant == "" {
+						tenant = "default"
+					}
+					m.TenantMemCharged.With(tenant).Add(charged)
+				}
+				e.opts.Obs.Res().Record(ledger)
+				if emitter.Active() {
+					emitter.Emit(obs.Event{Kind: obs.EventResourceSnapshot,
+						MemBytes: ledger.Current(), MemPeak: ledger.Peak(),
+						Detail: ledger.Snapshot().BreakdownString()})
+				}
+			}
 			trace.End()
 			if x.prov != nil {
 				rec.SetContributions(docMatches(x.prov.Contributions()))
@@ -537,7 +591,8 @@ func instantiate(tp sparql.TriplePattern, b rdf.Binding, scope int) (rdf.Triple,
 // records its discovery topology: every dereference becomes a node, every
 // extracted link an edge labeled with its extractor and fate.
 func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extract.Extractor,
-	src *store.Store, recorder *metrics.Recorder, topo *obs.Topology, events *obs.Emitter) error {
+	src *store.Store, recorder *metrics.Recorder, topo *obs.Topology, events *obs.Emitter,
+	ledger *resource.Ledger) error {
 
 	m := obs.On(e.opts.Obs.M())
 	queue := linkqueue.Queue(linkqueue.NewFIFO())
@@ -568,6 +623,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		Events:    events,
 		UserAgent: "ltqp-go/1.0 (link-traversal SPARQL engine)",
 		Dict:      e.dict,
+		Ledger:    ledger,
 	}
 
 	var (
@@ -590,7 +646,7 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		wctx, dspan := obs.StartSpan(ctx, "document",
 			obs.Str("url", l.URL), obs.Str("reason", l.Reason), obs.Int("depth", l.Depth))
 		fetchStart := time.Now()
-		res, err := d.Dereference(wctx, l.URL, l.Via, l.Reason)
+		res, derefCat, err := d.DereferenceTracked(wctx, l.URL, l.Via, l.Reason)
 		if err != nil {
 			topo.DocumentError(l.URL, l.Depth, err.Error(), fetchStart, time.Since(fetchStart))
 			if events.Active() {
@@ -609,6 +665,13 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 				mu.Unlock()
 			}
 			return
+		}
+		// The dereference charged the document's bytes to the ledger (the
+		// in-flight parse); released once it is ingested into the store —
+		// which takes over accounting for the retained triples — and its
+		// links are extracted.
+		if ledger != nil && !res.NotModified {
+			defer ledger.Release(derefCat, res.Bytes)
 		}
 		src.AddDocument(res.FinalURL, res.Triples)
 		topo.Document(res.FinalURL, l.Depth, res.Status, len(res.Triples), res.Bytes, fetchStart, time.Since(fetchStart))

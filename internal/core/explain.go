@@ -6,6 +6,7 @@ import (
 
 	"ltqp/internal/exec"
 	"ltqp/internal/obs"
+	"ltqp/internal/resource"
 )
 
 // ExplainSchemaVersion identifies the explain-report JSON layout.
@@ -28,6 +29,9 @@ type Explain struct {
 	// Topology is the traversal graph with the interleaved
 	// document/result timeline.
 	Topology obs.TopologyJSON `json:"topology"`
+	// Resources is the final resource-ledger snapshot: live/peak bytes per
+	// layer and budget state. Nil when the query ran without accounting.
+	Resources *resource.Snapshot `json:"resources,omitempty"`
 }
 
 // Explain builds the explain report. Call it after Results has closed; it
@@ -43,6 +47,7 @@ func (x *Execution) Explain() *Explain {
 		DurationMS:    float64(time.Since(x.start).Microseconds()) / 1000,
 		Contributions: x.prov.Contributions(),
 		Topology:      x.topo.Snapshot(),
+		Resources:     x.ledger.Snapshot(),
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"ltqp/internal/metrics"
 	"ltqp/internal/obs"
 	"ltqp/internal/rdf"
+	"ltqp/internal/resource"
 	"ltqp/internal/turtle"
 )
 
@@ -133,6 +134,12 @@ type Dereferencer struct {
 	// conditional requests, and concurrent dereferences of the same key
 	// collapse into one upstream fetch. Takes precedence over Cache.
 	Shared SharedCache
+	// Ledger, when non-nil, is charged for every successful dereference:
+	// resource.Deref for documents read off the network (body bytes, a
+	// proxy for the retained parse), resource.Serve for documents pinned
+	// from a cache on this query's behalf. The traversal worker releases
+	// the charge once the document is ingested and its links extracted.
+	Ledger *resource.Ledger
 
 	// docCounter scopes blank node labels per dereferenced document.
 	docCounter atomic.Int64
@@ -143,18 +150,34 @@ type Dereferencer struct {
 // HTTP/transport/parse failures); the metrics recorder captures one event
 // per attempt either way.
 func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason string) (*Result, error) {
+	res, _, err := d.DereferenceTracked(ctx, url, parent, reason)
+	return res, err
+}
+
+// DereferenceTracked is Dereference plus ledger accounting: a successful
+// dereference charges the attached resource ledger once for res.Bytes and
+// returns the category charged — resource.Deref for documents read off the
+// network, resource.Serve for documents pinned from a cache (engine-local or
+// shared) on this query's behalf. The caller must Release the same category
+// and amount once the document has been ingested and its links extracted.
+// The category is returned rather than stored on Result because Result
+// pointers are shared across queries by the shared-cache singleflight.
+func (d *Dereferencer) DereferenceTracked(ctx context.Context, url, parent, reason string) (*Result, resource.Category, error) {
 	if d.Shared != nil {
 		res, hit, err := d.Shared.Dereference(ctx, cacheKey(url, d.Auth), url,
 			func(fctx context.Context, vals Validators) (*Result, error) {
 				return d.fetchWithRetry(fctx, url, parent, reason, vals)
 			})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
+		cat := resource.Deref
 		if hit {
 			d.recordCacheHit(ctx, url, parent, reason, res)
+			cat = resource.Serve
 		}
-		return res, nil
+		d.charge(cat, res)
+		return res, cat, nil
 	}
 
 	if d.Cache != nil {
@@ -162,13 +185,17 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 			res := &Result{URL: url, FinalURL: entry.finalURL, Triples: entry.triples,
 				Status: http.StatusOK, Bytes: entry.bytes}
 			d.recordCacheHit(ctx, url, parent, reason, res)
-			return res, nil
+			d.charge(resource.Serve, res)
+			return res, resource.Serve, nil
 		}
 		obs.On(d.Obs).CacheMisses.Inc()
 	}
 
 	res, err := d.fetchWithRetry(ctx, url, parent, reason, Validators{})
-	if err == nil && d.Cache != nil {
+	if err != nil {
+		return nil, 0, err
+	}
+	if d.Cache != nil {
 		d.Cache.put(&cacheEntry{
 			key:      cacheKey(url, d.Auth),
 			finalURL: res.FinalURL,
@@ -176,7 +203,17 @@ func (d *Dereferencer) Dereference(ctx context.Context, url, parent, reason stri
 			bytes:    res.Bytes,
 		})
 	}
-	return res, err
+	d.charge(resource.Deref, res)
+	return res, resource.Deref, nil
+}
+
+// charge bills the ledger for a successfully dereferenced document. 304
+// revalidations carry no new payload and are never charged.
+func (d *Dereferencer) charge(cat resource.Category, res *Result) {
+	if res.NotModified {
+		return
+	}
+	d.Ledger.Charge(cat, res.Bytes)
 }
 
 // recordCacheHit records a dereference served from a cache (engine-local or

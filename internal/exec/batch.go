@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"ltqp/internal/rdf"
+	"ltqp/internal/resource"
 )
 
 const (
@@ -64,7 +65,21 @@ type Batch struct {
 	// selbuf is the recycled backing slab operators write fresh selection
 	// vectors into; it survives pooling even though sel itself is reset.
 	selbuf []int32
+	// lg, when non-nil, is the resource ledger the batch's slab capacity is
+	// charged against (lgBytes under resource.Exec); putBatch releases the
+	// charge. Batches acquired through Env.getBatch carry it downstream even
+	// across operator handoffs, so in-flight buffered rows stay accounted.
+	lg      *resource.Ledger
+	lgBytes int64
 }
+
+const (
+	// termIDBytes is the ledger cost of one column cell (rdf.TermID).
+	termIDBytes = 4
+	// provRefBytes is the ledger cost of one provenance row reference (a
+	// slice header pointing into shared source-ID sets).
+	provRefBytes = 24
+)
 
 // selSlab returns the batch's recycled selection slab, empty, for an
 // operator about to build a selection vector from scratch.
@@ -164,11 +179,33 @@ func getBatch(vars []string, withProv bool) *Batch {
 	return b
 }
 
-// putBatch releases a batch to the pool. The caller must not touch it
-// afterwards.
+// getBatch returns an empty batch over the given schema with its slab
+// capacity charged to the environment's resource ledger (resource.Exec);
+// putBatch releases the charge wherever the batch ends up. This is the
+// acquisition path for all operator-built batches — the package-level
+// getBatch stays uncharged for ledger-less tests.
+func (e *Env) getBatch(vars []string, withProv bool) *Batch {
+	b := getBatch(vars, withProv)
+	if e != nil && e.Ledger != nil {
+		n := int64(len(vars)) * batchCap * termIDBytes
+		if withProv {
+			n += batchCap * provRefBytes
+		}
+		e.Ledger.Charge(resource.Exec, n)
+		b.lg, b.lgBytes = e.Ledger, n
+	}
+	return b
+}
+
+// putBatch releases a batch to the pool (and its ledger charge, when one is
+// attached). The caller must not touch it afterwards.
 func putBatch(b *Batch) {
 	if b == nil {
 		return
+	}
+	if b.lg != nil {
+		b.lg.Release(resource.Exec, b.lgBytes)
+		b.lg, b.lgBytes = nil, 0
 	}
 	b.vars = nil
 	b.sel = nil
@@ -295,7 +332,7 @@ func rowsToBatches(ctx context.Context, env *Env, in Stream) BatchStream {
 			}
 			if cur == nil {
 				curVars = vars
-				cur = getBatch(curVars, env.Prov != nil)
+				cur = env.getBatch(curVars, env.Prov != nil)
 			}
 			for c, v := range curVars {
 				var id rdf.TermID

@@ -5,6 +5,7 @@ import (
 
 	"ltqp/internal/algebra"
 	"ltqp/internal/rdf"
+	"ltqp/internal/resource"
 	"ltqp/internal/sparql"
 )
 
@@ -158,6 +159,19 @@ func evalGroupBatch(ctx context.Context, g algebra.Group, env *Env) Stream {
 		}
 		if ctx.Err() != nil {
 			return
+		}
+
+		// The drained arena plus the per-row key/partition slabs of phase 2
+		// are retained until the groups are emitted; charge them now and
+		// release when the operator finishes. ~20 bytes covers the idKey,
+		// partition byte and posting per row.
+		if env.Ledger != nil && n > 0 {
+			arenaBytes := int64(n) * (int64(len(arenaVars))*termIDBytes + 20)
+			if withProv {
+				arenaBytes += int64(n) * provRefBytes
+			}
+			env.Ledger.Charge(resource.Exec, arenaBytes)
+			defer env.Ledger.Release(resource.Exec, arenaBytes)
 		}
 
 		// Phase 2: key and partition every row, morsel-parallel.

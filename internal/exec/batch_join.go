@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"ltqp/internal/rdf"
+	"ltqp/internal/resource"
 )
 
 // Vectorized symmetric hash join. A sequential coordinator alternates
@@ -99,6 +100,17 @@ func batchJoin(ctx context.Context, env *Env, outVars, shared []string, left, ri
 		la := newJoinArena(len(outVars), withProv)
 		ra := newJoinArena(len(outVars), withProv)
 
+		// The arenas grow for the lifetime of the join; every inserted row
+		// is charged to the ledger as it lands and the whole spend is
+		// released when the join ends. One column cell per output variable,
+		// a hash posting, and a provenance reference when enabled.
+		arenaRowBytes := int64(len(outVars))*termIDBytes + 4
+		if withProv {
+			arenaRowBytes += provRefBytes
+		}
+		var arenaBytes int64
+		defer func() { env.Ledger.Release(resource.Exec, arenaBytes) }()
+
 		// Per-worker probe state: an output batch under construction and a
 		// scratch row. Workers send full batches themselves; leftovers are
 		// flushed by the coordinator at stream end.
@@ -128,7 +140,7 @@ func batchJoin(ctx context.Context, env *Env, outVars, shared []string, left, ri
 			}
 			b := outs[w]
 			if b == nil {
-				b = getBatch(outVars, withProv)
+				b = env.getBatch(outVars, withProv)
 				outs[w] = b
 			}
 			var prov []rdf.TermID
@@ -155,6 +167,11 @@ func batchJoin(ctx context.Context, env *Env, outVars, shared []string, left, ri
 			var first int32
 			first, keys, full = mine.insertBatch(b, cmap, sharedIdx, keys, full)
 			putBatch(b)
+			if env.Ledger != nil && len(keys) > 0 {
+				delta := int64(len(keys)) * arenaRowBytes
+				env.Ledger.Charge(resource.Exec, delta)
+				arenaBytes += delta
+			}
 			runMorsels(env, len(keys), func(w, lo, hi int) {
 				for k := lo; k < hi && !aborted.Load(); k++ {
 					mr := first + int32(k)

@@ -140,7 +140,7 @@ func batchScan(ctx context.Context, p algebra.Pattern, env *Env) BatchStream {
 			if !ok {
 				return
 			}
-			b := getBatch(vars, withProv)
+			b := env.getBatch(vars, withProv)
 			for c := range b.cols {
 				col := b.cols[c]
 				switch pos[c] {
@@ -374,7 +374,7 @@ func batchProject(ctx context.Context, env *Env, vars []string, in BatchStream) 
 					return
 				}
 				src := schemaMap(b.vars, vars)
-				nb := getBatch(vars, b.prov != nil)
+				nb := env.getBatch(vars, b.prov != nil)
 				if b.sel == nil {
 					for c, j := range src {
 						if j >= 0 {

@@ -18,6 +18,7 @@ import (
 	"ltqp/internal/algebra"
 	"ltqp/internal/obs"
 	"ltqp/internal/rdf"
+	"ltqp/internal/resource"
 	"ltqp/internal/sparql"
 	"ltqp/internal/store"
 )
@@ -52,6 +53,11 @@ type Env struct {
 	// The differential oracle and the property-test reference side set it,
 	// so the batch pipeline is always measured against the row semantics.
 	NoVectorize bool
+	// Ledger, when non-nil, is charged (under resource.Exec) for the
+	// memory execution retains: batch slab capacity in flight, join and
+	// grouping arenas, and rows buffered by blocking operators. Nil
+	// disables accounting at zero cost.
+	Ledger *resource.Ledger
 
 	// dict is the engine term dictionary (shared with Store); hash-keyed
 	// operators (join, DISTINCT, OPTIONAL bookkeeping) key on packed term
@@ -173,6 +179,22 @@ func send(ctx context.Context, out chan<- rdf.Binding, b rdf.Binding) bool {
 }
 
 // drain collects an entire stream (used by blocking operators).
+// chargeBuffered bills the environment's ledger (resource.Exec) for rows a
+// blocking operator has materialized — an estimated map-plus-entries
+// footprint per binding. It returns the charged amount, which the caller
+// releases when the buffer is dropped. Nil env or ledger charges nothing.
+func (e *Env) chargeBuffered(rows []rdf.Binding) int64 {
+	if e == nil || e.Ledger == nil || len(rows) == 0 {
+		return 0
+	}
+	var n int64
+	for _, b := range rows {
+		n += 64 + int64(len(b))*96
+	}
+	e.Ledger.Charge(resource.Exec, n)
+	return n
+}
+
 func drain(ctx context.Context, in Stream) []rdf.Binding {
 	var all []rdf.Binding
 	for {
@@ -717,6 +739,8 @@ func evalOrderBy(ctx context.Context, o algebra.OrderBy, env *Env) Stream {
 	go func() {
 		defer close(out)
 		all := drain(ctx, in)
+		charged := env.chargeBuffered(all)
+		defer func() { env.Ledger.Release(resource.Exec, charged) }()
 		if ctx.Err() != nil {
 			return
 		}

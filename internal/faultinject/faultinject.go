@@ -46,6 +46,11 @@ const (
 	Truncate
 	// Corrupt mangles the body into syntactically invalid Turtle.
 	Corrupt
+	// Bloat appends Rule.BloatTriples distinct synthetic triples to a
+	// successful Turtle body — the document stays valid but balloons in
+	// bytes and parsed triples, driving per-query memory budgets over the
+	// line without breaking traversal.
+	Bloat
 )
 
 // String names the fault kind.
@@ -59,6 +64,8 @@ func (k Kind) String() string {
 		return "truncate"
 	case Corrupt:
 		return "corrupt"
+	case Bloat:
+		return "bloat"
 	default:
 		return "none"
 	}
@@ -86,6 +93,11 @@ type Rule struct {
 	// per-URL (not global) preserves schedule determinism under
 	// concurrency.
 	MaxFaultsPerURL int
+	// BloatTriples is how many synthetic triples a Bloat fault appends
+	// (default 1024). Subjects are scoped to the request URL, so every
+	// bloated document adds distinct triples — store deduplication cannot
+	// shrink the injected weight.
+	BloatTriples int
 }
 
 // Event records one injected fault.
@@ -150,6 +162,7 @@ type decision struct {
 	status     int
 	retryAfter time.Duration
 	latency    time.Duration
+	bloat      int
 }
 
 // decide resolves the fault decision for the next request to url.
@@ -175,6 +188,12 @@ func (in *Injector) decide(url string) decision {
 				d.status = http.StatusServiceUnavailable
 			}
 			d.retryAfter = r.RetryAfter
+			if d.kind == Bloat {
+				d.bloat = r.BloatTriples
+				if d.bloat <= 0 {
+					d.bloat = 1024
+				}
+			}
 			in.events = append(in.events, Event{URL: url, Seq: n, Kind: d.kind, Status: d.status})
 		}
 		return d // first matching rule decides, faulted or not
@@ -247,6 +266,12 @@ func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			return resp, err
 		}
 		return mangleBody(resp, d.kind)
+	case Bloat:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			return resp, err
+		}
+		return bloatBody(resp, req.URL.String(), d.bloat)
 	default:
 		return t.inner.RoundTrip(req)
 	}
@@ -288,6 +313,34 @@ func mangleBody(resp *http.Response, kind Kind) (*http.Response, error) {
 	case Corrupt:
 		resp.Body = io.NopCloser(bytes.NewReader(append([]byte("@@\x00corrupt<<< "), data...)))
 	}
+	return resp, nil
+}
+
+// bloatBody appends n synthetic triples to a successful Turtle response.
+// Subjects embed an FNV hash of the request URL, so triples from different
+// bloated documents never collide — the store's per-triple deduplication
+// keeps every injected triple, and the query's memory footprint grows by
+// the full injected weight.
+func bloatBody(resp *http.Response, url string, n int) (*http.Response, error) {
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	tag := h.Sum64()
+	var buf bytes.Buffer
+	buf.Write(data)
+	if len(data) > 0 && data[len(data)-1] != '\n' {
+		buf.WriteByte('\n')
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&buf, "<urn:bloat:%016x:%d> <urn:bloat:weight> \"padding-payload-%016x-%d\" .\n", tag, i, tag, i)
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(buf.Bytes()))
+	resp.ContentLength = int64(buf.Len())
+	resp.Header.Set("Content-Length", strconv.Itoa(buf.Len()))
 	return resp, nil
 }
 
@@ -341,6 +394,19 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 			rec.copyHeaders(w, false)
 			w.Write([]byte("@@\x00corrupt<<< "))
 			w.Write(rec.body.Bytes())
+		case Bloat:
+			rec := capture(next, r)
+			rec.copyHeaders(w, false)
+			w.Write(rec.body.Bytes())
+			h := fnv.New64a()
+			h.Write([]byte(requestURL(r)))
+			tag := h.Sum64()
+			if rec.body.Len() > 0 && rec.body.Bytes()[rec.body.Len()-1] != '\n' {
+				w.Write([]byte("\n"))
+			}
+			for i := 0; i < d.bloat; i++ {
+				fmt.Fprintf(w, "<urn:bloat:%016x:%d> <urn:bloat:weight> \"padding-payload-%016x-%d\" .\n", tag, i, tag, i)
+			}
 		default:
 			next.ServeHTTP(w, r)
 		}

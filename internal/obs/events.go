@@ -75,6 +75,12 @@ const (
 	// (429 + Retry-After); Detail names why — queue full, tenant quota,
 	// draining. (Additive.)
 	EventQueryRejected EventKind = "query_rejected"
+	// EventResourceSnapshot records a query's resource-ledger state:
+	// MemBytes the live bytes at snapshot time, MemPeak the high-water
+	// mark, Detail the per-layer breakdown (largest spender first). Emitted
+	// at query finish and when a memory budget is crossed; Err carries the
+	// budget-exceeded message in the latter case. (Additive to schema 1.)
+	EventResourceSnapshot EventKind = "resource_snapshot"
 )
 
 // EventKinds lists the full vocabulary in emission order.
@@ -86,6 +92,7 @@ var EventKinds = []EventKind{
 	EventQueryFinished,
 	EventCacheHit, EventCacheRevalidated, EventCacheEvicted,
 	EventQueryAdmitted, EventQueryRejected,
+	EventResourceSnapshot,
 }
 
 // Event is one engine occurrence. Seq is a process-wide total order (replay
@@ -115,6 +122,10 @@ type Event struct {
 	Detail     string   `json:"detail,omitempty"`
 	Tenant     string   `json:"tenant,omitempty"`
 	Err        string   `json:"error,omitempty"`
+	// MemBytes / MemPeak carry a resource_snapshot's live and high-water
+	// byte counts. (Additive to schema 1.)
+	MemBytes int64 `json:"mem_bytes,omitempty"`
+	MemPeak  int64 `json:"mem_peak,omitempty"`
 }
 
 // Bus fans engine events out to subscribers. Publishing is bounded and
@@ -130,8 +141,12 @@ type Bus struct {
 	seq   atomic.Uint64
 	nsubs atomic.Int32
 
-	mu   sync.Mutex // guards subs and orders delivery
+	mu   sync.Mutex // guards subs, drops and orders delivery
 	subs []*Subscription
+	// drops, when set via CountDrops, mirrors every named subscriber's
+	// drop count into ltqp_events_dropped_total{subscriber=...} so journal
+	// and SSE lossiness is visible on /metrics instead of silent.
+	drops *CounterVec
 }
 
 // NewBus returns an empty bus.
@@ -164,33 +179,78 @@ func (b *Bus) Publish(ev Event) {
 		case s.ch <- ev:
 		default:
 			s.dropped.Add(1)
+			s.dropCtr.Inc() // nil-safe; set for named subscribers
 		}
 	}
+}
+
+// CountDrops mirrors per-subscriber drop counts into vec (one child per
+// subscriber name). Already-attached named subscribers are wired
+// retroactively; anonymous subscriptions are not counted.
+func (b *Bus) CountDrops(vec *CounterVec) {
+	if b == nil || vec == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drops = vec
+	for _, s := range b.subs {
+		if s.name != "" && s.dropCtr == nil {
+			s.dropCtr = vec.With(s.name)
+		}
+	}
+}
+
+// DropCount sums the events dropped so far across the currently-attached
+// subscribers with the given name.
+func (b *Bus) DropCount(name string) uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n uint64
+	for _, s := range b.subs {
+		if s.name == name {
+			n += s.dropped.Load()
+		}
+	}
+	return n
 }
 
 // Subscribe attaches a subscriber receiving every event, with the given
 // channel buffer (minimum 1; 0 selects a 256-event default). Close the
 // subscription when done.
 func (b *Bus) Subscribe(buffer int) *Subscription {
-	return b.subscribe(0, buffer)
+	return b.subscribe("", 0, buffer)
 }
 
 // SubscribeQuery attaches a subscriber receiving only events of the given
 // query correlation id (0 subscribes to all queries).
 func (b *Bus) SubscribeQuery(queryID int64, buffer int) *Subscription {
-	return b.subscribe(queryID, buffer)
+	return b.subscribe("", queryID, buffer)
 }
 
-func (b *Bus) subscribe(queryID int64, buffer int) *Subscription {
+// SubscribeNamed attaches a named subscriber ("journal", "sse", "slog",
+// ...). Drops for named subscribers roll up per name into the counter vec
+// installed by CountDrops, in addition to the per-subscription tally.
+func (b *Bus) SubscribeNamed(name string, queryID int64, buffer int) *Subscription {
+	return b.subscribe(name, queryID, buffer)
+}
+
+func (b *Bus) subscribe(name string, queryID int64, buffer int) *Subscription {
 	if b == nil {
 		return nil
 	}
 	if buffer <= 0 {
 		buffer = 256
 	}
-	s := &Subscription{bus: b, query: queryID, ch: make(chan Event, buffer)}
+	s := &Subscription{bus: b, name: name, query: queryID, ch: make(chan Event, buffer)}
 	s.C = s.ch
 	b.mu.Lock()
+	if name != "" && b.drops != nil {
+		s.dropCtr = b.drops.With(name)
+	}
 	b.subs = append(b.subs, s)
 	b.mu.Unlock()
 	b.nsubs.Add(1)
@@ -205,10 +265,20 @@ type Subscription struct {
 	C <-chan Event
 
 	bus     *Bus
+	name    string
 	query   int64
 	ch      chan Event
 	dropped atomic.Uint64
+	dropCtr *Counter // named-subscriber rollup child, nil when uncounted
 	closed  atomic.Bool
+}
+
+// Name returns the subscriber name given at SubscribeNamed ("" otherwise).
+func (s *Subscription) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
 }
 
 // Dropped reports how many events were discarded because this subscriber's

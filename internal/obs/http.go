@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"time"
+
+	"ltqp/internal/resource"
 )
 
 // MetricsHandler serves the registry in Prometheus text exposition format.
@@ -28,10 +31,10 @@ type querySummaryJSON struct {
 	ID int64 `json:"id"`
 	// Tenant is the quota bucket (API key / client address) the query was
 	// admitted under; empty for untracked callers (library use, CLI).
-	Tenant string    `json:"tenant,omitempty"`
-	Query  string    `json:"query"`
-	Seeds  []string  `json:"seeds,omitempty"`
-	Start  time.Time `json:"start"`
+	Tenant     string    `json:"tenant,omitempty"`
+	Query      string    `json:"query"`
+	Seeds      []string  `json:"seeds,omitempty"`
+	Start      time.Time `json:"start"`
 	DurationMS float64   `json:"duration_ms"`
 	Results    int       `json:"results"`
 	Done       bool      `json:"done"`
@@ -42,6 +45,11 @@ type querySummaryJSON struct {
 	// Contributions tallies pattern matches per source document when
 	// provenance was on.
 	Contributions []DocMatches `json:"contributions,omitempty"`
+	// MemPeakBytes / MemTopLayer surface the resource ledger: the query's
+	// memory high-water mark and its dominant cost driver (deref, store,
+	// exec or serve). Zero/empty when the query ran without accounting.
+	MemPeakBytes int64  `json:"mem_peak_bytes,omitempty"`
+	MemTopLayer  string `json:"mem_top_layer,omitempty"`
 }
 
 // topoSummaryJSON is the compact traversal-topology summary embedded in
@@ -67,6 +75,12 @@ func summarize(r *QueryRecord, withTrace bool) querySummaryJSON {
 	}
 	if topo := r.Topology(); topo != nil {
 		out.Topology = &topoSummaryJSON{Documents: topo.Documents(), Links: topo.Links(), Results: topo.Results()}
+	}
+	if lg := r.Ledger(); lg != nil {
+		out.MemPeakBytes = lg.Peak()
+		if snap := lg.Snapshot(); snap != nil {
+			out.MemTopLayer = snap.TopLayer
+		}
 	}
 	if withTrace && r.Trace != nil && r.Trace.Root() != nil {
 		root := r.Trace.Root()
@@ -183,9 +197,54 @@ func TopologyHandler(t *QueryTracker) http.Handler {
 	})
 }
 
+// ResourcesHandler serves the resource-ledger view: in-flight queries
+// ranked by current ledger spend (largest first, full per-layer breakdown
+// each), recently finished queries' peaks, and the per-tenant rollups.
+func ResourcesHandler(t *QueryTracker, tenants *resource.TenantLedger) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		type entry struct {
+			Query  string             `json:"query"`
+			Done   bool               `json:"done"`
+			Ledger *resource.Snapshot `json:"ledger"`
+		}
+		var payload struct {
+			Schema   int                    `json:"schema"`
+			InFlight []entry                `json:"in_flight"`
+			Recent   []entry                `json:"recent"`
+			Tenants  []resource.TenantUsage `json:"tenants"`
+		}
+		payload.Schema = TraceSchemaVersion
+		payload.InFlight = []entry{}
+		payload.Recent = []entry{}
+		for _, r := range t.InFlight() {
+			if snap := r.Ledger().Snapshot(); snap != nil {
+				payload.InFlight = append(payload.InFlight, entry{Query: r.Query, Ledger: snap})
+			}
+		}
+		// Rank in-flight queries by live spend, largest first.
+		sort.SliceStable(payload.InFlight, func(i, j int) bool {
+			return payload.InFlight[i].Ledger.Current > payload.InFlight[j].Ledger.Current
+		})
+		for _, r := range t.Recent() {
+			if snap := r.Ledger().Snapshot(); snap != nil {
+				payload.Recent = append(payload.Recent, entry{Query: r.Query, Done: r.Done(), Ledger: snap})
+			}
+		}
+		payload.Tenants = tenants.Snapshot()
+		if payload.Tenants == nil {
+			payload.Tenants = []resource.TenantUsage{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(payload)
+	})
+}
+
 // Register mounts the observer's exposition endpoints on mux:
 // /metrics (Prometheus text), /healthz (ok/degraded), /debug/queries,
-// /debug/topology, and /debug/events (live SSE event feed).
+// /debug/topology, /debug/resources (per-query memory ledgers), and
+// /debug/events (live SSE event feed).
 func (o *Observer) Register(mux *http.ServeMux) {
 	if o == nil || mux == nil {
 		return
@@ -198,6 +257,7 @@ func (o *Observer) Register(mux *http.ServeMux) {
 	}
 	mux.Handle("/debug/queries", QueriesHandler(o.Tracker))
 	mux.Handle("/debug/topology", TopologyHandler(o.Tracker))
+	mux.Handle("/debug/resources", ResourcesHandler(o.Tracker, o.Resources))
 	if o.Stream != nil {
 		mux.Handle("/debug/events", o.Stream)
 	}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ltqp/internal/resource"
 )
 
 // JournalRecord is the envelope shared by every line of a JSONL journal.
@@ -85,7 +87,7 @@ func NewJournal(w io.Writer, bus *Bus) (*Journal, error) {
 	if err := j.writeLine(hdr); err != nil {
 		return nil, err
 	}
-	j.sub = bus.Subscribe(JournalBuffer)
+	j.sub = bus.SubscribeNamed("journal", 0, JournalBuffer)
 	go j.run()
 	return j, nil
 }
@@ -204,6 +206,12 @@ type QueryReplay struct {
 	LinksQueued     int
 	LinksPruned     int
 	Retries         int
+
+	// PeakMem / MemBreakdown replay the query's resource_snapshot events:
+	// the ledger high-water mark in bytes and the per-layer breakdown
+	// string ("" when the query ran without a ledger attached).
+	PeakMem      int64
+	MemBreakdown string
 
 	// MaxConcurrency / MeanConcurrency profile the dereference overlap,
 	// reconstructed by sweeping each document's [End-Duration, End] span.
@@ -369,6 +377,11 @@ func ReadJournal(r io.Reader) (*JournalSummary, error) {
 			q.LinksPruned++
 		case EventRetryScheduled:
 			q.Retries++
+		case EventResourceSnapshot:
+			if ev.MemPeak > q.PeakMem {
+				q.PeakMem = ev.MemPeak
+				q.MemBreakdown = ev.Detail
+			}
 		}
 	}
 	for _, q := range s.Queries {
@@ -497,6 +510,13 @@ func (s *JournalSummary) WriteReport(w io.Writer, topN int) {
 		}
 		fmt.Fprintf(w, "  traversal: %d documents (%d failed), %d links discovered (%d queued, %d pruned), %d retries\n",
 			len(q.Docs), q.FailedDocs(), q.LinksDiscovered, q.LinksQueued, q.LinksPruned, q.Retries)
+		if q.PeakMem > 0 {
+			fmt.Fprintf(w, "  peak memory: %s", resource.FormatBytes(q.PeakMem))
+			if q.MemBreakdown != "" {
+				fmt.Fprintf(w, " (%s)", q.MemBreakdown)
+			}
+			fmt.Fprintln(w)
+		}
 		if len(q.Docs) > 0 {
 			fmt.Fprintf(w, "  dereference concurrency: max %d in flight, mean %.2f\n", q.MaxConcurrency, q.MeanConcurrency)
 			fmt.Fprintf(w, "  slowest documents:\n")

@@ -1,5 +1,7 @@
 package obs
 
+import "ltqp/internal/resource"
+
 // Metrics is the engine's standard instrument set, registered under the
 // ltqp_ namespace. One Metrics aggregates across every query an engine
 // executes — the process-level counterpart of the per-query
@@ -50,6 +52,16 @@ type Metrics struct {
 	DerefDuration     *Histogram // seconds per successful dereference (incl. cache hits)
 	TimeToFirstResult *Histogram // seconds from query start to first solution
 	QueryDuration     *Histogram // seconds per completed query
+
+	// Resource ledger instruments: per-query peak memory distribution,
+	// cumulative charged bytes per tenant, and budget cancellations.
+	QueryMemPeak      *Histogram  // bytes, high-water mark per finished query
+	TenantMemCharged  *CounterVec // cumulative ledger-charged bytes by tenant
+	MemBudgetExceeded *Counter    // queries cancelled for crossing Config.MemBudget
+
+	// EventsDropped counts events discarded per named bus subscriber
+	// (journal, sse, slog) because its buffer was full.
+	EventsDropped *CounterVec
 }
 
 // NewMetrics registers the standard instrument set on r. A nil registry
@@ -94,6 +106,12 @@ func NewMetrics(r *Registry) *Metrics {
 		DerefDuration:     r.Histogram("ltqp_deref_duration_seconds", "Wall time per successful dereference (cache hits included).", DefaultLatencyBuckets),
 		TimeToFirstResult: r.Histogram("ltqp_time_to_first_result_seconds", "Delay from query start to first solution.", DefaultLatencyBuckets),
 		QueryDuration:     r.Histogram("ltqp_query_duration_seconds", "Wall time per completed query.", DefaultLatencyBuckets),
+
+		QueryMemPeak:      r.Histogram("ltqp_query_mem_bytes", "Peak ledger-accounted memory per finished query (bytes).", DefaultMemBuckets),
+		TenantMemCharged:  r.CounterVec("ltqp_tenant_mem_charged_bytes_total", "Cumulative ledger-charged bytes across finished queries, by tenant.", "tenant"),
+		MemBudgetExceeded: r.Counter("ltqp_mem_budget_exceeded_total", "Queries cancelled for crossing their per-query memory budget."),
+
+		EventsDropped: r.CounterVec("ltqp_events_dropped_total", "Engine events discarded because a subscriber's buffer was full, by subscriber name.", "subscriber"),
 	}
 }
 
@@ -115,6 +133,10 @@ type Observer struct {
 	Stream *EventStream
 	// Health backs /healthz: ok vs degraded by recent deref failure ratio.
 	Health *HealthChecker
+	// Resources rolls finished queries' resource ledgers up per tenant,
+	// serving the tenants section of /debug/resources and the peak_mem
+	// column of load reports.
+	Resources *resource.TenantLedger
 	// TraceQueries makes the engine record a span tree for every query
 	// (required for /debug/queries span output and Result.Trace).
 	TraceQueries bool
@@ -128,13 +150,27 @@ func NewObserver() *Observer {
 	r := NewRegistry()
 	m := NewMetrics(r)
 	bus := NewBus()
+	bus.CountDrops(m.EventsDropped)
+	tracker := NewQueryTracker(32)
+	// Live ledger-accounted bytes across in-flight queries, computed at
+	// scrape time from the tracker (zero hot-path cost).
+	r.GaugeFunc("ltqp_mem_inuse_bytes",
+		"Ledger-accounted bytes currently live across in-flight queries.",
+		func() float64 {
+			var sum int64
+			for _, rec := range tracker.InFlight() {
+				sum += rec.Ledger().Current()
+			}
+			return float64(sum)
+		})
 	return &Observer{
 		Registry:     r,
 		Metrics:      m,
-		Tracker:      NewQueryTracker(32),
+		Tracker:      tracker,
 		Events:       bus,
 		Stream:       NewEventStream(bus),
 		Health:       &HealthChecker{Metrics: m},
+		Resources:    resource.NewTenantLedger(),
 		TraceQueries: true,
 	}
 }
@@ -153,6 +189,14 @@ func (o *Observer) M() *Metrics {
 		return nil
 	}
 	return o.Metrics
+}
+
+// Res returns the observer's per-tenant resource rollup; nil-safe.
+func (o *Observer) Res() *resource.TenantLedger {
+	if o == nil {
+		return nil
+	}
+	return o.Resources
 }
 
 // nilMetrics lets instrumented code chain through a nil *Metrics.

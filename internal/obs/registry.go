@@ -319,6 +319,14 @@ var DefaultLatencyBuckets = []float64{
 	0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
+// DefaultMemBuckets covers per-query memory peaks from a few KiB (one
+// cached document) through 1 GiB (a runaway traversal), in powers of four
+// (bytes).
+var DefaultMemBuckets = []float64{
+	4 << 10, 16 << 10, 64 << 10, 256 << 10,
+	1 << 20, 4 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30,
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4), sorted by metric name.
 func (r *Registry) WritePrometheus(w io.Writer) error {

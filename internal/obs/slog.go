@@ -76,7 +76,7 @@ const eventLoggerBuffer = 4096
 
 // LogEvents attaches a logging consumer to the bus. Close it to detach.
 func LogEvents(logger *slog.Logger, bus *Bus) *EventLogger {
-	l := &EventLogger{sub: bus.Subscribe(eventLoggerBuffer), done: make(chan struct{})}
+	l := &EventLogger{sub: bus.SubscribeNamed("slog", 0, eventLoggerBuffer), done: make(chan struct{})}
 	go func() {
 		defer close(l.done)
 		for ev := range l.sub.C {
@@ -147,6 +147,18 @@ func logEvent(logger *slog.Logger, ev Event) {
 	case EventResultEmitted:
 		logger.LogAttrs(ctx, slog.LevelDebug, "result emitted",
 			slog.Int("row", ev.Row))
+	case EventResourceSnapshot:
+		lvl := slog.LevelDebug
+		attrs := []slog.Attr{
+			slog.Int64("mem_bytes", ev.MemBytes),
+			slog.Int64("mem_peak", ev.MemPeak),
+			slog.String("breakdown", ev.Detail),
+		}
+		if ev.Err != "" { // budget exceeded
+			lvl = slog.LevelWarn
+			attrs = append(attrs, slog.String("error", ev.Err))
+		}
+		logger.LogAttrs(ctx, lvl, "resource snapshot", attrs...)
 	default:
 		logger.LogAttrs(ctx, slog.LevelDebug, string(ev.Kind),
 			slog.String("url", ev.URL), slog.String("stage", ev.Stage))

@@ -70,7 +70,7 @@ func (s *EventStream) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		queryID = id
 	}
 
-	sub := s.bus.SubscribeQuery(queryID, sseBuffer)
+	sub := s.bus.SubscribeNamed("sse", queryID, sseBuffer)
 	if sub == nil {
 		http.Error(w, "event stream disabled", http.StatusNotFound)
 		return
@@ -81,7 +81,11 @@ func (s *EventStream) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintf(w, ": ltqp event stream, schema %d\n\n", EventSchemaVersion)
+	// The handshake names the subscriber and its drop accounting so a
+	// client knows lossiness is visible (ltqp_events_dropped_total and the
+	// stream's closing comment) rather than silent.
+	fmt.Fprintf(w, ": ltqp event stream, schema %d, subscriber %q (drops counted in ltqp_events_dropped_total{subscriber=%q}; %d dropped across attached sse feeds so far)\n\n",
+		EventSchemaVersion, sub.Name(), sub.Name(), s.bus.DropCount("sse"))
 	flusher.Flush()
 
 	keepAlive := s.KeepAlive

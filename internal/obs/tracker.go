@@ -3,6 +3,8 @@ package obs
 import (
 	"sync"
 	"time"
+
+	"ltqp/internal/resource"
 )
 
 // QueryTracker remembers in-flight and recently finished queries for the
@@ -32,6 +34,7 @@ type QueryRecord struct {
 	topo    *Topology
 	contrib []DocMatches
 	tenant  string
+	ledger  *resource.Ledger
 }
 
 // DocMatches is one document's contribution to a query's results: how many
@@ -93,6 +96,29 @@ func (r *QueryRecord) Tenant() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.tenant
+}
+
+// AttachLedger associates the query's resource ledger with the record,
+// making live and peak memory visible on /debug/queries and
+// /debug/resources.
+func (r *QueryRecord) AttachLedger(l *resource.Ledger) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ledger = l
+	r.mu.Unlock()
+}
+
+// Ledger returns the attached resource ledger (nil when the query ran
+// without accounting; a nil ledger reads as zero usage).
+func (r *QueryRecord) Ledger() *resource.Ledger {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ledger
 }
 
 // AddResult notes one delivered solution.

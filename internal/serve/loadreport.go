@@ -50,4 +50,8 @@ type LoadRun struct {
 	// Cache snapshots the shared cache after the run (zero for baseline);
 	// Cache.DuplicateInflight proves the singleflight invariant held.
 	Cache CacheStats `json:"cache"`
+	// PeakMemBytes is the largest per-query resource-ledger high-water mark
+	// observed across the run's queries (0 when the endpoint ran without
+	// accounting).
+	PeakMemBytes int64 `json:"peak_mem_bytes,omitempty"`
 }

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"ltqp/internal/rdf"
+	"ltqp/internal/resource"
 )
 
 // Store is the growing internal triple source. The zero value is not usable;
@@ -56,7 +57,23 @@ type Store struct {
 
 	closed    bool
 	documents map[string]bool // document IRIs ingested
+
+	// ledger, when set, is charged resource.Store bytes for every distinct
+	// triple and index posting this store retains on behalf of its query.
+	// Store memory is released only when the query ends (the store is
+	// query-local and append-only), so charges are never released here.
+	ledger *resource.Ledger
 }
+
+// Estimated retained bytes per distinct triple: the 12-byte IDTriple, its
+// 4-byte source entry, the seen-map entry (~28 bytes of key+value+bucket
+// overhead), and one 4-byte posting in each of the three single-constant
+// indexes. Composite (SP/PO) postings are charged separately when those
+// indexes exist.
+const (
+	bytesPerTriple           = 12 + 4 + 28 + 3*4
+	bytesPerCompositePosting = 4
+)
 
 // New returns an empty open store with its own private term dictionary.
 func New() *Store {
@@ -82,6 +99,14 @@ func NewWithDict(dict *rdf.Dict) *Store {
 
 // Dict returns the store's term dictionary.
 func (s *Store) Dict() *rdf.Dict { return s.dict }
+
+// SetLedger attaches the owning query's resource ledger. Call before
+// ingest starts; a nil ledger (the default) keeps accounting off.
+func (s *Store) SetLedger(l *resource.Ledger) {
+	s.mu.Lock()
+	s.ledger = l
+	s.mu.Unlock()
+}
 
 // Add inserts one triple attributed to the given source document. It
 // reports whether the triple was new. Adding to a closed store is a no-op
@@ -116,12 +141,16 @@ func (s *Store) addLocked(t rdf.IDTriple, src rdf.TermID) bool {
 	s.bySubject[t.S] = append(s.bySubject[t.S], i)
 	s.byPredicate[t.P] = append(s.byPredicate[t.P], i)
 	s.byObject[t.O] = append(s.byObject[t.O], i)
+	charge := int64(bytesPerTriple)
 	if s.bySP != nil {
 		s.bySP[t.SP()] = append(s.bySP[t.SP()], i)
+		charge += bytesPerCompositePosting
 	}
 	if s.byPO != nil {
 		s.byPO[t.PO()] = append(s.byPO[t.PO()], i)
+		charge += bytesPerCompositePosting
 	}
+	s.ledger.Charge(resource.Store, charge)
 	return true
 }
 
@@ -289,6 +318,7 @@ func (s *Store) candidates(p *idPattern) []int32 {
 			for i, t := range s.triples {
 				s.bySP[t.SP()] = append(s.bySP[t.SP()], int32(i))
 			}
+			s.ledger.Charge(resource.Store, int64(len(s.triples))*bytesPerCompositePosting)
 		}
 		return s.bySP[uint64(p.id[0])<<32|uint64(p.id[1])]
 	case constP && constO:
@@ -297,6 +327,7 @@ func (s *Store) candidates(p *idPattern) []int32 {
 			for i, t := range s.triples {
 				s.byPO[t.PO()] = append(s.byPO[t.PO()], int32(i))
 			}
+			s.ledger.Charge(resource.Store, int64(len(s.triples))*bytesPerCompositePosting)
 		}
 		return s.byPO[uint64(p.id[1])<<32|uint64(p.id[2])]
 	case constS:
