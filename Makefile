@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench fuzz-smoke differential loadgen-smoke bench-loadgen
+.PHONY: build test verify bench fuzz-smoke differential loadgen-smoke bench-loadgen trace-smoke
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,7 @@ fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz '^FuzzParseQuery$$' -fuzztime $(FUZZTIME) ./internal/sparql
 	$(GO) test -run '^$$' -fuzz '^FuzzDictRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/rdf
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchSelection$$' -fuzztime $(FUZZTIME) ./internal/exec
+	$(GO) test -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime $(FUZZTIME) ./internal/obs
 
 # Performance trajectory: run the micro-benchmarks and archive them as a
 # dated JSON report (see cmd/benchreport --parse-bench). Compare two
@@ -56,6 +57,15 @@ loadgen-smoke: build
 		--heap-profile loadgen-heap.pprof --metrics-out loadgen-metrics.prom > /dev/null
 	@grep -q '^ltqp_query_mem_bytes_count' loadgen-metrics.prom \
 		|| { echo "loadgen-smoke: ltqp_query_mem_bytes missing from /metrics"; exit 1; }
+
+# Distributed-tracing smoke (CI): the 3-hop pod-server query under the race
+# detector, asserting client and server span counts match the document
+# count, and exporting the merged client+server trace as a JSON artifact.
+trace-smoke: build
+	LTQP_TRACE_ARTIFACT=$(CURDIR)/trace-smoke.json \
+		$(GO) test -race -run 'TestCriticalPathThreeHop|TestTraceSmokeThreeHop' -v .
+	@test -s trace-smoke.json \
+		|| { echo "trace-smoke: trace artifact missing or empty"; exit 1; }
 
 # Full load benchmark: baseline (no shared cache) vs shared-cache run at
 # 256 concurrent clients, archived as a dated artifact in bench/.

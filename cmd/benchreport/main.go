@@ -17,6 +17,13 @@
 // documents:
 //
 //	benchreport --replay-journal out.jsonl [--top 10]
+//
+// With --trace it renders critical-path latency attribution — the chains of
+// dependent dereferences that gated time-to-first-result and total latency —
+// from either a kept-trace export (/debug/traces/<id> JSON) or a journal:
+//
+//	benchreport --trace trace.json
+//	benchreport --trace out.jsonl --top 5
 package main
 
 import (
@@ -39,7 +46,8 @@ func main() {
 		waterfall  = flag.Bool("waterfalls", false, "print the full E3/E4 waterfalls")
 		parseBench = flag.Bool("parse-bench", false, "parse `go test -bench` output from stdin into JSON on stdout")
 		replay     = flag.String("replay-journal", "", "analyze an engine event journal (JSONL) offline and print the reconstructed timeline")
-		topN       = flag.Int("top", 10, "with --replay-journal, how many slowest documents to list per query")
+		traceIn    = flag.String("trace", "", "render critical-path latency attribution from a trace export (/debug/traces/<id> JSON) or an engine journal (JSONL); - reads stdin")
+		topN       = flag.Int("top", 10, "with --replay-journal/--trace, how many slowest entries to report per query / queries to report")
 		loadFile   = flag.String("loadgen", "", "render a cmd/loadgen artifact (bench/BENCH_*_loadgen.json) as a table")
 	)
 	flag.Parse()
@@ -61,6 +69,13 @@ func main() {
 	}
 	if *replay != "" {
 		if err := replayJournal(*replay, *topN, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *traceIn != "" {
+		if err := renderTraces(*traceIn, *topN, 60, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
 			os.Exit(1)
 		}

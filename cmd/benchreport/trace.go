@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"ltqp/internal/metrics"
+	"ltqp/internal/obs"
+)
+
+// renderTraces renders critical-path latency attribution from either a
+// trace export (the JSON served by /debug/traces/<id>, or written by the
+// trace-smoke harness) or an engine event journal (JSONL from
+// `ltqp-sparql --journal`). Journals hold every query of a run, so the
+// topN slowest are reported, each with the dereference chains that gated
+// its first result and its total traversal time.
+func renderTraces(path string, topN, width int, out io.Writer) error {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	// A journal is JSONL with a versioned header line; a trace export is a
+	// single JSON document. Try the journal reader first — it rejects
+	// non-journals at the header — then fall back to the export shapes.
+	if summary, err := obs.ReadJournal(bytes.NewReader(data)); err == nil {
+		return renderJournalTraces(summary, topN, width, out)
+	}
+	var rec obs.TraceRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("not a journal and not a trace export: %w", err)
+	}
+	if rec.TraceID == "" {
+		return fmt.Errorf("trace export has no trace_id (expected /debug/traces/<id> JSON)")
+	}
+	fmt.Fprint(out, obs.RenderTraceWaterfall(&rec, width))
+	return nil
+}
+
+// renderJournalTraces reconstructs each journaled query's dereference DAG
+// (parents from the recorded Via links) and prints the topN slowest
+// queries' critical paths.
+func renderJournalTraces(summary *obs.JournalSummary, topN, width int, out io.Writer) error {
+	queries := append([]*obs.QueryReplay(nil), summary.Queries...)
+	sort.SliceStable(queries, func(i, j int) bool { return queries[i].Duration > queries[j].Duration })
+	if topN > 0 && len(queries) > topN {
+		fmt.Fprintf(out, "%d queries in journal; showing the %d slowest\n\n", len(queries), topN)
+		queries = queries[:topN]
+	}
+	for _, q := range queries {
+		reqs := make([]metrics.Request, 0, len(q.Docs))
+		for _, d := range q.Docs {
+			reqs = append(reqs, metrics.Request{
+				URL:    d.URL,
+				Parent: d.Via,
+				Start:  d.End.Add(-d.Duration),
+				End:    d.End,
+				Status: d.Status,
+				Bytes:  d.Bytes,
+				Err:    d.Err,
+			})
+		}
+		fmt.Fprintf(out, "== query %d — %d results in %.1fms, %d documents ==\n%s\n",
+			q.ID, q.Results, float64(q.Duration.Microseconds())/1000, len(q.Docs), q.Query)
+		if len(reqs) == 0 {
+			fmt.Fprintln(out, "(no dereferences recorded)")
+			continue
+		}
+		var resultTimes []time.Duration
+		if q.HasTTFR {
+			resultTimes = []time.Duration{q.TTFR}
+		}
+		cp := obs.ComputeCritPath(reqs, q.Start, resultTimes, nil)
+		fmt.Fprint(out, cp.Render(width))
+		fmt.Fprintln(out)
+	}
+	return nil
+}

@@ -375,6 +375,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+		// ?trace=1 exposes the query's trace id so the caller can follow up
+		// on /debug/traces/<id> (404 there means tail sampling dropped it).
+		if r.URL.Query().Get("trace") == "1" {
+			if tid := res.TraceID(); tid != "" {
+				w.Header().Set("X-Trace-Id", tid)
+			}
+		}
 		var all []ltqp.Binding
 		truncated := false
 		for b := range res.Results {

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestTraceHeaderAndDebugTraces covers the endpoint half of the tracing
+// pipeline: ?trace=1 returns the query's trace id in X-Trace-Id, the
+// /debug/queries row links to /debug/traces/<id>, and the kept trace is
+// retrievable there as JSON and as an ASCII waterfall. The query targets a
+// missing document so the lenient run is degraded — a guaranteed tail-
+// sampling keep, independent of timing.
+func TestTraceHeaderAndDebugTraces(t *testing.T) {
+	srv, env, _ := newObservedEndpoint(t)
+	q := fmt.Sprintf("SELECT ?f WHERE { <%s/pods/nonexistent/missing.ttl#x> <http://v/p> ?f . }",
+		env.Server.URL)
+
+	resp, err := http.Get(srv.URL + "/sparql?trace=1&query=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("query status = %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if len(traceID) != 32 {
+		t.Fatalf("X-Trace-Id = %q, want 32 hex chars", traceID)
+	}
+
+	// The /debug/queries row carries the id and the /debug/traces link.
+	resp, err = http.Get(srv.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dbg struct {
+		Recent []struct {
+			TraceID  string `json:"trace_id"`
+			TraceURL string `json:"trace_url"`
+		} `json:"recent"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(dbg.Recent) != 1 || dbg.Recent[0].TraceID != traceID {
+		t.Fatalf("debug/queries trace id = %+v, want %s", dbg.Recent, traceID)
+	}
+	if want := "/debug/traces/" + traceID; dbg.Recent[0].TraceURL != want {
+		t.Errorf("trace_url = %q, want %q", dbg.Recent[0].TraceURL, want)
+	}
+
+	// The listing includes the kept trace...
+	resp, err = http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Schema int   `json:"schema"`
+		Seen   int64 `json:"seen"`
+		Traces []struct {
+			TraceID    string `json:"trace_id"`
+			KeepReason string `json:"keep_reason"`
+			URL        string `json:"url"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if list.Seen != 1 || len(list.Traces) != 1 {
+		t.Fatalf("traces list = %+v", list)
+	}
+	if list.Traces[0].TraceID != traceID || list.Traces[0].KeepReason != "degraded" {
+		t.Errorf("kept trace = %+v, want %s kept as degraded", list.Traces[0], traceID)
+	}
+
+	// ...and the per-trace document resolves with the full payload.
+	resp, err = http.Get(srv.URL + dbg.Recent[0].TraceURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		TraceID  string `json:"trace_id"`
+		Degraded bool   `json:"degraded"`
+		Root     *struct {
+			Name string `json:"name"`
+		} `json:"root"`
+		Requests []struct {
+			URL string `json:"url"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rec.TraceID != traceID || !rec.Degraded {
+		t.Errorf("trace record = %+v", rec)
+	}
+	if rec.Root == nil || rec.Root.Name != "query" {
+		t.Errorf("trace record missing root span: %+v", rec.Root)
+	}
+	if len(rec.Requests) == 0 {
+		t.Error("trace record carries no request timeline")
+	}
+
+	// The waterfall view renders.
+	resp, err = http.Get(srv.URL + dbg.Recent[0].TraceURL + "?format=waterfall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "trace "+traceID) {
+		t.Errorf("waterfall output = %q", body)
+	}
+
+	// Unknown ids 404.
+	resp, err = http.Get(srv.URL + "/debug/traces/ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id status = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestTraceHeaderOmittedByDefault: without ?trace=1 the header is absent.
+func TestTraceHeaderOmittedByDefault(t *testing.T) {
+	srv, env, _ := newObservedEndpoint(t)
+	q := env.Dataset.Discover(1, 1)
+	resp, err := http.Get(srv.URL + "/sparql?query=" + url.QueryEscape(q.Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Errorf("X-Trace-Id = %q without ?trace=1", got)
+	}
+}

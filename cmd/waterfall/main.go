@@ -48,7 +48,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true})
+	// Explain enables provenance, which pins the critical path's gating
+	// document to the first result's actual sources.
+	engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true, Explain: true})
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
@@ -70,6 +72,10 @@ func main() {
 	total := time.Since(start)
 
 	fmt.Print(res.Metrics().Waterfall(*width))
+	if ex := res.Explain(); ex != nil && ex.CriticalPath != nil {
+		fmt.Println()
+		fmt.Print(ex.CriticalPath.Render(*width))
+	}
 	fmt.Printf("\n%d results in %s (first after %s); pods touched: %d; peak link queue: %d\n",
 		n, total.Round(time.Millisecond), firstAt.Round(time.Millisecond),
 		res.Metrics().PodsTouched(), res.Metrics().PeakQueueLength())

@@ -234,6 +234,23 @@ func (x *Execution) Degradation() metrics.Degradation {
 	return x.Recorder.Degradation()
 }
 
+// CriticalPath attributes the execution's latency to its gating
+// dereference chains; nil before any request was recorded. When the query
+// ran with Explain, the first result's provenance pins the gating document
+// exactly; otherwise the latest-finishing successful fetch before the
+// first result stands in.
+func (x *Execution) CriticalPath() *obs.CritPath {
+	reqs := x.Recorder.Requests()
+	if len(reqs) == 0 {
+		return nil
+	}
+	var firstSources []string
+	if x.topo != nil {
+		firstSources = x.topo.FirstResultSources()
+	}
+	return obs.ComputeCritPath(reqs, x.Recorder.Epoch(), x.Recorder.ResultTimes(), firstSources)
+}
+
 // Query parses and starts a query. Seed URLs are taken from seeds; when
 // empty, they are derived from IRIs mentioned in the query.
 func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*Execution, error) {
@@ -389,7 +406,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 				m.QueriesSucceeded.Inc()
 			}
 			m.QueriesInFlight.Dec()
-			m.QueryDuration.Observe(time.Since(queryStart).Seconds())
+			dur := time.Since(queryStart)
 			if ledger != nil {
 				m.QueryMemPeak.Observe(float64(ledger.Peak()))
 				if charged := ledger.Charged(); charged > 0 {
@@ -407,6 +424,40 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 				}
 			}
 			trace.End()
+			// Tail-sampling keep decision: now that the outcome is known,
+			// offer the trace to the store. The span tree, request timeline
+			// and critical path are materialized only when kept; the trace
+			// ID stamps the query-duration bucket as an exemplar so a slow
+			// bucket on /metrics points at a retained trace.
+			var keptTrace string
+			if ts := e.opts.Obs.TraceStore(); ts != nil && trace != nil {
+				o := obs.TraceOutcome{
+					TraceID:  trace.ID(),
+					QueryID:  qid,
+					Query:    compactQuery(queryStr),
+					Tenant:   obs.TenantFromContext(ctx),
+					Start:    queryStart,
+					Duration: dur,
+					Results:  row,
+					Degraded: recorder.Degradation().Degraded(),
+				}
+				if t, ok := recorder.TimeToFirstResult(); ok {
+					o.TTFR = t
+				}
+				if err != nil {
+					o.Err = err.Error()
+					var berr *resource.BudgetExceededError
+					o.BudgetExceeded = errors.As(err, &berr)
+				}
+				if kept, _ := ts.Offer(o, func(tr *obs.TraceRecord) {
+					tr.Root = trace.Snapshot()
+					tr.Requests = obs.RequestsJSON(recorder.Requests(), recorder.Epoch())
+					tr.CriticalPath = x.CriticalPath()
+				}); kept {
+					keptTrace = o.TraceID
+				}
+			}
+			m.QueryDuration.ObserveExemplar(dur.Seconds(), keptTrace)
 			if x.prov != nil {
 				rec.SetContributions(docMatches(x.prov.Contributions()))
 			}

@@ -32,6 +32,9 @@ type Explain struct {
 	// Resources is the final resource-ledger snapshot: live/peak bytes per
 	// layer and budget state. Nil when the query ran without accounting.
 	Resources *resource.Snapshot `json:"resources,omitempty"`
+	// CriticalPath attributes TTFR and total traversal latency to the
+	// dependent dereference chains that gated them.
+	CriticalPath *obs.CritPath `json:"critical_path,omitempty"`
 }
 
 // Explain builds the explain report. Call it after Results has closed; it
@@ -48,6 +51,7 @@ func (x *Execution) Explain() *Explain {
 		Contributions: x.prov.Contributions(),
 		Topology:      x.topo.Snapshot(),
 		Resources:     x.ledger.Snapshot(),
+		CriticalPath:  x.CriticalPath(),
 	}
 }
 

@@ -233,7 +233,7 @@ func (d *Dereferencer) recordCacheHit(ctx context.Context, url, parent, reason s
 	sp.End()
 	m := obs.On(d.Obs)
 	m.CacheHits.Inc()
-	m.DerefDuration.Observe(time.Since(start).Seconds())
+	m.DerefDuration.ObserveExemplar(time.Since(start).Seconds(), sp.TraceIDString())
 }
 
 // fetchWithRetry performs the network dereference with the configured retry
@@ -293,6 +293,9 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		if ev.Status != 0 {
 			m.DocumentsByStatus.With(strconv.Itoa(ev.Status)).Inc()
 		}
+		if ev.Server > 0 {
+			span.SetAttr(obs.Int64("server_us", ev.Server.Microseconds()))
+		}
 		switch {
 		case ev.Err != "":
 			span.SetAttr(obs.Str("error", ev.Err))
@@ -301,13 +304,13 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 			// Revalidation confirmed the cached copy: no new document,
 			// bytes or triples — only the round trip itself.
 			span.SetAttr(obs.Int("status", ev.Status))
-			m.DerefDuration.Observe(ev.End.Sub(ev.Start).Seconds())
+			m.DerefDuration.ObserveExemplar(ev.End.Sub(ev.Start).Seconds(), span.TraceIDString())
 		default:
 			span.SetAttr(obs.Int("status", ev.Status), obs.Int64("bytes", ev.Bytes), obs.Int("triples", ev.Triples))
 			m.DocumentsFetched.Inc()
 			m.BytesFetched.Add(ev.Bytes)
 			m.TriplesParsed.Add(int64(ev.Triples))
-			m.DerefDuration.Observe(ev.End.Sub(ev.Start).Seconds())
+			m.DerefDuration.ObserveExemplar(ev.End.Sub(ev.Start).Seconds(), span.TraceIDString())
 		}
 		span.End()
 	}
@@ -326,6 +329,11 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		return nil, fmt.Errorf("deref: %w", err)
 	}
 	req.Header.Set("Accept", AcceptHeader)
+	// Propagate the W3C trace context: the server can join its own span to
+	// this attempt's. Free when tracing is off (nil span renders "").
+	if tp := span.Traceparent(); tp != "" {
+		req.Header.Set(obs.TraceparentHeader, tp)
+	}
 	if d.UserAgent != "" {
 		req.Header.Set("User-Agent", d.UserAgent)
 	}
@@ -348,6 +356,12 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 	}
 	defer resp.Body.Close()
 	ev.Status = resp.StatusCode
+	// Absorb the server-reported share of this fetch (handler time plus
+	// configured/injected delays), splitting wall time into server cost
+	// and network cost for the critical-path analysis.
+	if st := resp.Header.Values(obs.ServerTimingHeader); len(st) > 0 {
+		ev.Server = obs.ParseServerTiming(st)
+	}
 
 	// Read one byte past the cap so truncation is detected, not silent.
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))

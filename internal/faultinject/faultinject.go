@@ -28,6 +28,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"ltqp/internal/obs"
 )
 
 // Kind enumerates the injectable fault types.
@@ -370,6 +372,9 @@ func (in *Injector) Middleware(next http.Handler) http.Handler {
 		d := in.decide(requestURL(r))
 		if d.latency > 0 {
 			time.Sleep(d.latency)
+			// Announce the injected delay so client spans can attribute
+			// it to the server side rather than the network.
+			w.Header().Add(obs.ServerTimingHeader, obs.FormatServerTiming("fault", d.latency))
 		}
 		switch d.kind {
 		case Status:

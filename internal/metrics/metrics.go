@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"ltqp/internal/timeline"
 )
 
 // Request is one recorded HTTP dereference.
@@ -36,6 +38,11 @@ type Request struct {
 	// dereference; values above 1 are retries after transient failures.
 	// 0 is treated as 1 (recorders predating retry support).
 	Attempt int
+	// Server is the server-reported share of the fetch (the sum of the
+	// response's Server-Timing dur= entries): handler time plus any
+	// configured or fault-injected delay. Duration()-Server approximates
+	// network cost. Zero when the server sent no Server-Timing header.
+	Server time.Duration
 	// Err records a fetch or parse failure.
 	Err string
 }
@@ -323,62 +330,9 @@ func (r *Recorder) Waterfall(width int) string {
 	if len(reqs) == 0 {
 		return "(no requests)\n"
 	}
-	if width < 20 {
-		width = 20
-	}
-	min := reqs[0].Start
-	max := reqs[0].End
-	for _, q := range reqs {
-		if q.End.After(max) {
-			max = q.End
-		}
-	}
-	total := max.Sub(min)
-	if total <= 0 {
-		total = time.Millisecond
-	}
-	scale := func(t time.Time) int {
-		off := int(int64(t.Sub(min)) * int64(width) / int64(total))
-		if off >= width {
-			off = width - 1
-		}
-		if off < 0 {
-			off = 0
-		}
-		return off
-	}
-	nameWidth := 44
+	epoch := reqs[0].Start
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-*s %6s %8s %7s  %s\n", nameWidth, "document", "status", "bytes", "ms", "timeline")
-	for _, q := range reqs {
-		name := shorten(q.URL, nameWidth)
-		bar := make([]byte, width)
-		for i := range bar {
-			bar[i] = ' '
-		}
-		s, e := scale(q.Start), scale(q.End)
-		if e < s {
-			e = s
-		}
-		for i := s; i <= e && i < width; i++ {
-			bar[i] = '='
-		}
-		bar[s] = '|'
-		status := fmt.Sprintf("%d", q.Status)
-		if q.Err != "" {
-			status = "ERR"
-		}
-		if q.Cached {
-			status = "cache"
-		}
-		reason := q.Reason
-		if q.Attempt > 1 {
-			reason += fmt.Sprintf(" (retry %d)", q.Attempt-1)
-		}
-		fmt.Fprintf(&b, "%-*s %6s %8d %7.1f  [%s] %s\n",
-			nameWidth, name, status, q.Bytes,
-			float64(q.Duration().Microseconds())/1000.0, string(bar), reason)
-	}
+	b.WriteString(timeline.Render(WaterfallRows(reqs, epoch, nil), timeline.Options{Width: width}))
 	s := r.Stats()
 	fmt.Fprintf(&b, "\n%d requests (%d failed, %d retries), %d triples, %d bytes, max depth %d, max parallel %d, wall %s\n",
 		s.Requests, s.Failed, s.Retries, s.TotalTriples, s.TotalBytes, s.MaxDepth, s.MaxParallel, s.WallTime.Round(time.Microsecond))
@@ -389,11 +343,37 @@ func (r *Recorder) Waterfall(width int) string {
 }
 
 // shorten abbreviates long URLs for display, keeping the tail.
-func shorten(u string, max int) string {
-	if len(u) <= max {
-		return u
+func shorten(u string, max int) string { return timeline.Shorten(u, max) }
+
+// WaterfallRows converts requests to timeline rows against the given epoch:
+// status/cache/error columns, retry annotation in the note, and rows whose
+// URL appears in mark drawn highlighted (the critical-path rendering in
+// /debug/traces). Shared by Waterfall and the obs trace views.
+func WaterfallRows(reqs []Request, epoch time.Time, mark map[string]bool) []timeline.Row {
+	rows := make([]timeline.Row, 0, len(reqs))
+	for _, q := range reqs {
+		status := fmt.Sprintf("%d", q.Status)
+		if q.Err != "" {
+			status = "ERR"
+		}
+		if q.Cached {
+			status = "cache"
+		}
+		note := q.Reason
+		if q.Attempt > 1 {
+			note += fmt.Sprintf(" (retry %d)", q.Attempt-1)
+		}
+		rows = append(rows, timeline.Row{
+			Label:  q.URL,
+			Status: status,
+			Bytes:  q.Bytes,
+			Start:  q.Start.Sub(epoch),
+			End:    q.End.Sub(epoch),
+			Note:   note,
+			Mark:   mark[q.URL],
+		})
 	}
-	return "…" + u[len(u)-max+1:]
+	return rows
 }
 
 // DependencyEdges returns parent→child fetch dependencies, reproducing the

@@ -26,6 +26,29 @@ func BenchmarkStartSpanTraced(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOff is the tracing subsystem's opt-out acceptance gate:
+// everything a hot path touches when tracing is disabled — starting a span
+// on an untraced context, rendering its (empty) traceparent and trace id,
+// recording an exemplar with no trace id, and offering an outcome to a nil
+// trace store — must cost 0 allocs/op.
+func BenchmarkTraceOff(b *testing.B) {
+	ctx := context.Background()
+	h := NewRegistry().Histogram("x", "", DefaultLatencyBuckets)
+	var store *TraceStore
+	var log *ServerSpanLog
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "deref")
+		if tp := sp.Traceparent(); tp != "" {
+			b.Fatal("untraced span rendered a traceparent")
+		}
+		h.ObserveExemplar(0.003, sp.TraceIDString())
+		store.Offer(TraceOutcome{Duration: 1}, nil)
+		log.Record(ServerSpan{})
+		sp.End()
+	}
+}
+
 func BenchmarkCounterInc(b *testing.B) {
 	c := NewRegistry().Counter("x", "")
 	b.RunParallel(func(pb *testing.PB) {

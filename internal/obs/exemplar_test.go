@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ltqp_query_duration_seconds", "", DefaultLatencyBuckets)
+	h.Observe(0.002) // untraced observation: no exemplar
+	h.ObserveExemplar(0.004, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.004`) {
+		t.Errorf("exemplar missing from exposition:\n%s", text)
+	}
+	// Exactly one bucket carries it — the one 0.004 fell into.
+	if n := strings.Count(text, "# {trace_id="); n != 1 {
+		t.Errorf("exemplar count = %d, want 1:\n%s", n, text)
+	}
+	if !strings.Contains(text, "ltqp_query_duration_seconds_count 2") {
+		t.Errorf("count must include traced and untraced observations:\n%s", text)
+	}
+}
+
+func TestHistogramExemplarEmptyTraceID(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", "", DefaultLatencyBuckets)
+	h.ObserveExemplar(0.004, "")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "trace_id") {
+		t.Errorf("empty trace id must not render an exemplar:\n%s", b.String())
+	}
+	if h.Count() != 1 {
+		t.Errorf("observation lost: count = %d", h.Count())
+	}
+}
+
+func TestHistogramExemplarNilSafe(t *testing.T) {
+	var h *Histogram
+	h.ObserveExemplar(1, "abc") // must not panic
+}
+
+func TestHistogramExemplarLatestWins(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", "", []float64{1})
+	h.ObserveExemplar(0.5, "first")
+	h.ObserveExemplar(0.6, "second")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "first") || !strings.Contains(b.String(), `{trace_id="second"} 0.6`) {
+		t.Errorf("bucket exemplar must be the latest traced observation:\n%s", b.String())
+	}
+}

@@ -39,7 +39,11 @@ type querySummaryJSON struct {
 	Results    int       `json:"results"`
 	Done       bool      `json:"done"`
 	Err        string    `json:"error,omitempty"`
-	Trace      *SpanJSON `json:"trace,omitempty"`
+	// TraceID is the query's W3C trace ID; TraceURL links to its kept record
+	// under /debug/traces (404 when tail sampling dropped it).
+	TraceID  string    `json:"trace_id,omitempty"`
+	TraceURL string    `json:"trace_url,omitempty"`
+	Trace    *SpanJSON `json:"trace,omitempty"`
 	// Topology summarizes the traversal graph when explain recording was on.
 	Topology *topoSummaryJSON `json:"topology,omitempty"`
 	// Contributions tallies pattern matches per source document when
@@ -80,6 +84,12 @@ func summarize(r *QueryRecord, withTrace bool) querySummaryJSON {
 		out.MemPeakBytes = lg.Peak()
 		if snap := lg.Snapshot(); snap != nil {
 			out.MemTopLayer = snap.TopLayer
+		}
+	}
+	if r.Trace != nil {
+		if tid := r.Trace.ID(); tid != "" {
+			out.TraceID = tid
+			out.TraceURL = "/debug/traces/" + tid
 		}
 	}
 	if withTrace && r.Trace != nil && r.Trace.Root() != nil {
@@ -258,6 +268,10 @@ func (o *Observer) Register(mux *http.ServeMux) {
 	mux.Handle("/debug/queries", QueriesHandler(o.Tracker))
 	mux.Handle("/debug/topology", TopologyHandler(o.Tracker))
 	mux.Handle("/debug/resources", ResourcesHandler(o.Tracker, o.Resources))
+	if o.Traces != nil {
+		mux.Handle("/debug/traces", TracesHandler(o.Traces))
+		mux.Handle("/debug/traces/", TracesHandler(o.Traces))
+	}
 	if o.Stream != nil {
 		mux.Handle("/debug/events", o.Stream)
 	}

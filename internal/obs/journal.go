@@ -172,7 +172,10 @@ type ReplayPhase struct {
 
 // ReplayDoc is one dereference reconstructed from the journal.
 type ReplayDoc struct {
-	URL      string
+	URL string
+	// Via is the document the link to this one was discovered in (empty for
+	// seeds) — the dependency edge critical-path analysis walks.
+	Via      string
 	Status   int
 	Triples  int
 	Bytes    int64
@@ -360,6 +363,7 @@ func ReadJournal(r io.Reader) (*JournalSummary, error) {
 		case EventDocumentDereferenced:
 			d := ReplayDoc{
 				URL:      ev.URL,
+				Via:      ev.Via,
 				Status:   ev.Status,
 				Triples:  ev.Triples,
 				Bytes:    ev.Bytes,

@@ -62,6 +62,11 @@ type Metrics struct {
 	// EventsDropped counts events discarded per named bus subscriber
 	// (journal, sse, slog) because its buffer was full.
 	EventsDropped *CounterVec
+
+	// Tail-sampling instruments: traces retained by the trace store (by
+	// keep reason: error, budget, degraded, slow, sampled) vs. dropped.
+	TracesKept    *CounterVec
+	TracesDropped *Counter
 }
 
 // NewMetrics registers the standard instrument set on r. A nil registry
@@ -112,6 +117,9 @@ func NewMetrics(r *Registry) *Metrics {
 		MemBudgetExceeded: r.Counter("ltqp_mem_budget_exceeded_total", "Queries cancelled for crossing their per-query memory budget."),
 
 		EventsDropped: r.CounterVec("ltqp_events_dropped_total", "Engine events discarded because a subscriber's buffer was full, by subscriber name.", "subscriber"),
+
+		TracesKept:    r.CounterVec("ltqp_traces_kept_total", "Traces retained by the tail sampler, by keep reason.", "reason"),
+		TracesDropped: r.Counter("ltqp_traces_dropped_total", "Traces discarded by the tail sampler."),
 	}
 }
 
@@ -140,6 +148,10 @@ type Observer struct {
 	// TraceQueries makes the engine record a span tree for every query
 	// (required for /debug/queries span output and Result.Trace).
 	TraceQueries bool
+	// Traces tail-samples completed queries' traces into a bounded ring
+	// served at /debug/traces. Nil disables retention (the engine still
+	// records spans when TraceQueries is set).
+	Traces *TraceStore
 }
 
 // NewObserver builds a ready-to-wire observer: fresh registry, the
@@ -172,6 +184,7 @@ func NewObserver() *Observer {
 		Health:       &HealthChecker{Metrics: m},
 		Resources:    resource.NewTenantLedger(),
 		TraceQueries: true,
+		Traces:       NewTraceStore(TraceStoreOptions{Metrics: m}),
 	}
 }
 
@@ -189,6 +202,14 @@ func (o *Observer) M() *Metrics {
 		return nil
 	}
 	return o.Metrics
+}
+
+// TraceStore returns the observer's tail-sampling trace store; nil-safe.
+func (o *Observer) TraceStore() *TraceStore {
+	if o == nil {
+		return nil
+	}
+	return o.Traces
 }
 
 // Res returns the observer's per-tenant resource rollup; nil-safe.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry is a process-level metrics registry. Registration takes a lock;
@@ -130,7 +131,13 @@ func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
 	bounds := make([]float64, len(buckets))
 	copy(bounds, buckets)
 	sort.Float64s(bounds)
-	h := &Histogram{name: name, help: help, bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	h := &Histogram{
+		name:      name,
+		help:      help,
+		bounds:    bounds,
+		counts:    make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(bounds)+1),
+	}
 	r.histograms[name] = h
 	return h
 }
@@ -247,6 +254,19 @@ type Histogram struct {
 	counts     []atomic.Int64 // len(bounds)+1; last is +Inf
 	count      atomic.Int64
 	sumBits    atomic.Uint64
+	// exemplars holds the most recent traced observation per bucket
+	// (len(bounds)+1, last is +Inf), rendered in OpenMetrics exemplar
+	// syntax so a slow bucket points at a kept trace. Written only by
+	// ObserveExemplar with a nonempty trace ID; plain Observe never
+	// touches it.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar ties one observed value to the trace that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
+	atUnix  float64 // seconds since epoch, OpenMetrics exemplar timestamp
 }
 
 // Observe records one value.
@@ -254,8 +274,31 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	// Binary search for the first bound >= v.
-	i := sort.SearchFloat64s(h.bounds, v)
+	h.observe(h.bucketIndex(v), v)
+}
+
+// ObserveExemplar records one value and, when traceID is nonempty, stamps
+// the value's bucket with a {trace_id=...} exemplar. With an empty traceID
+// it is exactly Observe — zero extra cost on the untraced path.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.bucketIndex(v)
+	h.observe(i, v)
+	if traceID == "" {
+		return
+	}
+	h.exemplars[i].Store(&exemplar{traceID: traceID, value: v, atUnix: float64(time.Now().UnixMicro()) / 1e6})
+}
+
+// bucketIndex returns the index of the first bound >= v (the +Inf bucket
+// when v exceeds every bound).
+func (h *Histogram) bucketIndex(v float64) int {
+	return sort.SearchFloat64s(h.bounds, v)
+}
+
+func (h *Histogram) observe(i int, v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -406,15 +449,30 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		cum := int64(0)
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", h.name, formatBound(bound), cum)
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d%s\n", h.name, formatBound(bound), cum, h.exemplarSuffix(i))
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d%s\n", h.name, cum, h.exemplarSuffix(len(h.bounds)))
 		fmt.Fprintf(&b, "%s_sum %s\n", h.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
 		fmt.Fprintf(&b, "%s_count %d\n", h.name, h.Count())
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// exemplarSuffix renders the bucket's exemplar in OpenMetrics syntax
+// (` # {trace_id="..."} value timestamp`), or "" when the bucket never saw
+// a traced observation. Prometheus ingests these when scraping with
+// OpenMetrics negotiation and ignores them otherwise.
+func (h *Histogram) exemplarSuffix(i int) string {
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%s\"} %s %s",
+		escapeLabelValue(ex.traceID),
+		strconv.FormatFloat(ex.value, 'g', -1, 64),
+		strconv.FormatFloat(ex.atUnix, 'f', 3, 64))
 }
 
 func writeHeader(b *strings.Builder, name, help, typ string) {

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// ServerSpan is one pod-side request span recorded by podserver: the
+// server half of a dereference, joined to the client trace by the
+// traceparent header the dereferencer injected. DelayMS separates the
+// configured/simulated latency (podserver Latency, bandwidth shaping)
+// from real handler work.
+type ServerSpan struct {
+	TraceID  string    `json:"trace_id,omitempty"`
+	ParentID string    `json:"parent_id,omitempty"` // client span that made the request
+	SpanID   string    `json:"span_id"`
+	URL      string    `json:"url"`
+	Start    time.Time `json:"start"`
+	DurMS    float64   `json:"duration_ms"`
+	DelayMS  float64   `json:"delay_ms,omitempty"`
+	Status   int       `json:"status"`
+	Bytes    int64     `json:"bytes,omitempty"`
+}
+
+// ServerSpanLog is a bounded ring of server spans, safe for concurrent use
+// and on a nil receiver (a server without a log records nothing).
+type ServerSpanLog struct {
+	mu    sync.Mutex
+	cap   int
+	spans []ServerSpan
+	total int64
+}
+
+// DefaultServerSpanCapacity bounds a log built with capacity <= 0.
+const DefaultServerSpanCapacity = 4096
+
+// NewServerSpanLog returns a log holding at most capacity spans
+// (DefaultServerSpanCapacity when <= 0).
+func NewServerSpanLog(capacity int) *ServerSpanLog {
+	if capacity <= 0 {
+		capacity = DefaultServerSpanCapacity
+	}
+	return &ServerSpanLog{cap: capacity}
+}
+
+// Record appends a span, evicting the oldest beyond capacity.
+func (l *ServerSpanLog) Record(sp ServerSpan) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	l.spans = append(l.spans, sp)
+	if len(l.spans) > l.cap {
+		copy(l.spans, l.spans[1:])
+		l.spans = l.spans[:l.cap]
+	}
+}
+
+// Spans returns a snapshot of the retained spans, oldest first.
+func (l *ServerSpanLog) Spans() []ServerSpan {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]ServerSpan, len(l.spans))
+	copy(out, l.spans)
+	return out
+}
+
+// ByTrace returns the retained spans carrying the given trace ID.
+func (l *ServerSpanLog) ByTrace(traceID string) []ServerSpan {
+	if l == nil || traceID == "" {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ServerSpan
+	for _, sp := range l.spans {
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained spans.
+func (l *ServerSpanLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.spans)
+}

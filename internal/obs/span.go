@@ -53,6 +53,14 @@ type Span struct {
 	name  string
 	start time.Time
 
+	// W3C trace context: every span of one query shares traceID; spanID is
+	// unique per span and parentID links the tree. Zero IDs mean the span
+	// was created outside a trace (never happens via StartSpan, which
+	// returns nil instead). Immutable after creation, so unguarded.
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID
+
 	mu       sync.Mutex
 	end      time.Time
 	attrs    []Attr
@@ -88,6 +96,9 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 		return ctx, nil
 	}
 	child := newSpan(name, attrs...)
+	child.traceID = parent.traceID
+	child.parentID = parent.spanID
+	child.spanID = NewSpanID()
 	parent.mu.Lock()
 	parent.children = append(parent.children, child)
 	parent.mu.Unlock()
@@ -118,6 +129,53 @@ func (s *Span) SetAttr(attrs ...Attr) {
 	s.mu.Lock()
 	s.attrs = append(s.attrs, attrs...)
 	s.mu.Unlock()
+}
+
+// TraceID returns the span's trace ID (zero on nil).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's ID (zero on nil).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
+}
+
+// ParentID returns the parent span's ID (zero on nil or root spans of a
+// trace with no remote parent).
+func (s *Span) ParentID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.parentID
+}
+
+// TraceIDString returns the hex trace ID, or "" on a nil or untraced span —
+// the form metrics exemplars and log correlation want, at zero cost when
+// tracing is off.
+func (s *Span) TraceIDString() string {
+	if s == nil || s.traceID.IsZero() {
+		return ""
+	}
+	return s.traceID.String()
+}
+
+// Traceparent renders the outbound traceparent header value for requests
+// made under this span, with the sampled flag set. Returns "" on a nil or
+// untraced span, so callers can inject unconditionally:
+//
+//	if tp := span.Traceparent(); tp != "" { req.Header.Set(...) }
+func (s *Span) Traceparent() string {
+	if s == nil || s.traceID.IsZero() {
+		return ""
+	}
+	return FormatTraceparent(s.traceID, s.spanID, FlagSampled)
 }
 
 // Name returns the span name ("" on nil).
@@ -215,8 +273,9 @@ const TraceSchemaVersion = 1
 
 // TraceJSON is the versioned envelope of an exported trace.
 type TraceJSON struct {
-	Schema int      `json:"schema"`
-	Root   SpanJSON `json:"root"`
+	Schema  int      `json:"schema"`
+	TraceID string   `json:"trace_id,omitempty"`
+	Root    SpanJSON `json:"root"`
 }
 
 // SpanJSON is the JSON shape of an exported span. Durations appear twice:
@@ -224,6 +283,8 @@ type TraceJSON struct {
 // (time.Duration formatting) for eyeballing raw exports.
 type SpanJSON struct {
 	Name     string     `json:"name"`
+	SpanID   string     `json:"span_id,omitempty"`
+	ParentID string     `json:"parent_id,omitempty"`
 	StartUS  int64      `json:"start_us"` // offset from the trace root, µs
 	DurUS    int64      `json:"duration_us"`
 	Duration string     `json:"duration"`
@@ -239,6 +300,12 @@ func (s *Span) toJSON(epoch time.Time) SpanJSON {
 		DurUS:    d.Microseconds(),
 		Duration: d.Round(time.Microsecond).String(),
 		Attrs:    s.Attrs(),
+	}
+	if !s.spanID.IsZero() {
+		out.SpanID = s.spanID.String()
+	}
+	if !s.parentID.IsZero() {
+		out.ParentID = s.parentID.String()
 	}
 	for _, c := range s.Children() {
 		out.Children = append(out.Children, c.toJSON(epoch))
@@ -256,7 +323,37 @@ type Trace struct {
 // a context carrying that root, ready for StartSpan calls downstream.
 func NewTrace(ctx context.Context, rootName string, attrs ...Attr) (context.Context, *Trace) {
 	root := newSpan(rootName, attrs...)
+	root.traceID = NewTraceID()
+	root.spanID = NewSpanID()
 	return ContextWithSpan(ctx, root), &Trace{root: root}
+}
+
+// NewTraceWithParent creates a trace that continues an incoming W3C trace
+// context (e.g. extracted from a traceparent header): the root span joins
+// the caller's trace ID and records the remote span as its parent.
+func NewTraceWithParent(ctx context.Context, rootName string, parent Traceparent, attrs ...Attr) (context.Context, *Trace) {
+	root := newSpan(rootName, attrs...)
+	root.traceID = parent.TraceID
+	root.parentID = parent.SpanID
+	root.spanID = NewSpanID()
+	if root.traceID.IsZero() {
+		root.traceID = NewTraceID()
+	}
+	return ContextWithSpan(ctx, root), &Trace{root: root}
+}
+
+// ID returns the trace's hex trace ID ("" on nil).
+func (t *Trace) ID() string { return t.Root().TraceIDString() }
+
+// Snapshot exports the span tree as its JSON shape (offsets relative to the
+// root's start), for embedding in larger documents such as kept
+// TraceRecords. Returns nil on a nil trace.
+func (t *Trace) Snapshot() *SpanJSON {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	sj := t.root.toJSON(t.root.start)
+	return &sj
 }
 
 // Root returns the root span (nil for a nil trace).
@@ -276,7 +373,7 @@ func (t *Trace) JSON() ([]byte, error) {
 	if t == nil || t.root == nil {
 		return []byte("null"), nil
 	}
-	return json.MarshalIndent(TraceJSON{Schema: TraceSchemaVersion, Root: t.root.toJSON(t.root.start)}, "", "  ")
+	return json.MarshalIndent(TraceJSON{Schema: TraceSchemaVersion, TraceID: t.ID(), Root: t.root.toJSON(t.root.start)}, "", "  ")
 }
 
 // Tree renders the trace as a human-readable indented tree:

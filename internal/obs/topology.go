@@ -184,6 +184,21 @@ func (t *Topology) Result(row int, sources []string) {
 	t.results = append(t.results, ResultEvent{Row: row, AtMS: t.sinceMS(at), Sources: sources})
 }
 
+// FirstResultSources returns the source documents of the earliest recorded
+// result (nil without results or provenance) — the critical-path analysis
+// uses them to pin the dereference that gated TTFR.
+func (t *Topology) FirstResultSources() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.results) == 0 {
+		return nil
+	}
+	return append([]string(nil), t.results[0].Sources...)
+}
+
 // Documents returns the number of recorded nodes.
 func (t *Topology) Documents() int {
 	if t == nil {

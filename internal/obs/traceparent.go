@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) support for the
+// span layer: every traced query gets a 128-bit trace ID and each span a
+// 64-bit span ID, carried across HTTP hops in the `traceparent` header.
+// internal/deref injects the header on every dereference attempt and
+// internal/podserver extracts it, so client and server spans of one query
+// share a trace ID and can be merged into a single DAG afterwards.
+
+// TraceparentHeader is the canonical header name (the spec requires
+// lowercase on the wire; net/http canonicalizes on read either way).
+const TraceparentHeader = "traceparent"
+
+// TraceID is a W3C trace-id: 16 bytes, rendered as 32 lowercase hex digits.
+// The all-zero value is invalid on the wire and means "untraced" here.
+type TraceID [16]byte
+
+// SpanID is a W3C parent-id/span-id: 8 bytes, 16 lowercase hex digits.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// FlagSampled is the sampled bit of the trace-flags octet.
+const FlagSampled byte = 0x01
+
+// Traceparent is a parsed traceparent header (version 00 fields; future
+// versions are accepted on parse and downgraded to these fields).
+type Traceparent struct {
+	TraceID TraceID
+	SpanID  SpanID
+	Flags   byte
+}
+
+// Sampled reports whether the sampled flag is set.
+func (tp Traceparent) Sampled() bool { return tp.Flags&FlagSampled != 0 }
+
+// String renders the header value in version-00 form.
+func (tp Traceparent) String() string {
+	return FormatTraceparent(tp.TraceID, tp.SpanID, tp.Flags)
+}
+
+// FormatTraceparent renders `00-<trace-id>-<parent-id>-<flags>`.
+func FormatTraceparent(tid TraceID, sid SpanID, flags byte) string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], tid[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], sid[:])
+	b[52] = '-'
+	hex.Encode(b[53:55], []byte{flags})
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent header value, enforcing the W3C
+// grammar strictly: lowercase hex only, exact field widths, nonzero
+// trace-id and parent-id, version ff rejected. A version above 00 is
+// accepted when followed by `-`-separated extra content (forward
+// compatibility), with only the version-00 fields retained.
+func ParseTraceparent(s string) (Traceparent, bool) {
+	var tp Traceparent
+	if len(s) < 55 {
+		return tp, false
+	}
+	if s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return tp, false
+	}
+	if !isLowerHex(s[0:2]) || s[0:2] == "ff" {
+		return tp, false
+	}
+	if len(s) > 55 {
+		// Version 00 is exactly 55 bytes; future versions may append
+		// `-`-prefixed fields.
+		if s[0:2] == "00" || s[55] != '-' {
+			return tp, false
+		}
+	}
+	if !isLowerHex(s[3:35]) || !isLowerHex(s[36:52]) || !isLowerHex(s[53:55]) {
+		return tp, false
+	}
+	hex.Decode(tp.TraceID[:], []byte(s[3:35]))
+	hex.Decode(tp.SpanID[:], []byte(s[36:52]))
+	var fb [1]byte
+	hex.Decode(fb[:], []byte(s[53:55]))
+	tp.Flags = fb[0]
+	if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+		return Traceparent{}, false
+	}
+	return tp, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// NewTraceID returns a random nonzero trace ID. Uses math/rand/v2's
+// runtime-seeded generator: allocation-free and safe for concurrent use;
+// trace IDs are correlation keys, not secrets.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		binary.BigEndian.PutUint64(t[0:8], rand.Uint64())
+		binary.BigEndian.PutUint64(t[8:16], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID returns a random nonzero span ID.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		binary.BigEndian.PutUint64(s[:], rand.Uint64())
+	}
+	return s
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	const golden = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tp, ok := ParseTraceparent(golden)
+	if !ok {
+		t.Fatalf("ParseTraceparent(%q) rejected a valid header", golden)
+	}
+	if got := tp.TraceID.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %q", got)
+	}
+	if got := tp.SpanID.String(); got != "00f067aa0ba902b7" {
+		t.Errorf("span id = %q", got)
+	}
+	if !tp.Sampled() {
+		t.Error("sampled flag not parsed")
+	}
+	if got := tp.String(); got != golden {
+		t.Errorf("round trip = %q, want %q", got, golden)
+	}
+	if got := FormatTraceparent(tp.TraceID, tp.SpanID, tp.Flags); got != golden {
+		t.Errorf("FormatTraceparent = %q, want %q", got, golden)
+	}
+}
+
+func TestTraceparentMalformed(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"garbage", "hello"},
+		{"short", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7"},
+		{"uppercase trace id", "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01"},
+		{"uppercase span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01"},
+		{"zero trace id", "00-00000000000000000000000000000000-00f067aa0ba902b7-01"},
+		{"zero span id", "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01"},
+		{"version ff", "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"nonhex version", "zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"},
+		{"nonhex flags", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-zz"},
+		{"trace id too short", "00-4bf92f3577b34da6a3ce929d0e0e473-00f067aa0ba902b7-01"},
+		{"span id too long", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b70-01"},
+		{"wrong separators", "00_4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7_01"},
+		{"v00 trailing data", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"},
+		{"truncated future version", "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0"},
+	}
+	for _, c := range cases {
+		if _, ok := ParseTraceparent(c.in); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted malformed input", c.name, c.in)
+		}
+	}
+}
+
+func TestTraceparentFutureVersion(t *testing.T) {
+	// Per W3C trace context, a parser handling version 00 must accept
+	// higher versions, reading the fixed prefix and ignoring the rest.
+	in := "01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-futurefield"
+	tp, ok := ParseTraceparent(in)
+	if !ok {
+		t.Fatalf("future version rejected: %q", in)
+	}
+	if tp.TraceID.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace id = %q", tp.TraceID)
+	}
+}
+
+func TestNewIDsNonZero(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		if NewTraceID().IsZero() {
+			t.Fatal("NewTraceID returned zero")
+		}
+		if NewSpanID().IsZero() {
+			t.Fatal("NewSpanID returned zero")
+		}
+	}
+}
+
+func TestSpanIDPropagation(t *testing.T) {
+	ctx, tr := NewTrace(t.Context(), "query")
+	root := tr.Root()
+	if root.TraceID().IsZero() || root.SpanID().IsZero() {
+		t.Fatal("root span has zero ids")
+	}
+	ctx, child := StartSpan(ctx, "document")
+	_, grand := StartSpan(ctx, "attempt")
+	if child.TraceID() != root.TraceID() || grand.TraceID() != root.TraceID() {
+		t.Error("trace id not propagated to descendants")
+	}
+	if child.ParentID() != root.SpanID() {
+		t.Error("child parent id != root span id")
+	}
+	if grand.ParentID() != child.SpanID() {
+		t.Error("grandchild parent id != child span id")
+	}
+	if child.SpanID() == root.SpanID() || grand.SpanID() == child.SpanID() {
+		t.Error("span ids must be unique per span")
+	}
+	tp := child.Traceparent()
+	parsed, ok := ParseTraceparent(tp)
+	if !ok {
+		t.Fatalf("child Traceparent() = %q, not parseable", tp)
+	}
+	if parsed.TraceID != root.TraceID() || parsed.SpanID != child.SpanID() {
+		t.Errorf("Traceparent carries wrong ids: %q", tp)
+	}
+	if !parsed.Sampled() {
+		t.Error("in-process spans must propagate as sampled")
+	}
+}
+
+func TestNewTraceWithParent(t *testing.T) {
+	parent, _ := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	_, tr := NewTraceWithParent(t.Context(), "query", parent)
+	root := tr.Root()
+	if root.TraceID() != parent.TraceID {
+		t.Errorf("trace id not adopted from parent: %s", root.TraceID())
+	}
+	if root.ParentID() != parent.SpanID {
+		t.Errorf("parent span id not adopted: %s", root.ParentID())
+	}
+	if root.SpanID() == parent.SpanID {
+		t.Error("root must mint its own span id")
+	}
+}
+
+func TestNilSpanTraceIDs(t *testing.T) {
+	var sp *Span
+	if sp.Traceparent() != "" || sp.TraceIDString() != "" {
+		t.Error("nil span must render empty trace identifiers")
+	}
+	if !sp.TraceID().IsZero() || !sp.SpanID().IsZero() {
+		t.Error("nil span ids must be zero")
+	}
+	// An untraced context keeps the no-op behaviour.
+	if _, child := StartSpan(t.Context(), "x"); child.Traceparent() != "" {
+		t.Error("spans started on untraced contexts must stay untraced")
+	}
+}
+
+func FuzzTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-00")
+	f.Add("ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x")
+	f.Add("")
+	f.Add(strings.Repeat("0", 55))
+	f.Fuzz(func(t *testing.T, in string) {
+		tp, ok := ParseTraceparent(in)
+		if !ok {
+			return
+		}
+		if tp.TraceID.IsZero() || tp.SpanID.IsZero() {
+			t.Fatalf("accepted zero ids from %q", in)
+		}
+		// Round trip: formatting a parsed v00 header must reproduce the
+		// canonical form, and reparse to the same value.
+		out := tp.String()
+		back, ok2 := ParseTraceparent(out)
+		if !ok2 {
+			t.Fatalf("canonical form %q (from %q) does not reparse", out, in)
+		}
+		if back != tp {
+			t.Fatalf("round trip changed value: %+v != %+v (input %q)", back, tp, in)
+		}
+	})
+}

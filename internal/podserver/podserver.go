@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ltqp/internal/obs"
 	"ltqp/internal/solid"
 )
 
@@ -56,6 +57,10 @@ type Server struct {
 	Latency time.Duration
 	// BytesPerSecond, when > 0, adds size-proportional delay.
 	BytesPerSecond int64
+	// Spans, when non-nil, records a server-side span for every request:
+	// the pod half of the distributed trace, joined to the client's spans
+	// through the traceparent request header.
+	Spans *obs.ServerSpanLog
 
 	// modTime stamps documents registered from now on; defaults to server
 	// creation time. HTTP dates carry second resolution, so it is truncated.
@@ -134,16 +139,67 @@ func (s *Server) Rebase(oldPrefix, newPrefix string) {
 	s.docs = out
 }
 
+// srvTiming tracks one request's server-side timing: when handling began
+// and how much of the elapsed time was artificial delay (configured
+// latency, bandwidth shaping) rather than handler work.
+type srvTiming struct {
+	start time.Time
+	delay time.Duration
+}
+
+// setServerTiming writes the Server-Timing response header — app (handler
+// work) and delay (simulated latency) in milliseconds — so the client can
+// split the fetch into server cost and network cost. Must run before the
+// status/body is written; Add keeps any fault;dur= entry a fault-injection
+// middleware already attached.
+func (t srvTiming) setServerTiming(w http.ResponseWriter) {
+	app := time.Since(t.start) - t.delay
+	if app < 0 {
+		app = 0
+	}
+	w.Header().Add(obs.ServerTimingHeader,
+		obs.FormatServerTiming("app", app)+", "+obs.FormatServerTiming("delay", t.delay))
+}
+
 // ServeHTTP implements http.Handler with Solid-ish behaviour: Turtle
 // responses with strong validators, 304 on successful revalidation, 401/403
-// for protected documents, 404 otherwise.
+// for protected documents, 404 otherwise. Every response carries a
+// Server-Timing header; when Spans is set, a server-side span is recorded,
+// joined to the client's trace via the traceparent request header.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	t := srvTiming{start: time.Now()}
+	status, bytes := http.StatusOK, int64(0)
+	if s.Spans != nil {
+		tp, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		defer func() {
+			sp := obs.ServerSpan{
+				SpanID:  obs.NewSpanID().String(),
+				URL:     requestURL(r),
+				Start:   t.start,
+				DurMS:   float64(time.Since(t.start).Microseconds()) / 1000,
+				DelayMS: float64(t.delay.Microseconds()) / 1000,
+				Status:  status,
+				Bytes:   bytes,
+			}
+			if !tp.TraceID.IsZero() {
+				sp.TraceID = tp.TraceID.String()
+				sp.ParentID = tp.SpanID.String()
+			}
+			s.Spans.Record(sp)
+		}()
+	}
+	fail := func(msg string, code int) {
+		status = code
+		t.setServerTiming(w)
+		http.Error(w, msg, code)
+	}
 	if s.Latency > 0 {
 		time.Sleep(s.Latency)
+		t.delay += s.Latency
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		fail("method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	docURL := requestURL(r)
@@ -151,18 +207,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.docs[docURL]
 	s.mu.RUnlock()
 	if !ok {
-		http.Error(w, "not found", http.StatusNotFound)
+		fail("not found", http.StatusNotFound)
 		return
 	}
 	if !d.access.Public {
 		webID, authorized := s.authorize(r, d.access)
 		if webID == "" {
 			w.Header().Set("WWW-Authenticate", `Bearer realm="solid"`)
-			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			fail("unauthorized", http.StatusUnauthorized)
 			return
 		}
 		if !authorized {
-			http.Error(w, "forbidden", http.StatusForbidden)
+			fail("forbidden", http.StatusForbidden)
 			return
 		}
 	}
@@ -170,18 +226,24 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Last-Modified", d.mod.Format(http.TimeFormat))
 	if notModified(r, d) {
 		s.notModified.Add(1)
+		status = http.StatusNotModified
+		t.setServerTiming(w)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
 	if s.BytesPerSecond > 0 {
-		time.Sleep(time.Duration(int64(len(d.turtle)) * int64(time.Second) / s.BytesPerSecond))
+		bd := time.Duration(int64(len(d.turtle)) * int64(time.Second) / s.BytesPerSecond)
+		time.Sleep(bd)
+		t.delay += bd
 	}
 	w.Header().Set("Content-Type", "text/turtle")
 	w.Header().Set("Link", `<http://www.w3.org/ns/ldp#Resource>; rel="type"`)
+	t.setServerTiming(w)
 	if r.Method == http.MethodHead {
 		return
 	}
-	fmt.Fprint(w, d.turtle)
+	n, _ := fmt.Fprint(w, d.turtle)
+	bytes = int64(n)
 }
 
 // notModified evaluates the request's conditional headers against the

@@ -77,7 +77,7 @@ func (u *upstream) fetch(url string) deref.FetchFunc {
 		}
 		return &deref.Result{
 			URL: url, FinalURL: url, Status: 200, Bytes: int64(len(body)),
-			Triples:    []rdf.Triple{rdf.NewTriple(rdf.NewIRI(url + "#s"), rdf.NewIRI("http://x/p"), rdf.NewLiteral(body))},
+			Triples:    []rdf.Triple{rdf.NewTriple(rdf.NewIRI(url+"#s"), rdf.NewIRI("http://x/p"), rdf.NewLiteral(body))},
 			Validators: deref.Validators{ETag: etag},
 		}, nil
 	}

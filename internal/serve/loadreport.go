@@ -19,14 +19,14 @@ type LoadReport struct {
 
 // LoadConfig records the harness parameters a run was taken under.
 type LoadConfig struct {
-	Clients     int    `json:"clients"`
-	Tenants     int    `json:"tenants"`
+	Clients     int     `json:"clients"`
+	Tenants     int     `json:"tenants"`
 	DurationSec float64 `json:"duration_sec"`
-	Persons     int    `json:"persons"`
+	Persons     int     `json:"persons"`
 	LatencyMS   float64 `json:"latency_ms"`
-	QueryMix    int    `json:"query_mix"` // distinct queries in rotation
-	MaxInFlight int    `json:"max_in_flight"`
-	TenantQuota int    `json:"tenant_quota"`
+	QueryMix    int     `json:"query_mix"` // distinct queries in rotation
+	MaxInFlight int     `json:"max_in_flight"`
+	TenantQuota int     `json:"tenant_quota"`
 }
 
 // LoadRun is one measured configuration.

@@ -1,0 +1,118 @@
+// Package timeline renders rows of timed operations as an ASCII waterfall
+// on a shared time axis — the browser-network-tab view of the paper's
+// Figs. 4 and 5. It is the one renderer behind internal/metrics' request
+// waterfall, the /debug/traces ASCII view, and critical-path chains, so
+// the three views stay visually identical.
+package timeline
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Row is one bar on the chart.
+type Row struct {
+	// Label is the left column (a URL, span name, ...); shortened from the
+	// left to fit, keeping the tail.
+	Label string
+	// Status is the short status column ("200", "ERR", "cache").
+	Status string
+	// Bytes is the size column.
+	Bytes int64
+	// Start and End position the bar, as offsets from any common origin;
+	// the chart re-bases on the earliest Start.
+	Start, End time.Duration
+	// Note is free text printed after the bar (discovery reason, retry
+	// annotation).
+	Note string
+	// Mark highlights the row: its bar is drawn with '#' instead of '='.
+	// Used to flag critical-path rows inside a full waterfall.
+	Mark bool
+}
+
+// Options control chart geometry.
+type Options struct {
+	// Width is the bar area in columns (default 60, minimum 20).
+	Width int
+	// LabelWidth is the label column width (default 44).
+	LabelWidth int
+	// NoHeader suppresses the column-header line.
+	NoHeader bool
+}
+
+// Render draws the rows in the order given. Returns "" for no rows.
+func Render(rows []Row, o Options) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	width := o.Width
+	if width == 0 {
+		width = 60
+	}
+	if width < 20 {
+		width = 20
+	}
+	labelWidth := o.LabelWidth
+	if labelWidth <= 0 {
+		labelWidth = 44
+	}
+	min := rows[0].Start
+	max := rows[0].End
+	for _, r := range rows {
+		if r.Start < min {
+			min = r.Start
+		}
+		if r.End > max {
+			max = r.End
+		}
+	}
+	total := max - min
+	if total <= 0 {
+		total = time.Millisecond
+	}
+	scale := func(t time.Duration) int {
+		off := int(int64(t-min) * int64(width) / int64(total))
+		if off >= width {
+			off = width - 1
+		}
+		if off < 0 {
+			off = 0
+		}
+		return off
+	}
+	var b strings.Builder
+	if !o.NoHeader {
+		fmt.Fprintf(&b, "%-*s %6s %8s %7s  %s\n", labelWidth, "document", "status", "bytes", "ms", "timeline")
+	}
+	for _, r := range rows {
+		bar := make([]byte, width)
+		for i := range bar {
+			bar[i] = ' '
+		}
+		fill := byte('=')
+		if r.Mark {
+			fill = '#'
+		}
+		s, e := scale(r.Start), scale(r.End)
+		if e < s {
+			e = s
+		}
+		for i := s; i <= e && i < width; i++ {
+			bar[i] = fill
+		}
+		bar[s] = '|'
+		fmt.Fprintf(&b, "%-*s %6s %8d %7.1f  [%s] %s\n",
+			labelWidth, Shorten(r.Label, labelWidth), r.Status, r.Bytes,
+			float64((r.End-r.Start).Microseconds())/1000.0, string(bar), r.Note)
+	}
+	return b.String()
+}
+
+// Shorten abbreviates long labels for display, keeping the tail.
+func Shorten(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	return "…" + s[len(s)-max+1:]
+}

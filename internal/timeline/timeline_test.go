@@ -1,0 +1,87 @@
+package timeline
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderEmpty(t *testing.T) {
+	if got := Render(nil, Options{}); got != "" {
+		t.Errorf("empty rows must render empty, got %q", got)
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	rows := []Row{
+		{Label: "http://x/a.ttl", Status: "200", Bytes: 100, Start: 0, End: 10 * time.Millisecond, Note: "seed"},
+		{Label: "http://x/b.ttl", Status: "200", Bytes: 200, Start: 10 * time.Millisecond, End: 20 * time.Millisecond},
+	}
+	out := Render(rows, Options{Width: 40})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "document") || !strings.Contains(lines[0], "timeline") {
+		t.Errorf("header line wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "http://x/a.ttl") || !strings.Contains(lines[1], "seed") {
+		t.Errorf("row 1 missing label or note: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], "|===") {
+		t.Errorf("bar must start with '|' and fill with '=': %q", lines[1])
+	}
+	// b starts when a ends: its bar must begin around the middle.
+	aStart := strings.IndexByte(lines[1], '[')
+	bBar := lines[2][aStart:]
+	if strings.IndexByte(bBar, '|') < 15 {
+		t.Errorf("second bar not offset on the shared axis: %q", lines[2])
+	}
+}
+
+func TestRenderMarkUsesHashFill(t *testing.T) {
+	rows := []Row{
+		{Label: "a", Status: "200", Start: 0, End: 10 * time.Millisecond, Mark: true},
+		{Label: "b", Status: "200", Start: 0, End: 10 * time.Millisecond},
+	}
+	out := Render(rows, Options{Width: 30, NoHeader: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "#") || strings.Contains(lines[0], "=") {
+		t.Errorf("marked row must fill with '#': %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "=") || strings.Contains(lines[1], "#") {
+		t.Errorf("unmarked row must fill with '=': %q", lines[1])
+	}
+}
+
+func TestRenderNoHeader(t *testing.T) {
+	rows := []Row{{Label: "a", Start: 0, End: time.Millisecond}}
+	if out := Render(rows, Options{NoHeader: true}); strings.Contains(out, "document") {
+		t.Errorf("NoHeader must suppress the header: %q", out)
+	}
+}
+
+func TestRenderRebasesOnEarliestStart(t *testing.T) {
+	// All offsets shifted by 1h: the chart must re-base, not scale to 1h.
+	base := time.Hour
+	rows := []Row{
+		{Label: "a", Start: base, End: base + 10*time.Millisecond},
+		{Label: "b", Start: base + 10*time.Millisecond, End: base + 20*time.Millisecond},
+	}
+	out := Render(rows, Options{Width: 40, NoHeader: true})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "|=") {
+		t.Errorf("first bar must span from the left after re-basing: %q", lines[0])
+	}
+}
+
+func TestShorten(t *testing.T) {
+	if got := Shorten("short", 10); got != "short" {
+		t.Errorf("Shorten must keep short labels: %q", got)
+	}
+	long := "http://example.org/pods/00000/profile/card"
+	got := Shorten(long, 20)
+	if !strings.HasPrefix(got, "…") || !strings.HasSuffix(got, "profile/card") {
+		t.Errorf("Shorten must keep the tail behind an ellipsis: %q", got)
+	}
+}
