@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench fuzz-smoke differential loadgen-smoke bench-loadgen trace-smoke
+.PHONY: build test verify bench fuzz-smoke differential loadgen-smoke bench-loadgen trace-smoke adversarial-smoke bench-guided
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,7 @@ fuzz-smoke: build
 	$(GO) test -run '^$$' -fuzz '^FuzzDictRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/rdf
 	$(GO) test -run '^$$' -fuzz '^FuzzBatchSelection$$' -fuzztime $(FUZZTIME) ./internal/exec
 	$(GO) test -run '^$$' -fuzz '^FuzzTraceparent$$' -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -run '^$$' -fuzz '^FuzzLinkExtraction$$' -fuzztime $(FUZZTIME) ./internal/extract
 
 # Performance trajectory: run the micro-benchmarks and archive them as a
 # dated JSON report (see cmd/benchreport --parse-bench). Compare two
@@ -66,6 +67,26 @@ trace-smoke: build
 		$(GO) test -race -run 'TestCriticalPathThreeHop|TestTraceSmokeThreeHop' -v .
 	@test -s trace-smoke.json \
 		|| { echo "trace-smoke: trace artifact missing or empty"; exit 1; }
+
+# Adversarial-pod smoke (CI): every attack class (link bomb, alias loop,
+# cross-origin spoofing, slow-loris, oversized documents) against a defended
+# engine under the race detector, archiving the degradation report — which
+# limits tripped and how many fetches each attacker extracted.
+adversarial-smoke: build
+	LTQP_ADVERSARIAL_ARTIFACT=$(CURDIR)/adversarial-report.json \
+		$(GO) test -race -run 'TestAdversarial' -v .
+	@test -s adversarial-report.json \
+		|| { echo "adversarial-smoke: degradation report missing or empty"; exit 1; }
+
+# Guided-vs-FIFO queue comparison (EXPERIMENTS.md E20): the solidbench
+# Discover mix under both queue policies, archived as a dated artifact —
+# identical result multisets, fewer dereferences before the last result.
+GUIDED_OUT ?= bench/BENCH_$(shell date +%Y-%m-%d)_guided.json
+
+bench-guided: build
+	LTQP_GUIDED_ARTIFACT=$(CURDIR)/$(GUIDED_OUT) \
+		$(GO) test -run TestGuidedVsFIFODereferenceBench -v .
+	@echo "wrote $(GUIDED_OUT)"
 
 # Full load benchmark: baseline (no shared cache) vs shared-cache run at
 # 256 concurrent clients, archived as a dated artifact in bench/.

@@ -67,6 +67,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		logFormat  = fs.String("log", "", "enable structured logging to stderr: text or json")
 		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, error")
 		memBudget  = fs.Int64("mem-budget-per-query", 0, "ledger-accounted memory the query may hold in bytes; crossing it aborts with the per-layer breakdown (0 = unlimited)")
+
+		queuePolicy   = fs.String("queue-policy", "", "link queue discipline: fifo (default), reason, or guided (query-relevance scoring with per-origin fairness); overrides --prioritize")
+		maxDocsOrigin = fs.Int("max-docs-per-origin", 0, "cap dereferenced documents per origin (0 = unbounded)")
+		maxBytesOrig  = fs.Int64("max-bytes-per-origin", 0, "cap body bytes read per origin (0 = unbounded)")
+		maxInflight   = fs.Int("max-inflight-per-origin", 0, "cap concurrent dereferences per origin (0 = global limit only)")
+		maxLinksDoc   = fs.Int("max-links-per-doc", 0, "cap links one document may add to the queue — link-bomb containment (0 = unbounded)")
+		maxQueued     = fs.Int("max-queued-links", 0, "cap total distinct links one traversal accepts (0 = unbounded)")
+		allowlist     = fs.String("traversal-allowlist", "", "comma-separated URL prefixes traversal may follow; seeds are always in scope (empty = unrestricted)")
+		scopeSeeds    = fs.Bool("scope-to-seeds", false, "restrict traversal to the origins of the seed URLs")
+		maxDocBytes   = fs.Int64("max-doc-bytes", 0, "cap one response body's size in bytes (0 = 64 MiB default)")
+		bodyTimeout   = fs.Duration("body-timeout", 0, "abort a response body slower than this in total — slow-loris cutoff (0 = per-attempt timeout only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -100,16 +111,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	seeds := rest
 
+	policy, perr := ltqp.ParseQueuePolicy(*queuePolicy)
+	if perr != nil {
+		fmt.Fprintln(stderr, "ltqp-sparql:", perr)
+		return 2
+	}
+	if *queuePolicy == "" {
+		// No explicit policy: leave it empty so --prioritize (the legacy
+		// spelling of the reason queue) still decides.
+		policy = ""
+	}
+
 	cfg := ltqp.Config{
 		Lenient:          *lenient,
 		MaxDocuments:     *limitDocs,
 		MaxDepth:         *maxDepth,
 		PrioritizedQueue: *prioritize,
+		QueuePolicy:      policy,
 		Adaptive:         *adaptive,
 		CacheDocuments:   *cacheDocs,
 		Trace:            *traceOut != "",
 		Explain:          *explainOut != "" || *explainDot != "" || *provenance,
 		MemBudget:        *memBudget,
+		Limits: ltqp.TraversalLimits{
+			MaxDocsPerOrigin:     *maxDocsOrigin,
+			MaxBytesPerOrigin:    *maxBytesOrig,
+			MaxInFlightPerOrigin: *maxInflight,
+			MaxLinksPerDoc:       *maxLinksDoc,
+			MaxQueuedLinks:       *maxQueued,
+			ScopeToSeeds:         *scopeSeeds,
+			MaxDocBytes:          *maxDocBytes,
+			BodyTimeout:          *bodyTimeout,
+		},
+	}
+	if *allowlist != "" {
+		for _, p := range strings.Split(*allowlist, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Limits.Allowlist = append(cfg.Limits.Allowlist, p)
+			}
+		}
 	}
 	if *sharedMB > 0 {
 		cfg.SharedCache = ltqp.NewSharedCache(ltqp.SharedCacheOptions{MaxBytes: *sharedMB << 20})
@@ -264,6 +304,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if deg := res.Degradation(); deg.Degraded() {
 			fmt.Fprintf(stderr, "degraded: %d retries, %d documents abandoned (results may be partial)\n",
 				deg.Retries, len(deg.FailedDocuments))
+			for _, trip := range deg.LimitTrips {
+				fmt.Fprintf(stderr, "  limit tripped: %s\n", trip)
+			}
 		}
 		if snap := res.Resources(); snap != nil {
 			line := fmt.Sprintf("memory: peak %d bytes (%s)", snap.Peak, snap.BreakdownString())

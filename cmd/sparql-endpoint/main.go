@@ -67,8 +67,25 @@ func main() {
 		maxDocs     = flag.Int("max-docs-per-query", 0, "documents one query may dereference (0 = unbounded)")
 		maxRows     = flag.Int("max-result-rows", 0, "rows one SELECT may return; excess is truncated (0 = unbounded)")
 		memBudget   = flag.Int64("mem-budget-per-query", 0, "ledger-accounted memory one query may hold in bytes; over-budget queries are cancelled with 507 (0 = unlimited)")
+
+		queuePolicy   = flag.String("queue-policy", "", "link queue discipline: fifo (default), reason, or guided")
+		maxDocsOrigin = flag.Int("max-docs-per-origin", 0, "documents one query may dereference per origin (0 = unbounded)")
+		maxBytesOrig  = flag.Int64("max-bytes-per-origin", 0, "body bytes one query may read per origin (0 = unbounded)")
+		maxInflOrigin = flag.Int("max-inflight-per-origin", 0, "concurrent dereferences per origin within one query (0 = global limit only)")
+		maxLinksDoc   = flag.Int("max-links-per-doc", 0, "links one document may add to a query's traversal queue (0 = unbounded)")
+		maxQueued     = flag.Int("max-queued-links", 0, "total distinct links one query's traversal accepts (0 = unbounded)")
+		allowlist     = flag.String("traversal-allowlist", "", "comma-separated URL prefixes traversal may follow; seeds always in scope (empty = unrestricted)")
+		scopeSeeds    = flag.Bool("scope-to-seeds", false, "restrict each query's traversal to the origins of its seed URLs")
+		maxDocBytes   = flag.Int64("max-doc-bytes", 0, "response body size cap in bytes (0 = 64 MiB default)")
+		bodyTimeout   = flag.Duration("body-timeout", 0, "abort response bodies slower than this in total (0 = per-attempt timeout only)")
 	)
 	flag.Parse()
+
+	policy, perr := ltqp.ParseQueuePolicy(*queuePolicy)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "sparql-endpoint:", perr)
+		os.Exit(2)
+	}
 
 	observer := ltqp.NewObserver()
 	observer.Health.Threshold = *degraded
@@ -85,7 +102,25 @@ func main() {
 	// Explain makes every query record its traversal topology and result
 	// provenance, served live on /debug/topology and in /debug/queries.
 	cfg := ltqp.Config{Lenient: true, Obs: observer, CacheDocuments: *cacheDocs,
-		Explain: true, MaxDocuments: *maxDocs, MemBudget: *memBudget}
+		Explain: true, MaxDocuments: *maxDocs, MemBudget: *memBudget,
+		QueuePolicy: policy,
+		Limits: ltqp.TraversalLimits{
+			MaxDocsPerOrigin:     *maxDocsOrigin,
+			MaxBytesPerOrigin:    *maxBytesOrig,
+			MaxInFlightPerOrigin: *maxInflOrigin,
+			MaxLinksPerDoc:       *maxLinksDoc,
+			MaxQueuedLinks:       *maxQueued,
+			ScopeToSeeds:         *scopeSeeds,
+			MaxDocBytes:          *maxDocBytes,
+			BodyTimeout:          *bodyTimeout,
+		}}
+	if *allowlist != "" {
+		for _, p := range strings.Split(*allowlist, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Limits.Allowlist = append(cfg.Limits.Allowlist, p)
+			}
+		}
+	}
 	var env *simenv.Env
 	if *simulate {
 		scfg := solidbench.DefaultConfig()

@@ -1,0 +1,162 @@
+package ltqp_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"ltqp"
+	"ltqp/internal/simenv"
+	"ltqp/internal/solidbench"
+)
+
+// The guided-queue experiment (EXPERIMENTS.md E20): on the solidbench
+// Discover mix, relevance-prioritized traversal must deliver the exact
+// same result multiset as FIFO while dereferencing fewer documents before
+// the final result arrives — the queue reorders work so result-bearing
+// documents are fetched early, it never changes what is reachable.
+//
+// With LTQP_GUIDED_ARTIFACT set, the per-query comparison is written as a
+// JSON artifact (the bench/BENCH_*_guided.json files).
+
+type guidedRow struct {
+	Query              string  `json:"query"`
+	Policy             string  `json:"policy"`
+	Results            int     `json:"results"`
+	Requests           int     `json:"requests"`
+	DocsBeforeFirstRes int     `json:"docs_before_first_result"`
+	DocsBeforeLastRes  int     `json:"docs_before_last_result"`
+	TTFRMillis         float64 `json:"ttfr_ms"`
+	TotalMillis        float64 `json:"total_ms"`
+}
+
+// runPolicy executes one query under a queue policy and measures how many
+// dereferences began before the last result was delivered — the work the
+// queue discipline actually gates (total fetches are identical for any
+// complete traversal).
+func runPolicy(t *testing.T, env *simenv.Env, q solidbench.Query, policy string) (guidedRow, []string) {
+	t.Helper()
+	engine := ltqp.New(ltqp.Config{Client: env.Client(), Lenient: true, QueuePolicy: policy})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	start := time.Now()
+	res, err := engine.Query(ctx, q.Text)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", q.Name, policy, err)
+	}
+	var rows []string
+	for b := range res.Results {
+		rows = append(rows, ltqp.BindingJSON(b))
+	}
+	total := time.Since(start)
+	if err := res.Err(); err != nil {
+		t.Fatalf("%s/%s: %v", q.Name, policy, err)
+	}
+	sort.Strings(rows)
+
+	rec := res.Metrics()
+	row := guidedRow{
+		Query:       q.Name,
+		Policy:      policy,
+		Results:     len(rows),
+		Requests:    res.Stats().Requests,
+		TotalMillis: float64(total.Microseconds()) / 1000,
+	}
+	if ttfr, ok := rec.TimeToFirstResult(); ok {
+		row.TTFRMillis = float64(ttfr.Microseconds()) / 1000
+	}
+	times := rec.ResultTimes()
+	if len(times) > 0 {
+		firstResult := rec.Epoch().Add(times[0])
+		lastResult := rec.Epoch().Add(times[len(times)-1])
+		for _, req := range rec.Requests() {
+			if req.Start.Before(firstResult) {
+				row.DocsBeforeFirstRes++
+			}
+			if req.Start.Before(lastResult) {
+				row.DocsBeforeLastRes++
+			}
+		}
+	}
+	return row, rows
+}
+
+func TestGuidedVsFIFODereferenceBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("guided-vs-FIFO bench skipped in -short mode")
+	}
+	cfg := solidbench.DefaultConfig()
+	cfg.Persons = 10
+	env := simenv.New(cfg)
+	t.Cleanup(env.Close)
+	// A few milliseconds of pod latency keeps the link queue populated, so
+	// pop order — not worker scheduling races — decides fetch order; with
+	// an instant server the queue drains as fast as it fills and every
+	// policy degenerates to discovery order.
+	env.PodServer.Latency = 3 * time.Millisecond
+
+	queries := []solidbench.Query{
+		env.Dataset.Discover(1, 2),
+		env.Dataset.Discover(2, 1),
+		env.Dataset.Discover(4, 3),
+		env.Dataset.Discover(6, 5),
+		env.Dataset.Discover(8, 5),
+	}
+
+	var artifact []guidedRow
+	fifoDocs, guidedDocs := 0, 0
+	for _, q := range queries {
+		fifoRow, fifoRows := runPolicy(t, env, q, "fifo")
+		guidedRow, guidedRows := runPolicy(t, env, q, "guided")
+		if len(fifoRows) == 0 {
+			t.Fatalf("%s: FIFO found no results", q.Name)
+		}
+		// Identical result multisets — the permutation property end to end.
+		if len(fifoRows) != len(guidedRows) {
+			t.Errorf("%s: fifo %d results, guided %d", q.Name, len(fifoRows), len(guidedRows))
+		} else {
+			for i := range fifoRows {
+				if fifoRows[i] != guidedRows[i] {
+					t.Errorf("%s: result %d differs:\n fifo   %s\n guided %s",
+						q.Name, i, fifoRows[i], guidedRows[i])
+					break
+				}
+			}
+		}
+		if fifoRow.Requests != guidedRow.Requests {
+			t.Errorf("%s: queue policy changed total fetches: fifo %d, guided %d",
+				q.Name, fifoRow.Requests, guidedRow.Requests)
+		}
+		t.Logf("%-16s fifo: %3d docs before last result (of %3d) | guided: %3d (of %3d)",
+			q.Name, fifoRow.DocsBeforeLastRes, fifoRow.Requests,
+			guidedRow.DocsBeforeLastRes, guidedRow.Requests)
+		fifoDocs += fifoRow.DocsBeforeLastRes
+		guidedDocs += guidedRow.DocsBeforeLastRes
+		artifact = append(artifact, fifoRow, guidedRow)
+	}
+	if guidedDocs > fifoDocs {
+		t.Errorf("guided dereferenced %d docs before completing the mix, FIFO %d — prioritization should not lose",
+			guidedDocs, fifoDocs)
+	}
+	t.Logf("mix total: fifo %d docs before last result, guided %d", fifoDocs, guidedDocs)
+
+	if path := os.Getenv("LTQP_GUIDED_ARTIFACT"); path != "" {
+		out, err := json.MarshalIndent(map[string]interface{}{
+			"experiment":        "E20 guided-vs-fifo dereference counts",
+			"persons":           cfg.Persons,
+			"fifo_docs_total":   fifoDocs,
+			"guided_docs_total": guidedDocs,
+			"rows":              artifact,
+		}, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	}
+}

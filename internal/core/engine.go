@@ -51,8 +51,20 @@ type Options struct {
 	// Extractors builds the link extraction strategy for a query shape.
 	// Nil means extract.DefaultSolidSet (the paper's configuration).
 	Extractors func(shape *extract.QueryShape) []extract.Extractor
-	// NewQueue constructs the link queue; nil means FIFO (breadth-first).
+	// NewQueue constructs the link queue; nil means QueuePolicy decides.
+	// Takes precedence over QueuePolicy when set (tests inject custom
+	// disciplines here).
 	NewQueue func() linkqueue.Queue
+	// QueuePolicy selects the link-queue discipline: FIFO (the default and
+	// the differential-testing oracle), reason-ranked, or guided (query-
+	// relevance scoring with per-origin round-robin fairness). Ordering
+	// never changes the answer set — only how soon answers arrive and how
+	// many documents are dereferenced on the way.
+	QueuePolicy linkqueue.Policy
+	// Limits configures the traversal defenses: per-origin budgets, the
+	// scope allowlist, fanout/queue caps, and oversized/slow-body
+	// cutoffs. The zero value disables all of them.
+	Limits Limits
 	// Cache, when non-nil, is a document cache shared by all queries of
 	// this engine: repeated dereferences of a pod document are served
 	// locally, like the browser disk cache visible in the paper's Fig. 4.
@@ -178,6 +190,7 @@ type Execution struct {
 	ledger      *resource.Ledger
 	queryStr    string
 	start       time.Time
+	queuePolicy linkqueue.Policy
 }
 
 // ID returns the query's correlation id: the same id appears on the
@@ -326,6 +339,12 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 		trace:    trace,
 		queryStr: queryStr,
 	}
+	x.queuePolicy = e.opts.QueuePolicy
+	if e.opts.NewQueue != nil {
+		x.queuePolicy = "custom"
+	} else if x.queuePolicy == "" {
+		x.queuePolicy = linkqueue.PolicyFIFO
+	}
 
 	m := obs.On(e.opts.Obs.M())
 	m.QueriesStarted.Inc()
@@ -376,7 +395,7 @@ func (e *Engine) Query(ctx context.Context, queryStr string, seeds []string) (*E
 	go func() {
 		traverseDone := stage("traverse")
 		tctx, tspan := obs.StartSpan(runCtx, "traverse")
-		err := e.traverse(tctx, seeds, extractors, src, recorder, x.topo, emitter, ledger)
+		err := e.traverse(tctx, seeds, extractors, shape, src, recorder, x.topo, emitter, ledger)
 		tspan.End()
 		traverseDone()
 		if err != nil && !e.opts.Lenient {
@@ -640,16 +659,28 @@ func instantiate(tp sparql.TriplePattern, b rdf.Binding, scope int) (rdf.Triple,
 // its triples to the source, extract further links, repeat — with up to
 // MaxConcurrent dereferences in flight. When topo is non-nil, the traversal
 // records its discovery topology: every dereference becomes a node, every
-// extracted link an edge labeled with its extractor and fate.
+// extracted link an edge labeled with its extractor and fate. The
+// configured Limits are enforced throughout: out-of-scope links and links
+// beyond the fanout/queue caps are pruned at discovery, origins over their
+// document/byte budget stop being fetched, and each defense firing is
+// recorded as a LimitTrip (a typed TraversalLimitError for non-lenient
+// traversals).
 func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extract.Extractor,
-	src *store.Store, recorder *metrics.Recorder, topo *obs.Topology, events *obs.Emitter,
-	ledger *resource.Ledger) error {
+	shape *extract.QueryShape, src *store.Store, recorder *metrics.Recorder, topo *obs.Topology,
+	events *obs.Emitter, ledger *resource.Ledger) error {
 
 	m := obs.On(e.opts.Obs.M())
-	queue := linkqueue.Queue(linkqueue.NewFIFO())
-	if e.opts.NewQueue != nil {
+	var queue linkqueue.Queue
+	switch {
+	case e.opts.NewQueue != nil:
 		queue = e.opts.NewQueue()
+	default:
+		queue = e.opts.QueuePolicy.New(relevanceOf(shape))
 	}
+	// The guided queue learns from traversal: capture the discipline's
+	// feedback hook before the instrumentation wrappers hide it.
+	feedback, _ := queue.(linkqueue.Feedback)
+	guard := newLimitGuard(e.opts.Limits, seeds)
 	if mset := e.opts.Obs.M(); mset != nil {
 		iq := linkqueue.Instrument(queue, mset.LinksQueued, mset.LinkQueueDepth)
 		// Whatever is still queued when traversal ends (cancellation,
@@ -658,24 +689,6 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		queue = iq
 	}
 	queue = linkqueue.WithEvents(queue, events)
-	for _, s := range seeds {
-		topo.Seed(s)
-		queue.Push(linkqueue.Link{URL: s, Reason: "seed", Extractor: "seed"})
-	}
-
-	d := &deref.Dereferencer{
-		Client:    e.opts.Client,
-		Auth:      e.opts.Auth,
-		Recorder:  recorder,
-		Cache:     e.opts.Cache,
-		Shared:    e.opts.Shared,
-		Retry:     e.opts.Retry,
-		Obs:       e.opts.Obs.M(),
-		Events:    events,
-		UserAgent: "ltqp-go/1.0 (link-traversal SPARQL engine)",
-		Dict:      e.dict,
-		Ledger:    ledger,
-	}
 
 	var (
 		mu       sync.Mutex
@@ -684,6 +697,51 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		fetched  int
 		firstErr error
 	)
+	// tripFired reports one deduplicated defense firing on every surface:
+	// the per-query degradation report, the limit_tripped event, and the
+	// process-wide trip counter. Non-lenient traversals also fail with the
+	// typed error.
+	tripFired := func(trip *metrics.LimitTrip) {
+		if trip == nil {
+			return
+		}
+		recorder.RecordLimitTrip(*trip)
+		m.LimitTrips.With(trip.Kind).Inc()
+		if events.Active() {
+			events.Emit(obs.Event{Kind: obs.EventLimitTripped, URL: trip.URL,
+				Reason: trip.Kind, Detail: trip.String()})
+		}
+		if !e.opts.Lenient {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = &TraversalLimitError{Trip: *trip}
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	for _, s := range seeds {
+		topo.Seed(s)
+		queue.Push(linkqueue.Link{URL: s, Reason: "seed", Extractor: "seed"})
+	}
+
+	d := &deref.Dereferencer{
+		Client:       e.opts.Client,
+		Auth:         e.opts.Auth,
+		Recorder:     recorder,
+		Cache:        e.opts.Cache,
+		Shared:       e.opts.Shared,
+		Retry:        e.opts.Retry,
+		Obs:          e.opts.Obs.M(),
+		Events:       events,
+		UserAgent:    "ltqp-go/1.0 (link-traversal SPARQL engine)",
+		Dict:         e.dict,
+		Ledger:       ledger,
+		MaxBodyBytes: e.opts.Limits.MaxDocBytes,
+		BodyTimeout:  e.opts.Limits.BodyTimeout,
+	}
+
 	sem := make(chan struct{}, e.opts.MaxConcurrent)
 
 	worker := func(l linkqueue.Link) {
@@ -694,6 +752,17 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 			cond.Broadcast()
 			mu.Unlock()
 		}()
+		// Hold a per-origin slot for the duration of the fetch, so one slow
+		// or hostile origin cannot absorb the whole global concurrency
+		// budget.
+		if slot := guard.originSlot(l.URL); slot != nil {
+			select {
+			case slot <- struct{}{}:
+				defer func() { <-slot }()
+			case <-ctx.Done():
+				return
+			}
+		}
 		wctx, dspan := obs.StartSpan(ctx, "document",
 			obs.Str("url", l.URL), obs.Str("reason", l.Reason), obs.Int("depth", l.Depth))
 		fetchStart := time.Now()
@@ -707,6 +776,19 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 			}
 			dspan.SetAttr(obs.Str("error", err.Error()))
 			dspan.End()
+			// An oversized or slow-loris body is a contained defense trip,
+			// not a generic fetch failure: report it on the trip surfaces
+			// (and in lenient mode keep traversing without the document).
+			if guard != nil {
+				switch {
+				case errors.Is(err, deref.ErrBodyLimit):
+					tripFired(guard.record(LimitDocBytes, linkqueue.Origin(l.URL), l.URL, d.BodyLimit(), 0))
+					return
+				case errors.Is(err, deref.ErrSlowBody):
+					tripFired(guard.record(LimitSlowBody, linkqueue.Origin(l.URL), l.URL, int64(d.BodyTimeout/time.Millisecond), 0))
+					return
+				}
+			}
 			if !e.opts.Lenient {
 				mu.Lock()
 				if firstErr == nil {
@@ -724,7 +806,11 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		if ledger != nil && !res.NotModified {
 			defer ledger.Release(derefCat, res.Bytes)
 		}
+		guard.addBytes(res.FinalURL, res.Bytes)
 		src.AddDocument(res.FinalURL, res.Triples)
+		if feedback != nil {
+			feedback.DocumentIngested(res.FinalURL, relevantTriples(res.Triples, shape), len(res.Triples))
+		}
 		topo.Document(res.FinalURL, l.Depth, res.Status, len(res.Triples), res.Bytes, fetchStart, time.Since(fetchStart))
 		events.Emit(obs.Event{Kind: obs.EventDocumentDereferenced,
 			URL: res.FinalURL, Via: l.Via, Depth: l.Depth, Status: res.Status,
@@ -750,6 +836,32 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 					events.Emit(obs.Event{Kind: obs.EventLinkPruned,
 						URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor,
 						Depth: l.Depth + 1, Detail: "depth-pruned"})
+					continue
+				}
+				if !guard.inScope(link.URL) {
+					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeScopePruned)
+					m.LinksOutOfScope.Inc()
+					events.Emit(obs.Event{Kind: obs.EventLinkPruned,
+						URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor, Detail: "scope-pruned"})
+					tripFired(guard.record(LimitScope, linkqueue.Origin(link.URL), link.URL, 0, 0))
+					continue
+				}
+				if guard != nil && guard.limits.MaxLinksPerDoc > 0 && accepted >= guard.limits.MaxLinksPerDoc {
+					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeLimitPruned)
+					events.Emit(obs.Event{Kind: obs.EventLinkPruned,
+						URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor, Detail: "fanout-pruned"})
+					tripFired(guard.record(LimitFanout, "", res.FinalURL,
+						int64(guard.limits.MaxLinksPerDoc), int64(accepted+1)))
+					continue
+				}
+				if guard != nil && guard.limits.MaxQueuedLinks > 0 && queue.Seen() >= guard.limits.MaxQueuedLinks {
+					topo.Link(res.FinalURL, link.URL, link.Extractor, link.Reason, obs.EdgeLimitPruned)
+					events.Emit(obs.Event{Kind: obs.EventLinkPruned,
+						URL: link.URL, Via: res.FinalURL, Extractor: link.Extractor, Detail: "queue-cap-pruned"})
+					// Dedup on a fixed subject: the cap is global to the
+					// traversal, one report covers every pruned link.
+					tripFired(guard.record(LimitQueueCap, "traversal", link.URL,
+						int64(guard.limits.MaxQueuedLinks), int64(queue.Seen()+1)))
 					continue
 				}
 				if queue.Push(linkqueue.Link{URL: link.URL, Via: res.FinalURL, Reason: link.Reason, Extractor: link.Extractor, Depth: l.Depth + 1}) {
@@ -823,6 +935,13 @@ func (e *Engine) traverse(ctx context.Context, seeds []string, extractors []extr
 		}
 		if e.opts.MaxDocuments > 0 && fetched >= e.opts.MaxDocuments {
 			// Cap reached: drain without fetching.
+			continue
+		}
+		if ok, trip := guard.admitFetch(l.URL); !ok {
+			// Origin over its document or byte budget: drain without
+			// fetching (lenient), or fail typed (strict, via tripFired).
+			topo.Link(l.Via, l.URL, l.Extractor, l.Reason, obs.EdgeLimitPruned)
+			tripFired(trip)
 			continue
 		}
 		fetched++

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ltqp/internal/exec"
+	"ltqp/internal/metrics"
 	"ltqp/internal/obs"
 	"ltqp/internal/resource"
 )
@@ -35,6 +36,12 @@ type Explain struct {
 	// CriticalPath attributes TTFR and total traversal latency to the
 	// dependent dereference chains that gated them.
 	CriticalPath *obs.CritPath `json:"critical_path,omitempty"`
+	// QueuePolicy names the link-queue discipline the traversal ran with
+	// ("fifo", "reason", "guided", or "custom" for an Options.NewQueue).
+	QueuePolicy string `json:"queue_policy,omitempty"`
+	// LimitTrips lists the traversal defenses that fired during this query
+	// (deduplicated per limit kind and origin/document).
+	LimitTrips []metrics.LimitTrip `json:"limit_trips,omitempty"`
 }
 
 // Explain builds the explain report. Call it after Results has closed; it
@@ -52,6 +59,8 @@ func (x *Execution) Explain() *Explain {
 		Topology:      x.topo.Snapshot(),
 		Resources:     x.ledger.Snapshot(),
 		CriticalPath:  x.CriticalPath(),
+		QueuePolicy:   string(x.queuePolicy),
+		LimitTrips:    x.Recorder.LimitTrips(),
 	}
 }
 

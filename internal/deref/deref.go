@@ -41,6 +41,16 @@ const AcceptHeader = "text/turtle;q=1.0, application/n-triples;q=0.9, */*;q=0.1"
 // tests can exercise the overflow path without 64 MiB bodies.)
 var maxBodyBytes int64 = 64 << 20
 
+// ErrBodyLimit marks a dereference rejected because the response body
+// exceeded the byte cap — an oversized-document defense trip, detectable
+// with errors.Is through the returned *Error.
+var ErrBodyLimit = errors.New("deref: body exceeds size limit")
+
+// ErrSlowBody marks a dereference aborted because the response body did not
+// arrive in full within BodyTimeout — the slow-loris defense trip,
+// detectable with errors.Is through the returned *Error.
+var ErrSlowBody = errors.New("deref: body transfer too slow")
+
 // Credentials identifies the agent on whose behalf the engine queries.
 type Credentials struct {
 	// WebID is the agent's WebID IRI.
@@ -134,6 +144,14 @@ type Dereferencer struct {
 	// conditional requests, and concurrent dereferences of the same key
 	// collapse into one upstream fetch. Takes precedence over Cache.
 	Shared SharedCache
+	// MaxBodyBytes, when positive, overrides the 64 MiB default response
+	// body cap: a larger body fails with an error wrapping ErrBodyLimit.
+	MaxBodyBytes int64
+	// BodyTimeout, when positive, bounds how long one response body may
+	// take to arrive in full; a slower transfer (a slow-loris pod) is
+	// aborted with an error wrapping ErrSlowBody. The timer starts once
+	// response headers arrive.
+	BodyTimeout time.Duration
 	// Ledger, when non-nil, is charged for every successful dereference:
 	// resource.Deref for documents read off the network (body bytes, a
 	// proxy for the retained parse), resource.Serve for documents pinned
@@ -143,6 +161,14 @@ type Dereferencer struct {
 
 	// docCounter scopes blank node labels per dereferenced document.
 	docCounter atomic.Int64
+}
+
+// BodyLimit returns the effective response-body byte cap.
+func (d *Dereferencer) BodyLimit() int64 {
+	if d.MaxBodyBytes > 0 {
+		return d.MaxBodyBytes
+	}
+	return maxBodyBytes
 }
 
 // Dereference fetches one document and parses it, retrying transient
@@ -321,6 +347,13 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		attemptCtx, cancel = context.WithTimeout(ctx, t)
 		defer cancel()
 	}
+	// The body timer needs its own cancel to abort an in-flight read of a
+	// trickling body without waiting out the attempt timeout.
+	bodyCancel := context.CancelFunc(func() {})
+	if d.BodyTimeout > 0 {
+		attemptCtx, bodyCancel = context.WithCancel(attemptCtx)
+		defer bodyCancel()
+	}
 
 	req, err := http.NewRequestWithContext(attemptCtx, http.MethodGet, url, nil)
 	if err != nil {
@@ -363,20 +396,38 @@ func (d *Dereferencer) fetchOnce(ctx context.Context, url, parent, reason string
 		ev.Server = obs.ParseServerTiming(st)
 	}
 
+	// Headers are in; from here the body must arrive in full within
+	// BodyTimeout or the read is aborted as a slow-loris transfer.
+	var slowTripped atomic.Bool
+	if d.BodyTimeout > 0 {
+		timer := time.AfterFunc(d.BodyTimeout, func() {
+			slowTripped.Store(true)
+			bodyCancel()
+		})
+		defer timer.Stop()
+	}
+
 	// Read one byte past the cap so truncation is detected, not silent.
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
+	limit := d.BodyLimit()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
+		if slowTripped.Load() {
+			ev.Err = ErrSlowBody.Error()
+			record()
+			return nil, &Error{URL: url, Status: resp.StatusCode,
+				Err: fmt.Errorf("body not complete within %v: %w", d.BodyTimeout, ErrSlowBody)}
+		}
 		ev.Err = err.Error()
 		record()
 		return nil, &Error{URL: url, Status: resp.StatusCode,
 			Retryable: classifyTransport(ctx, err),
 			Err:       fmt.Errorf("reading body: %w", err)}
 	}
-	if int64(len(body)) > maxBodyBytes {
+	if int64(len(body)) > limit {
 		ev.Err = "body exceeds size limit"
 		record()
 		return nil, &Error{URL: url, Status: resp.StatusCode,
-			Err: fmt.Errorf("body exceeds %d-byte limit", maxBodyBytes)}
+			Err: fmt.Errorf("body exceeds %d-byte limit: %w", limit, ErrBodyLimit)}
 	}
 	ev.Bytes = int64(len(body))
 

@@ -8,6 +8,7 @@
 package extract
 
 import (
+	"net/url"
 	"sort"
 
 	"ltqp/internal/rdf"
@@ -57,12 +58,18 @@ type QueryShape struct {
 }
 
 // link builds a Link from an IRI term, stripping the fragment; it returns
-// false for non-HTTP terms.
+// false for non-HTTP terms and for http(s) IRIs that do not parse or have
+// no host ("http://", "http://%"), which can never dereference — hostile
+// documents use such IRIs to clog the queue with guaranteed-dead fetches.
 func link(t rdf.Term, extractor, reason string) (Link, bool) {
 	if t.Kind != rdf.TermIRI || !rdf.IsHTTPIRI(t.Value) {
 		return Link{}, false
 	}
-	return Link{URL: rdf.DocumentIRI(t), Reason: reason, Extractor: extractor}, true
+	u := rdf.DocumentIRI(t)
+	if parsed, err := url.Parse(u); err != nil || parsed.Host == "" {
+		return Link{}, false
+	}
+	return Link{URL: u, Reason: reason, Extractor: extractor}, true
 }
 
 // dedup removes duplicate URLs preserving order.

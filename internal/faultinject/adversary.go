@@ -1,0 +1,238 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Adversary is a deterministic hostile pod: an http.Handler serving the
+// attack classes of the LTQP security analysis as real documents over HTTP,
+// so the traversal defenses can be exercised end to end rather than
+// unit-tested in isolation. Each attack lives under its own path prefix:
+//
+//	/adv/bomb/...   a link bomb: every document links to Fanout fresh
+//	                documents, Depth levels deep (Fanout^Depth documents).
+//	/adv/loop/...   a traversal loop: a ring of LoopLen documents whose
+//	                links also spell the next hop with scheme/host case and
+//	                default-port variants, so only normalized dedup
+//	                terminates it.
+//	/adv/spoof/...  cross-origin spoofing: documents asserting triples
+//	                about IRIs of a victim origin (SpoofTarget) and linking
+//	                into it — contained only by scope allowlists.
+//	/adv/slow/...   a slow-loris document: valid Turtle trickled byte by
+//	                byte, each chunk TrickleDelay apart.
+//	/adv/big/...    an oversized document: OversizeBytes of valid Turtle.
+//
+// Every body is a pure function of (Seed, path), so runs are reproducible:
+// same seed, same traversal, same documents. The zero value serves nothing;
+// use NewAdversary for defaults sized for tests.
+type Adversary struct {
+	// Seed keys the deterministic content (entity names, triple values).
+	Seed int64
+	// Fanout and Depth shape the link bomb (Fanout links per document,
+	// Depth generations).
+	Fanout int
+	Depth  int
+	// LoopLen is the ring length of the loop attack.
+	LoopLen int
+	// SpoofTarget is the victim origin (e.g. "https://pod.example") whose
+	// IRIs the spoof documents make claims about and link into.
+	SpoofTarget string
+	// TrickleDelay is the pause between single-byte writes of the
+	// slow-loris body.
+	TrickleDelay time.Duration
+	// TrickleBytes is the slow-loris body length (the document never
+	// finishes faster than TrickleBytes × TrickleDelay).
+	TrickleBytes int
+	// OversizeBytes is the minimum size of the oversized document.
+	OversizeBytes int64
+}
+
+// Prefix is the path prefix all adversarial documents live under.
+const Prefix = "/adv/"
+
+// NewAdversary returns an adversary with test-sized defaults: a 20×3 link
+// bomb (8420 documents), an 8-document loop, a 64 KiB oversized document
+// and a 200-byte slow-loris body trickling at 20ms per byte.
+func NewAdversary(seed int64) *Adversary {
+	return &Adversary{
+		Seed:          seed,
+		Fanout:        20,
+		Depth:         3,
+		LoopLen:       8,
+		TrickleDelay:  20 * time.Millisecond,
+		TrickleBytes:  200,
+		OversizeBytes: 64 << 10,
+	}
+}
+
+// BombRoot returns the link-bomb entry URL on the given origin.
+func (a *Adversary) BombRoot(origin string) string { return origin + Prefix + "bomb/d0" }
+
+// LoopRoot returns the loop entry URL on the given origin.
+func (a *Adversary) LoopRoot(origin string) string { return origin + Prefix + "loop/n0" }
+
+// SpoofRoot returns the spoofing document URL on the given origin.
+func (a *Adversary) SpoofRoot(origin string) string { return origin + Prefix + "spoof/doc" }
+
+// SlowRoot returns the slow-loris document URL on the given origin.
+func (a *Adversary) SlowRoot(origin string) string { return origin + Prefix + "slow/doc" }
+
+// BigRoot returns the oversized document URL on the given origin.
+func (a *Adversary) BigRoot(origin string) string { return origin + Prefix + "big/doc" }
+
+// ServeHTTP implements http.Handler for paths under Prefix; anything else
+// is 404.
+func (a *Adversary) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rest, ok := strings.CutPrefix(r.URL.Path, Prefix)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	base := requestURL(r)
+	origin := base[:len(base)-len(r.URL.Path)]
+	kind, name, _ := strings.Cut(rest, "/")
+	switch kind {
+	case "bomb":
+		a.serveBomb(w, origin, name)
+	case "loop":
+		a.serveLoop(w, origin, name)
+	case "spoof":
+		a.serveSpoof(w, origin)
+	case "slow":
+		a.serveSlow(w)
+	case "big":
+		a.serveBig(w, origin)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// turtle writes a complete Turtle body with the right content type.
+func turtleBody(w http.ResponseWriter, body string) {
+	w.Header().Set("Content-Type", "text/turtle")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(body))
+}
+
+const seeAlso = "<http://www.w3.org/2000/01/rdf-schema#seeAlso>"
+
+// serveBomb serves one link-bomb node. Node names are d<generation>x<n>:
+// every node below Depth links to Fanout children, each name derived
+// deterministically so the tree is stable across runs.
+func (a *Adversary) serveBomb(w http.ResponseWriter, origin, name string) {
+	gen := 0
+	if i := strings.IndexByte(name, 'x'); i > 0 {
+		gen, _ = strconv.Atoi(name[1:i])
+	}
+	var b strings.Builder
+	self := origin + Prefix + "bomb/" + name
+	fmt.Fprintf(&b, "<%s> <%s#label> \"bomb %s %.4f\" .\n", self, origin, name, unitHash(a.Seed, self, 0))
+	if gen < a.Depth {
+		for i := 0; i < a.Fanout; i++ {
+			child := fmt.Sprintf("%s%sbomb/d%dx%s-%d", origin, Prefix, gen+1, name, i)
+			fmt.Fprintf(&b, "<%s> %s <%s> .\n", self, seeAlso, child)
+		}
+	}
+	turtleBody(w, b.String())
+}
+
+// serveLoop serves one node of the loop ring. Each node links to the next
+// ring member three times: verbatim, with HOST uppercased, and with the
+// default port spelled out — aliases only normalized dedup collapses.
+func (a *Adversary) serveLoop(w http.ResponseWriter, origin, name string) {
+	n, _ := strconv.Atoi(strings.TrimPrefix(name, "n"))
+	next := fmt.Sprintf("%s%sloop/n%d", origin, Prefix, (n+1)%max(a.LoopLen, 1))
+	var b strings.Builder
+	self := origin + Prefix + "loop/" + name
+	fmt.Fprintf(&b, "<%s> %s <%s> .\n", self, seeAlso, next)
+	for _, alias := range urlAliases(next) {
+		fmt.Fprintf(&b, "<%s> %s <%s> .\n", self, seeAlso, alias)
+	}
+	turtleBody(w, b.String())
+}
+
+// urlAliases returns spellings of u that RFC 3986 normalization collapses
+// back into u: uppercased scheme+host, and the default port made explicit.
+func urlAliases(u string) []string {
+	var out []string
+	if rest, ok := strings.CutPrefix(u, "http://"); ok {
+		host := rest
+		if i := strings.IndexAny(rest, "/:"); i >= 0 {
+			host = rest[:i]
+		}
+		out = append(out, "HTTP://"+strings.ToUpper(host)+rest[len(host):])
+		if !strings.Contains(host, ":") {
+			out = append(out, "http://"+host+":80"+strings.TrimPrefix(rest, host))
+		}
+	}
+	if rest, ok := strings.CutPrefix(u, "https://"); ok {
+		host := rest
+		if i := strings.IndexAny(rest, "/:"); i >= 0 {
+			host = rest[:i]
+		}
+		out = append(out, "HTTPS://"+strings.ToUpper(host)+rest[len(host):])
+		if !strings.Contains(host, ":") {
+			out = append(out, "https://"+host+":443"+strings.TrimPrefix(rest, host))
+		}
+	}
+	return out
+}
+
+// serveSpoof serves a document asserting triples about the victim origin's
+// IRIs — claims a trusting engine would ingest as if the victim had made
+// them — plus traversal links into the victim.
+func (a *Adversary) serveSpoof(w http.ResponseWriter, origin string) {
+	victim := a.SpoofTarget
+	if victim == "" {
+		victim = "https://victim.invalid"
+	}
+	self := origin + Prefix + "spoof/doc"
+	var b strings.Builder
+	fmt.Fprintf(&b, "<%s/profile/card#me> <http://xmlns.com/foaf/0.1/name> \"Spoofed Name %.4f\" .\n",
+		victim, unitHash(a.Seed, self, 0))
+	fmt.Fprintf(&b, "<%s/profile/card#me> <http://www.w3.org/ns/pim/space#storage> <%s/> .\n", victim, origin)
+	fmt.Fprintf(&b, "<%s> %s <%s/profile/card> .\n", self, seeAlso, victim)
+	fmt.Fprintf(&b, "<%s> %s <%s/inbox/> .\n", self, seeAlso, victim)
+	turtleBody(w, b.String())
+}
+
+// serveSlow trickles a valid Turtle body one byte at a time, flushing after
+// each write — a server that never errors but never finishes either.
+func (a *Adversary) serveSlow(w http.ResponseWriter) {
+	body := make([]byte, 0, a.TrickleBytes)
+	for len(body) < a.TrickleBytes {
+		body = append(body, fmt.Sprintf("<urn:slow:%d> <urn:p> \"x\" .\n", len(body))...)
+	}
+	w.Header().Set("Content-Type", "text/turtle")
+	w.WriteHeader(http.StatusOK)
+	f, _ := w.(http.Flusher)
+	for i := range body {
+		if _, err := w.Write(body[i : i+1]); err != nil {
+			return
+		}
+		if f != nil {
+			f.Flush()
+		}
+		time.Sleep(a.TrickleDelay)
+	}
+}
+
+// serveBig streams at least OversizeBytes of valid Turtle.
+func (a *Adversary) serveBig(w http.ResponseWriter, origin string) {
+	w.Header().Set("Content-Type", "text/turtle")
+	w.WriteHeader(http.StatusOK)
+	var written int64
+	for i := 0; written < a.OversizeBytes; i++ {
+		line := fmt.Sprintf("<%s/big/e%d> <%s/big/p> \"v%d %.6f\" .\n",
+			origin, i, origin, i, unitHash(a.Seed, origin, i))
+		n, err := w.Write([]byte(line))
+		written += int64(n)
+		if err != nil {
+			return
+		}
+	}
+}

@@ -48,10 +48,13 @@ func (q *Instrumented) Abandon() {
 // Evented wraps a Queue and publishes a link_queued event for every link
 // the underlying queue accepts, correlated to the owning query. Rejected
 // (already-seen) pushes emit nothing — the traversal loop reports those as
-// link_pruned with their reason.
+// link_pruned with their reason. When the wrapped discipline ranks links
+// (implements Scorer), the event carries the link's score, making
+// queue-policy decisions observable on the event stream and journal.
 type Evented struct {
 	Queue
 	events *obs.Emitter
+	scorer Scorer
 }
 
 // WithEvents wraps q so accepted pushes are announced on the emitter. A
@@ -61,15 +64,21 @@ func WithEvents(q Queue, events *obs.Emitter) Queue {
 	if events == nil {
 		return q
 	}
-	return &Evented{Queue: q, events: events}
+	e := &Evented{Queue: q, events: events}
+	e.scorer, _ = q.(Scorer)
+	return e
 }
 
 // Push implements Queue.
 func (q *Evented) Push(l Link) bool {
 	accepted := q.Queue.Push(l)
 	if accepted {
-		q.events.Emit(obs.Event{Kind: obs.EventLinkQueued, URL: l.URL,
-			Via: l.Via, Extractor: l.Extractor, Reason: l.Reason, Depth: l.Depth})
+		ev := obs.Event{Kind: obs.EventLinkQueued, URL: l.URL,
+			Via: l.Via, Extractor: l.Extractor, Reason: l.Reason, Depth: l.Depth}
+		if q.scorer != nil && q.events.Active() {
+			ev.Score = q.scorer.Score(l)
+		}
+		q.events.Emit(ev)
 	}
 	return accepted
 }

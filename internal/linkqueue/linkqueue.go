@@ -59,14 +59,18 @@ func NewFIFO() *FIFO {
 	return &FIFO{seen: map[string]bool{}}
 }
 
-// Push implements Queue.
+// Push implements Queue. Deduplication is on the normalized URL (scheme and
+// host case, default ports), so spoofed variants of a visited document —
+// "HTTP://Host:80/x" for a visited "http://host/x" — are rejected rather
+// than re-fetched.
 func (q *FIFO) Push(l Link) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.seen[l.URL] {
+	key := Normalize(l.URL)
+	if q.seen[key] {
 		return false
 	}
-	q.seen[l.URL] = true
+	q.seen[key] = true
 	q.items = append(q.items, l)
 	return true
 }
@@ -156,14 +160,17 @@ func (h *linkHeap) Pop() interface{} {
 	return it
 }
 
-// Push implements Queue.
+// Push implements Queue. Like FIFO.Push, deduplication is on the
+// normalized URL, so case/port-spoofed variants of a visited document are
+// rejected.
 func (q *Priority) Push(l Link) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.seen[l.URL] {
+	key := Normalize(l.URL)
+	if q.seen[key] {
 		return false
 	}
-	q.seen[l.URL] = true
+	q.seen[key] = true
 	rank, ok := q.ranks[l.Reason]
 	if !ok {
 		rank = 10

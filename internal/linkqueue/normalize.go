@@ -1,0 +1,60 @@
+package linkqueue
+
+import (
+	"net/url"
+	"strings"
+)
+
+// Normalize canonicalizes a link URL for deduplication. RFC 3986 §6.2.2-3
+// syntax-based normalization: the scheme and host are case-insensitive, and
+// the default port of a scheme is equivalent to no port at all — so
+// "HTTP://Host:80/x" and "http://host/x" name the same document. Without
+// this, an adversarial pod can re-trigger a fetch of an already-visited
+// document arbitrarily often by emitting spoofed case/port variants of its
+// URL (the IRI-spoofing attack class of the LTQP security analysis), and a
+// traversal loop through such variants never terminates.
+//
+// Only the scheme, host case and default ports are touched: paths stay
+// byte-exact (they are case-sensitive on most servers), and anything that
+// does not parse as a URL is returned unchanged — normalization must never
+// make two genuinely distinct documents collide.
+func Normalize(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return raw
+	}
+	u.Scheme = strings.ToLower(u.Scheme) // Parse lowercases it already; keep explicit
+	host := strings.ToLower(u.Host)
+	switch {
+	case u.Scheme == "http" && strings.HasSuffix(host, ":80"):
+		host = strings.TrimSuffix(host, ":80")
+	case u.Scheme == "https" && strings.HasSuffix(host, ":443"):
+		host = strings.TrimSuffix(host, ":443")
+	}
+	u.Host = host
+	if n := u.String(); n != raw {
+		return n
+	}
+	return raw
+}
+
+// Origin extracts a URL's origin (scheme://host, normalized, default ports
+// stripped) — the unit of the traversal engine's per-origin budgets and
+// queue fairness. URLs that do not parse share the synthetic origin
+// "invalid://", so malformed links cannot dodge origin accounting by being
+// unparseable.
+func Origin(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil || u.Host == "" {
+		return "invalid://"
+	}
+	scheme := strings.ToLower(u.Scheme)
+	host := strings.ToLower(u.Host)
+	switch {
+	case scheme == "http" && strings.HasSuffix(host, ":80"):
+		host = strings.TrimSuffix(host, ":80")
+	case scheme == "https" && strings.HasSuffix(host, ":443"):
+		host = strings.TrimSuffix(host, ":443")
+	}
+	return scheme + "://" + host
+}

@@ -62,6 +62,33 @@ type QueueSample struct {
 	Seen int
 }
 
+// LimitTrip records one firing of a traversal defense: which limit, where,
+// and the limit-vs-observed accounting. Trips ride in the degradation
+// report, so a contained attack (or an overly tight budget) is visible to
+// the caller instead of silently shrinking the answer set.
+type LimitTrip struct {
+	// Kind names the defense ("max-docs-per-origin", "max-bytes-per-origin",
+	// "scope", "fanout", "queue-cap", "doc-bytes", "slow-body").
+	Kind string
+	// Origin is the origin whose budget tripped (empty for global caps).
+	Origin string
+	// URL is the link or document that crossed the limit.
+	URL string
+	// Limit and Observed give the configured bound and the value that
+	// crossed it.
+	Limit    int64
+	Observed int64
+}
+
+// String renders the trip for logs and --stats output.
+func (t LimitTrip) String() string {
+	where := t.Origin
+	if where == "" {
+		where = t.URL
+	}
+	return fmt.Sprintf("%s at %s (%d > limit %d)", t.Kind, where, t.Observed, t.Limit)
+}
+
 // Recorder collects request events and result timestamps. It is safe for
 // concurrent use.
 type Recorder struct {
@@ -70,6 +97,7 @@ type Recorder struct {
 	requests []Request
 	results  []time.Time
 	queue    []QueueSample
+	trips    []LimitTrip
 }
 
 // NewRecorder returns a recorder with its epoch set to now.
@@ -104,6 +132,22 @@ func (r *Recorder) RecordQueueSample(length, seen int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.queue = append(r.queue, QueueSample{At: time.Since(r.started), Length: length, Seen: seen})
+}
+
+// RecordLimitTrip notes a traversal defense firing.
+func (r *Recorder) RecordLimitTrip(t LimitTrip) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trips = append(r.trips, t)
+}
+
+// LimitTrips returns the recorded defense firings in trip order.
+func (r *Recorder) LimitTrips() []LimitTrip {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]LimitTrip, len(r.trips))
+	copy(out, r.trips)
+	return out
 }
 
 // QueueEvolution returns the recorded link-queue samples in time order.
@@ -264,10 +308,18 @@ type Degradation struct {
 	// Retries counts retry attempts (request events with Attempt > 1),
 	// including those that eventually succeeded.
 	Retries int
+	// LimitTrips are the traversal defenses that fired during the
+	// execution (per-origin budgets, scope allowlist, fanout/queue caps,
+	// oversized/slow-body cutoffs) — each one a place the traversal
+	// deliberately stopped short of exhaustive.
+	LimitTrips []LimitTrip
 }
 
-// Degraded reports whether any document was lost or retried.
-func (d Degradation) Degraded() bool { return len(d.FailedDocuments) > 0 || d.Retries > 0 }
+// Degraded reports whether any document was lost, retried, or cut off by a
+// traversal defense.
+func (d Degradation) Degraded() bool {
+	return len(d.FailedDocuments) > 0 || d.Retries > 0 || len(d.LimitTrips) > 0
+}
 
 // Degradation computes the degradation summary from the recorded events.
 func (r *Recorder) Degradation() Degradation {
@@ -290,6 +342,7 @@ func (r *Recorder) Degradation() Degradation {
 		seen[q.URL] = true
 		d.FailedDocuments = append(d.FailedDocuments, q.URL)
 	}
+	d.LimitTrips = r.LimitTrips()
 	return d
 }
 

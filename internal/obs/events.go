@@ -75,6 +75,12 @@ const (
 	// (429 + Retry-After); Detail names why — queue full, tenant quota,
 	// draining. (Additive.)
 	EventQueryRejected EventKind = "query_rejected"
+	// EventLimitTripped records a traversal defense firing: a per-origin
+	// document/byte budget, the traversal scope allowlist, a per-document
+	// fanout cap, or the total queued-links cap. URL names the link (or
+	// origin) that tripped it, Reason the limit kind, and Detail the
+	// limit-vs-observed accounting.
+	EventLimitTripped EventKind = "limit_tripped"
 	// EventResourceSnapshot records a query's resource-ledger state:
 	// MemBytes the live bytes at snapshot time, MemPeak the high-water
 	// mark, Detail the per-layer breakdown (largest spender first). Emitted
@@ -92,6 +98,7 @@ var EventKinds = []EventKind{
 	EventQueryFinished,
 	EventCacheHit, EventCacheRevalidated, EventCacheEvicted,
 	EventQueryAdmitted, EventQueryRejected,
+	EventLimitTripped,
 	EventResourceSnapshot,
 }
 
@@ -126,6 +133,9 @@ type Event struct {
 	// byte counts. (Additive to schema 1.)
 	MemBytes int64 `json:"mem_bytes,omitempty"`
 	MemPeak  int64 `json:"mem_peak,omitempty"`
+	// Score carries a link_queued link's queue-policy score when the
+	// traversal runs a ranking discipline. (Additive to schema 1.)
+	Score float64 `json:"score,omitempty"`
 }
 
 // Bus fans engine events out to subscribers. Publishing is bounded and

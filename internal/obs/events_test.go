@@ -196,6 +196,7 @@ func TestEventKindsMatchesConstants(t *testing.T) {
 		EventQueryFinished: true,
 		EventCacheHit:      true, EventCacheRevalidated: true, EventCacheEvicted: true,
 		EventQueryAdmitted: true, EventQueryRejected: true,
+		EventLimitTripped:     true,
 		EventResourceSnapshot: true,
 	}
 	if len(EventKinds) != len(want) {

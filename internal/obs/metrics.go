@@ -67,6 +67,12 @@ type Metrics struct {
 	// keep reason: error, budget, degraded, slow, sampled) vs. dropped.
 	TracesKept    *CounterVec
 	TracesDropped *Counter
+
+	// Traversal-defense instruments: limit trips by kind (docs-per-origin,
+	// bytes-per-origin, scope, fanout, queue-cap, doc-bytes, slow-body)
+	// and links pruned by the scope allowlist.
+	LimitTrips      *CounterVec
+	LinksOutOfScope *Counter
 }
 
 // NewMetrics registers the standard instrument set on r. A nil registry
@@ -120,6 +126,9 @@ func NewMetrics(r *Registry) *Metrics {
 
 		TracesKept:    r.CounterVec("ltqp_traces_kept_total", "Traces retained by the tail sampler, by keep reason.", "reason"),
 		TracesDropped: r.Counter("ltqp_traces_dropped_total", "Traces discarded by the tail sampler."),
+
+		LimitTrips:      r.CounterVec("ltqp_traversal_limit_trips_total", "Traversal defenses fired, by limit kind.", "kind"),
+		LinksOutOfScope: r.Counter("ltqp_links_out_of_scope_total", "Links pruned by the traversal scope allowlist."),
 	}
 }
 

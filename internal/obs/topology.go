@@ -39,6 +39,11 @@ const (
 	EdgeDepthPruned = "depth-pruned"
 	// EdgeSelf marks a link pointing back at its own document.
 	EdgeSelf = "self"
+	// EdgeScopePruned marks a link rejected by the traversal allowlist.
+	EdgeScopePruned = "scope-pruned"
+	// EdgeLimitPruned marks a link rejected by a traversal defense (a
+	// per-origin budget, a per-document fanout cap, or the queue cap).
+	EdgeLimitPruned = "limit-pruned"
 )
 
 // TopoNode is one dereferenced (or attempted) document.

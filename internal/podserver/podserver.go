@@ -62,6 +62,11 @@ type Server struct {
 	// through the traceparent request header.
 	Spans *obs.ServerSpanLog
 
+	// Fallback, when non-nil, handles requests for URLs no document is
+	// registered under (instead of 404). Adversarial tests mount hostile
+	// generators here so attack documents share the benign pods' origin.
+	Fallback http.Handler
+
 	// modTime stamps documents registered from now on; defaults to server
 	// creation time. HTTP dates carry second resolution, so it is truncated.
 	modTime time.Time
@@ -207,6 +212,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.docs[docURL]
 	s.mu.RUnlock()
 	if !ok {
+		if s.Fallback != nil {
+			s.Fallback.ServeHTTP(w, r)
+			return
+		}
 		fail("not found", http.StatusNotFound)
 		return
 	}
